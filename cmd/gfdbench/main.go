@@ -1,0 +1,72 @@
+// Command gfdbench runs the paper-reproduction experiments: one table or
+// figure of Fan et al. (SIGMOD 2018) per experiment ID, printing the same
+// rows/series the paper reports (at harness scale).
+//
+// Usage:
+//
+//	gfdbench [flags] <experiment>...
+//	gfdbench -list
+//	gfdbench all
+//
+// Experiments: fig5a..fig5l, fig6, fig7, fig8, infeas.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "dataset scale multiplier (1.0 = harness defaults, ~1/500 of the paper's)")
+	seed := flag.Int64("seed", 42, "generator seed")
+	workers := flag.String("workers", "4,8,12,16,20", "comma-separated worker counts for n-sweeps")
+	verbose := flag.Bool("v", false, "print progress while running")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: gfdbench [flags] <experiment>... | all   (-list to enumerate)")
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = bench.IDs()
+	}
+
+	var ws []int
+	for _, part := range strings.Split(*workers, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "gfdbench: bad -workers entry %q\n", part)
+			os.Exit(2)
+		}
+		ws = append(ws, n)
+	}
+	cfg := bench.Config{Scale: *scale, Seed: *seed, Workers: ws, Verbose: *verbose, Out: os.Stdout}
+
+	exit := 0
+	for _, id := range args {
+		start := time.Now()
+		t, err := bench.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gfdbench: %v\n", err)
+			exit = 1
+			continue
+		}
+		t.Fprint(os.Stdout)
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	os.Exit(exit)
+}

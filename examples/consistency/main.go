@@ -1,0 +1,74 @@
+// Consistency demonstrates the paper's motivating workload (and Exp-5):
+// knowledge-base consistency checking. It generates a YAGO2-shaped
+// knowledge graph, mines a GFD cover from it, injects errors (α% of nodes,
+// β% of their attribute values / edge labels changed to out-of-domain
+// values), detects the violations and reports the detection accuracy
+// |V^GFD ∩ V^E| / |V^E|.
+package main
+
+import (
+	"fmt"
+
+	gfd "repro"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+)
+
+func main() {
+	const scale = 400
+	g := dataset.YAGO2Sim(scale, 7)
+	fmt.Println("knowledge base:", g)
+
+	// Mine a cover of minimum frequent GFDs from the (clean) graph. Γ is
+	// restricted to attributes with repeated values (the paper picks
+	// "active attributes … of users' interest"); near-unique identifiers
+	// like name would only yield overfit constant rules.
+	opts := gfd.DiscoverOptions{
+		K: 3, Support: scale / 16, MaxX: 1, ConstantsPerAttr: 5,
+		ActiveAttrs:   []string{"familyname", "gender", "genre", "type"},
+		WildcardNodes: true, MaxExtensionsPerPattern: 20,
+		MaxPatternsPerLevel: 100, MaxLevels: 4, MaxNegatives: 100,
+	}
+	cover := gfd.DiscoverCover(g, opts)
+	fmt.Printf("mined cover: %d GFDs (σ=%d)\n", len(cover), opts.Support)
+	for i, m := range cover {
+		if i == 5 {
+			fmt.Printf("  ... and %d more\n", len(cover)-5)
+			break
+		}
+		fmt.Println("  ", m.Describe())
+	}
+
+	// Collect the consequence attributes of the rules and dirty the graph
+	// exactly there (the paper's protocol).
+	var targets []string
+	seen := map[string]bool{}
+	rules := make([]*gfd.GFD, len(cover))
+	for i, m := range cover {
+		rules[i] = m.GFD
+		for _, a := range []string{m.GFD.RHS.A, m.GFD.RHS.B} {
+			if a != "" && !seen[a] {
+				seen[a] = true
+				targets = append(targets, a)
+			}
+		}
+	}
+	noisy, dirty := dataset.Noise(g, dataset.NoiseConfig{
+		AlphaPct: 8, BetaPct: 60, Seed: 99, TargetAttrs: targets, EdgeShare: 0.3,
+	})
+	fmt.Printf("\ninjected errors into %d nodes (α=8%%, β=60%%)\n", len(dirty))
+
+	// Detect: nodes contained in violations of the mined GFDs.
+	detected := eval.ViolatingNodes(noisy, rules)
+	acc := dataset.Accuracy(detected, dirty)
+	fmt.Printf("flagged %d nodes; detection accuracy = %.1f%%\n", len(detected), 100*acc)
+
+	// Show one concrete catch.
+	for _, m := range cover {
+		vs := gfd.Violations(noisy, m.GFD, 1)
+		if len(vs) > 0 {
+			fmt.Printf("\nexample violation of %s\n  at match %v\n", m.GFD, vs[0])
+			break
+		}
+	}
+}

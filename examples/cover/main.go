@@ -1,0 +1,62 @@
+// Cover demonstrates the implication analysis and cover computation of
+// Sections 3 and 5.2, following Example 9 of the paper: a set Σ of GFDs
+// with embedded redundancy is reduced to a minimal equivalent cover via
+// the closure characterisation of GFD implication.
+package main
+
+import (
+	"fmt"
+
+	gfd "repro"
+)
+
+func main() {
+	q1 := gfd.SingleEdge("person", "create", "product")
+
+	// Σ assembles rules at several generality levels.
+	wildcardRule := gfd.New(gfd.SingleNode(gfd.Wildcard), nil, gfd.Const(0, "checked", "yes"))
+	personRule := gfd.New(gfd.SingleNode("person"), nil, gfd.Const(0, "checked", "yes")) // implied by wildcardRule
+	base := gfd.New(q1, nil, gfd.Const(0, "type", "producer"))
+	specialised := gfd.New(q1, // implied by base: stronger premises, same conclusion
+		[]gfd.Literal{gfd.Const(1, "type", "film")},
+		gfd.Const(0, "type", "producer"))
+	chainA := gfd.New(q1, nil, gfd.Const(1, "status", "released"))
+	chainB := gfd.New(q1, []gfd.Literal{gfd.Const(1, "status", "released")}, gfd.Const(1, "audited", "true"))
+	chained := gfd.New(q1, nil, gfd.Const(1, "audited", "true")) // implied by chainA + chainB
+	independent := gfd.New(gfd.SingleNode("city"), nil, gfd.Vars(0, "name", 0, "label"))
+
+	sigma := []*gfd.GFD{wildcardRule, personRule, base, specialised, chainA, chainB, chained, independent}
+	fmt.Printf("Σ (%d GFDs):\n", len(sigma))
+	for _, phi := range sigma {
+		fmt.Println("  ", phi)
+	}
+
+	fmt.Println("\nimplication checks (Σ\\{φ} ⊨ φ):")
+	for _, phi := range []*gfd.GFD{personRule, specialised, chained, independent} {
+		rest := without(sigma, phi)
+		fmt.Printf("  %-70s %v\n", phi.String(), gfd.Implies(rest, phi))
+	}
+
+	fmt.Println("\nsatisfiability of Σ:", gfd.Satisfiable(sigma))
+	conflicting := []*gfd.GFD{
+		gfd.New(gfd.SingleNode("person"), nil, gfd.Const(0, "t", "1")),
+		gfd.New(gfd.SingleNode("person"), nil, gfd.Const(0, "t", "2")),
+	}
+	fmt.Println("satisfiability of {person→t=1, person→t=2}:", gfd.Satisfiable(conflicting))
+
+	cover := gfd.Cover(sigma)
+	fmt.Printf("\ncover (%d GFDs — the redundant three are gone):\n", len(cover))
+	for _, phi := range cover {
+		fmt.Println("  ", phi)
+	}
+}
+
+func without(sigma []*gfd.GFD, phi *gfd.GFD) []*gfd.GFD {
+	out := make([]*gfd.GFD, 0, len(sigma)-1)
+	for _, psi := range sigma {
+		if psi != phi {
+			out = append(out, psi)
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+// Quickstart reproduces Example 1 / Figure 1 of the paper: the three
+// knowledge-base fragments G1, G2, G3 with their inconsistencies, the GFDs
+// φ1, φ2, φ3 that catch them, and finally discovery re-finding the φ1
+// regularity from clean data.
+package main
+
+import (
+	"fmt"
+
+	gfd "repro"
+)
+
+func main() {
+	// --- G1: YAGO3 credits high-jumper John Winter with a film. ---
+	g1 := gfd.NewGraph(2, 1)
+	john := g1.AddNode("person", map[string]string{"name": "John Winter", "type": "high jumper"})
+	film := g1.AddNode("product", map[string]string{"name": "Selling Out", "type": "film"})
+	g1.AddEdge(john, film, "create")
+	g1.Finalize()
+
+	// φ1 = Q1[x,y](y.type = "film" → x.type = "producer")
+	phi1 := gfd.New(
+		gfd.SingleEdge("person", "create", "product"),
+		[]gfd.Literal{gfd.Const(1, "type", "film")},
+		gfd.Const(0, "type", "producer"))
+	fmt.Println("φ1:", phi1)
+	fmt.Println("G1 ⊨ φ1 ?", gfd.Validate(g1, phi1), " (the high jumper is caught)")
+
+	// --- G2: Saint Petersburg located in both Russia and Florida. ---
+	g2 := gfd.NewGraph(3, 2)
+	sp := g2.AddNode("city", map[string]string{"name": "Saint Petersburg"})
+	ru := g2.AddNode("country", map[string]string{"name": "Russia"})
+	fl := g2.AddNode("city", map[string]string{"name": "Florida"})
+	g2.AddEdge(sp, ru, "located")
+	g2.AddEdge(sp, fl, "located")
+	g2.Finalize()
+
+	// φ2 = Q2[x,y,z](∅ → y.name = z.name): a city lies in one place. The
+	// located-targets are wildcards '_' (they match country and city alike).
+	q2 := &gfd.Pattern{
+		NodeLabels: []string{"city", gfd.Wildcard, gfd.Wildcard},
+		Edges: []gfd.PatternEdge{
+			{Src: 0, Dst: 1, Label: "located"},
+			{Src: 0, Dst: 2, Label: "located"},
+		},
+	}
+	phi2 := gfd.New(q2, nil, gfd.Vars(1, "name", 2, "name"))
+	fmt.Println("\nφ2:", phi2)
+	fmt.Println("G2 ⊨ φ2 ?", gfd.Validate(g2, phi2), " (Russia vs Florida is caught)")
+	for _, v := range gfd.Violations(g2, phi2, 1) {
+		fmt.Printf("  violation: x→%s, y→%s, z→%s\n",
+			attr(g2, v[0], "name"), attr(g2, v[1], "name"), attr(g2, v[2], "name"))
+	}
+
+	// --- G3: John Brown and Owen Brown are mutual parents. ---
+	g3 := gfd.NewGraph(2, 2)
+	owen := g3.AddNode("person", map[string]string{"name": "Owen Brown"})
+	jb := g3.AddNode("person", map[string]string{"name": "John Brown"})
+	g3.AddEdge(owen, jb, "parent")
+	g3.AddEdge(jb, owen, "parent")
+	g3.Finalize()
+
+	// φ3 = Q3[x,y](∅ → false): the parent 2-cycle is an illegal structure.
+	q3 := &gfd.Pattern{
+		NodeLabels: []string{"person", "person"},
+		Edges: []gfd.PatternEdge{
+			{Src: 0, Dst: 1, Label: "parent"},
+			{Src: 1, Dst: 0, Label: "parent"},
+		},
+	}
+	phi3 := gfd.New(q3, nil, gfd.False())
+	fmt.Println("\nφ3:", phi3)
+	fmt.Println("G3 ⊨ φ3 ?", gfd.Validate(g3, phi3), " (the mutual parents are caught)")
+
+	// --- Static analyses. ---
+	sigma := []*gfd.GFD{phi1, phi2, phi3}
+	fmt.Println("\nΣ = {φ1, φ2, φ3} satisfiable?", gfd.Satisfiable(sigma))
+	weaker := gfd.New(gfd.SingleEdge("person", "create", "product"),
+		nil, gfd.Const(0, "type", "producer"))
+	fmt.Println("{∅→producer} ⊨ φ1 ?", gfd.Implies([]*gfd.GFD{weaker}, phi1))
+
+	// --- Discovery: re-find the φ1 regularity from clean data. ---
+	clean := gfd.NewGraph(0, 0)
+	for i := 0; i < 5; i++ {
+		p := clean.AddNode("person", map[string]string{"type": "producer"})
+		f := clean.AddNode("product", map[string]string{"type": "film"})
+		clean.AddEdge(p, f, "create")
+		j := clean.AddNode("person", map[string]string{"type": "high jumper"})
+		s := clean.AddNode("product", map[string]string{"type": "song"})
+		clean.AddEdge(j, s, "create")
+	}
+	clean.Finalize()
+	fmt.Println("\ndiscovering from clean data (k=2, σ=3):")
+	for _, m := range gfd.DiscoverCover(clean, gfd.DiscoverOptions{K: 2, Support: 3}) {
+		fmt.Println("  ", m.Describe())
+	}
+}
+
+func attr(g *gfd.Graph, v gfd.NodeID, a string) string {
+	val, _ := g.Attr(v, a)
+	return val
+}

@@ -1,0 +1,180 @@
+// Package gfd is a from-scratch Go implementation of "Discovering Graph
+// Functional Dependencies" (Fan, Hu, Liu, Lu — SIGMOD 2018): graph
+// functional dependencies Q[x̄](X → Y) over property graphs, their static
+// analyses (satisfiability, implication, validation), and sequential and
+// parallel-scalable discovery of minimum σ-frequent GFD covers, positive
+// and negative.
+//
+// This root package is the public facade: it re-exports the library's
+// types and wires the common pipelines. The building blocks live in the
+// internal packages:
+//
+//	internal/graph      property graphs G = (V, E, L, F_A)
+//	internal/pattern    graph patterns Q[x̄] with wildcards and pivots
+//	internal/match      subgraph isomorphism, match tables, incremental joins
+//	internal/core       GFD syntax, closure, implication, satisfiability
+//	internal/eval       semantics on data: validation, support, violations
+//	internal/discovery  the generation tree, SeqDis, SeqCover
+//	internal/cluster    the simulated shared-nothing cluster
+//	internal/parallel   ParDis, ParCover (parallel scalable)
+//	internal/amie       the AMIE comparison baseline
+//	internal/gcfd       the GCFD (path-pattern) comparison baseline
+//	internal/dataset    synthetic + DBpedia/YAGO2/IMDB-shaped generators
+//	internal/bench      the experiment harness (one driver per figure)
+//
+// Quickstart:
+//
+//	g := gfd.NewGraph(0, 0)
+//	john := g.AddNode("person", map[string]string{"type": "high jumper"})
+//	film := g.AddNode("product", map[string]string{"type": "film"})
+//	g.AddEdge(john, film, "create")
+//	g.Finalize()
+//
+//	phi := gfd.New(gfd.SingleEdge("person", "create", "product"),
+//		[]gfd.Literal{gfd.Const(1, "type", "film")},
+//		gfd.Const(0, "type", "producer"))
+//	ok := gfd.Validate(g, phi) // false: the high jumper violates φ1
+//
+//	res := gfd.Discover(g, gfd.DiscoverOptions{K: 2, Support: 1})
+package gfd
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/discovery"
+	"repro/internal/eval"
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/parallel"
+	"repro/internal/pattern"
+)
+
+// Re-exported substrate types. Aliases preserve full method sets.
+type (
+	// Graph is a directed labelled property multigraph.
+	Graph = graph.Graph
+	// NodeID identifies a node in a Graph.
+	NodeID = graph.NodeID
+	// Edge is a materialised graph edge.
+	Edge = graph.Edge
+	// Pattern is a graph pattern Q[x̄] with wildcard labels and a pivot.
+	Pattern = pattern.Pattern
+	// PatternEdge is a directed pattern edge between variables.
+	PatternEdge = pattern.Edge
+	// Match assigns a graph node to each pattern variable.
+	Match = match.Match
+	// Literal is x.A = c, x.A = y.B, or false.
+	Literal = core.Literal
+	// GFD is a graph functional dependency Q[x̄](X → l) in normal form.
+	GFD = core.GFD
+	// DiscoverOptions configures discovery (see discovery.Options).
+	DiscoverOptions = discovery.Options
+	// Mined is a discovered GFD with its measured support.
+	Mined = discovery.Mined
+	// DiscoverResult is the output of a discovery run.
+	DiscoverResult = discovery.Result
+	// ClusterConfig configures the simulated cluster.
+	ClusterConfig = cluster.Config
+	// ClusterStats reports a simulated run's cost.
+	ClusterStats = cluster.Stats
+	// SupportDetail decomposes supp(φ, G) per Section 4.2.
+	SupportDetail = eval.SupportDetail
+)
+
+// Wildcard is the generic label '_' matching any label.
+const Wildcard = pattern.Wildcard
+
+// NewGraph returns an empty graph with capacity hints.
+func NewGraph(nodes, edges int) *Graph { return graph.New(nodes, edges) }
+
+// ReadGraph / WriteGraph re-export the TSV graph format.
+var (
+	ReadGraph  = graph.Read
+	WriteGraph = graph.Write
+)
+
+// SingleNode returns a one-variable pattern.
+func SingleNode(label string) *Pattern { return pattern.SingleNode(label) }
+
+// SingleEdge returns the two-variable one-edge pattern with pivot x0.
+func SingleEdge(srcLabel, edgeLabel, dstLabel string) *Pattern {
+	return pattern.SingleEdge(srcLabel, edgeLabel, dstLabel)
+}
+
+// Const returns the literal x.A = c.
+func Const(x int, a, c string) Literal { return core.Const(x, a, c) }
+
+// Vars returns the literal x.A = y.B.
+func Vars(x int, a string, y int, b string) Literal { return core.Vars(x, a, y, b) }
+
+// False returns the Boolean-false literal (negative GFDs).
+func False() Literal { return core.False() }
+
+// New constructs a GFD Q[x̄](X → rhs).
+func New(q *Pattern, x []Literal, rhs Literal) *GFD { return core.New(q, x, rhs) }
+
+// Validate reports G ⊨ φ.
+func Validate(g *Graph, phi *GFD) bool { return eval.Validate(g, phi) }
+
+// ValidateAll reports G ⊨ Σ and the first violated index when false.
+func ValidateAll(g *Graph, sigma []*GFD) (bool, int) { return eval.ValidateAll(g, sigma) }
+
+// Violations returns up to limit violating matches of φ (limit <= 0: all).
+func Violations(g *Graph, phi *GFD, limit int) []Match { return eval.Violations(g, phi, limit) }
+
+// ViolatingNodes returns the nodes contained in violations of Σ.
+func ViolatingNodes(g *Graph, sigma []*GFD) map[NodeID]struct{} {
+	return eval.ViolatingNodes(g, sigma)
+}
+
+// Support computes supp(φ, G) (base-derived for negative GFDs).
+func Support(g *Graph, phi *GFD) int { return eval.Supp(g, phi) }
+
+// Detail computes the support decomposition (pattern support, correlation).
+func Detail(g *Graph, phi *GFD) SupportDetail { return eval.Detail(g, phi) }
+
+// Implies reports Σ ⊨ φ (pass Σ without φ to test redundancy).
+func Implies(sigma []*GFD, phi *GFD) bool { return core.Implies(sigma, phi) }
+
+// Satisfiable reports whether Σ has a model with an applicable GFD.
+func Satisfiable(sigma []*GFD) bool { return core.Satisfiable(sigma) }
+
+// Discover mines the k-bounded minimum σ-frequent GFDs of g sequentially
+// (algorithm SeqDis).
+func Discover(g *Graph, opts DiscoverOptions) *DiscoverResult {
+	return discovery.Mine(g, opts)
+}
+
+// Cover reduces Σ to a minimal equivalent subset (algorithm SeqCover).
+func Cover(sigma []*GFD) []*GFD { return discovery.Cover(sigma) }
+
+// DiscoverCover mines g and returns a cover of the result with supports.
+func DiscoverCover(g *Graph, opts DiscoverOptions) []Mined {
+	return discovery.MinedCover(discovery.Mine(g, opts))
+}
+
+// ParallelResult bundles parallel discovery output with cluster cost.
+type ParallelResult struct {
+	*DiscoverResult
+	// Sigma is the cover of the mined set.
+	Sigma []*GFD
+	// MineStats and CoverStats are the simulated parallel costs of ParDis
+	// and ParCover.
+	MineStats  ClusterStats
+	CoverStats ClusterStats
+}
+
+// DiscoverParallel runs the full parallel pipeline DisGFD = ParDis +
+// ParCover over workers simulated workers and returns the cover with the
+// simulated parallel response times.
+func DiscoverParallel(g *Graph, opts DiscoverOptions, workers int) *ParallelResult {
+	mineEng := cluster.New(cluster.Config{Workers: workers})
+	coverEng := cluster.New(cluster.Config{Workers: workers})
+	res := parallel.DisGFD(g, opts, mineEng, coverEng, parallel.Options{LoadBalance: true})
+	return &ParallelResult{
+		DiscoverResult: res.Mine.Result,
+		Sigma:          res.Sigma,
+		MineStats:      res.Mine.Cluster,
+		CoverStats:     res.Cover.Cluster,
+	}
+}

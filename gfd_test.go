@@ -1,0 +1,111 @@
+package gfd
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestFacadeQuickstart exercises the public API end to end on the paper's
+// Example 1.
+func TestFacadeQuickstart(t *testing.T) {
+	g := NewGraph(0, 0)
+	john := g.AddNode("person", map[string]string{"name": "John Winter", "type": "high jumper"})
+	film := g.AddNode("product", map[string]string{"name": "Selling Out", "type": "film"})
+	g.AddEdge(john, film, "create")
+	g.Finalize()
+
+	phi1 := New(SingleEdge("person", "create", "product"),
+		[]Literal{Const(1, "type", "film")},
+		Const(0, "type", "producer"))
+	if Validate(g, phi1) {
+		t.Fatal("φ1 must be violated by the high jumper")
+	}
+	if got := len(Violations(g, phi1, 0)); got != 1 {
+		t.Fatalf("violations = %d, want 1", got)
+	}
+	bad := ViolatingNodes(g, []*GFD{phi1})
+	if _, ok := bad[john]; !ok {
+		t.Fatal("John must be flagged")
+	}
+	if !Satisfiable([]*GFD{phi1}) {
+		t.Fatal("φ1 alone is satisfiable")
+	}
+	weaker := New(SingleEdge("person", "create", "product"), nil, Const(0, "type", "producer"))
+	if !Implies([]*GFD{weaker}, phi1) {
+		t.Fatal("∅→l must imply {film}→l")
+	}
+}
+
+func TestFacadeDiscoverAndCover(t *testing.T) {
+	g := NewGraph(0, 0)
+	for i := 0; i < 6; i++ {
+		p := g.AddNode("person", map[string]string{"type": "producer"})
+		f := g.AddNode("product", map[string]string{"type": "film"})
+		g.AddEdge(p, f, "create")
+	}
+	g.Finalize()
+	res := Discover(g, DiscoverOptions{K: 2, Support: 3})
+	if len(res.Positives) == 0 {
+		t.Fatal("nothing discovered")
+	}
+	cov := Cover(res.All())
+	if len(cov) == 0 || len(cov) > len(res.Positives)+len(res.Negatives) {
+		t.Fatalf("cover size %d out of range", len(cov))
+	}
+	mc := DiscoverCover(g, DiscoverOptions{K: 2, Support: 3})
+	if len(mc) != len(cov) {
+		t.Fatalf("DiscoverCover size %d, Cover size %d", len(mc), len(cov))
+	}
+	for _, phi := range cov {
+		if !Validate(g, phi) {
+			t.Fatalf("cover member invalid: %s", phi)
+		}
+		if Support(g, phi) < 3 && !phi.IsNegative() {
+			t.Fatalf("cover member below σ: %s", phi)
+		}
+	}
+}
+
+func TestFacadeParallel(t *testing.T) {
+	g := testutil.Merge(testutil.CleanG1(), testutil.CleanG1(), testutil.CleanG1(), testutil.CleanG1())
+	res := DiscoverParallel(g, DiscoverOptions{K: 2, Support: 2}, 3)
+	if len(res.Sigma) == 0 {
+		t.Fatal("parallel pipeline found nothing")
+	}
+	if res.MineStats.Supersteps == 0 || res.CoverStats.Supersteps == 0 {
+		t.Fatal("cluster stats missing")
+	}
+	// The parallel cover must agree with the sequential pipeline.
+	seq := DiscoverCover(g, DiscoverOptions{K: 2, Support: 2})
+	if len(seq) != len(res.Sigma) {
+		t.Fatalf("covers differ: seq=%d par=%d", len(seq), len(res.Sigma))
+	}
+}
+
+func TestFacadeSupportDetail(t *testing.T) {
+	g := testutil.Merge(testutil.CleanG1(), testutil.G1())
+	phi := New(SingleEdge("person", "create", "product"),
+		[]Literal{Const(1, "type", "film")},
+		Const(0, "type", "producer"))
+	d := Detail(g, phi)
+	if d.PatternSupport != 2 || d.Support != 1 || d.Correlation != 0.5 {
+		t.Fatalf("detail = %+v", d)
+	}
+}
+
+func TestFacadeGraphIO(t *testing.T) {
+	g := testutil.G2()
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumNodes() != g.NumNodes() {
+		t.Fatal("round trip lost nodes")
+	}
+}

@@ -1,0 +1,298 @@
+// Package amie implements the AMIE baseline the paper compares against
+// (Galárraga et al., WWW 2013): mining closed connected Horn rules
+// B₁ ∧ … ∧ Bₗ → r(x,y) over a knowledge graph under the open-world
+// assumption, ranked by support, head coverage, standard confidence and
+// PCA (partial completeness assumption) confidence.
+//
+// As the paper notes, AMIE rules use only variable atoms over binary
+// relations: no subgraph isomorphism, no constant bindings, no wildcards,
+// no negative rules — which is exactly what the comparison experiments
+// (Fig. 5(d), Fig. 6, Fig. 7) exercise.
+package amie
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Atom is a binary relation atom rel(Args[0], Args[1]) over rule variables
+// (0 = x, 1 = y, 2 = z).
+type Atom struct {
+	Rel  string
+	Args [2]int
+}
+
+func (a Atom) String() string {
+	names := [...]string{"x", "y", "z"}
+	return fmt.Sprintf("%s(%s,%s)", a.Rel, names[a.Args[0]], names[a.Args[1]])
+}
+
+// Rule is a Horn rule Body → Head. Rules are connected and closed (every
+// variable occurs in at least two atoms), per AMIE's language bias.
+type Rule struct {
+	Head Atom
+	Body []Atom
+	// Support is the number of distinct (x, y) groundings satisfying body
+	// and head.
+	Support int
+	// HeadCoverage is Support / #facts(Head.Rel).
+	HeadCoverage float64
+	// StdConfidence is Support / #body groundings.
+	StdConfidence float64
+	// PCAConfidence is Support / #body groundings whose x has some
+	// Head.Rel fact (the OWA-aware denominator).
+	PCAConfidence float64
+}
+
+func (r Rule) String() string {
+	s := ""
+	for i, a := range r.Body {
+		if i > 0 {
+			s += " ∧ "
+		}
+		s += a.String()
+	}
+	return fmt.Sprintf("%s → %s  [supp=%d hc=%.2f conf=%.2f pca=%.2f]",
+		s, r.Head, r.Support, r.HeadCoverage, r.StdConfidence, r.PCAConfidence)
+}
+
+// Options configures mining.
+type Options struct {
+	// MinSupport is the minimum number of supporting head groundings.
+	MinSupport int
+	// MinPCAConfidence filters output rules (paper comparison uses 0.5).
+	MinPCAConfidence float64
+	// MaxRules caps the output (0 = unlimited).
+	MaxRules int
+}
+
+// index holds per-relation adjacency for counting.
+type index struct {
+	g *graph.Graph
+	// facts[rel] = edge count.
+	facts map[string]int
+	// out[rel][src] = dsts; in[rel][dst] = srcs.
+	out map[string]map[graph.NodeID][]graph.NodeID
+	in  map[string]map[graph.NodeID][]graph.NodeID
+	// hasHeadX[rel] = set of nodes x with some rel(x, ·) fact.
+	hasHeadX map[string]map[graph.NodeID]bool
+}
+
+func buildIndex(g *graph.Graph) *index {
+	ix := &index{
+		g:        g,
+		facts:    make(map[string]int),
+		out:      make(map[string]map[graph.NodeID][]graph.NodeID),
+		in:       make(map[string]map[graph.NodeID][]graph.NodeID),
+		hasHeadX: make(map[string]map[graph.NodeID]bool),
+	}
+	g.Edges(func(e graph.Edge) bool {
+		ix.facts[e.Label]++
+		if ix.out[e.Label] == nil {
+			ix.out[e.Label] = make(map[graph.NodeID][]graph.NodeID)
+			ix.in[e.Label] = make(map[graph.NodeID][]graph.NodeID)
+			ix.hasHeadX[e.Label] = make(map[graph.NodeID]bool)
+		}
+		ix.out[e.Label][e.Src] = append(ix.out[e.Label][e.Src], e.Dst)
+		ix.in[e.Label][e.Dst] = append(ix.in[e.Label][e.Dst], e.Src)
+		ix.hasHeadX[e.Label][e.Src] = true
+		return true
+	})
+	return ix
+}
+
+func (ix *index) has(rel string, s, d graph.NodeID) bool {
+	for _, v := range ix.out[rel][s] {
+		if v == d {
+			return true
+		}
+	}
+	return false
+}
+
+// relations returns the relation names sorted by descending fact count.
+func (ix *index) relations() []string {
+	rels := make([]string, 0, len(ix.facts))
+	for r := range ix.facts {
+		rels = append(rels, r)
+	}
+	sort.Slice(rels, func(i, j int) bool {
+		ci, cj := ix.facts[rels[i]], ix.facts[rels[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return rels[i] < rels[j]
+	})
+	return rels
+}
+
+// pairKey packs an (x, y) grounding.
+type pairKey struct{ x, y graph.NodeID }
+
+// bodyGroundings enumerates distinct (x, y) groundings of the body,
+// calling fn once per pair.
+func (ix *index) bodyGroundings(body []Atom, fn func(x, y graph.NodeID)) {
+	seen := make(map[pairKey]bool)
+	emit := func(x, y graph.NodeID) {
+		k := pairKey{x, y}
+		if !seen[k] {
+			seen[k] = true
+			fn(x, y)
+		}
+	}
+	switch len(body) {
+	case 1:
+		a := body[0]
+		for s, ds := range ix.out[a.Rel] {
+			for _, d := range ds {
+				vals := [2]graph.NodeID{}
+				vals[a.Args[0]], vals[a.Args[1]] = s, d
+				emit(vals[0], vals[1])
+			}
+		}
+	case 2:
+		// Two atoms over {x, y, z}, joined on z (closed 3-var rules) or
+		// over {x, y} directly. Enumerate the first atom's edges, then the
+		// second's candidates via the shared variable.
+		a, b := body[0], body[1]
+		for s, ds := range ix.out[a.Rel] {
+			for _, d := range ds {
+				var vals [3]graph.NodeID
+				var bound [3]bool
+				vals[a.Args[0]], bound[a.Args[0]] = s, true
+				vals[a.Args[1]], bound[a.Args[1]] = d, true
+				// Solve atom b.
+				b0, b1 := b.Args[0], b.Args[1]
+				switch {
+				case bound[b0] && bound[b1]:
+					if ix.has(b.Rel, vals[b0], vals[b1]) {
+						emit(vals[0], vals[1])
+					}
+				case bound[b0]:
+					for _, v := range ix.out[b.Rel][vals[b0]] {
+						vals[b1] = v
+						emit(vals[0], vals[1])
+					}
+				case bound[b1]:
+					for _, v := range ix.in[b.Rel][vals[b1]] {
+						vals[b0] = v
+						emit(vals[0], vals[1])
+					}
+				}
+			}
+		}
+	}
+}
+
+// bodyShapes enumerates the closed bodies of length 1 and 2 over variables
+// x=0, y=1, z=2 for a pair of relations.
+func bodyShapes(rels []string) [][]Atom {
+	var out [][]Atom
+	for _, r1 := range rels {
+		// Length 1: r1(x,y), r1(y,x).
+		out = append(out,
+			[]Atom{{Rel: r1, Args: [2]int{0, 1}}},
+			[]Atom{{Rel: r1, Args: [2]int{1, 0}}},
+		)
+		for _, r2 := range rels {
+			// Length 2, chain through z, all four direction combinations.
+			for _, d1 := range [][2]int{{0, 2}, {2, 0}} {
+				for _, d2 := range [][2]int{{2, 1}, {1, 2}} {
+					out = append(out, []Atom{
+						{Rel: r1, Args: d1},
+						{Rel: r2, Args: d2},
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Mine runs AMIE over g: for every head relation it scores the closed
+// bodies of up to two atoms and returns the rules meeting the thresholds,
+// sorted by descending support.
+func Mine(g *graph.Graph, opts Options) []Rule {
+	ix := buildIndex(g)
+	rels := ix.relations()
+	var rules []Rule
+	for _, head := range rels {
+		if ix.facts[head] < opts.MinSupport {
+			continue
+		}
+		headAtom := Atom{Rel: head, Args: [2]int{0, 1}}
+		for _, body := range bodyShapes(rels) {
+			if len(body) == 1 && body[0].Rel == head && body[0].Args == headAtom.Args {
+				continue // r(x,y) → r(x,y) is trivial
+			}
+			support, bodyCount, pcaCount := 0, 0, 0
+			ix.bodyGroundings(body, func(x, y graph.NodeID) {
+				bodyCount++
+				if ix.hasHeadX[head][x] {
+					pcaCount++
+				}
+				if ix.has(head, x, y) {
+					support++
+				}
+			})
+			if support < opts.MinSupport || bodyCount == 0 {
+				continue
+			}
+			r := Rule{
+				Head:          headAtom,
+				Body:          body,
+				Support:       support,
+				HeadCoverage:  float64(support) / float64(ix.facts[head]),
+				StdConfidence: float64(support) / float64(bodyCount),
+			}
+			if pcaCount > 0 {
+				r.PCAConfidence = float64(support) / float64(pcaCount)
+			}
+			if r.PCAConfidence >= opts.MinPCAConfidence {
+				rules = append(rules, r)
+			}
+		}
+	}
+	sort.Slice(rules, func(i, j int) bool {
+		if rules[i].Support != rules[j].Support {
+			return rules[i].Support > rules[j].Support
+		}
+		return rules[i].String() < rules[j].String()
+	})
+	if opts.MaxRules > 0 && len(rules) > opts.MaxRules {
+		rules = rules[:opts.MaxRules]
+	}
+	return rules
+}
+
+// PredictedViolations returns the nodes involved in body groundings whose
+// predicted head fact is absent — the V^A of the paper's accuracy metric:
+// "nodes that do not have the predicted relation".
+func PredictedViolations(g *graph.Graph, rules []Rule) map[graph.NodeID]struct{} {
+	ix := buildIndex(g)
+	bad := make(map[graph.NodeID]struct{})
+	for _, r := range rules {
+		ix.bodyGroundings(r.Body, func(x, y graph.NodeID) {
+			if !ix.has(r.Head.Rel, x, y) {
+				bad[x] = struct{}{}
+				bad[y] = struct{}{}
+			}
+		})
+	}
+	return bad
+}
+
+// AvgSupport returns the mean support of the rules (0 for none), as
+// reported in the paper's Fig. 6 table.
+func AvgSupport(rules []Rule) float64 {
+	if len(rules) == 0 {
+		return 0
+	}
+	total := 0
+	for _, r := range rules {
+		total += r.Support
+	}
+	return float64(total) / float64(len(rules))
+}

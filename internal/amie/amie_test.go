@@ -1,0 +1,202 @@
+package amie
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+)
+
+// kinGraph seeds a KG where hasChild(x,y) coincides with raises(x,y) for
+// most pairs, and marriedTo is symmetric — classic AMIE-discoverable rules.
+func kinGraph(n int) *graph.Graph {
+	g := graph.New(2*n, 4*n)
+	for i := 0; i < n; i++ {
+		p := g.AddNode("person", nil)
+		c := g.AddNode("person", nil)
+		g.AddEdge(p, c, "hasChild")
+		g.AddEdge(p, c, "raises")
+		if i%2 == 0 {
+			g.AddEdge(p, c, "marriedTo") // not truly kinship, just symmetry data
+			g.AddEdge(c, p, "marriedTo")
+		}
+	}
+	g.Finalize()
+	return g
+}
+
+func findRule(rules []Rule, pred func(Rule) bool) *Rule {
+	for i := range rules {
+		if pred(rules[i]) {
+			return &rules[i]
+		}
+	}
+	return nil
+}
+
+func TestMineEquivalenceRule(t *testing.T) {
+	g := kinGraph(40)
+	rules := Mine(g, Options{MinSupport: 10, MinPCAConfidence: 0.5})
+	if len(rules) == 0 {
+		t.Fatal("no rules mined")
+	}
+	r := findRule(rules, func(r Rule) bool {
+		return r.Head.Rel == "raises" && len(r.Body) == 1 && r.Body[0].Rel == "hasChild" &&
+			r.Body[0].Args == [2]int{0, 1}
+	})
+	if r == nil {
+		t.Fatal("hasChild(x,y) → raises(x,y) not mined")
+	}
+	if r.Support != 40 || r.StdConfidence != 1 || r.PCAConfidence != 1 {
+		t.Fatalf("rule measures wrong: %+v", r)
+	}
+	if r.HeadCoverage != 1 {
+		t.Fatalf("head coverage = %v, want 1", r.HeadCoverage)
+	}
+}
+
+func TestMineSymmetryRule(t *testing.T) {
+	g := kinGraph(40)
+	rules := Mine(g, Options{MinSupport: 10, MinPCAConfidence: 0.5})
+	r := findRule(rules, func(r Rule) bool {
+		return r.Head.Rel == "marriedTo" && len(r.Body) == 1 &&
+			r.Body[0].Rel == "marriedTo" && r.Body[0].Args == [2]int{1, 0}
+	})
+	if r == nil {
+		t.Fatal("marriedTo(y,x) → marriedTo(x,y) not mined")
+	}
+	if r.StdConfidence != 1 {
+		t.Fatalf("symmetry confidence = %v", r.StdConfidence)
+	}
+}
+
+func TestThresholds(t *testing.T) {
+	g := kinGraph(40)
+	high := Mine(g, Options{MinSupport: 1000, MinPCAConfidence: 0.5})
+	if len(high) != 0 {
+		t.Fatalf("support 1000 should mine nothing, got %d", len(high))
+	}
+	capped := Mine(g, Options{MinSupport: 5, MinPCAConfidence: 0, MaxRules: 3})
+	if len(capped) != 3 {
+		t.Fatalf("MaxRules ignored: %d", len(capped))
+	}
+	// PCA threshold filters on a graph where PCA confidence varies.
+	pg := pcaGraph()
+	all := Mine(pg, Options{MinSupport: 2, MinPCAConfidence: 0})
+	some := Mine(pg, Options{MinSupport: 2, MinPCAConfidence: 0.8})
+	if len(some) >= len(all) {
+		t.Fatalf("PCA filter had no effect: %d vs %d", len(some), len(all))
+	}
+}
+
+// pcaGraph builds the fixture of TestPCAConfidenceOWA: 10 hasChild pairs,
+// 6 with raises, 2 parents raising someone else, 2 with no raises facts.
+func pcaGraph() *graph.Graph {
+	g := graph.New(40, 0)
+	var parents, children []graph.NodeID
+	for i := 0; i < 10; i++ {
+		parents = append(parents, g.AddNode("p", nil))
+		children = append(children, g.AddNode("p", nil))
+	}
+	for i := 0; i < 10; i++ {
+		g.AddEdge(parents[i], children[i], "hasChild")
+	}
+	for i := 0; i < 6; i++ {
+		g.AddEdge(parents[i], children[i], "raises")
+	}
+	other := g.AddNode("p", nil)
+	g.AddEdge(parents[6], other, "raises")
+	g.AddEdge(parents[7], other, "raises")
+	g.Finalize()
+	return g
+}
+
+func TestPCAConfidenceOWA(t *testing.T) {
+	// 10 hasChild pairs; only 6 have raises. Parents 6,7 raise someone
+	// else (counterexamples under PCA); parents 8,9 have no raises facts
+	// at all — under PCA those do not count against the rule.
+	g := pcaGraph()
+	rules := Mine(g, Options{MinSupport: 2, MinPCAConfidence: 0})
+	r := findRule(rules, func(r Rule) bool {
+		return r.Head.Rel == "raises" && len(r.Body) == 1 && r.Body[0].Rel == "hasChild" &&
+			r.Body[0].Args == [2]int{0, 1}
+	})
+	if r == nil {
+		t.Fatal("rule not mined")
+	}
+	if r.StdConfidence != 0.6 {
+		t.Fatalf("std confidence = %v, want 0.6", r.StdConfidence)
+	}
+	if r.PCAConfidence != 0.75 { // 6 / (6+2): the 2 no-raises parents drop out
+		t.Fatalf("PCA confidence = %v, want 0.75", r.PCAConfidence)
+	}
+}
+
+func TestChainRule(t *testing.T) {
+	// grandparent(x,y) ⇐ hasChild(x,z) ∧ hasChild(z,y).
+	g := graph.New(30, 0)
+	for i := 0; i < 10; i++ {
+		a := g.AddNode("p", nil)
+		b := g.AddNode("p", nil)
+		c := g.AddNode("p", nil)
+		g.AddEdge(a, b, "hasChild")
+		g.AddEdge(b, c, "hasChild")
+		g.AddEdge(a, c, "grandparent")
+	}
+	g.Finalize()
+	rules := Mine(g, Options{MinSupport: 5, MinPCAConfidence: 0.5})
+	r := findRule(rules, func(r Rule) bool {
+		return r.Head.Rel == "grandparent" && len(r.Body) == 2
+	})
+	if r == nil {
+		t.Fatal("chain rule not mined")
+	}
+	if r.Support != 10 || r.StdConfidence != 1 {
+		t.Fatalf("chain rule measures: %+v", r)
+	}
+}
+
+func TestPredictedViolations(t *testing.T) {
+	g := kinGraph(20)
+	// Remove nothing: rules hold exactly; break one pair by adding a
+	// hasChild without raises.
+	h := g.Clone()
+	a := h.AddNode("person", nil)
+	b := h.AddNode("person", nil)
+	h.AddEdge(a, b, "hasChild")
+	h.Finalize()
+	rules := Mine(g, Options{MinSupport: 10, MinPCAConfidence: 0.9})
+	bad := PredictedViolations(h, rules)
+	if _, ok := bad[a]; !ok {
+		t.Fatal("node with missing predicted fact not flagged")
+	}
+}
+
+func TestAvgSupport(t *testing.T) {
+	if AvgSupport(nil) != 0 {
+		t.Fatal("empty avg must be 0")
+	}
+	rs := []Rule{{Support: 2}, {Support: 4}}
+	if AvgSupport(rs) != 3 {
+		t.Fatalf("avg = %v", AvgSupport(rs))
+	}
+}
+
+func TestMineParallelMatchesSequential(t *testing.T) {
+	g := kinGraph(30)
+	opts := Options{MinSupport: 10, MinPCAConfidence: 0.5}
+	seq := Mine(g, opts)
+	eng := cluster.New(cluster.Config{Workers: 4})
+	par := MineParallel(g, opts, eng)
+	if len(seq) != len(par) {
+		t.Fatalf("rule counts differ: seq=%d par=%d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].String() != par[i].String() {
+			t.Fatalf("rule %d differs: %s vs %s", i, seq[i], par[i])
+		}
+	}
+	if eng.Stats().Supersteps == 0 {
+		t.Fatal("no supersteps recorded")
+	}
+}

@@ -1,0 +1,81 @@
+package amie
+
+import (
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+)
+
+// MineParallel is ParAMIE: head relations are dealt across cluster workers
+// (each head's rule space is independent), with the fact index broadcast
+// once. Used by the Fig. 5(d) comparison.
+func MineParallel(g *graph.Graph, opts Options, eng *cluster.Engine) []Rule {
+	var ix *index
+	eng.Master("index", func() { ix = buildIndex(g) })
+	rels := ix.relations()
+	// Broadcasting the index costs each worker the fact volume.
+	eng.ShipAll(int64(12 * g.NumEdges()))
+
+	n := eng.Workers()
+	perWorker := make([][]Rule, n)
+	eng.Superstep("mine heads", func(w int) {
+		var local []Rule
+		for hi := w; hi < len(rels); hi += n {
+			head := rels[hi]
+			if ix.facts[head] < opts.MinSupport {
+				continue
+			}
+			headAtom := Atom{Rel: head, Args: [2]int{0, 1}}
+			for _, body := range bodyShapes(rels) {
+				if len(body) == 1 && body[0].Rel == head && body[0].Args == headAtom.Args {
+					continue
+				}
+				support, bodyCount, pcaCount := 0, 0, 0
+				ix.bodyGroundings(body, func(x, y graph.NodeID) {
+					bodyCount++
+					if ix.hasHeadX[head][x] {
+						pcaCount++
+					}
+					if ix.has(head, x, y) {
+						support++
+					}
+				})
+				if support < opts.MinSupport || bodyCount == 0 {
+					continue
+				}
+				r := Rule{
+					Head:          headAtom,
+					Body:          body,
+					Support:       support,
+					HeadCoverage:  float64(support) / float64(ix.facts[head]),
+					StdConfidence: float64(support) / float64(bodyCount),
+				}
+				if pcaCount > 0 {
+					r.PCAConfidence = float64(support) / float64(pcaCount)
+				}
+				if r.PCAConfidence >= opts.MinPCAConfidence {
+					local = append(local, r)
+					eng.Ship(w, 64)
+				}
+			}
+		}
+		perWorker[w] = local
+	})
+	var rules []Rule
+	eng.Master("collect", func() {
+		for _, rs := range perWorker {
+			rules = append(rules, rs...)
+		}
+		sort.Slice(rules, func(i, j int) bool {
+			if rules[i].Support != rules[j].Support {
+				return rules[i].Support > rules[j].Support
+			}
+			return rules[i].String() < rules[j].String()
+		})
+		if opts.MaxRules > 0 && len(rules) > opts.MaxRules {
+			rules = rules[:opts.MaxRules]
+		}
+	})
+	return rules
+}

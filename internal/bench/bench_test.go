@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTablePrinting(t *testing.T) {
+	tb := &Table{
+		ID:     "figX",
+		Title:  "demo",
+		Header: []string{"col", "value"},
+		Rows:   [][]string{{"a", "1"}, {"bbbb", "22"}},
+		Notes:  []string{"a note"},
+	}
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"figX", "demo", "col", "bbbb", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("printed table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Scale != 1 || c.Seed == 0 || len(c.Workers) == 0 || c.Out == nil {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	c2 := Config{Scale: 0.5, Workers: []int{2}}.withDefaults()
+	if c2.Scale != 0.5 || len(c2.Workers) != 1 {
+		t.Fatalf("explicit values clobbered: %+v", c2)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("nope", Config{}); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestIDsAllRunnable(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 16 {
+		t.Fatalf("expected 16 experiments, got %d", len(ids))
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestFig8Tiny runs the cheapest qualitative experiment end to end at a
+// small scale and requires all three paper rules to be found.
+func TestFig8Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tb, err := Run("fig8", Config{Scale: 0.5, Workers: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("fig8 rows = %d, want 3", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[1] == "NOT FOUND" {
+			t.Fatalf("rule %s not rediscovered at scale 0.5", row[0])
+		}
+	}
+}
+
+// TestFig5WorkersShape runs a miniature n-sweep and checks the scalability
+// shape: more workers never slower by more than measurement noise, and
+// load balancing no worse than none.
+func TestFig5WorkersShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tb, err := Run("fig5b", Config{Scale: 0.4, Workers: []int{2, 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	parse := func(s string) float64 {
+		d, err := time.ParseDuration(strings.Replace(s, "s", "s", 1))
+		if err != nil {
+			t.Fatalf("bad duration %q", s)
+		}
+		return d.Seconds()
+	}
+	t2, t16 := parse(tb.Rows[0][1]), parse(tb.Rows[1][1])
+	if t16 > 1.15*t2 {
+		t.Fatalf("16 workers much slower than 2: %v vs %v", t16, t2)
+	}
+}

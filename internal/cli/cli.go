@@ -1,0 +1,87 @@
+// Package cli holds helpers shared by the command-line tools: dataset
+// loading/generation and a compact discovery pipeline with reporting.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/discovery"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// LoadOrGenerate reads a TSV graph from path when non-empty, otherwise
+// generates the named built-in dataset at the given scale.
+func LoadOrGenerate(path, ds string, scale int, seed int64) (*graph.Graph, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.Read(f)
+	}
+	switch ds {
+	case "yago2":
+		return dataset.YAGO2Sim(scale, seed), nil
+	case "dbpedia":
+		return dataset.DBpediaSim(scale, seed), nil
+	case "imdb":
+		return dataset.IMDBSim(scale, seed), nil
+	case "synthetic":
+		return dataset.Synthetic(dataset.SyntheticConfig{Nodes: scale, Edges: 2 * scale, Seed: seed}), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want yago2|dbpedia|imdb|synthetic)", ds)
+	}
+}
+
+// DiscoverOptions returns the CLI's default mining options.
+func DiscoverOptions(k, sigma int) discovery.Options {
+	return discovery.Options{
+		K:                       k,
+		Support:                 sigma,
+		ConstantsPerAttr:        5,
+		MaxX:                    1,
+		WildcardNodes:           true,
+		MaxExtensionsPerPattern: 20,
+		MaxPatternsPerLevel:     100,
+		MaxLevels:               k + 1,
+		MaxNegatives:            50,
+		MaxTableRows:            300000,
+	}
+}
+
+// Report summarises a discovery run for CLI output.
+type Report struct {
+	Positives, Negatives int
+	Patterns, Candidates int
+	Cover                []discovery.Mined
+	All                  []discovery.Mined
+	SimulatedTime        time.Duration
+}
+
+// Discover runs the pipeline (sequential when workers == 0, simulated
+// cluster otherwise) and computes the cover.
+func Discover(g *graph.Graph, opts discovery.Options, workers int) *Report {
+	var res *discovery.Result
+	rep := &Report{}
+	if workers > 0 {
+		eng := cluster.New(cluster.Config{Workers: workers})
+		pr := parallel.Mine(g, opts, eng, parallel.Options{LoadBalance: true})
+		res = pr.Result
+		rep.SimulatedTime = pr.Cluster.Total()
+	} else {
+		res = discovery.Mine(g, opts)
+	}
+	rep.Positives = len(res.Positives)
+	rep.Negatives = len(res.Negatives)
+	rep.Patterns = res.Stats.PatternsVerified
+	rep.Candidates = res.Stats.CandidatesChecked
+	rep.All = append(append([]discovery.Mined(nil), res.Positives...), res.Negatives...)
+	rep.Cover = discovery.MinedCover(res)
+	return rep
+}

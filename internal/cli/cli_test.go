@@ -1,0 +1,66 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestLoadOrGenerateDatasets(t *testing.T) {
+	for _, ds := range []string{"yago2", "dbpedia", "imdb", "synthetic"} {
+		g, err := LoadOrGenerate("", ds, 50, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", ds, err)
+		}
+		if g.NumNodes() == 0 {
+			t.Fatalf("%s: empty graph", ds)
+		}
+	}
+	if _, err := LoadOrGenerate("", "bogus", 50, 1); err == nil {
+		t.Fatal("bogus dataset must error")
+	}
+}
+
+func TestLoadFromFile(t *testing.T) {
+	g, _ := LoadOrGenerate("", "yago2", 30, 1)
+	path := filepath.Join(t.TempDir(), "g.tsv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.Write(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	h, err := LoadOrGenerate(path, "ignored", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumNodes() != g.NumNodes() || h.NumEdges() != g.NumEdges() {
+		t.Fatalf("file round trip mismatch: %v vs %v", h, g)
+	}
+	if _, err := LoadOrGenerate("/no/such/file.tsv", "", 0, 0); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestDiscoverReport(t *testing.T) {
+	g, _ := LoadOrGenerate("", "yago2", 100, 2)
+	opts := DiscoverOptions(2, 10)
+	seq := Discover(g, opts, 0)
+	if seq.Positives == 0 || len(seq.Cover) == 0 || len(seq.All) < len(seq.Cover) {
+		t.Fatalf("sequential report looks wrong: %+v", seq)
+	}
+	if seq.SimulatedTime != 0 {
+		t.Fatal("sequential run must not report simulated time")
+	}
+	par := Discover(g, opts, 4)
+	if par.SimulatedTime == 0 {
+		t.Fatal("parallel run must report simulated time")
+	}
+	if par.Positives != seq.Positives {
+		t.Fatalf("parallel/sequential positives differ: %d vs %d", par.Positives, seq.Positives)
+	}
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"repro/internal/pattern"
+)
+
+// This file implements the closure characterisation of GFD satisfiability
+// and implication (Section 3, after Lemmas 3 and 7 of Fan-Wu-Xu 2016):
+//
+//   - Σ is satisfiable iff some pattern Q in Σ has a non-conflicting
+//     enforced(Σ_Q);
+//   - Σ ⊨ φ = Q[x̄](X → l) iff closure(Σ_Q, X) is conflicting or contains l,
+//
+// where Σ_Q is the set of GFDs of Σ embedded in Q, and closure(Σ_Q, X) is
+// the set of literals deduced by applying Σ_Q's dependencies through their
+// embeddings into Q, closed under transitivity of equality.
+//
+// The closure itself is a union–find over the terms x.A appearing in Q's
+// variable space, with at most one constant tag per class; it is the chase
+// of relational dependency theory specialised to equality atoms.
+
+type termKey struct {
+	v int
+	a string
+}
+
+// Closure is the deductive closure of a literal set over a pattern's
+// variable space. The zero value is not usable; use newClosure.
+type Closure struct {
+	n           int
+	parent      []int
+	rank        []int
+	constOf     []string
+	hasConst    []bool
+	terms       map[termKey]int
+	conflicting bool
+}
+
+func newClosure(numVars int) *Closure {
+	return &Closure{n: numVars, terms: make(map[termKey]int)}
+}
+
+// Conflicting reports whether the closure contains x.A = c and x.A = d for
+// distinct constants c ≠ d (equivalently, false was derived).
+func (c *Closure) Conflicting() bool { return c.conflicting }
+
+func (c *Closure) term(v int, a string) int {
+	k := termKey{v, a}
+	if t, ok := c.terms[k]; ok {
+		return t
+	}
+	t := len(c.parent)
+	c.terms[k] = t
+	c.parent = append(c.parent, t)
+	c.rank = append(c.rank, 0)
+	c.constOf = append(c.constOf, "")
+	c.hasConst = append(c.hasConst, false)
+	return t
+}
+
+func (c *Closure) lookup(v int, a string) (int, bool) {
+	t, ok := c.terms[termKey{v, a}]
+	return t, ok
+}
+
+func (c *Closure) find(t int) int {
+	for c.parent[t] != t {
+		c.parent[t] = c.parent[c.parent[t]]
+		t = c.parent[t]
+	}
+	return t
+}
+
+func (c *Closure) union(a, b int) bool {
+	ra, rb := c.find(a), c.find(b)
+	if ra == rb {
+		return false
+	}
+	if c.rank[ra] < c.rank[rb] {
+		ra, rb = rb, ra
+	}
+	c.parent[rb] = ra
+	if c.rank[ra] == c.rank[rb] {
+		c.rank[ra]++
+	}
+	// Merge constant tags; conflicting tags derive false.
+	if c.hasConst[rb] {
+		if c.hasConst[ra] {
+			if c.constOf[ra] != c.constOf[rb] {
+				c.conflicting = true
+			}
+		} else {
+			c.hasConst[ra] = true
+			c.constOf[ra] = c.constOf[rb]
+		}
+	}
+	return true
+}
+
+func (c *Closure) setConst(t int, val string) bool {
+	r := c.find(t)
+	if c.hasConst[r] {
+		if c.constOf[r] != val {
+			c.conflicting = true
+			return true
+		}
+		return false
+	}
+	c.hasConst[r] = true
+	c.constOf[r] = val
+	return true
+}
+
+// assert adds a literal to the closure; reports whether anything changed.
+func (c *Closure) assert(l Literal) bool {
+	switch l.Kind {
+	case LConst:
+		return c.setConst(c.term(l.X, l.A), l.C)
+	case LVar:
+		return c.union(c.term(l.X, l.A), c.term(l.Y, l.B))
+	default: // LFalse
+		changed := !c.conflicting
+		c.conflicting = true
+		return changed
+	}
+}
+
+// holds reports whether the closure entails the literal.
+func (c *Closure) holds(l Literal) bool {
+	if c.conflicting {
+		return true
+	}
+	switch l.Kind {
+	case LConst:
+		t, ok := c.lookup(l.X, l.A)
+		if !ok {
+			return false
+		}
+		r := c.find(t)
+		return c.hasConst[r] && c.constOf[r] == l.C
+	case LVar:
+		tx, okx := c.lookup(l.X, l.A)
+		ty, oky := c.lookup(l.Y, l.B)
+		if !okx || !oky {
+			return false
+		}
+		rx, ry := c.find(tx), c.find(ty)
+		if rx == ry {
+			return true
+		}
+		// Equal constants entail equality by transitivity.
+		return c.hasConst[rx] && c.hasConst[ry] && c.constOf[rx] == c.constOf[ry]
+	default: // LFalse
+		return c.conflicting
+	}
+}
+
+// Holds reports whether the closure entails l; exported for eval/tests.
+func (c *Closure) Holds(l Literal) bool { return c.holds(l) }
+
+// embeddedRule is a GFD pre-translated along one embedding into the host
+// pattern's variable space.
+type embeddedRule struct {
+	x   []Literal
+	rhs Literal
+}
+
+// EmbeddedIn returns the GFDs of sigma embedded in q: those whose pattern
+// has at least one embedding into q (Section 3). φ itself should be
+// excluded by the caller when testing Σ\{φ} ⊨ φ.
+func EmbeddedIn(sigma []*GFD, q *pattern.Pattern) []*GFD {
+	var out []*GFD
+	for _, g := range sigma {
+		if pattern.EmbedsInto(g.Q, q, pattern.EmbedOptions{}) {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// ComputeClosure computes closure(Σ_Q, X) for host pattern q: it seeds the
+// closure with X, then repeatedly fires every GFD of sigma through every
+// embedding of its pattern into q whenever the embedded premises hold,
+// until fixpoint. sigma should already be restricted to GFDs embedded in q
+// (EmbeddedIn); unembeddable GFDs are skipped harmlessly.
+func ComputeClosure(sigma []*GFD, q *pattern.Pattern, x []Literal) *Closure {
+	cl := newClosure(q.N())
+	for _, l := range x {
+		cl.assert(l)
+	}
+	// Pre-translate every (GFD, embedding) pair once.
+	var rules []embeddedRule
+	for _, g := range sigma {
+		g := g
+		pattern.Embeddings(g.Q, q, pattern.EmbedOptions{}, func(f []int) bool {
+			r := embeddedRule{x: make([]Literal, len(g.X))}
+			for i, l := range g.X {
+				r.x[i] = l.Remap(f)
+			}
+			if g.RHS.Kind == LFalse {
+				r.rhs = False()
+			} else {
+				r.rhs = g.RHS.Remap(f)
+			}
+			rules = append(rules, r)
+			return true
+		})
+	}
+	for changed := true; changed && !cl.conflicting; {
+		changed = false
+		for _, r := range rules {
+			ok := true
+			for _, l := range r.x {
+				if !cl.holds(l) {
+					ok = false
+					break
+				}
+			}
+			if ok && cl.assert(r.rhs) {
+				changed = true
+			}
+		}
+	}
+	return cl
+}
+
+// Enforced computes enforced(Σ_Q) = closure(Σ_Q, ∅) for the pattern q.
+func Enforced(sigma []*GFD, q *pattern.Pattern) *Closure {
+	return ComputeClosure(sigma, q, nil)
+}
+
+// Implies reports Σ ⊨ φ by the characterisation of Section 3: closure(Σ_Q,
+// X) is conflicting or contains φ's right-hand side. The caller passes
+// sigma without φ itself when testing redundancy.
+func Implies(sigma []*GFD, phi *GFD) bool {
+	sq := EmbeddedIn(sigma, phi.Q)
+	cl := ComputeClosure(sq, phi.Q, phi.X)
+	if cl.conflicting {
+		return true
+	}
+	if phi.RHS.Kind == LFalse {
+		return false // not conflicting, so false is not derivable
+	}
+	return cl.holds(phi.RHS)
+}
+
+// Satisfiable reports whether Σ has a model with at least one applicable
+// GFD: per the algorithm of Theorem 1(a), it checks whether some GFD's
+// pattern Q has a non-conflicting enforced(Σ_Q). The empty set is not
+// satisfiable under the paper's definition (condition (b) requires an
+// applicable GFD).
+func Satisfiable(sigma []*GFD) bool {
+	for _, g := range sigma {
+		sq := EmbeddedIn(sigma, g.Q)
+		if !Enforced(sq, g.Q).Conflicting() {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxK returns the parameter k = max |x̄| over sigma (0 for empty sigma).
+func MaxK(sigma []*GFD) int {
+	k := 0
+	for _, g := range sigma {
+		if g.K() > k {
+			k = g.K()
+		}
+	}
+	return k
+}
+
+// KBounded reports whether every GFD in sigma has at most k variables.
+func KBounded(sigma []*GFD, k int) bool {
+	for _, g := range sigma {
+		if g.K() > k {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,190 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// This file checks the implication analysis against ground truth: by the
+// definition of Σ ⊨ φ, every graph satisfying Σ must satisfy φ. The
+// property test generates random small rule sets and random graphs; any
+// (G, Σ, φ) with core.Implies(Σ, φ) ∧ G ⊨ Σ ∧ G ⊭ φ would witness unsoundness
+// of the closure characterisation's implementation.
+
+func randomLiteralPool(n int) []core.Literal {
+	pool := []core.Literal{}
+	attrs := []string{"a", "b"}
+	vals := []string{"1", "2"}
+	for v := 0; v < n; v++ {
+		for _, a := range attrs {
+			for _, c := range vals {
+				pool = append(pool, core.Const(v, a, c))
+			}
+		}
+	}
+	if n > 1 {
+		pool = append(pool, core.Vars(0, "a", 1, "a"), core.Vars(0, "b", 1, "b"))
+	}
+	return pool
+}
+
+func randomSmallGFD(r *rand.Rand) *core.GFD {
+	var q *pattern.Pattern
+	labels := []string{"p", "q", pattern.Wildcard}
+	if r.Intn(2) == 0 {
+		q = pattern.SingleNode(labels[r.Intn(len(labels))])
+	} else {
+		q = pattern.SingleEdge(labels[r.Intn(len(labels))], "r", labels[r.Intn(len(labels))])
+	}
+	pool := randomLiteralPool(q.N())
+	var x []core.Literal
+	for i := 0; i < r.Intn(2); i++ {
+		x = append(x, pool[r.Intn(len(pool))])
+	}
+	rhs := pool[r.Intn(len(pool))]
+	if r.Intn(8) == 0 {
+		rhs = core.False()
+	}
+	return core.New(q, x, rhs)
+}
+
+func randomModelGraph(r *rand.Rand) *graph.Graph {
+	g := graph.New(6, 8)
+	labels := []string{"p", "q"}
+	vals := []string{"1", "2"}
+	n := 2 + r.Intn(5)
+	for i := 0; i < n; i++ {
+		attrs := map[string]string{}
+		if r.Intn(4) > 0 {
+			attrs["a"] = vals[r.Intn(2)]
+		}
+		if r.Intn(4) > 0 {
+			attrs["b"] = vals[r.Intn(2)]
+		}
+		g.AddNode(labels[r.Intn(2)], attrs)
+	}
+	for i := 0; i < n+2; i++ {
+		s, d := r.Intn(n), r.Intn(n)
+		if s != d {
+			g.AddEdge(graph.NodeID(s), graph.NodeID(d), "r")
+		}
+	}
+	g.Finalize()
+	return g
+}
+
+// TestQuickImplicationSound: if Σ ⊨ φ by the closure characterisation,
+// then no random graph satisfies Σ while violating φ.
+func TestQuickImplicationSound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var sigma []*core.GFD
+		for i := 0; i < 1+r.Intn(3); i++ {
+			sigma = append(sigma, randomSmallGFD(r))
+		}
+		phi := randomSmallGFD(r)
+		if !core.Implies(sigma, phi) {
+			return true // nothing to check
+		}
+		for trial := 0; trial < 8; trial++ {
+			g := randomModelGraph(r)
+			satSigma := true
+			for _, psi := range sigma {
+				if !eval.Validate(g, psi) {
+					satSigma = false
+					break
+				}
+			}
+			if satSigma && !eval.Validate(g, phi) {
+				t.Logf("counterexample: Σ ⊨ φ claimed but G ⊨ Σ, G ⊭ φ\nφ = %s", phi)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSatisfiabilityConsistent: a Σ that some random graph satisfies
+// (with at least one applicable pattern) must be reported satisfiable —
+// the contrapositive of the satisfiability characterisation.
+func TestQuickSatisfiabilityConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var sigma []*core.GFD
+		for i := 0; i < 1+r.Intn(3); i++ {
+			sigma = append(sigma, randomSmallGFD(r))
+		}
+		for trial := 0; trial < 6; trial++ {
+			g := randomModelGraph(r)
+			ok := true
+			applicable := false
+			for _, psi := range sigma {
+				if !eval.Validate(g, psi) {
+					ok = false
+					break
+				}
+				if eval.PatternSupport(g, psi) > 0 {
+					applicable = true
+				}
+			}
+			if ok && applicable && !core.Satisfiable(sigma) {
+				t.Logf("Σ has a model with an applicable GFD but Satisfiable says no")
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCoverEquivalent: covers computed from random rule sets are
+// equivalent to the originals — every removed GFD is implied by the cover.
+func TestQuickCoverEquivalent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var sigma []*core.GFD
+		for i := 0; i < 2+r.Intn(5); i++ {
+			sigma = append(sigma, randomSmallGFD(r))
+		}
+		// Local mini-cover: remove implied, most-specific first (mirrors
+		// discovery.Cover without importing it — no cycle).
+		work := append([]*core.GFD(nil), sigma...)
+		for i := 0; i < len(work); i++ {
+			rest := make([]*core.GFD, 0, len(work)-1)
+			rest = append(rest, work[:i]...)
+			rest = append(rest, work[i+1:]...)
+			if core.Implies(rest, work[i]) {
+				work = rest
+				i--
+			}
+		}
+		for _, phi := range sigma {
+			if !core.Implies(work, phi) {
+				in := false
+				for _, psi := range work {
+					if psi == phi {
+						in = true
+					}
+				}
+				if !in {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

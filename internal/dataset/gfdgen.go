@@ -1,0 +1,118 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// GFDGenConfig controls the random GFD-set generator of the cover-scaling
+// experiment (Fig. 5(l)): sets Σ of up to 10000 GFDs with patterns of up
+// to k=6 variables, built from the frequent edges and values of a graph,
+// over the same attribute set Γ.
+type GFDGenConfig struct {
+	Count int
+	K     int
+	Seed  int64
+	// RedundantShare in [0,1] is the fraction of generated GFDs that are
+	// deliberate specialisations of earlier ones (extra literal or concrete
+	// label), giving cover computation real work. Default 0.4.
+	RedundantShare float64
+}
+
+// GenGFDs generates a set of syntactically valid GFDs from g's frequent
+// triples and attribute values. The set is *not* required to be satisfied
+// by g — the implication/cover experiments are purely logical.
+func GenGFDs(g *graph.Graph, cfg GFDGenConfig) []*core.GFD {
+	if cfg.K < 2 {
+		cfg.K = 4
+	}
+	if cfg.RedundantShare == 0 {
+		cfg.RedundantShare = 0.4
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	st := graph.NewStats(g)
+	triples := st.FrequentTriples(1)
+	if len(triples) == 0 {
+		return nil
+	}
+	gamma := st.TopAttributes(5)
+	if len(gamma) == 0 {
+		gamma = []string{"attr0"}
+	}
+	values := make(map[string][]string, len(gamma))
+	for _, a := range gamma {
+		vs := st.TopValues(a, 5)
+		if len(vs) == 0 {
+			vs = []string{"v0"}
+		}
+		values[a] = vs
+	}
+
+	randomLiteral := func(n int) core.Literal {
+		a := gamma[r.Intn(len(gamma))]
+		if n > 1 && r.Intn(2) == 0 {
+			x := r.Intn(n)
+			y := r.Intn(n)
+			for y == x {
+				y = r.Intn(n)
+			}
+			return core.Vars(x, a, y, a)
+		}
+		vs := values[a]
+		return core.Const(r.Intn(n), a, vs[r.Intn(len(vs))])
+	}
+
+	// randomPattern grows a connected pattern along frequent triples.
+	randomPattern := func() *pattern.Pattern {
+		t := triples[r.Intn(len(triples))]
+		p := pattern.SingleEdge(t.SrcLabel, t.EdgeLabel, t.DstLabel)
+		size := 1 + r.Intn(cfg.K-1)
+		for p.N() < size+1 && p.N() < cfg.K {
+			t := triples[r.Intn(len(triples))]
+			at := r.Intn(p.N())
+			if r.Intn(2) == 0 {
+				p = p.ExtendNewNode(at, t.EdgeLabel, t.DstLabel, true)
+			} else {
+				p = p.ExtendNewNode(at, t.EdgeLabel, t.SrcLabel, false)
+			}
+		}
+		if r.Intn(4) == 0 { // occasional wildcard upgrade
+			p = p.WithNodeLabel(r.Intn(p.N()), pattern.Wildcard)
+		}
+		return p
+	}
+
+	var out []*core.GFD
+	for len(out) < cfg.Count {
+		if len(out) > 0 && r.Float64() < cfg.RedundantShare {
+			// Specialise an earlier GFD: add a literal to X. The original
+			// implies the specialisation, so covers shrink.
+			base := out[r.Intn(len(out))]
+			x := append(append([]core.Literal(nil), base.X...), randomLiteral(base.Q.N()))
+			phi := core.New(base.Q, x, base.RHS)
+			if !phi.Trivial() {
+				out = append(out, phi)
+			}
+			continue
+		}
+		p := randomPattern()
+		var x []core.Literal
+		for i := 0; i < r.Intn(3); i++ {
+			x = append(x, randomLiteral(p.N()))
+		}
+		var rhs core.Literal
+		if r.Intn(10) == 0 {
+			rhs = core.False()
+		} else {
+			rhs = randomLiteral(p.N())
+		}
+		phi := core.New(p, x, rhs)
+		if !phi.Trivial() {
+			out = append(out, phi)
+		}
+	}
+	return out
+}

@@ -1,0 +1,300 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// The three generators below reproduce the *shape* of the paper's real-life
+// datasets — label/edge-type cardinalities, density, attribute skew, hub
+// nodes — and seed ground-truth regularities (positive and negative) so
+// that discovery has meaningful rules to find. YAGO2Sim seeds the three
+// qualitative rules of Fig. 8:
+//
+//	GFD1: Q6[x,y] (∅ → x.familyname = y.familyname) on a wildcard
+//	      hasChild edge (children inherit the family name);
+//	GFD2: no movie receives both the Gold Bear and the Gold Lion;
+//	GFD3: nobody holds US and Norwegian citizenship simultaneously.
+
+var countryNames = []string{
+	"US", "Norway", "France", "Germany", "UK", "Canada", "Italy", "Spain",
+	"Japan", "Brazil", "India", "China", "Mexico", "Sweden", "Egypt",
+}
+
+var familyNames = []string{
+	"smith", "jones", "lee", "garcia", "kim", "chen", "muller", "rossi",
+	"sato", "silva", "patel", "novak", "haugen", "berg", "dubois",
+}
+
+// personTypes are the entity types of person-like YAGO2 nodes.
+var personTypes = []string{"person", "scientist", "artist", "politician", "athlete"}
+
+// YAGO2Sim generates a sparse knowledge graph shaped like YAGO2 (few node
+// types, ~2.8 edges per node, strong type-level regularities). scale is
+// the number of family units; the graph has roughly 3.5×scale nodes.
+func YAGO2Sim(scale int, seed int64) *graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	g := graph.New(4*scale, 3*scale)
+
+	countries := make([]graph.NodeID, len(countryNames))
+	for i, name := range countryNames {
+		countries[i] = g.AddNode("country", map[string]string{
+			"name": name, "type": "state",
+		})
+	}
+	nCities := 10 + scale/50
+	cities := make([]graph.NodeID, nCities)
+	for i := range cities {
+		cities[i] = g.AddNode("city", map[string]string{
+			"name": fmt.Sprintf("city%03d", i), "type": "settlement",
+		})
+		// A city is located in exactly one country (the φ2 regularity).
+		g.AddEdge(cities[i], countries[r.Intn(len(countries))], "located")
+	}
+
+	// Family units: parent and child share the family name (GFD1), live in
+	// a city, hold citizenships — never US together with Norway (GFD3).
+	// Citizenship is hub-skewed: the US attracts a large share of edges.
+	// Dual-citizenship pools: US pairs only with Canada and Norway only
+	// with Sweden, so both names occur on dual citizens — just never
+	// together, which is what makes GFD3 minable (its base positive
+	// "US duals' other citizenship is Canada" is verified and frequent).
+	// Weights skew toward the US and Norway pools so both names rank among
+	// the most frequent observed country constants.
+	dualPools := []struct {
+		pair   [2]int
+		weight float64
+	}{
+		{[2]int{0, 5}, 0.30},  // US + Canada
+		{[2]int{1, 13}, 0.25}, // Norway + Sweden
+		{[2]int{2, 3}, 0.15},  // France + Germany
+		{[2]int{4, 5}, 0.10},  // UK + Canada
+		{[2]int{6, 7}, 0.10},  // Italy + Spain
+		{[2]int{8, 2}, 0.10},  // Japan + France
+	}
+	pickPool := func() [2]int {
+		u := r.Float64()
+		for _, p := range dualPools {
+			if u < p.weight {
+				return p.pair
+			}
+			u -= p.weight
+		}
+		return dualPools[0].pair
+	}
+	for i := 0; i < scale; i++ {
+		fam := familyNames[r.Intn(len(familyNames))]
+		ptype := personTypes[zipf(r, len(personTypes))]
+		parent := g.AddNode(ptype, map[string]string{
+			"familyname": fam,
+			"name":       fmt.Sprintf("p%06d", 2*i),
+			"gender":     []string{"m", "f"}[r.Intn(2)],
+		})
+		child := g.AddNode(personTypes[zipf(r, len(personTypes))], map[string]string{
+			"familyname": fam,
+			"name":       fmt.Sprintf("p%06d", 2*i+1),
+			"gender":     []string{"m", "f"}[r.Intn(2)],
+		})
+		g.AddEdge(parent, child, "hasChild")
+		// Real knowledge bases carry near-synonym relations (YAGO's
+		// isParentOf vs hasChild); they are what AMIE-style Horn rules
+		// r(x,y) → r'(x,y) capture.
+		g.AddEdge(parent, child, "parentOf")
+		g.AddEdge(parent, cities[r.Intn(nCities)], "livesIn")
+		switch {
+		case r.Float64() < 0.5: // single citizenship, hub-skewed toward US
+			if r.Float64() < 0.4 {
+				g.AddEdge(parent, countries[0], "citizenOf")
+			} else {
+				g.AddEdge(parent, countries[r.Intn(len(countries))], "citizenOf")
+			}
+		default: // dual citizenship from the allowed pools (never US+Norway)
+			pool := pickPool()
+			g.AddEdge(parent, countries[pool[0]], "citizenOf")
+			g.AddEdge(parent, countries[pool[1]], "citizenOf")
+		}
+	}
+
+	// Movies with two awards each; Gold Bear and Gold Lion are mutually
+	// exclusive (GFD2) and Gold-Bear movies are dramas (the base positive
+	// whose NHSpawn discovers the exclusion).
+	awardNames := []string{"Gold Bear", "Gold Lion", "Oscar", "BAFTA"}
+	awards := make([]graph.NodeID, len(awardNames))
+	for i, name := range awardNames {
+		awards[i] = g.AddNode("award", map[string]string{"name": name, "type": "prize"})
+	}
+	nMovies := scale / 2
+	for i := 0; i < nMovies; i++ {
+		var genre string
+		var pair [2]graph.NodeID
+		switch r.Intn(3) {
+		case 0:
+			genre = "drama"
+			pair = [2]graph.NodeID{awards[0], awards[2]} // Gold Bear + Oscar
+		case 1:
+			genre = "epic"
+			pair = [2]graph.NodeID{awards[1], awards[3]} // Gold Lion + BAFTA
+		default:
+			genre = "comedy"
+			pair = [2]graph.NodeID{awards[2], awards[3]} // Oscar + BAFTA
+		}
+		m := g.AddNode("movie", map[string]string{
+			"name":  fmt.Sprintf("m%05d", i),
+			"genre": genre,
+		})
+		g.AddEdge(m, pair[0], "receive")
+		g.AddEdge(m, pair[1], "receive")
+	}
+	g.Finalize()
+	return g
+}
+
+// DBpediaSim generates a dense, heterogeneous knowledge graph shaped like
+// DBpedia: many node and edge types (Zipf-skewed), ~8 edges per node, and
+// per-type attribute regularities. scale is the number of entities.
+func DBpediaSim(scale int, seed int64) *graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	const nTypes, nRels = 40, 30
+	g := graph.New(scale, 8*scale)
+
+	types := make([]string, nTypes)
+	for i := range types {
+		types[i] = fmt.Sprintf("T%02d", i)
+	}
+	rels := make([]string, nRels)
+	for i := range rels {
+		rels[i] = fmt.Sprintf("r%02d", i)
+	}
+	nodeType := make([]int, scale)
+	for v := 0; v < scale; v++ {
+		ti := zipf(r, nTypes)
+		nodeType[v] = ti
+		attrs := map[string]string{
+			// Type-determined invariants: discoverable single-node rules.
+			"category": fmt.Sprintf("cat%02d", ti),
+			"origin":   fmt.Sprintf("org%d", ti%7),
+			"name":     fmt.Sprintf("e%07d", v),
+		}
+		// A conditional regularity: status depends on rank within the type.
+		if ti%3 == 0 {
+			attrs["rank"] = "core"
+			attrs["status"] = "curated"
+		} else {
+			attrs["rank"] = "ext"
+			if r.Float64() < 0.9 {
+				attrs["status"] = "raw"
+			}
+		}
+		// Long tail of per-type property names (DBpedia's ontology has
+		// thousands); gives the |Γ| sweep of Fig. 5(h) attributes to add.
+		attrs[fmt.Sprintf("p%02d", ti%12)] = fmt.Sprintf("pv%d", ti%5)
+		attrs[fmt.Sprintf("q%02d", (ti*7+v)%16)] = fmt.Sprintf("qv%d", r.Intn(8))
+		g.AddNode(types[ti], attrs)
+	}
+	// Dense, hub-skewed linkage with type-correlated relations: relation
+	// r_k prefers source type T_k and destination type T_{k+1}, so frequent
+	// triples (and multi-edge patterns) exist.
+	hubCount := scale/100 + 1
+	for i := 0; i < 8*scale; i++ {
+		k := zipf(r, nRels)
+		var s, d graph.NodeID
+		if r.Float64() < 0.25 {
+			s = graph.NodeID(r.Intn(hubCount))
+		} else {
+			s = graph.NodeID(r.Intn(scale))
+		}
+		if r.Float64() < 0.7 {
+			// Find a destination of the preferred type by rejection.
+			for tries := 0; tries < 8; tries++ {
+				d = graph.NodeID(r.Intn(scale))
+				if nodeType[d] == (k+1)%nTypes {
+					break
+				}
+			}
+		} else {
+			d = graph.NodeID(r.Intn(scale))
+		}
+		if s != d {
+			g.AddEdge(s, d, rels[k])
+			// DBpedia's ontology layers duplicate many facts under
+			// near-synonym predicates (dbo: vs dbp:); mirror a share of
+			// edges under an alias so Horn-rule miners have material.
+			if k < 5 && r.Float64() < 0.8 {
+				g.AddEdge(s, d, "alias_"+rels[k])
+			}
+		}
+	}
+	g.Finalize()
+	return g
+}
+
+// IMDBSim generates a movie graph shaped like IMDB: 15 node types but only
+// 5 edge types, ~1.5 edges per node. scale is the number of movies; the
+// graph has roughly 3.2×scale nodes.
+func IMDBSim(scale int, seed int64) *graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	g := graph.New(4*scale, 3*scale)
+
+	genreNames := []string{"drama", "comedy", "horror", "action", "documentary", "noir"}
+	genres := make([]graph.NodeID, len(genreNames))
+	for i, name := range genreNames {
+		genres[i] = g.AddNode("genre", map[string]string{"name": name})
+	}
+	nStudios := 12
+	studios := make([]graph.NodeID, nStudios)
+	for i := range studios {
+		studios[i] = g.AddNode("studio", map[string]string{
+			"name":    fmt.Sprintf("studio%02d", i),
+			"country": countryNames[i%len(countryNames)],
+		})
+	}
+	nDirectors := scale/4 + 1
+	directors := make([]graph.NodeID, nDirectors)
+	for i := range directors {
+		style := "mainstream"
+		if i%5 == 0 {
+			style = "noir"
+		}
+		directors[i] = g.AddNode("director", map[string]string{
+			"name":  fmt.Sprintf("d%05d", i),
+			"style": style,
+		})
+	}
+	actorTypes := []string{"actor", "voice_actor", "stunt"}
+	nActors := 2 * scale
+	actors := make([]graph.NodeID, nActors)
+	for i := range actors {
+		actors[i] = g.AddNode(actorTypes[zipf(r, len(actorTypes))], map[string]string{
+			"name":    fmt.Sprintf("a%06d", i),
+			"country": countryNames[r.Intn(len(countryNames))],
+		})
+	}
+	for i := 0; i < scale; i++ {
+		di := r.Intn(nDirectors)
+		gi := r.Intn(len(genreNames))
+		rating := "PG"
+		// Seeded regularities: horror movies are rated R; noir directors
+		// make noir-genre movies.
+		if style, _ := g.Attr(directors[di], "style"); style == "noir" {
+			gi = 5
+		}
+		if genreNames[gi] == "horror" || genreNames[gi] == "noir" {
+			rating = "R"
+		}
+		m := g.AddNode("movie", map[string]string{
+			"name":   fmt.Sprintf("m%06d", i),
+			"rating": rating,
+			"decade": fmt.Sprintf("%d0s", 195+r.Intn(8)),
+		})
+		g.AddEdge(directors[di], m, "directed")
+		g.AddEdge(m, genres[gi], "hasGenre")
+		g.AddEdge(m, studios[r.Intn(nStudios)], "producedBy")
+		for a := 0; a < 2; a++ {
+			g.AddEdge(actors[r.Intn(nActors)], m, "actsIn")
+		}
+	}
+	g.Finalize()
+	return g
+}

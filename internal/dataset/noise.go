@@ -1,0 +1,161 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// NoiseConfig controls error injection per the protocol of Exp-5: draw α%
+// of nodes; for each drawn node change β% of its active attribute values
+// or incident edge labels to values that do not appear in the graph.
+type NoiseConfig struct {
+	// AlphaPct is the percentage of nodes to dirty (0-100).
+	AlphaPct float64
+	// BetaPct is the percentage of each dirty node's attributes/edges to
+	// change (0-100).
+	BetaPct float64
+	// TargetAttrs, when non-empty, directs attribute changes to these
+	// attributes — the paper "took care to make changes that involve the
+	// consequence Y of X → Y in Σ discovered".
+	TargetAttrs []string
+	// EdgeShare in [0,1] is the fraction of changes applied to edge labels
+	// rather than attribute values (default 0.3).
+	EdgeShare float64
+	Seed      int64
+}
+
+// Noise returns a dirtied copy of g and the set V^E of nodes with injected
+// errors. The original graph is not modified.
+func Noise(g *graph.Graph, cfg NoiseConfig) (*graph.Graph, map[graph.NodeID]bool) {
+	if cfg.EdgeShare == 0 {
+		cfg.EdgeShare = 0.3
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	dirty := make(map[graph.NodeID]bool)
+
+	// Collect per-node edits first, then rebuild (edge labels are immutable
+	// in place).
+	type edgeKey struct {
+		src, dst graph.NodeID
+		label    string
+	}
+	relabel := make(map[edgeKey]string)
+	attrEdits := make(map[graph.NodeID]map[string]string)
+	noiseCounter := 0
+	freshValue := func() string {
+		noiseCounter++
+		return fmt.Sprintf("__noise_%d", noiseCounter)
+	}
+
+	nNodes := g.NumNodes()
+	want := int(cfg.AlphaPct / 100 * float64(nNodes))
+	perm := r.Perm(nNodes)
+	for _, vi := range perm[:want] {
+		v := graph.NodeID(vi)
+		attrs := g.Attrs(v)
+		outs := g.Out(v)
+		// Candidate edit slots: targeted attributes first, then the rest,
+		// then outgoing edges.
+		var slots []string // "a:<attr>" or "e:<idx>"
+		seen := map[string]bool{}
+		for _, a := range cfg.TargetAttrs {
+			if _, ok := attrs[a]; ok && !seen[a] {
+				slots = append(slots, "a:"+a)
+				seen[a] = true
+			}
+		}
+		for a := range attrs {
+			if !seen[a] {
+				slots = append(slots, "a:"+a)
+				seen[a] = true
+			}
+		}
+		nAttrSlots := len(slots)
+		for i := range outs {
+			slots = append(slots, fmt.Sprintf("e:%d", i))
+		}
+		if len(slots) == 0 {
+			continue
+		}
+		edits := int(cfg.BetaPct / 100 * float64(len(slots)))
+		if edits < 1 {
+			edits = 1
+		}
+		changed := false
+		for e := 0; e < edits && e < len(slots); e++ {
+			var slot string
+			if r.Float64() < cfg.EdgeShare && len(slots) > nAttrSlots {
+				slot = slots[nAttrSlots+r.Intn(len(slots)-nAttrSlots)]
+			} else if nAttrSlots > 0 {
+				slot = slots[e%nAttrSlots]
+			} else {
+				slot = slots[r.Intn(len(slots))]
+			}
+			if slot[0] == 'a' {
+				a := slot[2:]
+				if attrEdits[v] == nil {
+					attrEdits[v] = make(map[string]string)
+				}
+				attrEdits[v][a] = freshValue()
+				changed = true
+			} else {
+				var idx int
+				fmt.Sscanf(slot, "e:%d", &idx)
+				he := outs[idx]
+				relabel[edgeKey{v, he.To, he.Label}] = freshValue()
+				changed = true
+			}
+		}
+		if changed {
+			dirty[v] = true
+		}
+	}
+
+	// Rebuild the graph with the edits applied.
+	out := graph.New(g.NumNodes(), g.NumEdges())
+	for v := 0; v < g.NumNodes(); v++ {
+		id := graph.NodeID(v)
+		src := g.Attrs(id)
+		var attrs map[string]string
+		if src != nil {
+			attrs = make(map[string]string, len(src))
+			for k, val := range src {
+				attrs[k] = val
+			}
+		}
+		for k, val := range attrEdits[id] {
+			if attrs == nil {
+				attrs = make(map[string]string, 1)
+			}
+			attrs[k] = val
+		}
+		out.AddNode(g.Label(id), attrs)
+	}
+	g.Edges(func(e graph.Edge) bool {
+		label := e.Label
+		if nl, ok := relabel[edgeKey{e.Src, e.Dst, e.Label}]; ok {
+			label = nl
+		}
+		out.AddEdge(e.Src, e.Dst, label)
+		return true
+	})
+	out.Finalize()
+	return out, dirty
+}
+
+// Accuracy computes the error-detection accuracy of Exp-5:
+// |detected ∩ truth| / |truth|.
+func Accuracy(detected map[graph.NodeID]struct{}, truth map[graph.NodeID]bool) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	hit := 0
+	for v := range truth {
+		if _, ok := detected[v]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth))
+}

@@ -1,0 +1,340 @@
+package discovery
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/pattern"
+)
+
+// Handle identifies a pattern's materialised match state inside a Backend.
+type Handle interface{}
+
+// PatOut is the verification result of one pattern work unit.
+type PatOut struct {
+	H       Handle
+	Support int
+	Rows    int
+	// OK is false if the work unit was aborted (row cap exceeded).
+	OK bool
+}
+
+// Backend supplies pattern matching and candidate validation to the miner.
+// The sequential backend keeps one in-memory match table per pattern;
+// the parallel backend (package parallel) partitions each table across
+// simulated cluster workers, performs distributed incremental joins and
+// aggregates validation results at the master, charging communication to
+// the cluster cost model.
+//
+// Seeding and extension are batched at level granularity: ParDis
+// distributes all of a level's work units (Q, e) across the workers in one
+// superstep (Section 6.2), so per-pattern round trips would misrepresent
+// its cost.
+type Backend interface {
+	// SeedBatch materialises the matches of single-node patterns.
+	SeedBatch(ps []*pattern.Pattern) []PatOut
+	// ExtendBatch materialises each child's matches from its parent's by
+	// incremental join (children[i] = parent pattern of parents[i] plus
+	// one edge).
+	ExtendBatch(parents []Handle, children []*pattern.Pattern) []PatOut
+	// Release frees a pattern's match state.
+	Release(h Handle)
+	// Evaluate builds the literal-satisfaction index of the pool over the
+	// pattern's matches. The caller must Release the evaluator.
+	Evaluate(h Handle, pool []core.Literal) Evaluator
+	// Constants returns, for every (variable, attribute ∈ gamma) pair, the
+	// up-to-max most frequent observed values at that variable across the
+	// pattern's matches, indexed [v*len(gamma)+ai]. Batched so the
+	// parallel backend collects all pairs in a single superstep.
+	Constants(h Handle, nvars int, gamma []string, max int) [][]string
+}
+
+// Evaluator answers candidate-validation queries for one pattern against
+// one literal pool. X arguments are indexes into the pool.
+type Evaluator interface {
+	// Violated reports whether some match satisfies all of X but not l:
+	// G ⊭ Q[x̄](X → pool[l]).
+	Violated(x []int, l int) bool
+	// SupportXl returns |Q(G, Xl, z)|: distinct pivots over matches
+	// satisfying X and l.
+	SupportXl(x []int, l int) int
+	// SupportX returns |Q(G, X, z)|.
+	SupportX(x []int) int
+	// CoHolds reports, for every pool literal j, whether some match
+	// satisfies X ∪ {j}. NHSpawn emits a negative GFD for each j with
+	// CoHolds[j] == false (Section 5.1).
+	CoHolds(x []int) []bool
+	// AttrPresent reports whether attribute attr occurs at variable v in
+	// at least one match (the plausibility filter for negative literals).
+	AttrPresent(v int, attr string) bool
+	// Release frees the evaluator's index.
+	Release()
+}
+
+// ---------------------------------------------------------------------------
+// Sequential backend
+// ---------------------------------------------------------------------------
+
+// SeqBackend is the single-machine Backend: one match table per pattern,
+// bitset-indexed literal evaluation.
+type SeqBackend struct {
+	g        *graph.Graph
+	maxRows  int
+	stats    *Stats
+	liveRows int
+}
+
+// NewSeqBackend returns a sequential backend over g. maxRows caps match
+// tables (0 = unlimited); stats, when non-nil, receives table counters.
+func NewSeqBackend(g *graph.Graph, maxRows int, stats *Stats) *SeqBackend {
+	return &SeqBackend{g: g, maxRows: maxRows, stats: stats}
+}
+
+// Graph exposes the underlying graph (used by cover/validation helpers).
+func (b *SeqBackend) Graph() *graph.Graph { return b.g }
+
+type seqHandle struct {
+	table *match.Table
+}
+
+func (b *SeqBackend) bookkeep(rows int) {
+	b.liveRows += rows
+	if b.stats == nil {
+		return
+	}
+	b.stats.TotalTableRows += rows
+	if rows > b.stats.MaxTableRows {
+		b.stats.MaxTableRows = rows
+	}
+	if b.liveRows > b.stats.PeakLiveRows {
+		b.stats.PeakLiveRows = b.liveRows
+	}
+}
+
+// SeedBatch implements Backend.
+func (b *SeqBackend) SeedBatch(ps []*pattern.Pattern) []PatOut {
+	out := make([]PatOut, len(ps))
+	for i, p := range ps {
+		t := match.NewSingleNodeTable(b.g, p)
+		b.bookkeep(t.Len())
+		out[i] = PatOut{H: &seqHandle{table: t}, Support: t.Support(), Rows: t.Len(), OK: true}
+	}
+	return out
+}
+
+// ExtendBatch implements Backend.
+func (b *SeqBackend) ExtendBatch(parents []Handle, children []*pattern.Pattern) []PatOut {
+	out := make([]PatOut, len(children))
+	for i, child := range children {
+		pt := parents[i].(*seqHandle).table
+		t := match.Extend(b.g, pt, child)
+		if b.maxRows > 0 && t.Len() > b.maxRows {
+			if b.stats != nil {
+				b.stats.Aborted++
+			}
+			continue
+		}
+		b.bookkeep(t.Len())
+		out[i] = PatOut{H: &seqHandle{table: t}, Support: t.Support(), Rows: t.Len(), OK: true}
+	}
+	return out
+}
+
+// Release implements Backend.
+func (b *SeqBackend) Release(h Handle) {
+	if h == nil {
+		return
+	}
+	sh := h.(*seqHandle)
+	if sh.table != nil {
+		b.liveRows -= sh.table.Len()
+		sh.table = nil
+	}
+}
+
+// Constants implements Backend.
+func (b *SeqBackend) Constants(h Handle, nvars int, gamma []string, max int) [][]string {
+	t := h.(*seqHandle).table
+	out := make([][]string, nvars*len(gamma))
+	for v := 0; v < nvars; v++ {
+		for ai, attr := range gamma {
+			out[v*len(gamma)+ai] = TopConstants(ObservedConstantCounts(b.g, t.Rows, v, attr), max)
+		}
+	}
+	return out
+}
+
+// ObservedConstantCounts returns the frequency of each value of attr at
+// variable v over the given rows. The parallel backend computes these
+// per fragment and merges the maps at the master.
+func ObservedConstantCounts(g *graph.Graph, rows []match.Match, v int, attr string) map[string]int {
+	counts := make(map[string]int)
+	for _, row := range rows {
+		if val, ok := g.Attr(row[v], attr); ok {
+			counts[val]++
+		}
+	}
+	return counts
+}
+
+// TopConstants returns the up-to-max most frequent values in counts,
+// ordered by descending count then value.
+func TopConstants(counts map[string]int, max int) []string {
+	vals := make([]string, 0, len(counts))
+	for val := range counts {
+		vals = append(vals, val)
+	}
+	sort.Slice(vals, func(i, j int) bool {
+		ci, cj := counts[vals[i]], counts[vals[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return vals[i] < vals[j]
+	})
+	if len(vals) > max {
+		vals = vals[:max]
+	}
+	return vals
+}
+
+// Evaluate implements Backend.
+func (b *SeqBackend) Evaluate(h Handle, pool []core.Literal) Evaluator {
+	t := h.(*seqHandle).table
+	return NewTableEval(b.g, t.P, t.Rows, pool)
+}
+
+// TableEval indexes literal satisfaction per match row as bitsets and
+// answers validation queries in O(rows/64) words. It is the per-worker
+// evaluation unit: the sequential backend uses one over the whole table,
+// the parallel backend one per fragment.
+type TableEval struct {
+	g      *graph.Graph
+	rows   []match.Match
+	pivots []graph.NodeID
+	sat    []Bitset // per pool literal
+	full   Bitset   // all rows
+	buf    Bitset   // scratch for AND(X)
+	pool   []core.Literal
+	// attrPresent caches attribute presence per (variable, attribute).
+	attrPresent map[attrKey]bool
+}
+
+type attrKey struct {
+	v    int
+	attr string
+}
+
+// NewTableEval builds the satisfaction index of pool over rows of pattern p.
+func NewTableEval(g *graph.Graph, p *pattern.Pattern, rows []match.Match, pool []core.Literal) *TableEval {
+	n := len(rows)
+	e := &TableEval{
+		g:           g,
+		rows:        rows,
+		pivots:      make([]graph.NodeID, n),
+		sat:         make([]Bitset, len(pool)),
+		full:        NewBitset(n),
+		buf:         NewBitset(n),
+		pool:        pool,
+		attrPresent: make(map[attrKey]bool),
+	}
+	e.full.Fill(n)
+	for j := range pool {
+		e.sat[j] = NewBitset(n)
+	}
+	pivot := p.Pivot
+	for i, row := range rows {
+		e.pivots[i] = row[pivot]
+		for j, l := range pool {
+			if eval.LiteralHolds(g, row, l) {
+				e.sat[j].Set(i)
+			}
+		}
+	}
+	return e
+}
+
+// andX computes AND over the X bitmaps into the scratch buffer.
+func (e *TableEval) andX(x []int) Bitset {
+	e.buf.CopyFrom(e.full)
+	for _, j := range x {
+		e.buf.AndWith(e.sat[j])
+	}
+	return e.buf
+}
+
+// Violated implements Evaluator.
+func (e *TableEval) Violated(x []int, l int) bool {
+	return e.andX(x).AnyAndNot(e.sat[l])
+}
+
+// PivotsXl returns the distinct pivots of rows satisfying X ∧ l — the
+// local support set a ParDis worker ships to the master.
+func (e *TableEval) PivotsXl(x []int, l int) map[graph.NodeID]struct{} {
+	seen := make(map[graph.NodeID]struct{})
+	e.ForEachPivotXl(x, l, func(v graph.NodeID) { seen[v] = struct{}{} })
+	return seen
+}
+
+// ForEachPivotXl streams the pivots (with row-level repeats) of rows
+// satisfying X ∧ l; the caller deduplicates. Avoids per-call allocation on
+// the parallel hot path.
+func (e *TableEval) ForEachPivotXl(x []int, l int, fn func(graph.NodeID)) {
+	ax := e.andX(x)
+	ax.ForEachAnd(e.sat[l], func(i int) { fn(e.pivots[i]) })
+}
+
+// PivotsX returns the distinct pivots of rows satisfying X.
+func (e *TableEval) PivotsX(x []int) map[graph.NodeID]struct{} {
+	seen := make(map[graph.NodeID]struct{})
+	e.ForEachPivotX(x, func(v graph.NodeID) { seen[v] = struct{}{} })
+	return seen
+}
+
+// ForEachPivotX streams the pivots of rows satisfying X.
+func (e *TableEval) ForEachPivotX(x []int, fn func(graph.NodeID)) {
+	ax := e.andX(x)
+	ax.ForEach(func(i int) { fn(e.pivots[i]) })
+}
+
+// SupportXl implements Evaluator.
+func (e *TableEval) SupportXl(x []int, l int) int { return len(e.PivotsXl(x, l)) }
+
+// SupportX implements Evaluator.
+func (e *TableEval) SupportX(x []int) int { return len(e.PivotsX(x)) }
+
+// CoHolds implements Evaluator.
+func (e *TableEval) CoHolds(x []int) []bool {
+	ax := e.andX(x)
+	out := make([]bool, len(e.sat))
+	for j := range e.sat {
+		out[j] = ax.AnyAnd(e.sat[j])
+	}
+	return out
+}
+
+// AttrPresent implements Evaluator.
+func (e *TableEval) AttrPresent(v int, attr string) bool {
+	key := attrKey{v, attr}
+	if p, ok := e.attrPresent[key]; ok {
+		return p
+	}
+	present := false
+	for _, row := range e.rows {
+		if _, ok := e.g.Attr(row[v], attr); ok {
+			present = true
+			break
+		}
+	}
+	e.attrPresent[key] = present
+	return present
+}
+
+// Release implements Evaluator.
+func (e *TableEval) Release() {
+	e.sat = nil
+	e.rows = nil
+	e.pivots = nil
+}

@@ -1,0 +1,77 @@
+package discovery
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Cover computes a cover Σc of Σ (algorithm SeqCover of Section 5.2): a
+// minimal subset equivalent to Σ. For each φ it tests Σ\{φ} ⊨ φ with the
+// closure characterisation of GFD implication and removes φ if implied,
+// iterating until no more GFDs can be removed.
+//
+// The order of inspection is deterministic: GFDs with larger patterns and
+// longer premises are inspected first, so the cover retains the most
+// general members of each implication-equivalent family.
+func Cover(sigma []*core.GFD) []*core.GFD {
+	work := append([]*core.GFD(nil), sigma...)
+	// Most-specific first: these are the ones redundant w.r.t. general rules.
+	sort.SliceStable(work, func(i, j int) bool {
+		a, b := work[i], work[j]
+		if a.Size() != b.Size() {
+			return a.Size() > b.Size()
+		}
+		if len(a.X) != len(b.X) {
+			return len(a.X) > len(b.X)
+		}
+		return a.Key() > b.Key()
+	})
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(work); i++ {
+			phi := work[i]
+			rest := make([]*core.GFD, 0, len(work)-1)
+			rest = append(rest, work[:i]...)
+			rest = append(rest, work[i+1:]...)
+			if core.Implies(rest, phi) {
+				work = rest
+				changed = true
+				i--
+			}
+		}
+	}
+	return work
+}
+
+// CoverResult carries the cover with counters for reporting.
+type CoverResult struct {
+	Cover   []*core.GFD
+	Input   int
+	Removed int
+}
+
+// CoverWithStats computes the cover and reports how much was removed.
+func CoverWithStats(sigma []*core.GFD) CoverResult {
+	cov := Cover(sigma)
+	return CoverResult{Cover: cov, Input: len(sigma), Removed: len(sigma) - len(cov)}
+}
+
+// MinedCover filters a discovery result to a cover, preserving the Mined
+// metadata of the survivors (positives and negatives alike).
+func MinedCover(res *Result) []Mined {
+	all := append([]Mined(nil), res.Positives...)
+	all = append(all, res.Negatives...)
+	byKey := make(map[string]Mined, len(all))
+	gfds := make([]*core.GFD, len(all))
+	for i, m := range all {
+		gfds[i] = m.GFD
+		byKey[m.GFD.Key()] = m
+	}
+	cov := Cover(gfds)
+	out := make([]Mined, 0, len(cov))
+	for _, g := range cov {
+		out = append(out, byKey[g.Key()])
+	}
+	return out
+}

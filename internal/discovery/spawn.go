@@ -1,0 +1,218 @@
+package discovery
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// This file implements the pattern side of vertical spawning: VSpawn(i)
+// generates candidate level-i patterns by adding one edge (possibly with a
+// new node) to each verified level-(i-1) pattern (Section 5.1). Extension
+// candidates are seeded by the frequent edge triples of the graph — an edge
+// whose (srcLabel, edgeLabel, dstLabel) occurs fewer than σ times cannot
+// yield a σ-frequent pattern, since pattern support is bounded by the
+// occurrence count of each of its edges.
+//
+// Wildcard spawning: alongside every concrete extension, a variant whose
+// new node is labelled '_' is generated (at most once per attachment point,
+// edge label and direction), realising the paper's label upgrade to
+// wildcard; closing-edge extensions connect existing variables.
+
+// extCand is a candidate child pattern with a frequency score for ranking.
+type extCand struct {
+	p     *pattern.Pattern
+	score int
+}
+
+// tripleIndex aggregates triple counts for wildcard-endpoint lookups.
+type tripleIndex struct {
+	triples  []graph.TripleKey
+	count    map[graph.TripleKey]int
+	bySrc    map[string][]graph.TripleKey // srcLabel -> triples
+	byDst    map[string][]graph.TripleKey
+	outAgg   map[[2]string]int      // (srcLabel, edgeLabel) -> count
+	inAgg    map[[2]string]int      // (dstLabel, edgeLabel) -> count
+	edgeAgg  map[string]int         // edgeLabel -> count
+	pairSrcE map[[2]string][]string // (srcLabel, edgeLabel) -> dst labels
+	pairDstE map[[2]string][]string // (dstLabel, edgeLabel) -> src labels
+}
+
+func newTripleIndex(st *graph.Stats, minCount int) *tripleIndex {
+	ti := &tripleIndex{
+		count:    make(map[graph.TripleKey]int),
+		bySrc:    make(map[string][]graph.TripleKey),
+		byDst:    make(map[string][]graph.TripleKey),
+		outAgg:   make(map[[2]string]int),
+		inAgg:    make(map[[2]string]int),
+		edgeAgg:  make(map[string]int),
+		pairSrcE: make(map[[2]string][]string),
+		pairDstE: make(map[[2]string][]string),
+	}
+	ti.triples = st.FrequentTriples(minCount)
+	for _, t := range ti.triples {
+		c := st.TripleCount[t]
+		ti.count[t] = c
+		ti.bySrc[t.SrcLabel] = append(ti.bySrc[t.SrcLabel], t)
+		ti.byDst[t.DstLabel] = append(ti.byDst[t.DstLabel], t)
+		ti.outAgg[[2]string{t.SrcLabel, t.EdgeLabel}] += c
+		ti.inAgg[[2]string{t.DstLabel, t.EdgeLabel}] += c
+		ti.edgeAgg[t.EdgeLabel] += c
+		ti.pairSrcE[[2]string{t.SrcLabel, t.EdgeLabel}] = append(ti.pairSrcE[[2]string{t.SrcLabel, t.EdgeLabel}], t.DstLabel)
+		ti.pairDstE[[2]string{t.DstLabel, t.EdgeLabel}] = append(ti.pairDstE[[2]string{t.DstLabel, t.EdgeLabel}], t.SrcLabel)
+	}
+	return ti
+}
+
+// edgeLabels returns the distinct frequent edge labels, sorted.
+func (ti *tripleIndex) edgeLabels() []string {
+	ls := make([]string, 0, len(ti.edgeAgg))
+	for l := range ti.edgeAgg {
+		ls = append(ls, l)
+	}
+	sort.Strings(ls)
+	return ls
+}
+
+// extensions generates the candidate children of p, deduplicated by
+// canonical code, sorted by descending score. k bounds variable count.
+// sigma filters candidates by frequency evidence: concrete extensions need
+// a σ-frequent triple; wildcard extensions need σ-frequent aggregate counts
+// (a triple below σ can still contribute to a frequent wildcard pattern).
+// pathOnly restricts spawning to forward chains (the GCFD special case).
+func (ti *tripleIndex) extensions(p *pattern.Pattern, k int, wildcardNodes bool, maxExt, sigma int, pathOnly bool) []extCand {
+	seen := make(map[string]bool)
+	var out []extCand
+	add := func(q *pattern.Pattern, score int) {
+		code := q.CanonicalCode()
+		if seen[code] {
+			return
+		}
+		seen[code] = true
+		out = append(out, extCand{p: q, score: score})
+	}
+	canGrow := p.N() < k
+
+	if pathOnly {
+		// Only the tail variable extends, outgoing, with concrete labels.
+		if canGrow {
+			tail := p.N() - 1
+			for _, t := range ti.bySrc[p.NodeLabels[tail]] {
+				if ti.count[t] >= sigma {
+					add(p.ExtendNewNode(tail, t.EdgeLabel, t.DstLabel, true), ti.count[t])
+				}
+			}
+		}
+		sort.SliceStable(out, func(i, j int) bool { return out[i].score > out[j].score })
+		if maxExt > 0 && len(out) > maxExt {
+			out = out[:maxExt]
+		}
+		return out
+	}
+
+	for v := 0; v < p.N(); v++ {
+		lbl := p.NodeLabels[v]
+		if lbl != pattern.Wildcard {
+			// Outgoing extensions with a new node.
+			if canGrow {
+				wcDone := make(map[string]bool)
+				for _, t := range ti.bySrc[lbl] {
+					if ti.count[t] >= sigma {
+						add(p.ExtendNewNode(v, t.EdgeLabel, t.DstLabel, true), ti.count[t])
+					}
+					if agg := ti.outAgg[[2]string{lbl, t.EdgeLabel}]; wildcardNodes && !wcDone[t.EdgeLabel] && agg >= sigma {
+						wcDone[t.EdgeLabel] = true
+						add(p.ExtendNewNode(v, t.EdgeLabel, pattern.Wildcard, true), agg)
+					}
+				}
+				wcDone = make(map[string]bool)
+				for _, t := range ti.byDst[lbl] {
+					if ti.count[t] >= sigma {
+						add(p.ExtendNewNode(v, t.EdgeLabel, t.SrcLabel, false), ti.count[t])
+					}
+					if agg := ti.inAgg[[2]string{lbl, t.EdgeLabel}]; wildcardNodes && !wcDone[t.EdgeLabel] && agg >= sigma {
+						wcDone[t.EdgeLabel] = true
+						add(p.ExtendNewNode(v, t.EdgeLabel, pattern.Wildcard, false), agg)
+					}
+				}
+			}
+		} else if canGrow && wildcardNodes {
+			// Wildcard attachment point: extend per edge label with wildcard
+			// endpoints only (concrete endpoints would multiply candidates
+			// without adding patterns the concrete attachment points miss).
+			for _, el := range ti.edgeLabels() {
+				if ti.edgeAgg[el] < sigma {
+					continue
+				}
+				add(p.ExtendNewNode(v, el, pattern.Wildcard, true), ti.edgeAgg[el])
+				add(p.ExtendNewNode(v, el, pattern.Wildcard, false), ti.edgeAgg[el])
+			}
+		}
+	}
+
+	// Closing edges between existing variables.
+	for u := 0; u < p.N(); u++ {
+		for w := 0; w < p.N(); w++ {
+			if u == w {
+				continue
+			}
+			lu, lw := p.NodeLabels[u], p.NodeLabels[w]
+			for _, el := range ti.edgeLabels() {
+				if p.HasEdge(u, w, el) {
+					continue
+				}
+				score, ok := ti.closingScore(lu, el, lw)
+				if !ok || score < sigma {
+					continue
+				}
+				add(p.ExtendClosingEdge(u, w, el), score)
+			}
+		}
+	}
+
+	sort.SliceStable(out, func(i, j int) bool { return out[i].score > out[j].score })
+	if maxExt > 0 && len(out) > maxExt {
+		out = out[:maxExt]
+	}
+	return out
+}
+
+// closingScore returns the frequency evidence for an edge labelled el from
+// a node labelled lu to one labelled lw, handling wildcards by aggregation.
+func (ti *tripleIndex) closingScore(lu, el, lw string) (int, bool) {
+	switch {
+	case lu != pattern.Wildcard && lw != pattern.Wildcard:
+		c, ok := ti.count[graph.TripleKey{SrcLabel: lu, EdgeLabel: el, DstLabel: lw}]
+		return c, ok
+	case lu != pattern.Wildcard:
+		c, ok := ti.outAgg[[2]string{lu, el}]
+		return c, ok
+	case lw != pattern.Wildcard:
+		c, ok := ti.inAgg[[2]string{lw, el}]
+		return c, ok
+	default:
+		c, ok := ti.edgeAgg[el]
+		return c, ok
+	}
+}
+
+// seedLabels returns the node labels whose occurrence count reaches σ —
+// the single-node patterns that cold-start the generation tree — sorted by
+// descending count.
+func seedLabels(st *graph.Stats, sigma int) []string {
+	var ls []string
+	for l, c := range st.NodeLabelCount {
+		if c >= sigma {
+			ls = append(ls, l)
+		}
+	}
+	sort.Slice(ls, func(i, j int) bool {
+		ci, cj := st.NodeLabelCount[ls[i]], st.NodeLabelCount[ls[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return ls[i] < ls[j]
+	})
+	return ls
+}

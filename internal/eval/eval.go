@@ -1,0 +1,217 @@
+// Package eval gives GFDs their semantics on data graphs (Section 2.2 of
+// Fan et al., SIGMOD 2018): literal satisfaction under the schemaless rule,
+// validation G ⊨ φ with violation reporting, and the support machinery of
+// Section 4.2 — pattern support supp(Q,G) = |Q(G,z)|, correlation ρ(φ,G),
+// GFD support supp(φ,G) = |Q(G,Xl,z)|, and the base-derived support of
+// negative GFDs.
+//
+// The schemaless rule: a match lacking an attribute mentioned on the
+// left-hand side satisfies X → Y vacuously (the node is simply not required
+// to carry the attribute); an attribute mentioned on the right-hand side
+// must exist for Y to be satisfied.
+package eval
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/match"
+)
+
+// LiteralHolds reports whether match m satisfies literal l on g: the
+// mentioned attributes exist and the equality holds. LFalse never holds.
+func LiteralHolds(g *graph.Graph, m match.Match, l core.Literal) bool {
+	switch l.Kind {
+	case core.LConst:
+		v, ok := g.Attr(m[l.X], l.A)
+		return ok && v == l.C
+	case core.LVar:
+		vx, okx := g.Attr(m[l.X], l.A)
+		vy, oky := g.Attr(m[l.Y], l.B)
+		return okx && oky && vx == vy
+	default:
+		return false
+	}
+}
+
+// AllHold reports whether m satisfies every literal in ls.
+func AllHold(g *graph.Graph, m match.Match, ls []core.Literal) bool {
+	for _, l := range ls {
+		if !LiteralHolds(g, m, l) {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchSatisfies reports h(x̄) ⊨ X → l: if m satisfies all of X it must
+// satisfy the right-hand side (which for negative GFDs never holds, so any
+// X-satisfying match is a violation).
+func MatchSatisfies(g *graph.Graph, m match.Match, phi *core.GFD) bool {
+	if !AllHold(g, m, phi.X) {
+		return true
+	}
+	if phi.RHS.Kind == core.LFalse {
+		return false
+	}
+	return LiteralHolds(g, m, phi.RHS)
+}
+
+// Validate reports G ⊨ φ: every match of φ's pattern satisfies X → l.
+func Validate(g *graph.Graph, phi *core.GFD) bool {
+	ok := true
+	match.Enumerate(g, phi.Q, func(m match.Match) bool {
+		if !MatchSatisfies(g, m, phi) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// ValidateAll reports G ⊨ Σ and, when false, the index of the first
+// violated GFD.
+func ValidateAll(g *graph.Graph, sigma []*core.GFD) (bool, int) {
+	for i, phi := range sigma {
+		if !Validate(g, phi) {
+			return false, i
+		}
+	}
+	return true, -1
+}
+
+// Violations collects up to limit violating matches of φ in g (limit <= 0
+// means all). Each returned match is an independent copy.
+func Violations(g *graph.Graph, phi *core.GFD, limit int) []match.Match {
+	var out []match.Match
+	match.Enumerate(g, phi.Q, func(m match.Match) bool {
+		if !MatchSatisfies(g, m, phi) {
+			out = append(out, m.Clone())
+			if limit > 0 && len(out) >= limit {
+				return false
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// ViolatingNodes returns the set of graph nodes contained in violations of
+// any GFD of sigma — the V^GFD of the paper's error-detection accuracy
+// metric (Exp-5).
+func ViolatingNodes(g *graph.Graph, sigma []*core.GFD) map[graph.NodeID]struct{} {
+	bad := make(map[graph.NodeID]struct{})
+	for _, phi := range sigma {
+		match.Enumerate(g, phi.Q, func(m match.Match) bool {
+			if !MatchSatisfies(g, m, phi) {
+				for _, v := range m {
+					bad[v] = struct{}{}
+				}
+			}
+			return true
+		})
+	}
+	return bad
+}
+
+// PatternSupport returns supp(Q, G) = |Q(G, z)| for φ's pattern.
+func PatternSupport(g *graph.Graph, phi *core.GFD) int {
+	return match.PatternSupport(g, phi.Q)
+}
+
+// SupportDetail carries the support decomposition of Section 4.2.
+type SupportDetail struct {
+	// PatternSupport is supp(Q, G) = |Q(G, z)|.
+	PatternSupport int
+	// Support is supp(φ, G) = |Q(G, Xl, z)| for positive GFDs, and the
+	// base-derived support for negative ones.
+	Support int
+	// Correlation is ρ(φ, G) = Support / PatternSupport (0 when the
+	// pattern has no match).
+	Correlation float64
+}
+
+// Supp computes supp(φ, G). For a positive GFD this is the number of
+// distinct pivot nodes v with a match pivoted at v satisfying both X and
+// the right-hand side. For a negative GFD it is the base-derived support:
+// see NegativeSupport.
+func Supp(g *graph.Graph, phi *core.GFD) int {
+	if phi.RHS.Kind == core.LFalse {
+		return NegativeSupport(g, phi)
+	}
+	pivots := make(map[graph.NodeID]struct{})
+	match.Enumerate(g, phi.Q, func(m match.Match) bool {
+		if AllHold(g, m, phi.X) && LiteralHolds(g, m, phi.RHS) {
+			pivots[m[phi.Q.Pivot]] = struct{}{}
+		}
+		return true
+	})
+	return len(pivots)
+}
+
+// Detail computes the full support decomposition of φ on g.
+func Detail(g *graph.Graph, phi *core.GFD) SupportDetail {
+	d := SupportDetail{
+		PatternSupport: PatternSupport(g, phi),
+		Support:        Supp(g, phi),
+	}
+	if d.PatternSupport > 0 {
+		d.Correlation = float64(d.Support) / float64(d.PatternSupport)
+	}
+	return d
+}
+
+// ConditionSupport returns |Q(G, X, z)|: the number of distinct pivots with
+// a match satisfying all of X (right-hand side ignored). NHSpawn checks
+// this is zero before emitting a negative GFD.
+func ConditionSupport(g *graph.Graph, phi *core.GFD) int {
+	pivots := make(map[graph.NodeID]struct{})
+	match.Enumerate(g, phi.Q, func(m match.Match) bool {
+		if AllHold(g, m, phi.X) {
+			pivots[m[phi.Q.Pivot]] = struct{}{}
+		}
+		return true
+	})
+	return len(pivots)
+}
+
+// NegativeSupport computes supp(φ, G) for a negative GFD per Section 4.2:
+// the maximum support over its bases.
+//
+//   - X = ∅ (case (a), "illegal structure"): bases are the connected
+//     pivot-preserving patterns obtained by removing one edge of Q; the
+//     support is the maximum supp(Q′, G) over them.
+//   - X ≠ ∅ (case (b)): bases are obtained by removing one literal l′ from
+//     X; the support of a base is |Q(G, X∖{l′}, z)|, an upper bound on the
+//     support of any positive base GFD Q[x̄](X∖{l′} → l). Discovery records
+//     the exact base GFD alongside each mined negative; this standalone
+//     evaluator uses the bound.
+func NegativeSupport(g *graph.Graph, phi *core.GFD) int {
+	best := 0
+	if len(phi.X) == 0 {
+		for _, q := range phi.Q.EdgeReductions() {
+			if s := match.PatternSupport(g, q); s > best {
+				best = s
+			}
+		}
+		return best
+	}
+	for drop := range phi.X {
+		reduced := make([]core.Literal, 0, len(phi.X)-1)
+		for i, l := range phi.X {
+			if i != drop {
+				reduced = append(reduced, l)
+			}
+		}
+		base := core.New(phi.Q, reduced, core.False())
+		if s := ConditionSupport(g, base); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// Frequent reports supp(φ, G) ≥ σ.
+func Frequent(g *graph.Graph, phi *core.GFD, sigma int) bool {
+	return Supp(g, phi) >= sigma
+}

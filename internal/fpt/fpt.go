@@ -1,0 +1,103 @@
+// Package fpt materialises the fixed-parameter-tractability results of
+// Section 3 (Theorem 1) as executable artifacts:
+//
+//   - satisfiability and implication are FPT in the pattern size k — the
+//     closure-based algorithms of internal/core run in O(f(k)·|input|)
+//     (their cost is dominated by pattern embeddings, a function of k
+//     only);
+//   - validation is co-W[1]-hard even for small k: the proof reduces the
+//     complement of k-CLIQUE (W[1]-complete) to GFD validation. This
+//     package implements that reduction, so the hardness construction can
+//     be executed and tested rather than just cited.
+//
+// The reduction: given an undirected graph H and parameter k, build a data
+// graph G(H) with a node labelled "v" per vertex and a pair of directed
+// "e"-edges per undirected edge, and the negative GFD φ_k = Q_k[x̄](∅ →
+// false) whose pattern Q_k is the fully-connected k-variable "v"/"e"
+// pattern. Then H contains a k-clique iff Q_k has a match in G(H) iff
+// G(H) ⊭ φ_k. Deciding G ⊨ φ therefore decides k-CLIQUE's complement.
+package fpt
+
+import (
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// UndirectedEdge is an edge of the k-CLIQUE instance.
+type UndirectedEdge struct{ U, V int }
+
+// CliqueInstance is an undirected graph plus the parameter k.
+type CliqueInstance struct {
+	N     int // vertices 0..N-1
+	Edges []UndirectedEdge
+	K     int
+}
+
+// DataGraph builds G(H): one "v"-labelled node per vertex, two directed
+// "e"-labelled edges per undirected edge.
+func (ci CliqueInstance) DataGraph() *graph.Graph {
+	g := graph.New(ci.N, 2*len(ci.Edges))
+	for i := 0; i < ci.N; i++ {
+		g.AddNode("v", nil)
+	}
+	for _, e := range ci.Edges {
+		g.AddEdge(graph.NodeID(e.U), graph.NodeID(e.V), "e")
+		g.AddEdge(graph.NodeID(e.V), graph.NodeID(e.U), "e")
+	}
+	g.Finalize()
+	return g
+}
+
+// CliquePattern builds Q_k: k variables labelled "v" with "e"-edges in
+// both directions between every pair — matched exactly by k-cliques.
+func CliquePattern(k int) *pattern.Pattern {
+	p := &pattern.Pattern{NodeLabels: make([]string, k)}
+	for i := range p.NodeLabels {
+		p.NodeLabels[i] = "v"
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			p.Edges = append(p.Edges,
+				pattern.Edge{Src: i, Dst: j, Label: "e"},
+				pattern.Edge{Src: j, Dst: i, Label: "e"})
+		}
+	}
+	return p
+}
+
+// ForbiddenCliqueGFD builds φ_k = Q_k[x̄](∅ → false), the negative GFD of
+// the reduction.
+func ForbiddenCliqueGFD(k int) *core.GFD {
+	return core.New(CliquePattern(k), nil, core.False())
+}
+
+// Reduce converts the k-CLIQUE instance into a validation instance (G, φ)
+// such that H has a k-clique ⇔ G ⊭ φ.
+func (ci CliqueInstance) Reduce() (*graph.Graph, *core.GFD) {
+	return ci.DataGraph(), ForbiddenCliqueGFD(ci.K)
+}
+
+// HasClique decides k-CLIQUE through the reduction: it runs GFD validation
+// on the constructed instance and inverts the answer. (Exponential in k,
+// as the co-W[1]-hardness predicts; |x̄| = k is exactly the parameter.)
+func (ci CliqueInstance) HasClique() bool {
+	g, phi := ci.Reduce()
+	return !eval.Validate(g, phi)
+}
+
+// Witness returns a k-clique of H (as vertex indexes) if one exists: a
+// violating match of φ_k *is* the clique.
+func (ci CliqueInstance) Witness() ([]int, bool) {
+	g, phi := ci.Reduce()
+	vs := eval.Violations(g, phi, 1)
+	if len(vs) == 0 {
+		return nil, false
+	}
+	out := make([]int, len(vs[0]))
+	for i, v := range vs[0] {
+		out[i] = int(v)
+	}
+	return out, true
+}

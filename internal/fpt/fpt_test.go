@@ -1,0 +1,139 @@
+package fpt
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// complete returns K_n.
+func complete(n int) CliqueInstance {
+	ci := CliqueInstance{N: n}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ci.Edges = append(ci.Edges, UndirectedEdge{U: i, V: j})
+		}
+	}
+	return ci
+}
+
+func TestTriangle(t *testing.T) {
+	tri := CliqueInstance{N: 4, Edges: []UndirectedEdge{{0, 1}, {1, 2}, {0, 2}, {2, 3}}, K: 3}
+	if !tri.HasClique() {
+		t.Fatal("triangle {0,1,2} must be found")
+	}
+	w, ok := tri.Witness()
+	if !ok || len(w) != 3 {
+		t.Fatalf("witness = %v, %v", w, ok)
+	}
+	sort.Ints(w)
+	if w[0] != 0 || w[1] != 1 || w[2] != 2 {
+		t.Fatalf("witness = %v, want the triangle {0,1,2}", w)
+	}
+	// No 4-clique though.
+	tri.K = 4
+	if tri.HasClique() {
+		t.Fatal("no 4-clique exists")
+	}
+}
+
+func TestPathHasNoTriangle(t *testing.T) {
+	path := CliqueInstance{N: 4, Edges: []UndirectedEdge{{0, 1}, {1, 2}, {2, 3}}, K: 3}
+	if path.HasClique() {
+		t.Fatal("a path has no triangle")
+	}
+	if _, ok := path.Witness(); ok {
+		t.Fatal("no witness should exist")
+	}
+	// The reduction's forward direction: G(path) ⊨ φ_3.
+	g, phi := path.Reduce()
+	if !phi.IsNegative() {
+		t.Fatal("reduction GFD must be negative")
+	}
+	if g.NumNodes() != 4 || g.NumEdges() != 6 {
+		t.Fatalf("data graph wrong: %v", g)
+	}
+}
+
+func TestCompleteGraphs(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		kn := complete(n)
+		for k := 2; k <= n; k++ {
+			kn.K = k
+			if !kn.HasClique() {
+				t.Fatalf("K_%d must contain a %d-clique", n, k)
+			}
+		}
+		kn.K = n + 1
+		if kn.HasClique() {
+			t.Fatalf("K_%d has no %d-clique", n, n+1)
+		}
+	}
+}
+
+func TestCliquePatternShape(t *testing.T) {
+	p := CliquePattern(4)
+	if p.N() != 4 || p.Size() != 12 { // 2 directions × C(4,2)
+		t.Fatalf("pattern shape: %d vars, %d edges", p.N(), p.Size())
+	}
+	if !p.Connected() {
+		t.Fatal("clique pattern must be connected")
+	}
+}
+
+// bruteClique is an independent oracle for small instances.
+func bruteClique(ci CliqueInstance) bool {
+	adj := make(map[[2]int]bool)
+	for _, e := range ci.Edges {
+		adj[[2]int{e.U, e.V}] = true
+		adj[[2]int{e.V, e.U}] = true
+	}
+	var idx []int
+	var rec func(start int) bool
+	rec = func(start int) bool {
+		if len(idx) == ci.K {
+			return true
+		}
+		for v := start; v < ci.N; v++ {
+			ok := true
+			for _, u := range idx {
+				if !adj[[2]int{u, v}] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			idx = append(idx, v)
+			if rec(v + 1) {
+				return true
+			}
+			idx = idx[:len(idx)-1]
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// Property: the reduction agrees with a direct clique search on random
+// graphs — i.e. validation really decides k-CLIQUE's complement.
+func TestQuickReductionCorrect(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(5)
+		ci := CliqueInstance{N: n, K: 3 + r.Intn(2)}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Intn(2) == 0 {
+					ci.Edges = append(ci.Edges, UndirectedEdge{U: i, V: j})
+				}
+			}
+		}
+		return ci.HasClique() == bruteClique(ci)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+// Package gcfd implements the GCFD baseline the paper compares against in
+// Fig. 5(d), Fig. 6 and Fig. 7: conditional functional dependencies with
+// *path* patterns over RDF-style graphs (He, Zou & Zhao, SWIM 2014 — an
+// extension of Yu & Heflin's clustering-based FDs). GCFDs are exactly the
+// special case of GFDs whose pattern is a forward chain x0 → x1 → … → xl
+// with concrete labels (no wildcards, no cycles, no DAGs), so the miner
+// reuses the GFD discovery engine restricted to path-shaped vertical
+// spawning — the restriction that makes GCFDs unable to express the
+// paper's φ2/φ3-style rules.
+package gcfd
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/discovery"
+	"repro/internal/eval"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// Options configures GCFD mining.
+type Options struct {
+	// MaxPathLen bounds the path length (edges); patterns have up to
+	// MaxPathLen+1 variables.
+	MaxPathLen int
+	// Support is the threshold σ (pivoted at the path head).
+	Support int
+	// MaxX bounds the number of condition literals.
+	MaxX int
+}
+
+// Result is the mined GCFD set. Rules are plain GFDs with path patterns.
+type Result struct {
+	Rules []discovery.Mined
+	Stats discovery.Stats
+}
+
+func options(o Options) discovery.Options {
+	if o.MaxPathLen == 0 {
+		o.MaxPathLen = 2
+	}
+	if o.MaxX == 0 {
+		o.MaxX = 1
+	}
+	return discovery.Options{
+		K:                o.MaxPathLen + 1,
+		Support:          o.Support,
+		MaxX:             o.MaxX,
+		ConstantsPerAttr: 5,
+		WildcardNodes:    false,
+		PathOnly:         true,
+		MaxNegatives:     -1, // GCFDs cannot express negative rules
+	}
+}
+
+// Mine discovers GCFDs sequentially: constant and variable CFDs whose
+// patterns are forward paths.
+func Mine(g *graph.Graph, o Options) *Result {
+	res := discovery.Mine(g, options(o))
+	return &Result{Rules: res.Positives, Stats: res.Stats}
+}
+
+// MineParallel is DisGCFD: the same mining distributed over the simulated
+// cluster (used by the Fig. 5(d) comparison).
+func MineParallel(g *graph.Graph, o Options, eng *cluster.Engine) (*Result, cluster.Stats) {
+	pr := parallel.Mine(g, options(o), eng, parallel.Options{LoadBalance: true})
+	return &Result{Rules: pr.Positives, Stats: pr.Stats}, pr.Cluster
+}
+
+// GFDs extracts the plain rule set.
+func (r *Result) GFDs() []*core.GFD {
+	out := make([]*core.GFD, len(r.Rules))
+	for i, m := range r.Rules {
+		out[i] = m.GFD
+	}
+	return out
+}
+
+// ViolatingNodes returns the nodes contained in violations of the mined
+// GCFDs — V^GCFD of the accuracy experiment.
+func ViolatingNodes(g *graph.Graph, r *Result) map[graph.NodeID]struct{} {
+	return eval.ViolatingNodes(g, r.GFDs())
+}
+
+// AvgSupport returns the mean support of the rules.
+func AvgSupport(r *Result) float64 {
+	if len(r.Rules) == 0 {
+		return 0
+	}
+	total := 0
+	for _, m := range r.Rules {
+		total += m.Support
+	}
+	return float64(total) / float64(len(r.Rules))
+}

@@ -1,0 +1,261 @@
+// Package graph implements the directed, labelled property graphs
+// G = (V, E, L, F_A) of Fan et al., "Discovering Graph Functional
+// Dependencies" (SIGMOD 2018), Section 2.1.
+//
+// Nodes and edges carry labels drawn from an alphabet Θ; every node
+// additionally carries a tuple of attribute/value pairs (its properties).
+// Graphs are schemaless: different nodes, even with the same label, may
+// carry different attribute sets.
+//
+// The package provides adjacency and label indexes tuned for the access
+// patterns of subgraph-isomorphism matching: out/in neighbour scans
+// filtered by edge label, constant-time edge-existence tests, and
+// label-based candidate enumeration.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node in a Graph. IDs are dense: 0..NumNodes()-1.
+type NodeID uint32
+
+// HalfEdge is one endpoint's view of an edge: the label of the edge and the
+// node at the other end.
+type HalfEdge struct {
+	Label string
+	To    NodeID
+}
+
+// node is the internal node representation.
+type node struct {
+	label string
+	attrs map[string]string
+	out   []HalfEdge // sorted by (To, Label) once finalized
+	in    []HalfEdge // sorted by (To, Label) once finalized; To is the source
+}
+
+// Graph is a directed labelled property multigraph. Parallel edges between
+// the same ordered node pair are permitted provided their labels differ,
+// which knowledge graphs require (e.g. two relations between the same pair
+// of entities).
+//
+// A Graph is built incrementally with AddNode/AddEdge and must be
+// finalized with Finalize before matching. The zero value is an empty,
+// finalized graph ready for use.
+type Graph struct {
+	nodes     []node
+	numEdges  int
+	byLabel   map[string][]NodeID // node label -> sorted node IDs
+	finalized bool
+}
+
+// New returns an empty graph with capacity hints for n nodes and m edges.
+func New(n, m int) *Graph {
+	g := &Graph{nodes: make([]node, 0, n), byLabel: make(map[string][]NodeID)}
+	g.finalized = true
+	return g
+}
+
+// AddNode appends a node with the given label and attribute tuple and
+// returns its ID. The attrs map is retained by the graph (not copied);
+// callers must not mutate it afterwards. A nil attrs is allowed.
+func (g *Graph) AddNode(label string, attrs map[string]string) NodeID {
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, node{label: label, attrs: attrs})
+	g.finalized = false
+	return id
+}
+
+// AddEdge inserts a directed edge src --label--> dst. Both endpoints must
+// already exist. Duplicate (src, dst, label) triples are inserted as given;
+// Finalize de-duplicates them.
+func (g *Graph) AddEdge(src, dst NodeID, label string) {
+	if int(src) >= len(g.nodes) || int(dst) >= len(g.nodes) {
+		panic(fmt.Sprintf("graph: AddEdge(%d, %d, %q): node out of range (have %d nodes)", src, dst, label, len(g.nodes)))
+	}
+	g.nodes[src].out = append(g.nodes[src].out, HalfEdge{Label: label, To: dst})
+	g.nodes[dst].in = append(g.nodes[dst].in, HalfEdge{Label: label, To: src})
+	g.numEdges++
+	g.finalized = false
+}
+
+// Finalize sorts adjacency lists, removes duplicate edges and rebuilds the
+// label index. It must be called after the last mutation and before any
+// matching; it is idempotent.
+func (g *Graph) Finalize() {
+	if g.finalized {
+		return
+	}
+	g.numEdges = 0
+	for i := range g.nodes {
+		g.nodes[i].out = dedupHalfEdges(g.nodes[i].out)
+		g.nodes[i].in = dedupHalfEdges(g.nodes[i].in)
+		g.numEdges += len(g.nodes[i].out)
+	}
+	g.byLabel = make(map[string][]NodeID)
+	for i := range g.nodes {
+		l := g.nodes[i].label
+		g.byLabel[l] = append(g.byLabel[l], NodeID(i))
+	}
+	g.finalized = true
+}
+
+func dedupHalfEdges(hs []HalfEdge) []HalfEdge {
+	if len(hs) == 0 {
+		return hs
+	}
+	sort.Slice(hs, func(i, j int) bool {
+		if hs[i].To != hs[j].To {
+			return hs[i].To < hs[j].To
+		}
+		return hs[i].Label < hs[j].Label
+	})
+	w := 1
+	for i := 1; i < len(hs); i++ {
+		if hs[i] != hs[i-1] {
+			hs[w] = hs[i]
+			w++
+		}
+	}
+	return hs[:w]
+}
+
+// NumNodes reports the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges reports the number of distinct (src, dst, label) edges. It is
+// exact only after Finalize.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// Label returns the label of node v.
+func (g *Graph) Label(v NodeID) string { return g.nodes[v].label }
+
+// Attr returns the value of attribute a at node v and whether it exists.
+func (g *Graph) Attr(v NodeID, a string) (string, bool) {
+	val, ok := g.nodes[v].attrs[a]
+	return val, ok
+}
+
+// Attrs returns the attribute tuple of node v. The returned map is the
+// graph's own storage; callers must treat it as read-only.
+func (g *Graph) Attrs(v NodeID) map[string]string { return g.nodes[v].attrs }
+
+// SetAttr sets attribute a of node v to val, allocating the tuple if needed.
+// Used by mutation-based workloads (noise injection).
+func (g *Graph) SetAttr(v NodeID, a, val string) {
+	if g.nodes[v].attrs == nil {
+		g.nodes[v].attrs = make(map[string]string, 1)
+	}
+	g.nodes[v].attrs[a] = val
+}
+
+// Out returns the out-adjacency of v, sorted by (To, Label). Read-only.
+func (g *Graph) Out(v NodeID) []HalfEdge { return g.nodes[v].out }
+
+// In returns the in-adjacency of v, sorted by (From, Label); the To field
+// of each HalfEdge holds the edge's source. Read-only.
+func (g *Graph) In(v NodeID) []HalfEdge { return g.nodes[v].in }
+
+// OutDegree returns the number of out-edges at v.
+func (g *Graph) OutDegree(v NodeID) int { return len(g.nodes[v].out) }
+
+// InDegree returns the number of in-edges at v.
+func (g *Graph) InDegree(v NodeID) int { return len(g.nodes[v].in) }
+
+// Degree returns the total degree of v.
+func (g *Graph) Degree(v NodeID) int { return len(g.nodes[v].out) + len(g.nodes[v].in) }
+
+// HasEdge reports whether the edge src --label--> dst exists. The graph must
+// be finalized. If label is the empty string, any edge label matches.
+func (g *Graph) HasEdge(src, dst NodeID, label string) bool {
+	out := g.nodes[src].out
+	i := sort.Search(len(out), func(i int) bool {
+		if out[i].To != dst {
+			return out[i].To > dst
+		}
+		return label == "" || out[i].Label >= label
+	})
+	if i >= len(out) || out[i].To != dst {
+		return false
+	}
+	return label == "" || out[i].Label == label
+}
+
+// EdgeLabelsBetween returns the labels of all edges src -> dst.
+func (g *Graph) EdgeLabelsBetween(src, dst NodeID) []string {
+	var labels []string
+	out := g.nodes[src].out
+	i := sort.Search(len(out), func(i int) bool { return out[i].To >= dst })
+	for ; i < len(out) && out[i].To == dst; i++ {
+		labels = append(labels, out[i].Label)
+	}
+	return labels
+}
+
+// NodesByLabel returns the IDs of nodes with the given label, in ascending
+// order. The graph must be finalized. The returned slice is shared storage;
+// callers must treat it as read-only.
+func (g *Graph) NodesByLabel(label string) []NodeID {
+	return g.byLabel[label]
+}
+
+// Labels returns all distinct node labels, sorted.
+func (g *Graph) Labels() []string {
+	ls := make([]string, 0, len(g.byLabel))
+	for l := range g.byLabel {
+		ls = append(ls, l)
+	}
+	sort.Strings(ls)
+	return ls
+}
+
+// Edge is a fully materialised edge, used by iteration and partitioning.
+type Edge struct {
+	Src   NodeID
+	Dst   NodeID
+	Label string
+}
+
+// Edges invokes fn for every edge in the graph, in (src, dst, label) order.
+// It stops early if fn returns false.
+func (g *Graph) Edges(fn func(Edge) bool) {
+	for s := range g.nodes {
+		for _, he := range g.nodes[s].out {
+			if !fn(Edge{Src: NodeID(s), Dst: he.To, Label: he.Label}) {
+				return
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy of the graph, including attribute tuples.
+func (g *Graph) Clone() *Graph {
+	c := New(len(g.nodes), g.numEdges)
+	c.nodes = make([]node, len(g.nodes))
+	for i, n := range g.nodes {
+		var attrs map[string]string
+		if n.attrs != nil {
+			attrs = make(map[string]string, len(n.attrs))
+			for k, v := range n.attrs {
+				attrs[k] = v
+			}
+		}
+		c.nodes[i] = node{
+			label: n.label,
+			attrs: attrs,
+			out:   append([]HalfEdge(nil), n.out...),
+			in:    append([]HalfEdge(nil), n.in...),
+		}
+	}
+	c.numEdges = g.numEdges
+	c.finalized = false
+	c.Finalize()
+	return c
+}
+
+// String summarises the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{%d nodes, %d edges, %d labels}", g.NumNodes(), g.NumEdges(), len(g.byLabel))
+}

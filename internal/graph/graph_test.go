@@ -1,0 +1,309 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildSample() *Graph {
+	g := New(4, 4)
+	a := g.AddNode("person", map[string]string{"name": "John", "type": "jumper"})
+	b := g.AddNode("product", map[string]string{"name": "Selling Out", "type": "film"})
+	c := g.AddNode("person", map[string]string{"name": "Jack"})
+	d := g.AddNode("city", nil)
+	g.AddEdge(a, b, "create")
+	g.AddEdge(c, b, "create")
+	g.AddEdge(a, d, "bornIn")
+	g.AddEdge(c, a, "knows")
+	g.Finalize()
+	return g
+}
+
+func TestBasicAccessors(t *testing.T) {
+	g := buildSample()
+	if g.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d, want 4", g.NumNodes())
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	if g.Label(0) != "person" || g.Label(1) != "product" {
+		t.Fatalf("labels wrong: %q %q", g.Label(0), g.Label(1))
+	}
+	if v, ok := g.Attr(0, "name"); !ok || v != "John" {
+		t.Fatalf("Attr(0,name) = %q,%v", v, ok)
+	}
+	if _, ok := g.Attr(3, "name"); ok {
+		t.Fatal("node 3 should have no attributes")
+	}
+	if got := g.NodesByLabel("person"); !reflect.DeepEqual(got, []NodeID{0, 2}) {
+		t.Fatalf("NodesByLabel(person) = %v", got)
+	}
+	if got := g.Labels(); !reflect.DeepEqual(got, []string{"city", "person", "product"}) {
+		t.Fatalf("Labels = %v", got)
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := buildSample()
+	cases := []struct {
+		src, dst NodeID
+		label    string
+		want     bool
+	}{
+		{0, 1, "create", true},
+		{0, 1, "", true},
+		{0, 1, "knows", false},
+		{1, 0, "create", false}, // direction matters
+		{2, 0, "knows", true},
+		{0, 3, "bornIn", true},
+		{3, 0, "", false},
+	}
+	for _, c := range cases {
+		if got := g.HasEdge(c.src, c.dst, c.label); got != c.want {
+			t.Errorf("HasEdge(%d,%d,%q) = %v, want %v", c.src, c.dst, c.label, got, c.want)
+		}
+	}
+}
+
+func TestDegreesAndAdjacency(t *testing.T) {
+	g := buildSample()
+	if g.OutDegree(0) != 2 || g.InDegree(0) != 1 {
+		t.Fatalf("degrees of node 0: out=%d in=%d", g.OutDegree(0), g.InDegree(0))
+	}
+	if g.InDegree(1) != 2 {
+		t.Fatalf("InDegree(1) = %d, want 2", g.InDegree(1))
+	}
+	// In-adjacency To fields hold edge sources.
+	srcs := map[NodeID]bool{}
+	for _, he := range g.In(1) {
+		srcs[he.To] = true
+	}
+	if !srcs[0] || !srcs[2] {
+		t.Fatalf("In(1) sources = %v", srcs)
+	}
+	if MaxDegree(g) != 3 {
+		t.Fatalf("MaxDegree = %d, want 3", MaxDegree(g))
+	}
+}
+
+func TestDuplicateEdgesDeduped(t *testing.T) {
+	g := New(2, 4)
+	a := g.AddNode("x", nil)
+	b := g.AddNode("y", nil)
+	g.AddEdge(a, b, "r")
+	g.AddEdge(a, b, "r")
+	g.AddEdge(a, b, "s") // parallel edge, different label: kept
+	g.Finalize()
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2 (dup removed, parallel kept)", g.NumEdges())
+	}
+	if got := g.EdgeLabelsBetween(a, b); !reflect.DeepEqual(got, []string{"r", "s"}) {
+		t.Fatalf("EdgeLabelsBetween = %v", got)
+	}
+}
+
+func TestEdgesIterationOrderAndStop(t *testing.T) {
+	g := buildSample()
+	var all []Edge
+	g.Edges(func(e Edge) bool {
+		all = append(all, e)
+		return true
+	})
+	if len(all) != 4 {
+		t.Fatalf("iterated %d edges, want 4", len(all))
+	}
+	// Early stop.
+	n := 0
+	g.Edges(func(Edge) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Fatalf("early stop iterated %d, want 2", n)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := buildSample()
+	c := g.Clone()
+	c.SetAttr(0, "name", "Changed")
+	c.AddEdge(0, 1, "extra")
+	c.Finalize()
+	if v, _ := g.Attr(0, "name"); v != "John" {
+		t.Fatal("clone mutation leaked into original attrs")
+	}
+	if g.HasEdge(0, 1, "extra") {
+		t.Fatal("clone mutation leaked into original edges")
+	}
+	if !c.HasEdge(0, 1, "extra") {
+		t.Fatal("clone lost its own mutation")
+	}
+}
+
+func TestFinalizeIdempotent(t *testing.T) {
+	g := buildSample()
+	before := g.NumEdges()
+	g.Finalize()
+	g.Finalize()
+	if g.NumEdges() != before {
+		t.Fatalf("Finalize changed edge count: %d -> %d", before, g.NumEdges())
+	}
+}
+
+func TestRoundTripIO(t *testing.T) {
+	g := buildSample()
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	h, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if h.NumNodes() != g.NumNodes() || h.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip size mismatch: %v vs %v", h, g)
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		id := NodeID(v)
+		if h.Label(id) != g.Label(id) {
+			t.Fatalf("node %d label mismatch", v)
+		}
+		if !reflect.DeepEqual(h.Attrs(id), g.Attrs(id)) &&
+			!(len(h.Attrs(id)) == 0 && len(g.Attrs(id)) == 0) {
+			t.Fatalf("node %d attrs mismatch: %v vs %v", v, h.Attrs(id), g.Attrs(id))
+		}
+	}
+	g.Edges(func(e Edge) bool {
+		if !h.HasEdge(e.Src, e.Dst, e.Label) {
+			t.Fatalf("edge %v lost in round trip", e)
+		}
+		return true
+	})
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"N\t0",                    // short node line
+		"N\t1\tperson",            // out-of-order id
+		"N\t0\tperson\tnoequals",  // bad attribute
+		"E\t0\t1\tr",              // edge before nodes
+		"X\t0\t0\tr",              // unknown record
+		"N\t0\tperson\nE\t0\t1",   // short edge line
+		"N\t0\tp\nE\ta\t0\tr",     // bad src
+		"N\t0\tp\nE\t0\t5\tlink",  // endpoint out of range
+		"N\tzero\tperson\tname=x", // bad node id
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("Read(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# comment\n\nN\t0\tperson\tname=A\n# another\nN\t1\tcity\nE\t0\t1\tlivesIn\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("got %v", g)
+	}
+}
+
+// Property: for random graphs, write→read is the identity on structure.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := New(0, 0)
+		n := 1 + r.Intn(20)
+		labels := []string{"a", "b", "c"}
+		for i := 0; i < n; i++ {
+			var attrs map[string]string
+			if r.Intn(2) == 0 {
+				attrs = map[string]string{"k": labels[r.Intn(3)]}
+			}
+			g.AddNode(labels[r.Intn(3)], attrs)
+		}
+		for i := 0; i < n*2; i++ {
+			g.AddEdge(NodeID(r.Intn(n)), NodeID(r.Intn(n)), labels[r.Intn(3)])
+		}
+		g.Finalize()
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			return false
+		}
+		h, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if h.NumNodes() != g.NumNodes() || h.NumEdges() != g.NumEdges() {
+			return false
+		}
+		ok := true
+		g.Edges(func(e Edge) bool {
+			if !h.HasEdge(e.Src, e.Dst, e.Label) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := buildSample()
+	s := NewStats(g)
+	if s.NodeLabelCount["person"] != 2 || s.NodeLabelCount["product"] != 1 {
+		t.Fatalf("NodeLabelCount = %v", s.NodeLabelCount)
+	}
+	if s.EdgeLabelCount["create"] != 2 {
+		t.Fatalf("EdgeLabelCount = %v", s.EdgeLabelCount)
+	}
+	if s.TripleCount[TripleKey{"person", "create", "product"}] != 2 {
+		t.Fatalf("TripleCount = %v", s.TripleCount)
+	}
+	if s.AttrCount["name"] != 3 || s.AttrCount["type"] != 2 {
+		t.Fatalf("AttrCount = %v", s.AttrCount)
+	}
+	fts := s.FrequentTriples(2)
+	if len(fts) != 1 || fts[0] != (TripleKey{"person", "create", "product"}) {
+		t.Fatalf("FrequentTriples(2) = %v", fts)
+	}
+	if got := s.TopAttributes(1); !reflect.DeepEqual(got, []string{"name"}) {
+		t.Fatalf("TopAttributes = %v", got)
+	}
+	if got := s.TopValues("type", 5); len(got) != 2 {
+		t.Fatalf("TopValues(type) = %v", got)
+	}
+	if s.ValueCount("name", "John") != 1 {
+		t.Fatalf("ValueCount = %d", s.ValueCount("name", "John"))
+	}
+}
+
+func TestFrequentTriplesDeterministicOrder(t *testing.T) {
+	g := New(4, 3)
+	a := g.AddNode("a", nil)
+	b := g.AddNode("b", nil)
+	c := g.AddNode("c", nil)
+	g.AddEdge(a, b, "r")
+	g.AddEdge(a, c, "r")
+	g.AddEdge(b, c, "r")
+	g.Finalize()
+	s := NewStats(g)
+	first := s.FrequentTriples(1)
+	for i := 0; i < 5; i++ {
+		if got := s.FrequentTriples(1); !reflect.DeepEqual(got, first) {
+			t.Fatalf("non-deterministic order: %v vs %v", got, first)
+		}
+	}
+}

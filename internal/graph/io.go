@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The on-disk format is a line-oriented TSV:
+//
+//	N <id> <label> [attr=value]...
+//	E <src> <dst> <label>
+//
+// Node IDs must be dense and appear in ascending order. Lines starting with
+// '#' and blank lines are ignored. Attribute values containing tabs or
+// newlines are not supported (knowledge-base identifiers never need them).
+
+// Write serialises g to w in the TSV format. Attributes are written in
+// sorted order so output is deterministic.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# gfd graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+	for v := 0; v < g.NumNodes(); v++ {
+		id := NodeID(v)
+		fmt.Fprintf(bw, "N\t%d\t%s", v, g.Label(id))
+		attrs := g.Attrs(id)
+		keys := make([]string, 0, len(attrs))
+		for k := range attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(bw, "\t%s=%s", k, attrs[k])
+		}
+		fmt.Fprintln(bw)
+	}
+	var err error
+	g.Edges(func(e Edge) bool {
+		_, err = fmt.Fprintf(bw, "E\t%d\t%d\t%s\n", e.Src, e.Dst, e.Label)
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read parses a graph from r in the TSV format and finalizes it.
+func Read(r io.Reader) (*Graph, error) {
+	g := New(0, 0)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		switch fields[0] {
+		case "N":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graph: line %d: malformed node line", lineNo)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad node id: %v", lineNo, err)
+			}
+			if id != g.NumNodes() {
+				return nil, fmt.Errorf("graph: line %d: node id %d out of order (want %d)", lineNo, id, g.NumNodes())
+			}
+			var attrs map[string]string
+			if len(fields) > 3 {
+				attrs = make(map[string]string, len(fields)-3)
+				for _, f := range fields[3:] {
+					eq := strings.IndexByte(f, '=')
+					if eq < 0 {
+						return nil, fmt.Errorf("graph: line %d: malformed attribute %q", lineNo, f)
+					}
+					attrs[f[:eq]] = f[eq+1:]
+				}
+			}
+			g.AddNode(fields[2], attrs)
+		case "E":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graph: line %d: malformed edge line", lineNo)
+			}
+			src, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad src: %v", lineNo, err)
+			}
+			dst, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad dst: %v", lineNo, err)
+			}
+			if src < 0 || src >= g.NumNodes() || dst < 0 || dst >= g.NumNodes() {
+				return nil, fmt.Errorf("graph: line %d: edge endpoint out of range", lineNo)
+			}
+			g.AddEdge(NodeID(src), NodeID(dst), fields[3])
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record type %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	g.Finalize()
+	return g, nil
+}

@@ -1,0 +1,147 @@
+package graph
+
+import "sort"
+
+// TripleKey identifies an edge "shape": the labels of the source node, the
+// edge itself, and the destination node. Frequent triples seed vertical
+// spawning in GFD discovery.
+type TripleKey struct {
+	SrcLabel  string
+	EdgeLabel string
+	DstLabel  string
+}
+
+// Stats holds frequency statistics over a graph, computed once by NewStats
+// and shared read-only afterwards.
+type Stats struct {
+	// NodeLabelCount maps each node label to its number of occurrences.
+	NodeLabelCount map[string]int
+	// EdgeLabelCount maps each edge label to its number of occurrences.
+	EdgeLabelCount map[string]int
+	// TripleCount maps each (srcLabel, edgeLabel, dstLabel) triple to its
+	// number of occurrences.
+	TripleCount map[TripleKey]int
+	// AttrCount maps each attribute name to the number of nodes carrying it.
+	AttrCount map[string]int
+	// attrValues maps attribute -> value -> occurrence count.
+	attrValues map[string]map[string]int
+}
+
+// NewStats scans g and returns its frequency statistics.
+func NewStats(g *Graph) *Stats {
+	s := &Stats{
+		NodeLabelCount: make(map[string]int),
+		EdgeLabelCount: make(map[string]int),
+		TripleCount:    make(map[TripleKey]int),
+		AttrCount:      make(map[string]int),
+		attrValues:     make(map[string]map[string]int),
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		id := NodeID(v)
+		s.NodeLabelCount[g.Label(id)]++
+		for a, val := range g.Attrs(id) {
+			s.AttrCount[a]++
+			m := s.attrValues[a]
+			if m == nil {
+				m = make(map[string]int)
+				s.attrValues[a] = m
+			}
+			m[val]++
+		}
+	}
+	g.Edges(func(e Edge) bool {
+		s.EdgeLabelCount[e.Label]++
+		s.TripleCount[TripleKey{g.Label(e.Src), e.Label, g.Label(e.Dst)}]++
+		return true
+	})
+	return s
+}
+
+// FrequentTriples returns the edge triples with at least minCount
+// occurrences, sorted by descending count then lexicographically (for
+// deterministic discovery).
+func (s *Stats) FrequentTriples(minCount int) []TripleKey {
+	var ts []TripleKey
+	for t, c := range s.TripleCount {
+		if c >= minCount {
+			ts = append(ts, t)
+		}
+	}
+	sort.Slice(ts, func(i, j int) bool {
+		ci, cj := s.TripleCount[ts[i]], s.TripleCount[ts[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return lessTriple(ts[i], ts[j])
+	})
+	return ts
+}
+
+func lessTriple(a, b TripleKey) bool {
+	if a.SrcLabel != b.SrcLabel {
+		return a.SrcLabel < b.SrcLabel
+	}
+	if a.EdgeLabel != b.EdgeLabel {
+		return a.EdgeLabel < b.EdgeLabel
+	}
+	return a.DstLabel < b.DstLabel
+}
+
+// TopAttributes returns the n most frequent attribute names (the default
+// choice of active attributes Γ when the caller does not specify one),
+// sorted by descending node count then name.
+func (s *Stats) TopAttributes(n int) []string {
+	as := make([]string, 0, len(s.AttrCount))
+	for a := range s.AttrCount {
+		as = append(as, a)
+	}
+	sort.Slice(as, func(i, j int) bool {
+		ci, cj := s.AttrCount[as[i]], s.AttrCount[as[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return as[i] < as[j]
+	})
+	if len(as) > n {
+		as = as[:n]
+	}
+	return as
+}
+
+// TopValues returns the n most frequent values of attribute a, sorted by
+// descending count then value. The paper uses the 5 most frequent values
+// per active attribute as the constant pool for literal spawning.
+func (s *Stats) TopValues(a string, n int) []string {
+	m := s.attrValues[a]
+	vs := make([]string, 0, len(m))
+	for v := range m {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool {
+		ci, cj := m[vs[i]], m[vs[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return vs[i] < vs[j]
+	})
+	if len(vs) > n {
+		vs = vs[:n]
+	}
+	return vs
+}
+
+// ValueCount returns how many nodes carry attribute a with value v.
+func (s *Stats) ValueCount(a, v string) int {
+	return s.attrValues[a][v]
+}
+
+// MaxDegree returns the maximum total degree in g.
+func MaxDegree(g *Graph) int {
+	max := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := g.Degree(NodeID(v)); d > max {
+			max = d
+		}
+	}
+	return max
+}

@@ -1,0 +1,253 @@
+// Package match implements subgraph-isomorphism matching of graph patterns
+// in property graphs (Section 2.1 of Fan et al., SIGMOD 2018): a match of
+// Q[x̄] in G is an injective mapping h from pattern variables to graph
+// nodes such that node labels satisfy L(h(u)) ⪯ L_Q(u) and every pattern
+// edge (u,u′) has a corresponding graph edge (h(u),h(u′)) whose label
+// satisfies ⪯ (non-induced semantics: G may contain extra edges among the
+// matched nodes).
+//
+// Two execution styles are provided:
+//
+//   - direct backtracking enumeration (Enumerate, MatchesAt), with
+//     candidate filtering on labels and adjacency, growing matches outward
+//     from the pivot;
+//   - materialised match tables extended one edge at a time (Table,
+//     ExtendRows), the incremental-join primitive that both the sequential
+//     generation tree (Section 5) and the distributed joins of ParDis
+//     (Section 6.2) are built on.
+package match
+
+import (
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// Match assigns a graph node to each pattern variable: Match[i] = h(x_i).
+type Match []graph.NodeID
+
+// Clone returns a copy of m.
+func (m Match) Clone() Match { return append(Match(nil), m...) }
+
+// planStep is one step of a matching plan: bind variable Var by scanning
+// the adjacency of the already-bound variable Anchor (or by label scan when
+// Anchor < 0), then verify the edges in Check.
+type planStep struct {
+	Var      int
+	Anchor   int  // bound variable whose adjacency seeds candidates; -1 = label scan
+	Outgoing bool // direction of the anchoring edge: Anchor -> Var if true
+	ELabel   string
+	Check    []pattern.Edge // remaining pattern edges between Var and bound vars
+}
+
+// plan compiles p into a sequence of planSteps starting at startVar.
+func plan(p *pattern.Pattern, startVar int) []planStep {
+	n := p.N()
+	bound := make([]bool, n)
+	steps := make([]planStep, 0, n)
+	bound[startVar] = true
+	steps = append(steps, planStep{Var: startVar, Anchor: -1})
+
+	for len(steps) < n {
+		// Pick the next unbound variable adjacent to a bound one, preferring
+		// the one with the most edges to bound variables (cheap candidates).
+		bestVar, bestAnchor, bestCnt := -1, -1, -1
+		var bestOut bool
+		var bestLabel string
+		for _, e := range p.Edges {
+			type side struct {
+				v, anchor int
+				out       bool
+			}
+			for _, s := range []side{{e.Dst, e.Src, true}, {e.Src, e.Dst, false}} {
+				if bound[s.v] || !bound[s.anchor] {
+					continue
+				}
+				cnt := 0
+				for _, e2 := range p.Edges {
+					if (e2.Src == s.v && bound[e2.Dst]) || (e2.Dst == s.v && bound[e2.Src]) {
+						cnt++
+					}
+				}
+				if cnt > bestCnt {
+					bestVar, bestAnchor, bestOut, bestLabel, bestCnt = s.v, s.anchor, s.out, e.Label, cnt
+				}
+			}
+		}
+		if bestVar < 0 {
+			// Disconnected pattern: fall back to a label scan for the first
+			// unbound variable. Discovery never spawns these, but the matcher
+			// stays total.
+			for v := 0; v < n; v++ {
+				if !bound[v] {
+					bestVar, bestAnchor = v, -1
+					break
+				}
+			}
+		}
+		st := planStep{Var: bestVar, Anchor: bestAnchor, Outgoing: bestOut, ELabel: bestLabel}
+		// Collect all pattern edges between bestVar and bound variables; they
+		// are verified after candidate generation. (The anchoring edge is
+		// included too: verification is idempotent and keeps the code simple.)
+		for _, e := range p.Edges {
+			if e.Src == bestVar && bound[e.Dst] || e.Dst == bestVar && bound[e.Src] {
+				st.Check = append(st.Check, e)
+			}
+		}
+		bound[bestVar] = true
+		steps = append(steps, st)
+	}
+	return steps
+}
+
+// edgesOK verifies the pattern edges in check against g under the partial
+// assignment m (all endpoints of check edges must be bound).
+func edgesOK(g *graph.Graph, m Match, check []pattern.Edge) bool {
+	for _, e := range check {
+		src, dst := m[e.Src], m[e.Dst]
+		if e.Label == pattern.Wildcard {
+			if !g.HasEdge(src, dst, "") {
+				return false
+			}
+		} else if !g.HasEdge(src, dst, e.Label) {
+			return false
+		}
+	}
+	return true
+}
+
+// run executes a compiled plan. seed, when non-negative, restricts the
+// first step's candidates to that single node. fn returns false to stop;
+// run reports whether enumeration ran to completion (true) or was stopped.
+func run(g *graph.Graph, p *pattern.Pattern, steps []planStep, seed graph.NodeID, haveSeed bool, fn func(Match) bool) bool {
+	n := p.N()
+	m := make(Match, n)
+	used := make(map[graph.NodeID]bool, n)
+
+	var rec func(step int) bool
+	rec = func(step int) bool {
+		if step == len(steps) {
+			return fn(m)
+		}
+		st := steps[step]
+		want := p.NodeLabels[st.Var]
+
+		try := func(cand graph.NodeID) bool {
+			if used[cand] || !pattern.LabelMatches(g.Label(cand), want) {
+				return true
+			}
+			m[st.Var] = cand
+			if !edgesOK(g, m, st.Check) {
+				return true
+			}
+			used[cand] = true
+			ok := rec(step + 1)
+			delete(used, cand)
+			return ok
+		}
+
+		if st.Anchor < 0 {
+			if step == 0 && haveSeed {
+				return try(seed)
+			}
+			if want == pattern.Wildcard {
+				for v := 0; v < g.NumNodes(); v++ {
+					if !try(graph.NodeID(v)) {
+						return false
+					}
+				}
+				return true
+			}
+			for _, v := range g.NodesByLabel(want) {
+				if !try(v) {
+					return false
+				}
+			}
+			return true
+		}
+		anchorNode := m[st.Anchor]
+		var adj []graph.HalfEdge
+		if st.Outgoing {
+			adj = g.Out(anchorNode)
+		} else {
+			adj = g.In(anchorNode)
+		}
+		for _, he := range adj {
+			if !pattern.LabelMatches(he.Label, st.ELabel) {
+				continue
+			}
+			if !try(he.To) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0)
+}
+
+// Enumerate calls fn for every match of p in g, growing matches outward
+// from the pivot. fn returns false to stop early. The Match slice is reused
+// across calls; copy it (Clone) to retain it.
+func Enumerate(g *graph.Graph, p *pattern.Pattern, fn func(Match) bool) {
+	steps := plan(p, p.Pivot)
+	run(g, p, steps, 0, false, fn)
+}
+
+// MatchesAt calls fn for every match of p in g with h(pivot) = v.
+func MatchesAt(g *graph.Graph, p *pattern.Pattern, v graph.NodeID, fn func(Match) bool) {
+	if !pattern.LabelMatches(g.Label(v), p.NodeLabels[p.Pivot]) {
+		return
+	}
+	steps := plan(p, p.Pivot)
+	run(g, p, steps, v, true, fn)
+}
+
+// HasMatchAt reports whether p has at least one match pivoted at v.
+func HasMatchAt(g *graph.Graph, p *pattern.Pattern, v graph.NodeID) bool {
+	found := false
+	MatchesAt(g, p, v, func(Match) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// PivotNodes returns Q(G, z): the distinct nodes v admitting a match of p
+// pivoted at v, in ascending order. Its cardinality is the pattern support
+// supp(Q, G) of Section 4.2.
+func PivotNodes(g *graph.Graph, p *pattern.Pattern) []graph.NodeID {
+	var out []graph.NodeID
+	label := p.NodeLabels[p.Pivot]
+	consider := func(v graph.NodeID) {
+		if HasMatchAt(g, p, v) {
+			out = append(out, v)
+		}
+	}
+	if label == pattern.Wildcard {
+		for v := 0; v < g.NumNodes(); v++ {
+			consider(graph.NodeID(v))
+		}
+	} else {
+		for _, v := range g.NodesByLabel(label) {
+			consider(v)
+		}
+	}
+	return out
+}
+
+// PatternSupport returns supp(p, g) = |Q(G, z)|.
+func PatternSupport(g *graph.Graph, p *pattern.Pattern) int {
+	return len(PivotNodes(g, p))
+}
+
+// CountMatches returns the total number of matches of p in g, up to limit
+// (limit <= 0 means unlimited). Used by tests and by baselines whose
+// support is match-count based (the non-anti-monotone definition the paper
+// rejects).
+func CountMatches(g *graph.Graph, p *pattern.Pattern, limit int) int {
+	n := 0
+	Enumerate(g, p, func(Match) bool {
+		n++
+		return limit <= 0 || n < limit
+	})
+	return n
+}

@@ -1,0 +1,375 @@
+package match
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/testutil"
+)
+
+func collect(g *graph.Graph, p *pattern.Pattern) []Match {
+	var ms []Match
+	Enumerate(g, p, func(m Match) bool {
+		ms = append(ms, m.Clone())
+		return true
+	})
+	return ms
+}
+
+func TestSingleEdgeMatch(t *testing.T) {
+	g := testutil.G1()
+	ms := collect(g, testutil.Q1())
+	if len(ms) != 1 {
+		t.Fatalf("Q1 in G1: %d matches, want 1", len(ms))
+	}
+	if ms[0][0] != 0 || ms[0][1] != 1 {
+		t.Fatalf("match = %v", ms[0])
+	}
+}
+
+func TestWildcardMatch(t *testing.T) {
+	g := testutil.G2()
+	ms := collect(g, testutil.Q2())
+	// x1/x2 are wildcards: (Russia, Florida) and (Florida, Russia).
+	if len(ms) != 2 {
+		t.Fatalf("Q2 in G2: %d matches, want 2", len(ms))
+	}
+	for _, m := range ms {
+		if m[0] != 0 {
+			t.Fatalf("pivot must be Saint Petersburg: %v", m)
+		}
+		if m[1] == m[2] {
+			t.Fatalf("injectivity violated: %v", m)
+		}
+	}
+}
+
+func TestCycleMatch(t *testing.T) {
+	g := testutil.G3()
+	ms := collect(g, testutil.Q3())
+	// The 2-cycle matches in both rotations.
+	if len(ms) != 2 {
+		t.Fatalf("Q3 in G3: %d matches, want 2", len(ms))
+	}
+}
+
+func TestNoMatchWrongLabels(t *testing.T) {
+	g := testutil.G1()
+	p := pattern.SingleEdge("person", "directed", "product")
+	if len(collect(g, p)) != 0 {
+		t.Fatal("wrong edge label must not match")
+	}
+	p2 := pattern.SingleEdge("city", "create", "product")
+	if len(collect(g, p2)) != 0 {
+		t.Fatal("wrong node label must not match")
+	}
+}
+
+func TestNonInducedSemantics(t *testing.T) {
+	// Graph has an extra edge between matched nodes; the pattern without
+	// that edge must still match (matches are subgraphs, not induced).
+	g := graph.New(2, 2)
+	a := g.AddNode("a", nil)
+	b := g.AddNode("b", nil)
+	g.AddEdge(a, b, "r")
+	g.AddEdge(b, a, "s")
+	g.Finalize()
+	p := pattern.SingleEdge("a", "r", "b")
+	if len(collect(g, p)) != 1 {
+		t.Fatal("non-induced match must succeed despite the extra reverse edge")
+	}
+}
+
+func TestInjectivity(t *testing.T) {
+	// Triangle pattern on a graph with a self-cycle through two nodes only.
+	g := graph.New(2, 2)
+	a := g.AddNode("n", nil)
+	b := g.AddNode("n", nil)
+	g.AddEdge(a, b, "r")
+	g.AddEdge(b, a, "r")
+	g.Finalize()
+	tri := &pattern.Pattern{
+		NodeLabels: []string{"n", "n", "n"},
+		Edges: []pattern.Edge{
+			{Src: 0, Dst: 1, Label: "r"},
+			{Src: 1, Dst: 2, Label: "r"},
+			{Src: 2, Dst: 0, Label: "r"},
+		},
+	}
+	if len(collect(g, tri)) != 0 {
+		t.Fatal("triangle cannot match a 2-cycle injectively")
+	}
+}
+
+func TestMatchesAtAndHasMatchAt(t *testing.T) {
+	g := testutil.G3()
+	n := 0
+	MatchesAt(g, testutil.Q3(), 0, func(m Match) bool {
+		if m[0] != 0 {
+			t.Fatalf("pivot not respected: %v", m)
+		}
+		n++
+		return true
+	})
+	if n != 1 {
+		t.Fatalf("MatchesAt(0): %d matches, want 1", n)
+	}
+	if !HasMatchAt(g, testutil.Q3(), 1) {
+		t.Fatal("HasMatchAt(1) = false")
+	}
+	// Pivot label filter: city pattern pivoted at a person node.
+	if HasMatchAt(g, testutil.Q2(), 0) {
+		t.Fatal("city pattern cannot pivot at a person")
+	}
+}
+
+func TestPivotNodesAndSupport(t *testing.T) {
+	g := testutil.Merge(testutil.G3(), testutil.G3())
+	p := testutil.Q3()
+	pivots := PivotNodes(g, p)
+	if len(pivots) != 4 {
+		t.Fatalf("PivotNodes: %v, want 4 nodes", pivots)
+	}
+	if PatternSupport(g, p) != 4 {
+		t.Fatalf("PatternSupport = %d, want 4", PatternSupport(g, p))
+	}
+	// Support counts distinct pivots, not matches: a person with multiple
+	// children pivots once.
+	h := graph.New(4, 3)
+	parent := h.AddNode("person", nil)
+	for i := 0; i < 3; i++ {
+		c := h.AddNode("person", nil)
+		h.AddEdge(parent, c, "hasChild")
+	}
+	h.Finalize()
+	hc := pattern.SingleEdge("person", "hasChild", "person")
+	if got := PatternSupport(h, hc); got != 1 {
+		t.Fatalf("pivoted support = %d, want 1", got)
+	}
+	if got := CountMatches(h, hc, 0); got != 3 {
+		t.Fatalf("match count = %d, want 3", got)
+	}
+}
+
+func TestCountMatchesLimit(t *testing.T) {
+	h := graph.New(5, 4)
+	p0 := h.AddNode("person", nil)
+	for i := 0; i < 4; i++ {
+		c := h.AddNode("person", nil)
+		h.AddEdge(p0, c, "hasChild")
+	}
+	h.Finalize()
+	hc := pattern.SingleEdge("person", "hasChild", "person")
+	if got := CountMatches(h, hc, 2); got != 2 {
+		t.Fatalf("limited count = %d, want 2", got)
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	g := testutil.G3()
+	n := 0
+	Enumerate(g, testutil.Q3(), func(Match) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Fatalf("early stop saw %d matches", n)
+	}
+}
+
+func TestWildcardEdgeLabel(t *testing.T) {
+	g := testutil.G1()
+	p := pattern.SingleEdge("person", pattern.Wildcard, "product")
+	if len(collect(g, p)) != 1 {
+		t.Fatal("wildcard edge label must match create")
+	}
+}
+
+func TestSingleNodePattern(t *testing.T) {
+	g := testutil.G2()
+	p := pattern.SingleNode("city")
+	ms := collect(g, p)
+	if len(ms) != 2 {
+		t.Fatalf("single-node city: %d matches, want 2", len(ms))
+	}
+	wc := pattern.SingleNode(pattern.Wildcard)
+	if len(collect(g, wc)) != g.NumNodes() {
+		t.Fatal("wildcard single-node must match every node")
+	}
+}
+
+func TestTables(t *testing.T) {
+	g := testutil.G2()
+	p1 := pattern.SingleEdge("city", "located", pattern.Wildcard)
+	t1 := &Table{P: p1, Rows: EdgeMatches(g, p1, nil)}
+	if t1.Len() != 2 {
+		t.Fatalf("single-edge table: %d rows, want 2", t1.Len())
+	}
+	if t1.Support() != 1 {
+		t.Fatalf("table support = %d, want 1 (one city pivot)", t1.Support())
+	}
+	// Extend with second located edge -> Q2.
+	q2 := p1.ExtendNewNode(0, "located", pattern.Wildcard, true)
+	t2 := Extend(g, t1, q2)
+	if t2.Len() != 2 {
+		t.Fatalf("extended table: %d rows, want 2", t2.Len())
+	}
+	for _, r := range t2.Rows {
+		if r[1] == r[2] {
+			t.Fatalf("join produced non-injective row %v", r)
+		}
+	}
+}
+
+func TestExtendClosingEdge(t *testing.T) {
+	g := testutil.G3()
+	p1 := pattern.SingleEdge("person", "parent", "person")
+	t1 := &Table{P: p1, Rows: EdgeMatches(g, p1, nil)}
+	if t1.Len() != 2 {
+		t.Fatalf("parent edges: %d, want 2", t1.Len())
+	}
+	q3 := p1.ExtendClosingEdge(1, 0, "parent")
+	t2 := Extend(g, t1, q3)
+	if t2.Len() != 2 {
+		t.Fatalf("2-cycle table: %d rows, want 2", t2.Len())
+	}
+}
+
+func TestEdgeMatchesOnSubsetOfEdges(t *testing.T) {
+	g := testutil.G2()
+	p := pattern.SingleEdge("city", "located", pattern.Wildcard)
+	var some []graph.Edge
+	g.Edges(func(e graph.Edge) bool {
+		some = append(some, e)
+		return len(some) < 1
+	})
+	rows := EdgeMatches(g, p, some)
+	if len(rows) != 1 {
+		t.Fatalf("restricted EdgeMatches: %d rows, want 1", len(rows))
+	}
+}
+
+func TestRelabelRows(t *testing.T) {
+	g := testutil.G2()
+	gen := pattern.SingleEdge("city", "located", pattern.Wildcard)
+	rows := EdgeMatches(g, gen, nil)
+	conc := pattern.SingleEdge("city", "located", "country")
+	kept := RelabelRows(g, rows, conc)
+	if len(kept) != 1 {
+		t.Fatalf("relabel kept %d rows, want 1 (only Russia is a country)", len(kept))
+	}
+	if g.Label(kept[0][1]) != "country" {
+		t.Fatalf("kept wrong row: %v", kept)
+	}
+}
+
+// randomGraph builds a random labelled graph for property tests.
+func randomGraph(r *rand.Rand, n int) *graph.Graph {
+	labels := []string{"a", "b", "c"}
+	g := graph.New(n, 3*n)
+	for i := 0; i < n; i++ {
+		g.AddNode(labels[r.Intn(len(labels))], nil)
+	}
+	for i := 0; i < 3*n; i++ {
+		s, d := r.Intn(n), r.Intn(n)
+		if s != d {
+			g.AddEdge(graph.NodeID(s), graph.NodeID(d), labels[r.Intn(len(labels))])
+		}
+	}
+	g.Finalize()
+	return g
+}
+
+// Property: incremental-join tables equal direct enumeration, for random
+// graphs and random 2-edge patterns. This is the correctness core of both
+// SeqDis and the distributed joins of ParDis.
+func TestQuickJoinEqualsEnumerate(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 4+r.Intn(8))
+		labels := []string{"a", "b", "c", pattern.Wildcard}
+		p1 := pattern.SingleEdge(labels[r.Intn(4)], labels[r.Intn(3)], labels[r.Intn(4)])
+		var child *pattern.Pattern
+		if r.Intn(2) == 0 {
+			child = p1.ExtendNewNode(r.Intn(2), labels[r.Intn(3)], labels[r.Intn(4)], r.Intn(2) == 0)
+		} else {
+			child = p1.ExtendClosingEdge(1, 0, labels[r.Intn(3)])
+		}
+		// Via join:
+		t1 := &Table{P: p1, Rows: EdgeMatches(g, p1, nil)}
+		joined := Extend(g, t1, child)
+		// Via direct enumeration:
+		direct := collect(g, child)
+		return sameMatchSet(joined.Rows, direct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sameMatchSet(a, b []Match) bool {
+	key := func(m Match) string {
+		s := ""
+		for _, v := range m {
+			s += string(rune(v)) + ","
+		}
+		return s
+	}
+	ka := make([]string, len(a))
+	for i, m := range a {
+		ka[i] = key(m)
+	}
+	kb := make([]string, len(b))
+	for i, m := range b {
+		kb[i] = key(m)
+	}
+	sort.Strings(ka)
+	sort.Strings(kb)
+	return reflect.DeepEqual(ka, kb)
+}
+
+// Property: every enumerated match is valid (labels ⪯, edges present,
+// injective).
+func TestQuickMatchesAreValid(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 4+r.Intn(8))
+		labels := []string{"a", "b", "c", pattern.Wildcard}
+		p := pattern.SingleEdge(labels[r.Intn(4)], labels[r.Intn(3)], labels[r.Intn(4)])
+		if r.Intn(2) == 0 {
+			p = p.ExtendNewNode(r.Intn(2), labels[r.Intn(3)], labels[r.Intn(4)], r.Intn(2) == 0)
+		}
+		ok := true
+		Enumerate(g, p, func(m Match) bool {
+			seen := map[graph.NodeID]bool{}
+			for v, node := range m {
+				if seen[node] {
+					ok = false
+				}
+				seen[node] = true
+				if !pattern.LabelMatches(g.Label(node), p.NodeLabels[v]) {
+					ok = false
+				}
+			}
+			for _, e := range p.Edges {
+				lbl := e.Label
+				if lbl == pattern.Wildcard {
+					lbl = ""
+				}
+				if !g.HasEdge(m[e.Src], m[e.Dst], lbl) {
+					ok = false
+				}
+			}
+			return ok
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

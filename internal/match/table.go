@@ -1,0 +1,177 @@
+package match
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// Table materialises the matches of a pattern as rows of node IDs. Tables
+// are the unit of state that discovery carries between levels of the
+// generation tree, and — sliced into per-fragment ownership — the unit of
+// state ParDis workers exchange.
+type Table struct {
+	P    *pattern.Pattern
+	Rows []Match
+}
+
+// NewSingleNodeTable materialises the matches of a one-variable pattern.
+func NewSingleNodeTable(g *graph.Graph, p *pattern.Pattern) *Table {
+	t := &Table{P: p}
+	label := p.NodeLabels[0]
+	if label == pattern.Wildcard {
+		for v := 0; v < g.NumNodes(); v++ {
+			t.Rows = append(t.Rows, Match{graph.NodeID(v)})
+		}
+	} else {
+		for _, v := range g.NodesByLabel(label) {
+			t.Rows = append(t.Rows, Match{v})
+		}
+	}
+	return t
+}
+
+// EdgeMatches enumerates the matches of the single-edge pattern p = (x_src
+// --l--> x_dst) among the given edges; this is e(F_s) of Section 6.2: the
+// matches of a single-edge pattern inside one fragment. edges == nil means
+// every edge of g.
+func EdgeMatches(g *graph.Graph, p *pattern.Pattern, edges []graph.Edge) []Match {
+	if p.N() != 2 || p.Size() != 1 {
+		panic(fmt.Sprintf("match: EdgeMatches wants a single-edge pattern, got %v", p))
+	}
+	pe := p.Edges[0]
+	srcLabel, dstLabel := p.NodeLabels[pe.Src], p.NodeLabels[pe.Dst]
+	var rows []Match
+	consider := func(e graph.Edge) {
+		if !pattern.LabelMatches(e.Label, pe.Label) {
+			return
+		}
+		if !pattern.LabelMatches(g.Label(e.Src), srcLabel) || !pattern.LabelMatches(g.Label(e.Dst), dstLabel) {
+			return
+		}
+		if e.Src == e.Dst {
+			return // injectivity
+		}
+		row := make(Match, 2)
+		row[pe.Src], row[pe.Dst] = e.Src, e.Dst
+		rows = append(rows, row)
+	}
+	if edges == nil {
+		g.Edges(func(e graph.Edge) bool {
+			consider(e)
+			return true
+		})
+	} else {
+		for _, e := range edges {
+			consider(e)
+		}
+	}
+	return rows
+}
+
+// ExtendRows computes the incremental join Q(rows) ⋈ e(G): it extends
+// every match of parent in rows to matches of child, where child is parent
+// plus exactly one new edge (child.LastEdge()), possibly with one new
+// variable. Child's first parent.N() variables must agree with parent's
+// (same labels); the new variable, if any, has index parent.N().
+//
+// Rows passed in are never mutated. Extended rows are fresh slices.
+func ExtendRows(g *graph.Graph, rows []Match, parent, child *pattern.Pattern) []Match {
+	e := child.LastEdge()
+	var out []Match
+	switch child.N() {
+	case parent.N():
+		// Closing edge between two bound variables: filter.
+		for _, row := range rows {
+			ok := false
+			if e.Label == pattern.Wildcard {
+				ok = g.HasEdge(row[e.Src], row[e.Dst], "")
+			} else {
+				ok = g.HasEdge(row[e.Src], row[e.Dst], e.Label)
+			}
+			if ok {
+				out = append(out, row.Clone())
+			}
+		}
+	case parent.N() + 1:
+		nv := parent.N()
+		newLabel := child.NodeLabels[nv]
+		outgoing := e.Src != nv // true: bound -> new
+		anchorVar := e.Src
+		if !outgoing {
+			anchorVar = e.Dst
+		}
+		for _, row := range rows {
+			anchor := row[anchorVar]
+			var adj []graph.HalfEdge
+			if outgoing {
+				adj = g.Out(anchor)
+			} else {
+				adj = g.In(anchor)
+			}
+		scan:
+			for _, he := range adj {
+				if !pattern.LabelMatches(he.Label, e.Label) {
+					continue
+				}
+				if !pattern.LabelMatches(g.Label(he.To), newLabel) {
+					continue
+				}
+				for _, b := range row {
+					if b == he.To {
+						continue scan // injectivity
+					}
+				}
+				nr := make(Match, nv+1)
+				copy(nr, row)
+				nr[nv] = he.To
+				out = append(out, nr)
+			}
+		}
+	default:
+		panic(fmt.Sprintf("match: ExtendRows: child has %d vars, parent %d", child.N(), parent.N()))
+	}
+	return out
+}
+
+// Extend builds the child pattern's table from the parent's by incremental
+// join.
+func Extend(g *graph.Graph, t *Table, child *pattern.Pattern) *Table {
+	return &Table{P: child, Rows: ExtendRows(g, t.Rows, t.P, child)}
+}
+
+// RelabelRows filters rows of a table for a node-label variant of the same
+// structure: variant must differ from base only in node labels, and only by
+// making them more specific (base wildcard -> concrete). Used when
+// discovery derives a concrete-labelled pattern's table from its wildcard
+// parent without re-matching.
+func RelabelRows(g *graph.Graph, rows []Match, variant *pattern.Pattern) []Match {
+	var out []Match
+rows:
+	for _, row := range rows {
+		for v, want := range variant.NodeLabels {
+			if !pattern.LabelMatches(g.Label(row[v]), want) {
+				continue rows
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// PivotSet returns the distinct pivot images of the rows, i.e. Q(G, z)
+// restricted to this table.
+func (t *Table) PivotSet() map[graph.NodeID]struct{} {
+	s := make(map[graph.NodeID]struct{}, len(t.Rows))
+	for _, row := range t.Rows {
+		s[row[t.P.Pivot]] = struct{}{}
+	}
+	return s
+}
+
+// Support returns the number of distinct pivot images in the table.
+func (t *Table) Support() int { return len(t.PivotSet()) }
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.Rows) }

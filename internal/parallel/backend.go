@@ -1,0 +1,502 @@
+package parallel
+
+import (
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/discovery"
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/pattern"
+)
+
+// Options configures the parallel backend.
+type Options struct {
+	// LoadBalance redistributes skewed match tables across workers after
+	// each incremental join (Section 6.2); disabling it yields the
+	// ParGFDnb baseline.
+	LoadBalance bool
+	// SkewFactor triggers redistribution when the largest per-worker table
+	// exceeds SkewFactor × mean. Default 1.25.
+	SkewFactor float64
+	// MaxTableRows aborts extensions whose global table would exceed this
+	// many rows. 0 = unlimited.
+	MaxTableRows int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SkewFactor <= 0 {
+		o.SkewFactor = 1.25
+	}
+	return o
+}
+
+// Backend is the ParDis worker pool: it implements discovery.Backend with
+// per-fragment match tables, distributed incremental joins (each worker
+// joins its local matches Q(F_s) with the shipped single-edge matches
+// e(F_t) of all fragments), match redistribution for load balancing, and
+// master-side aggregation of supports (pivot-set unions) and validation
+// flags.
+type Backend struct {
+	g     *graph.Graph
+	eng   *cluster.Engine
+	frags []Fragment
+	opts  Options
+	stats *discovery.Stats
+	// edgeCountCache caches |e(G)| per (srcLabel, edgeLabel, dstLabel)
+	// pattern-edge shape, the volume shipped to every worker during an
+	// incremental join.
+	edgeCountCache map[graph.TripleKey]int64
+	tripleCount    map[graph.TripleKey]int
+}
+
+// NewBackend builds a ParDis backend over g fragmented across eng's
+// workers. stats may be nil.
+func NewBackend(g *graph.Graph, eng *cluster.Engine, opts Options, stats *discovery.Stats) *Backend {
+	b := &Backend{
+		g:              g,
+		eng:            eng,
+		frags:          VertexCut(g, eng.Workers()),
+		opts:           opts.withDefaults(),
+		stats:          stats,
+		edgeCountCache: make(map[graph.TripleKey]int64),
+		tripleCount:    graph.NewStats(g).TripleCount,
+	}
+	return b
+}
+
+// parHandle holds a pattern's match rows partitioned across workers.
+// Ownership is disjoint: the global match set is the disjoint union of the
+// per-worker slices (each match descends from a seed row owned by exactly
+// one fragment).
+type parHandle struct {
+	p     *pattern.Pattern
+	parts [][]match.Match
+	rows  int
+}
+
+// recount refreshes the global row count from the per-worker parts
+// (written inside supersteps, which may run concurrently).
+func (h *parHandle) recount() {
+	h.rows = 0
+	for _, part := range h.parts {
+		h.rows += len(part)
+	}
+}
+
+func (b *Backend) n() int { return b.eng.Workers() }
+
+func (b *Backend) bookkeep(rows int) {
+	if b.stats == nil {
+		return
+	}
+	b.stats.TotalTableRows += rows
+	if rows > b.stats.MaxTableRows {
+		b.stats.MaxTableRows = rows
+	}
+}
+
+// SeedBatch implements discovery.Backend: single-node matches are
+// partitioned by node ownership; all seed patterns are materialised in one
+// superstep, with per-pattern pivot sets shipped for master-side union.
+func (b *Backend) SeedBatch(ps []*pattern.Pattern) []discovery.PatOut {
+	hs := make([]*parHandle, len(ps))
+	for i, p := range ps {
+		hs[i] = &parHandle{p: p, parts: make([][]match.Match, b.n())}
+	}
+	b.eng.Superstep("seed level", func(w int) {
+		f := &b.frags[w]
+		for i, p := range ps {
+			var rows []match.Match
+			label := p.NodeLabels[0]
+			if label == pattern.Wildcard {
+				for v := f.NodeLo; v < f.NodeHi; v++ {
+					rows = append(rows, match.Match{v})
+				}
+			} else {
+				for _, v := range b.g.NodesByLabel(label) {
+					if f.OwnsNode(v) {
+						rows = append(rows, match.Match{v})
+					}
+				}
+			}
+			hs[i].parts[w] = rows
+		}
+	})
+	out := make([]discovery.PatOut, len(ps))
+	supports := b.aggregateSupports(hs)
+	for i, h := range hs {
+		h.recount()
+		b.bookkeep(h.rows)
+		out[i] = discovery.PatOut{H: h, Support: supports[i], Rows: h.rows, OK: true}
+	}
+	return out
+}
+
+// ExtendBatch implements discovery.Backend: the distributed incremental
+// joins Q'(F_s) = Q(F_s) ⋈ e(G) of Section 6.2, with all of the level's
+// work units (Q, e) distributed across the workers in a single superstep.
+// Every worker receives the other fragments' matches of each new
+// single-edge pattern e (charged as communication) and extends its local
+// rows against the full adjacency.
+func (b *Backend) ExtendBatch(parents []discovery.Handle, children []*pattern.Pattern) []discovery.PatOut {
+	hs := make([]*parHandle, len(children))
+	for i, child := range children {
+		hs[i] = &parHandle{p: child, parts: make([][]match.Match, b.n())}
+	}
+	b.eng.Superstep("extend level", func(w int) {
+		for i, child := range children {
+			ph := parents[i].(*parHandle)
+			eBytes := b.edgeMatchBytes(child)
+			// Receive e(F_t) for t ≠ w: everything but the local share.
+			b.eng.Ship(w, eBytes-eBytes/int64(b.n()))
+			if ph.parts == nil {
+				continue
+			}
+			hs[i].parts[w] = match.ExtendRows(b.g, ph.parts[w], ph.p, child)
+		}
+	})
+	out := make([]discovery.PatOut, len(children))
+	aborted := make([]bool, len(children))
+	for i, h := range hs {
+		h.recount()
+		if b.opts.MaxTableRows > 0 && h.rows > b.opts.MaxTableRows {
+			if b.stats != nil {
+				b.stats.Aborted++
+			}
+			aborted[i] = true
+			continue
+		}
+		b.bookkeep(h.rows)
+	}
+	if b.opts.LoadBalance {
+		b.rebalanceBatch(hs, aborted)
+	}
+	supports := b.aggregateSupports(hs)
+	for i, h := range hs {
+		if aborted[i] {
+			continue
+		}
+		out[i] = discovery.PatOut{H: h, Support: supports[i], Rows: h.rows, OK: true}
+	}
+	return out
+}
+
+// edgeMatchBytes estimates the byte volume of e(G): the matches of the
+// child's new single-edge pattern across the whole graph, which the join
+// ships to every worker.
+func (b *Backend) edgeMatchBytes(child *pattern.Pattern) int64 {
+	e := child.LastEdge()
+	key := graph.TripleKey{
+		SrcLabel:  child.NodeLabels[e.Src],
+		EdgeLabel: e.Label,
+		DstLabel:  child.NodeLabels[e.Dst],
+	}
+	if v, ok := b.edgeCountCache[key]; ok {
+		return v
+	}
+	var cnt int64
+	for t, c := range b.tripleCount {
+		if pattern.LabelMatches(t.SrcLabel, key.SrcLabel) &&
+			pattern.LabelMatches(t.EdgeLabel, key.EdgeLabel) &&
+			pattern.LabelMatches(t.DstLabel, key.DstLabel) {
+			cnt += int64(c)
+		}
+	}
+	v := cnt * 12 // two node IDs + label tag per edge match
+	b.edgeCountCache[key] = v
+	return v
+}
+
+// rebalanceBatch redistributes the rows of every skewed pattern in the
+// batch (the skew condition of Section 6.2) in one superstep, charging the
+// moved rows as communication to their receivers.
+func (b *Backend) rebalanceBatch(hs []*parHandle, skip []bool) {
+	n := b.n()
+	if n == 1 {
+		return
+	}
+	var skewed []*parHandle
+	for i, h := range hs {
+		if skip[i] || h.rows == 0 {
+			continue
+		}
+		maxRows := 0
+		for _, part := range h.parts {
+			if len(part) > maxRows {
+				maxRows = len(part)
+			}
+		}
+		mean := float64(h.rows) / float64(n)
+		if float64(maxRows) > b.opts.SkewFactor*mean && maxRows-int(mean) >= 2 {
+			skewed = append(skewed, h)
+		}
+	}
+	if len(skewed) == 0 {
+		return
+	}
+	pools := make([][]match.Match, len(skewed))
+	targets := make([]int, len(skewed))
+	for i, h := range skewed {
+		target := (h.rows + n - 1) / n
+		targets[i] = target
+		for w := range h.parts {
+			if len(h.parts[w]) > target {
+				pools[i] = append(pools[i], h.parts[w][target:]...)
+				h.parts[w] = h.parts[w][:target:target]
+			}
+		}
+	}
+	b.eng.Superstep("rebalance level", func(w int) {
+		for i, h := range skewed {
+			need := targets[i] - len(h.parts[w])
+			if need <= 0 || len(pools[i]) == 0 {
+				continue
+			}
+			if need > len(pools[i]) {
+				need = len(pools[i])
+			}
+			rowBytes := int64(4*h.p.N() + 8)
+			h.parts[w] = append(h.parts[w], pools[i][:need]...)
+			pools[i] = pools[i][need:]
+			b.eng.Ship(w, int64(need)*rowBytes)
+		}
+	})
+	// Any remainder (rounding) goes to the last worker.
+	for i, h := range skewed {
+		if len(pools[i]) > 0 {
+			h.parts[n-1] = append(h.parts[n-1], pools[i]...)
+			b.eng.Ship(n-1, int64(len(pools[i]))*int64(4*h.p.N()+8))
+		}
+	}
+}
+
+// aggregateSupports computes supp(Q, G) = |Q(G, z)| for every pattern in
+// the batch: each worker builds its local pivot sets and ships them; the
+// master unions them (summing would double-count pivots matched in several
+// fragments).
+func (b *Backend) aggregateSupports(hs []*parHandle) []int {
+	locals := make([][]map[graph.NodeID]struct{}, b.n())
+	b.eng.Superstep("support level", func(w int) {
+		sets := make([]map[graph.NodeID]struct{}, len(hs))
+		shipped := 0
+		for i, h := range hs {
+			set := make(map[graph.NodeID]struct{})
+			if h.parts != nil {
+				pivot := h.p.Pivot
+				for _, row := range h.parts[w] {
+					set[row[pivot]] = struct{}{}
+				}
+			}
+			sets[i] = set
+			shipped += len(set)
+		}
+		locals[w] = sets
+		b.eng.Ship(w, int64(4*shipped))
+	})
+	out := make([]int, len(hs))
+	b.eng.Master("support union", func() {
+		for i := range hs {
+			union := make(map[graph.NodeID]struct{})
+			for w := 0; w < b.n(); w++ {
+				for v := range locals[w][i] {
+					union[v] = struct{}{}
+				}
+			}
+			out[i] = len(union)
+		}
+	})
+	return out
+}
+
+// Release implements discovery.Backend.
+func (b *Backend) Release(h discovery.Handle) {
+	if h != nil {
+		h.(*parHandle).parts = nil
+	}
+}
+
+// Constants implements discovery.Backend: each worker computes the value
+// counts of every (variable, attribute) pair over its fragment's rows in
+// one superstep; the master merges and ranks them.
+func (b *Backend) Constants(h discovery.Handle, nvars int, gamma []string, max int) [][]string {
+	ph := h.(*parHandle)
+	slots := nvars * len(gamma)
+	locals := make([][]map[string]int, b.n())
+	b.eng.Superstep("constants", func(w int) {
+		counts := make([]map[string]int, slots)
+		shipped := 0
+		for v := 0; v < nvars; v++ {
+			for ai, attr := range gamma {
+				c := discovery.ObservedConstantCounts(b.g, ph.parts[w], v, attr)
+				counts[v*len(gamma)+ai] = c
+				shipped += len(c)
+			}
+		}
+		locals[w] = counts
+		b.eng.Ship(w, int64(12*shipped))
+	})
+	out := make([][]string, slots)
+	b.eng.Master("constants merge", func() {
+		for s := 0; s < slots; s++ {
+			merged := make(map[string]int)
+			for w := 0; w < b.n(); w++ {
+				for val, c := range locals[w][s] {
+					merged[val] += c
+				}
+			}
+			out[s] = discovery.TopConstants(merged, max)
+		}
+	})
+	return out
+}
+
+// Evaluate implements discovery.Backend: one TableEval per worker over its
+// fragment's rows; query results are aggregated masterside. Busy time is
+// accumulated per worker per call and charged as supersteps on Release
+// (one communication round per literal-tree level, matching the batched
+// candidate posting of ParDis).
+func (b *Backend) Evaluate(h discovery.Handle, pool []core.Literal) discovery.Evaluator {
+	ph := h.(*parHandle)
+	pe := &parEvaluator{
+		b:     b,
+		pool:  pool,
+		evs:   make([]*discovery.TableEval, b.n()),
+		busy:  make([]time.Duration, b.n()),
+		share: make([]float64, b.n()),
+	}
+	total := ph.rows
+	for w := range pe.share {
+		if total > 0 {
+			pe.share[w] = float64(len(ph.parts[w])) / float64(total)
+		} else {
+			pe.share[w] = 1 / float64(b.n())
+		}
+	}
+	b.eng.Superstep("index "+ph.p.String(), func(w int) {
+		pe.evs[w] = discovery.NewTableEval(b.g, ph.p, ph.parts[w], pool)
+	})
+	return pe
+}
+
+// parEvaluator fans validation queries out to per-worker TableEvals.
+type parEvaluator struct {
+	b      *Backend
+	pool   []core.Literal
+	evs    []*discovery.TableEval
+	busy   []time.Duration
+	rounds int
+	union  map[graph.NodeID]struct{} // reusable pivot-union scratch
+	// share[w] is worker w's fraction of the pattern's rows: per-call
+	// elapsed time is attributed proportionally (per-worker timers on the
+	// sub-microsecond query path would dominate the measurement and grow
+	// with n, masking the very scalability being measured). Skewed row
+	// distributions therefore still surface as skewed busy times.
+	share []float64
+}
+
+// perWorker runs fn on every worker's evaluator, attributing the elapsed
+// time to workers by their row share.
+func (pe *parEvaluator) perWorker(fn func(w int, ev *discovery.TableEval)) {
+	start := time.Now()
+	for w, ev := range pe.evs {
+		fn(w, ev)
+		_ = w
+	}
+	el := time.Since(start)
+	for w := range pe.busy {
+		pe.busy[w] += time.Duration(float64(el) * pe.share[w])
+	}
+}
+
+func (pe *parEvaluator) Violated(x []int, l int) bool {
+	violated := false
+	pe.perWorker(func(w int, ev *discovery.TableEval) {
+		if ev.Violated(x, l) {
+			violated = true
+		}
+		pe.b.eng.Ship(w, 1) // SAT flag
+	})
+	pe.rounds++
+	return violated
+}
+
+func (pe *parEvaluator) SupportXl(x []int, l int) int {
+	union := pe.unionScratch()
+	pe.perWorker(func(w int, ev *discovery.TableEval) {
+		before := len(union)
+		ev.ForEachPivotXl(x, l, func(v graph.NodeID) { union[v] = struct{}{} })
+		pe.b.eng.Ship(w, int64(4*(len(union)-before)))
+	})
+	pe.rounds++
+	return len(union)
+}
+
+func (pe *parEvaluator) SupportX(x []int) int {
+	union := pe.unionScratch()
+	pe.perWorker(func(w int, ev *discovery.TableEval) {
+		before := len(union)
+		ev.ForEachPivotX(x, func(v graph.NodeID) { union[v] = struct{}{} })
+		pe.b.eng.Ship(w, int64(4*(len(union)-before)))
+	})
+	pe.rounds++
+	return len(union)
+}
+
+// unionScratch returns the cleared reusable pivot-union map.
+func (pe *parEvaluator) unionScratch() map[graph.NodeID]struct{} {
+	if pe.union == nil {
+		pe.union = make(map[graph.NodeID]struct{})
+	} else {
+		for k := range pe.union {
+			delete(pe.union, k)
+		}
+	}
+	return pe.union
+}
+
+func (pe *parEvaluator) CoHolds(x []int) []bool {
+	out := make([]bool, len(pe.pool))
+	pe.perWorker(func(w int, ev *discovery.TableEval) {
+		local := ev.CoHolds(x)
+		pe.b.eng.Ship(w, int64(len(local)))
+		for j, v := range local {
+			if v {
+				out[j] = true
+			}
+		}
+	})
+	pe.rounds++
+	return out
+}
+
+func (pe *parEvaluator) AttrPresent(v int, attr string) bool {
+	present := false
+	pe.perWorker(func(w int, ev *discovery.TableEval) {
+		if ev.AttrPresent(v, attr) {
+			present = true
+		}
+		pe.b.eng.Ship(w, 1)
+	})
+	return present
+}
+
+// Release charges the accumulated per-worker busy time. The query calls
+// issued since Evaluate are batched into a bounded number of communication
+// rounds (ParDis posts candidate batches ΣC_ij per literal level, not one
+// message per candidate).
+func (pe *parEvaluator) Release() {
+	rounds := pe.rounds
+	const maxRounds = 4 // ≈ one batch per literal level plus the negative spawn
+	if rounds > maxRounds {
+		rounds = maxRounds
+	}
+	pe.b.eng.Account("validate", pe.busy, rounds)
+	for _, ev := range pe.evs {
+		if ev != nil {
+			ev.Release()
+		}
+	}
+	pe.evs = nil
+}

@@ -1,0 +1,312 @@
+package parallel
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/discovery"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// rulesGraph builds a graph with seeded positive and negative regularities
+// large enough to exercise multiple levels and several workers.
+func rulesGraph(n int) *graph.Graph {
+	g := graph.New(5*n, 3*n)
+	for i := 0; i < n; i++ {
+		p := g.AddNode("person", map[string]string{"type": "producer", "country": "FR"})
+		f := g.AddNode("product", map[string]string{"type": "film"})
+		g.AddEdge(p, f, "create")
+		j := g.AddNode("person", map[string]string{"type": "jumper", "country": "US"})
+		s := g.AddNode("product", map[string]string{"type": "song"})
+		g.AddEdge(j, s, "create")
+		c := g.AddNode("person", map[string]string{"type": "child"})
+		g.AddEdge(p, c, "parent")
+	}
+	g.Finalize()
+	return g
+}
+
+func TestVertexCut(t *testing.T) {
+	g := rulesGraph(10)
+	for _, n := range []int{1, 2, 4, 7} {
+		frags := VertexCut(g, n)
+		if len(frags) != n {
+			t.Fatalf("n=%d: %d fragments", n, len(frags))
+		}
+		// Edges are partitioned: disjoint and complete.
+		total := 0
+		seen := make(map[graph.Edge]int)
+		for _, f := range frags {
+			total += f.EdgeCount()
+			for _, e := range f.Edges {
+				seen[e]++
+			}
+		}
+		if total != g.NumEdges() {
+			t.Fatalf("n=%d: %d edges in fragments, graph has %d", n, total, g.NumEdges())
+		}
+		for e, c := range seen {
+			if c != 1 {
+				t.Fatalf("edge %v in %d fragments", e, c)
+			}
+		}
+		// Balanced within one chunk.
+		max, min := 0, g.NumEdges()
+		for _, f := range frags {
+			if f.EdgeCount() > max {
+				max = f.EdgeCount()
+			}
+			if f.EdgeCount() < min {
+				min = f.EdgeCount()
+			}
+		}
+		per := (g.NumEdges() + n - 1) / n
+		if max > per {
+			t.Fatalf("n=%d: fragment of %d edges exceeds per-worker %d", n, max, per)
+		}
+		// Node ownership covers every node exactly once.
+		owned := 0
+		for _, f := range frags {
+			owned += int(f.NodeHi - f.NodeLo)
+		}
+		if owned != g.NumNodes() {
+			t.Fatalf("n=%d: %d owned nodes of %d", n, owned, g.NumNodes())
+		}
+		_ = min
+	}
+}
+
+func keysOf(ms []discovery.Mined) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.GFD.Key()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalKeySets(t *testing.T, name string, a, b []string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d vs %d GFDs\nA=%v\nB=%v", name, len(a), len(b), a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: key mismatch at %d: %s vs %s", name, i, a[i], b[i])
+		}
+	}
+}
+
+// TestParallelEqualsSequential is the correctness core of ParDis: for any
+// worker count, the parallel miner must produce exactly the GFDs the
+// sequential miner does, with identical supports.
+func TestParallelEqualsSequential(t *testing.T) {
+	g := rulesGraph(8)
+	opts := discovery.Options{K: 3, Support: 4, WildcardNodes: true}
+	seq := discovery.Mine(g, opts)
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		eng := cluster.New(cluster.Config{Workers: n})
+		par := Mine(g, opts, eng, Options{LoadBalance: true})
+		equalKeySets(t, "positives", keysOf(seq.Positives), keysOf(par.Positives))
+		equalKeySets(t, "negatives", keysOf(seq.Negatives), keysOf(par.Negatives))
+		// Supports must agree too.
+		seqSupp := make(map[string]int)
+		for _, m := range seq.Positives {
+			seqSupp[m.GFD.Key()] = m.Support
+		}
+		for _, m := range par.Positives {
+			if seqSupp[m.GFD.Key()] != m.Support {
+				t.Fatalf("n=%d: support mismatch for %s: %d vs %d",
+					n, m.GFD, seqSupp[m.GFD.Key()], m.Support)
+			}
+		}
+	}
+}
+
+func TestParallelNoBalanceStillCorrect(t *testing.T) {
+	g := rulesGraph(6)
+	opts := discovery.Options{K: 2, Support: 3}
+	seq := discovery.Mine(g, opts)
+	eng := cluster.New(cluster.Config{Workers: 4})
+	par := Mine(g, opts, eng, Options{LoadBalance: false})
+	equalKeySets(t, "positives", keysOf(seq.Positives), keysOf(par.Positives))
+}
+
+// TestLoadBalanceReducesSkew: on a hub-heavy graph, locality partitioning
+// concentrates matches on one worker; rebalancing must spread them.
+func TestLoadBalanceReducesSkew(t *testing.T) {
+	// One hub with many spokes: all hub edges land in the first fragments.
+	g := graph.New(101, 100)
+	hub := g.AddNode("hub", map[string]string{"a": "1"})
+	for i := 0; i < 100; i++ {
+		s := g.AddNode("spoke", map[string]string{"a": "1"})
+		g.AddEdge(hub, s, "link")
+	}
+	g.Finalize()
+	opts := discovery.Options{K: 2, Support: 1, WildcardNodes: false}
+
+	engNB := cluster.New(cluster.Config{Workers: 4})
+	Mine(g, opts, engNB, Options{LoadBalance: false})
+	engB := cluster.New(cluster.Config{Workers: 4})
+	Mine(g, opts, engB, Options{LoadBalance: true})
+
+	if engB.Stats().Skew() >= engNB.Stats().Skew() {
+		t.Fatalf("balancing did not reduce skew: balanced=%.2f unbalanced=%.2f",
+			engB.Stats().Skew(), engNB.Stats().Skew())
+	}
+}
+
+func TestClusterStatsPopulated(t *testing.T) {
+	g := rulesGraph(5)
+	eng := cluster.New(cluster.Config{Workers: 3})
+	res := Mine(g, discovery.Options{K: 2, Support: 3}, eng, Options{LoadBalance: true})
+	cs := res.Cluster
+	if cs.Supersteps == 0 || cs.ComputeTime == 0 || cs.Bytes == 0 {
+		t.Fatalf("cluster stats look empty: %+v", cs)
+	}
+	if len(res.Positives) == 0 {
+		t.Fatal("no positives mined")
+	}
+}
+
+func coverKeys(gs []*core.GFD) []string {
+	out := make([]string, len(gs))
+	for i, g := range gs {
+		out[i] = g.Key()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestParCoverEqualsSeqCover(t *testing.T) {
+	g := rulesGraph(8)
+	opts := discovery.Options{K: 3, Support: 4, WildcardNodes: true}
+	res := discovery.Mine(g, opts)
+	sigma := res.All()
+	seqCover := discovery.Cover(sigma)
+	for _, n := range []int{1, 2, 4} {
+		eng := cluster.New(cluster.Config{Workers: n})
+		pc := Cover(sigma, res.Tree, eng, CoverOptions{Grouping: true})
+		a, b := coverKeys(seqCover), coverKeys(pc.Cover)
+		if len(a) != len(b) {
+			t.Fatalf("n=%d: cover sizes differ: seq=%d par=%d", n, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("n=%d: cover differs at %d: %s vs %s", n, i, a[i], b[i])
+			}
+		}
+		if pc.Groups == 0 {
+			t.Fatal("no groups formed")
+		}
+	}
+}
+
+// TestParCoverEquivalence: whatever the mode, the cover must be equivalent
+// to Σ (every removed GFD implied by the cover) and minimal.
+func TestParCoverEquivalence(t *testing.T) {
+	g := rulesGraph(6)
+	res := discovery.Mine(g, discovery.Options{K: 2, Support: 3, WildcardNodes: true})
+	sigma := res.All()
+	for _, grouping := range []bool{true, false} {
+		eng := cluster.New(cluster.Config{Workers: 3})
+		pc := Cover(sigma, res.Tree, eng, CoverOptions{Grouping: grouping})
+		for _, phi := range sigma {
+			inCover := false
+			for _, psi := range pc.Cover {
+				if psi.Key() == phi.Key() {
+					inCover = true
+					break
+				}
+			}
+			if !inCover && !core.Implies(pc.Cover, phi) {
+				t.Fatalf("grouping=%v: removed GFD not implied by cover: %s", grouping, phi)
+			}
+		}
+		for i, phi := range pc.Cover {
+			rest := make([]*core.GFD, 0, len(pc.Cover)-1)
+			rest = append(rest, pc.Cover[:i]...)
+			rest = append(rest, pc.Cover[i+1:]...)
+			if core.Implies(rest, phi) {
+				t.Fatalf("grouping=%v: cover not minimal: %s is redundant", grouping, phi)
+			}
+		}
+	}
+}
+
+func TestParCovernSlowerThanParCover(t *testing.T) {
+	// Grouping pays off at scale (the paper's Fig. 5(i)-(l) settings run
+	// |Σ| in the thousands): use a generated rule set like Fig. 5(l) does.
+	g := dataset.YAGO2Sim(100, 5)
+	sigma := dataset.GenGFDs(g, dataset.GFDGenConfig{Count: 1200, K: 3, Seed: 17})
+	engG := cluster.New(cluster.Config{Workers: 4})
+	pcG := Cover(sigma, nil, engG, CoverOptions{Grouping: true})
+	engN := cluster.New(cluster.Config{Workers: 4})
+	pcN := Cover(sigma, nil, engN, CoverOptions{Grouping: false})
+	if pcG.CoverTime() >= pcN.CoverTime() {
+		t.Fatalf("grouping should be faster: grouped=%v ungrouped=%v (|Σ|=%d)",
+			pcG.CoverTime(), pcN.CoverTime(), len(sigma))
+	}
+	// Minimal covers are not unique, but their sizes should be close; a
+	// large gap would indicate one mode removing unsoundly.
+	lo, hi := len(pcG.Cover), len(pcN.Cover)
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lo*5 < hi*4 { // more than 25% apart
+		t.Fatalf("cover sizes far apart: grouped=%d ungrouped=%d", len(pcG.Cover), len(pcN.Cover))
+	}
+}
+
+func TestDisGFDPipeline(t *testing.T) {
+	g := rulesGraph(8)
+	mineEng := cluster.New(cluster.Config{Workers: 4})
+	coverEng := cluster.New(cluster.Config{Workers: 4})
+	res := DisGFD(g, discovery.Options{K: 2, Support: 4}, mineEng, coverEng, Options{LoadBalance: true})
+	if len(res.Sigma) == 0 {
+		t.Fatal("pipeline produced empty cover")
+	}
+	if len(res.Sigma) > len(res.Mine.Positives)+len(res.Mine.Negatives) {
+		t.Fatal("cover larger than mined set")
+	}
+	if res.Cover.Cluster.Supersteps == 0 {
+		t.Fatal("cover cluster stats empty")
+	}
+}
+
+// TestParallelScalability: simulated response time must fall as workers
+// increase (Theorem 5's observable consequence), measured on a graph big
+// enough for compute to dominate coordination.
+func TestParallelScalability(t *testing.T) {
+	g := rulesGraph(300)
+	opts := discovery.Options{K: 3, Support: 50, WildcardNodes: true}
+	t4 := Mine(g, opts, cluster.New(cluster.Config{Workers: 4}), Options{LoadBalance: true}).Cluster.Total()
+	t16 := Mine(g, opts, cluster.New(cluster.Config{Workers: 16}), Options{LoadBalance: true}).Cluster.Total()
+	if t16 >= t4 {
+		t.Fatalf("no speedup: 4 workers %v, 16 workers %v", t4, t16)
+	}
+}
+
+func TestEdgeMatchBytes(t *testing.T) {
+	g := rulesGraph(4)
+	eng := cluster.New(cluster.Config{Workers: 2})
+	b := NewBackend(g, eng, Options{}, nil)
+	child := pattern.SingleEdge("person", "create", "product")
+	bytes := b.edgeMatchBytes(child)
+	if bytes != int64(8*12) { // 8 create edges between person and product
+		t.Fatalf("edgeMatchBytes = %d, want %d", bytes, 8*12)
+	}
+	// Wildcard aggregates across triples.
+	wc := pattern.SingleEdge("person", "create", pattern.Wildcard)
+	if got := b.edgeMatchBytes(wc); got != int64(8*12) {
+		t.Fatalf("wildcard edgeMatchBytes = %d", got)
+	}
+	all := pattern.SingleEdge(pattern.Wildcard, pattern.Wildcard, pattern.Wildcard)
+	if got := b.edgeMatchBytes(all); got != int64(g.NumEdges()*12) {
+		t.Fatalf("all-wildcard edgeMatchBytes = %d, want %d", got, g.NumEdges()*12)
+	}
+}

@@ -1,0 +1,176 @@
+package pattern
+
+// This file implements pattern embeddings: injective mappings of one
+// pattern into a subgraph of another. Embeddings drive two constructs of
+// the paper:
+//
+//   - "φ′ is embedded in Q": there is an isomorphism from φ′'s pattern to
+//     a subgraph of Q (Section 3, the characterisation of satisfiability
+//     and implication);
+//   - the reduction order Q ≪ Q′ of Section 4.1: Q removes nodes/edges
+//     from Q′ or upgrades labels to wildcard.
+//
+// The label condition is the same in both: the embedded (more general)
+// pattern's label must generalise the host's label, so that every match of
+// the host restricted through the embedding is a match of the embedded
+// pattern.
+
+// EmbedOptions configures embedding enumeration.
+type EmbedOptions struct {
+	// PivotPreserving requires f(sub.Pivot) == super.Pivot, as the GFD
+	// reduction order demands (condition (a) of Section 4.1).
+	PivotPreserving bool
+}
+
+// Embeddings enumerates the injective variable mappings f from sub into
+// super such that
+//
+//   - node labels: sub's label at u generalises super's label at f(u);
+//   - edges: every sub edge (u,u′,l) has a super edge (f(u),f(u′),l′)
+//     with l generalising l′.
+//
+// fn receives each mapping (f[u] = image of sub variable u) and returns
+// false to stop the enumeration. The slice passed to fn is reused across
+// calls; callers must copy it if they retain it. Embeddings returns the
+// number of embeddings enumerated.
+func Embeddings(sub, super *Pattern, opts EmbedOptions, fn func(f []int) bool) int {
+	ns, nh := sub.N(), super.N()
+	if ns > nh || sub.Size() > super.Size() {
+		return 0
+	}
+	// Order sub variables so each (after the first) touches a previously
+	// mapped one when sub is connected; fall back to index order otherwise.
+	order := embedOrder(sub, opts)
+
+	f := make([]int, ns)
+	for i := range f {
+		f[i] = -1
+	}
+	used := make([]bool, nh)
+	count := 0
+	stopped := false
+
+	var rec func(step int)
+	rec = func(step int) {
+		if stopped {
+			return
+		}
+		if step == len(order) {
+			count++
+			if !fn(f) {
+				stopped = true
+			}
+			return
+		}
+		u := order[step]
+		for cand := 0; cand < nh; cand++ {
+			if used[cand] {
+				continue
+			}
+			if opts.PivotPreserving && (u == sub.Pivot) != (cand == super.Pivot) {
+				continue
+			}
+			if !LabelGeneralises(sub.NodeLabels[u], super.NodeLabels[cand]) {
+				continue
+			}
+			f[u] = cand
+			if embedEdgesOK(sub, super, f, u) {
+				used[cand] = true
+				rec(step + 1)
+				used[cand] = false
+				if stopped {
+					f[u] = -1
+					return
+				}
+			}
+			f[u] = -1
+		}
+	}
+	rec(0)
+	return count
+}
+
+// embedOrder returns sub's variables in an order that maps the pivot first
+// (when pivot preservation is on) and then grows along edges.
+func embedOrder(sub *Pattern, opts EmbedOptions) []int {
+	n := sub.N()
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	push := func(v int) {
+		if !seen[v] {
+			seen[v] = true
+			order = append(order, v)
+		}
+	}
+	start := 0
+	if opts.PivotPreserving {
+		start = sub.Pivot
+	}
+	push(start)
+	adj := sub.adjacency()
+	for i := 0; i < len(order); i++ {
+		v := order[i]
+		for _, ei := range adj[v] {
+			e := sub.Edges[ei]
+			push(e.Src)
+			push(e.Dst)
+		}
+	}
+	// Disconnected leftovers (discovery never produces them, but be safe).
+	for v := 0; v < n; v++ {
+		push(v)
+	}
+	return order
+}
+
+// embedEdgesOK verifies all sub edges incident to u whose other endpoint is
+// already mapped.
+func embedEdgesOK(sub, super *Pattern, f []int, u int) bool {
+	for _, e := range sub.Edges {
+		if e.Src != u && e.Dst != u {
+			continue
+		}
+		fs, fd := f[e.Src], f[e.Dst]
+		if fs < 0 || fd < 0 {
+			continue // other endpoint not mapped yet
+		}
+		if !superHasGeneralisedEdge(super, fs, fd, e.Label) {
+			return false
+		}
+	}
+	return true
+}
+
+func superHasGeneralisedEdge(super *Pattern, src, dst int, subLabel string) bool {
+	for _, se := range super.Edges {
+		if se.Src == src && se.Dst == dst && LabelGeneralises(subLabel, se.Label) {
+			return true
+		}
+	}
+	return false
+}
+
+// EmbedsInto reports whether at least one embedding of sub into super
+// exists under opts.
+func EmbedsInto(sub, super *Pattern, opts EmbedOptions) bool {
+	found := false
+	Embeddings(sub, super, opts, func([]int) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// Reduces reports Q ≪ Q′ (strictly): p embeds pivot-preservingly into q
+// and is not isomorphic to it, i.e. p removes nodes or edges from q or
+// upgrades labels to wildcard. Equivalent (isomorphic) patterns do not
+// reduce each other.
+func Reduces(p, q *Pattern) bool {
+	if !EmbedsInto(p, q, EmbedOptions{PivotPreserving: true}) {
+		return false
+	}
+	if p.N() != q.N() || p.Size() != q.Size() {
+		return true
+	}
+	return p.CanonicalCode() != q.CanonicalCode()
+}

@@ -1,0 +1,422 @@
+// Package pattern implements the graph patterns Q[x̄] of Fan et al.
+// (SIGMOD 2018, Section 2.1): small connected directed graphs whose nodes
+// are bound to variables, with node and edge labels drawn from the data
+// alphabet Θ plus the wildcard '_' that matches any label.
+//
+// Beyond the pattern structure itself the package provides:
+//
+//   - pattern isomorphism and pivot-preserving canonical codes, used to
+//     de-duplicate spawned patterns (the iso(Q) classes of Section 5.1);
+//   - embeddings of one pattern into a subgraph of another, the engine
+//     behind both GFD implication (Section 3) and the reduction order ≪
+//     (Section 4.1);
+//   - single-edge extensions, the vertical-spawning step VSpawn.
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Wildcard is the generic label '_' that any label of Θ matches: ℓ ≺ '_'
+// for every ℓ ∈ Θ.
+const Wildcard = "_"
+
+// LabelMatches reports ℓ ⪯ ℓ′: the concrete (data) label ℓ matches the
+// pattern label ℓ′ if they are equal or ℓ′ is the wildcard.
+func LabelMatches(l, pat string) bool {
+	return pat == Wildcard || l == pat
+}
+
+// LabelGeneralises reports whether pattern label general is at least as
+// permissive as pattern label specific: either they are equal or general is
+// the wildcard. It is the label condition for Q ≪ Q′ and for embeddings
+// used in implication analysis.
+func LabelGeneralises(general, specific string) bool {
+	return general == Wildcard || general == specific
+}
+
+// Edge is a directed pattern edge between variable positions.
+type Edge struct {
+	Src   int    // variable index of the source
+	Dst   int    // variable index of the destination
+	Label string // edge label, possibly Wildcard
+}
+
+// Pattern is a graph pattern Q[x̄]. Variables are identified by their index
+// in 0..N-1; NodeLabels[i] is the label of variable i (possibly Wildcard).
+// Pivot designates the variable z used for topological support (Section
+// 4.2); it defaults to variable 0.
+type Pattern struct {
+	NodeLabels []string
+	Edges      []Edge
+	Pivot      int
+
+	// code/codeUnpivoted cache the canonical codes. Patterns are
+	// value-built and then treated as immutable: do not mutate NodeLabels,
+	// Edges or Pivot after the first CanonicalCode call (the extension
+	// helpers always clone).
+	code          string
+	codeUnpivoted string
+}
+
+// SingleNode returns the one-variable pattern with the given node label.
+func SingleNode(label string) *Pattern {
+	return &Pattern{NodeLabels: []string{label}}
+}
+
+// SingleEdge returns the two-variable, one-edge pattern
+// (x0:srcLabel) --edgeLabel--> (x1:dstLabel) with pivot x0.
+func SingleEdge(srcLabel, edgeLabel, dstLabel string) *Pattern {
+	return &Pattern{
+		NodeLabels: []string{srcLabel, dstLabel},
+		Edges:      []Edge{{Src: 0, Dst: 1, Label: edgeLabel}},
+	}
+}
+
+// N returns the number of variables |x̄|.
+func (p *Pattern) N() int { return len(p.NodeLabels) }
+
+// Size returns the number of edges, the pattern's level in the generation
+// tree.
+func (p *Pattern) Size() int { return len(p.Edges) }
+
+// Clone returns a deep copy of p.
+func (p *Pattern) Clone() *Pattern {
+	return &Pattern{
+		NodeLabels: append([]string(nil), p.NodeLabels...),
+		Edges:      append([]Edge(nil), p.Edges...),
+		Pivot:      p.Pivot,
+		// canonical-code caches intentionally not copied: clones are
+		// mutated by the extension helpers before use.
+	}
+}
+
+// HasEdge reports whether p contains the exact edge (src, dst, label).
+func (p *Pattern) HasEdge(src, dst int, label string) bool {
+	for _, e := range p.Edges {
+		if e.Src == src && e.Dst == dst && e.Label == label {
+			return true
+		}
+	}
+	return false
+}
+
+// ExtendNewNode returns a copy of p with a fresh variable labelled
+// nodeLabel connected to variable at by a new edge. If outgoing is true the
+// edge runs at -> new, otherwise new -> at. The pivot is preserved.
+func (p *Pattern) ExtendNewNode(at int, edgeLabel, nodeLabel string, outgoing bool) *Pattern {
+	q := p.Clone()
+	nv := len(q.NodeLabels)
+	q.NodeLabels = append(q.NodeLabels, nodeLabel)
+	if outgoing {
+		q.Edges = append(q.Edges, Edge{Src: at, Dst: nv, Label: edgeLabel})
+	} else {
+		q.Edges = append(q.Edges, Edge{Src: nv, Dst: at, Label: edgeLabel})
+	}
+	return q
+}
+
+// ExtendClosingEdge returns a copy of p with an additional edge between two
+// existing variables. The pivot is preserved.
+func (p *Pattern) ExtendClosingEdge(src, dst int, edgeLabel string) *Pattern {
+	q := p.Clone()
+	q.Edges = append(q.Edges, Edge{Src: src, Dst: dst, Label: edgeLabel})
+	return q
+}
+
+// WithNodeLabel returns a copy of p with variable v relabelled.
+func (p *Pattern) WithNodeLabel(v int, label string) *Pattern {
+	q := p.Clone()
+	q.NodeLabels[v] = label
+	return q
+}
+
+// LastEdge returns the most recently added edge. It panics on an edgeless
+// pattern.
+func (p *Pattern) LastEdge() Edge { return p.Edges[len(p.Edges)-1] }
+
+// adjacency returns, per variable, the indexes of edges incident to it.
+func (p *Pattern) adjacency() [][]int {
+	adj := make([][]int, p.N())
+	for i, e := range p.Edges {
+		adj[e.Src] = append(adj[e.Src], i)
+		if e.Dst != e.Src {
+			adj[e.Dst] = append(adj[e.Dst], i)
+		}
+	}
+	return adj
+}
+
+// Connected reports whether every pair of variables is joined by an
+// undirected path. Single-node patterns are connected. Discovery only
+// spawns connected patterns (Section 4).
+func (p *Pattern) Connected() bool {
+	n := p.N()
+	if n <= 1 {
+		return true
+	}
+	adj := p.adjacency()
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ei := range adj[v] {
+			e := p.Edges[ei]
+			for _, w := range [2]int{e.Src, e.Dst} {
+				if !seen[w] {
+					seen[w] = true
+					count++
+					stack = append(stack, w)
+				}
+			}
+		}
+	}
+	return count == n
+}
+
+// Radius returns d_Q, the longest undirected shortest-path distance from
+// the pivot to any variable, or -1 if some variable is unreachable. All
+// nodes of any match pivoted at v lie within Radius() hops of v (the data
+// locality exploited by pivoted matching).
+func (p *Pattern) Radius() int {
+	n := p.N()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	adj := p.adjacency()
+	queue := []int{p.Pivot}
+	dist[p.Pivot] = 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, ei := range adj[v] {
+			e := p.Edges[ei]
+			for _, w := range [2]int{e.Src, e.Dst} {
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	max := 0
+	for _, d := range dist {
+		if d < 0 {
+			return -1
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// String renders the pattern compactly, e.g.
+// "Q[x0:person*, x1:product | x0-create->x1]" where '*' marks the pivot.
+func (p *Pattern) String() string {
+	var b strings.Builder
+	b.WriteString("Q[")
+	for i, l := range p.NodeLabels {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "x%d:%s", i, l)
+		if i == p.Pivot {
+			b.WriteByte('*')
+		}
+	}
+	if len(p.Edges) > 0 {
+		b.WriteString(" | ")
+		for i, e := range p.Edges {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "x%d-%s->x%d", e.Src, e.Label, e.Dst)
+		}
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// sortedEdges returns the edges under permutation perm, sorted, for
+// canonical coding and code comparison.
+func (p *Pattern) permutedEdgeCode(perm []int) string {
+	es := make([]Edge, len(p.Edges))
+	for i, e := range p.Edges {
+		es[i] = Edge{Src: perm[e.Src], Dst: perm[e.Dst], Label: e.Label}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Src != es[j].Src {
+			return es[i].Src < es[j].Src
+		}
+		if es[i].Dst != es[j].Dst {
+			return es[i].Dst < es[j].Dst
+		}
+		return es[i].Label < es[j].Label
+	})
+	var b strings.Builder
+	for _, e := range es {
+		fmt.Fprintf(&b, "%d>%d:%s;", e.Src, e.Dst, e.Label)
+	}
+	return b.String()
+}
+
+func (p *Pattern) permutedCode(perm []int) string {
+	labels := make([]string, p.N())
+	for v, l := range p.NodeLabels {
+		labels[perm[v]] = l
+	}
+	return strings.Join(labels, ",") + "|" + p.permutedEdgeCode(perm) + fmt.Sprintf("@%d", perm[p.Pivot])
+}
+
+// CanonicalCode returns a string that is identical for exactly the patterns
+// isomorphic to p *with matching pivots*: two patterns receive the same
+// code iff there is an isomorphism between them mapping pivot to pivot and
+// preserving all labels. Patterns in discovery have ≤ k ≤ 6 variables, so
+// the brute-force minimisation over the (k-1)! pivot-fixing permutations is
+// cheap; degree/label pre-partitioning prunes most of them.
+func (p *Pattern) CanonicalCode() string {
+	if p.code != "" {
+		return p.code
+	}
+	n := p.N()
+	if n == 1 {
+		p.code = p.permutedCode([]int{0})
+		return p.code
+	}
+	best := ""
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = -1
+	}
+	used := make([]bool, n)
+	// Fix the pivot at position 0 so codes are pivot-preserving.
+	perm[p.Pivot] = 0
+	used[0] = true
+	vars := make([]int, 0, n-1)
+	for v := 0; v < n; v++ {
+		if v != p.Pivot {
+			vars = append(vars, v)
+		}
+	}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(vars) {
+			code := p.permutedCode(perm)
+			if best == "" || code < best {
+				best = code
+			}
+			return
+		}
+		v := vars[i]
+		for pos := 1; pos < n; pos++ {
+			if used[pos] {
+				continue
+			}
+			perm[v] = pos
+			used[pos] = true
+			rec(i + 1)
+			used[pos] = false
+			perm[v] = -1
+		}
+	}
+	rec(0)
+	p.code = best
+	return best
+}
+
+// Isomorphic reports whether p and q are isomorphic with pivots preserved
+// and labels equal.
+func Isomorphic(p, q *Pattern) bool {
+	if p.N() != q.N() || p.Size() != q.Size() {
+		return false
+	}
+	return p.CanonicalCode() == q.CanonicalCode()
+}
+
+func (p *Pattern) permutedCodeNoPivot(perm []int) string {
+	labels := make([]string, p.N())
+	for v, l := range p.NodeLabels {
+		labels[perm[v]] = l
+	}
+	return strings.Join(labels, ",") + "|" + p.permutedEdgeCode(perm)
+}
+
+// CanonicalCodeUnpivoted returns a code identical exactly for patterns
+// isomorphic when pivots are ignored. GFD implication does not see pivots,
+// so ParCover groups Σ by this code: only then are implication checks
+// between groups acyclic (Lemma 6).
+func (p *Pattern) CanonicalCodeUnpivoted() string {
+	if p.codeUnpivoted != "" {
+		return p.codeUnpivoted
+	}
+	n := p.N()
+	best := ""
+	perm := make([]int, n)
+	used := make([]bool, n)
+	var rec func(v int)
+	rec = func(v int) {
+		if v == n {
+			code := p.permutedCodeNoPivot(perm)
+			if best == "" || code < best {
+				best = code
+			}
+			return
+		}
+		for pos := 0; pos < n; pos++ {
+			if used[pos] {
+				continue
+			}
+			perm[v] = pos
+			used[pos] = true
+			rec(v + 1)
+			used[pos] = false
+		}
+	}
+	rec(0)
+	p.codeUnpivoted = best
+	return best
+}
+
+// LabelProfileCompatible is a cheap necessary condition for sub to embed
+// into super: every concrete node (edge) label of sub must occur in super
+// at least as often, and sizes must not exceed super's. Used to prune
+// pairwise embedding tests during cover grouping.
+func LabelProfileCompatible(sub, super *Pattern) bool {
+	if sub.N() > super.N() || sub.Size() > super.Size() {
+		return false
+	}
+	nodeCount := make(map[string]int)
+	for _, l := range super.NodeLabels {
+		nodeCount[l]++
+	}
+	for _, l := range sub.NodeLabels {
+		if l == Wildcard {
+			continue
+		}
+		nodeCount[l]--
+		if nodeCount[l] < 0 {
+			return false
+		}
+	}
+	edgeCount := make(map[string]int)
+	for _, e := range super.Edges {
+		edgeCount[e.Label]++
+	}
+	for _, e := range sub.Edges {
+		if e.Label == Wildcard {
+			continue
+		}
+		edgeCount[e.Label]--
+		if edgeCount[e.Label] < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,392 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Fixtures mirror Fig. 1 of the paper.
+
+// q1: (x0:person) -create-> (x1:product), pivot x0.
+func q1() *Pattern { return SingleEdge("person", "create", "product") }
+
+// q2: (x0:city) -located-> (x1:_), (x0) -located-> (x2:_), pivot x0.
+func q2() *Pattern {
+	return &Pattern{
+		NodeLabels: []string{"city", Wildcard, Wildcard},
+		Edges: []Edge{
+			{Src: 0, Dst: 1, Label: "located"},
+			{Src: 0, Dst: 2, Label: "located"},
+		},
+	}
+}
+
+// q3: (x0:person) -parent-> (x1:person), (x1) -parent-> (x0), pivot x0.
+func q3() *Pattern {
+	return &Pattern{
+		NodeLabels: []string{"person", "person"},
+		Edges: []Edge{
+			{Src: 0, Dst: 1, Label: "parent"},
+			{Src: 1, Dst: 0, Label: "parent"},
+		},
+	}
+}
+
+func TestLabelMatching(t *testing.T) {
+	if !LabelMatches("country", Wildcard) {
+		t.Fatal("country should match wildcard")
+	}
+	if !LabelMatches("city", "city") {
+		t.Fatal("equal labels should match")
+	}
+	if LabelMatches("city", "country") {
+		t.Fatal("distinct labels should not match")
+	}
+	if LabelMatches(Wildcard, "city") {
+		t.Fatal("wildcard data label does not match concrete pattern label")
+	}
+	if !LabelGeneralises(Wildcard, "city") || !LabelGeneralises("city", "city") {
+		t.Fatal("generalisation broken")
+	}
+	if LabelGeneralises("city", Wildcard) {
+		t.Fatal("concrete label does not generalise wildcard")
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	p := SingleNode("person")
+	if p.N() != 1 || p.Size() != 0 || p.Pivot != 0 {
+		t.Fatalf("SingleNode wrong: %v", p)
+	}
+	e := q1()
+	if e.N() != 2 || e.Size() != 1 {
+		t.Fatalf("SingleEdge wrong: %v", e)
+	}
+	if !e.HasEdge(0, 1, "create") || e.HasEdge(1, 0, "create") {
+		t.Fatal("HasEdge wrong")
+	}
+	if e.LastEdge().Label != "create" {
+		t.Fatal("LastEdge wrong")
+	}
+}
+
+func TestExtensions(t *testing.T) {
+	p := q1()
+	q := p.ExtendNewNode(1, "receive", "award", true)
+	if q.N() != 3 || q.Size() != 2 {
+		t.Fatalf("ExtendNewNode: %v", q)
+	}
+	if le := q.LastEdge(); le.Src != 1 || le.Dst != 2 || le.Label != "receive" {
+		t.Fatalf("ExtendNewNode edge: %v", le)
+	}
+	if p.N() != 2 || p.Size() != 1 {
+		t.Fatal("ExtendNewNode mutated the original")
+	}
+	r := p.ExtendNewNode(0, "knows", "person", false)
+	if le := r.LastEdge(); le.Src != 2 || le.Dst != 0 {
+		t.Fatalf("incoming extension edge: %v", le)
+	}
+	c := q.ExtendClosingEdge(2, 0, "awardedTo")
+	if c.Size() != 3 || !c.HasEdge(2, 0, "awardedTo") {
+		t.Fatalf("ExtendClosingEdge: %v", c)
+	}
+	w := p.WithNodeLabel(1, Wildcard)
+	if w.NodeLabels[1] != Wildcard || p.NodeLabels[1] != "product" {
+		t.Fatal("WithNodeLabel wrong or mutated original")
+	}
+}
+
+func TestConnectedAndRadius(t *testing.T) {
+	if !SingleNode("a").Connected() {
+		t.Fatal("single node must be connected")
+	}
+	if !q2().Connected() || !q3().Connected() {
+		t.Fatal("fixtures must be connected")
+	}
+	disc := &Pattern{NodeLabels: []string{"a", "b", "c"}, Edges: []Edge{{0, 1, "r"}}}
+	if disc.Connected() {
+		t.Fatal("node 2 is isolated; pattern is disconnected")
+	}
+	if r := q2().Radius(); r != 1 {
+		t.Fatalf("q2 radius = %d, want 1", r)
+	}
+	path := &Pattern{NodeLabels: []string{"a", "b", "c"}, Edges: []Edge{{0, 1, "r"}, {1, 2, "r"}}}
+	if r := path.Radius(); r != 2 {
+		t.Fatalf("path radius = %d, want 2", r)
+	}
+	path.Pivot = 1
+	if r := path.Radius(); r != 1 {
+		t.Fatalf("path radius from middle = %d, want 1", r)
+	}
+	if disc.Radius() != -1 {
+		t.Fatal("disconnected pattern should have radius -1")
+	}
+}
+
+func TestCanonicalCodeIsoInvariance(t *testing.T) {
+	// Same structure, different variable numbering: codes must agree.
+	a := q2()
+	b := &Pattern{
+		NodeLabels: []string{Wildcard, "city", Wildcard},
+		Edges: []Edge{
+			{Src: 1, Dst: 2, Label: "located"},
+			{Src: 1, Dst: 0, Label: "located"},
+		},
+		Pivot: 1,
+	}
+	if a.CanonicalCode() != b.CanonicalCode() {
+		t.Fatalf("iso patterns got different codes:\n%s\n%s", a.CanonicalCode(), b.CanonicalCode())
+	}
+	if !Isomorphic(a, b) {
+		t.Fatal("Isomorphic(a,b) = false")
+	}
+}
+
+func TestCanonicalCodePivotSensitivity(t *testing.T) {
+	a := q2()
+	b := q2()
+	b.Pivot = 1 // same shape, different pivot: different support semantics
+	if a.CanonicalCode() == b.CanonicalCode() {
+		t.Fatal("pivot change must change the canonical code")
+	}
+}
+
+func TestCanonicalCodeLabelSensitivity(t *testing.T) {
+	a := q1()
+	b := SingleEdge("person", "create", "film")
+	if a.CanonicalCode() == b.CanonicalCode() {
+		t.Fatal("different labels must give different codes")
+	}
+	c := SingleEdge("product", "create", "person") // reversed roles
+	if a.CanonicalCode() == c.CanonicalCode() {
+		t.Fatal("reversed edge must give a different code")
+	}
+}
+
+func TestIsomorphicDirectionality(t *testing.T) {
+	cyc := q3()
+	oneWay := &Pattern{
+		NodeLabels: []string{"person", "person"},
+		Edges:      []Edge{{0, 1, "parent"}},
+	}
+	if Isomorphic(cyc, oneWay) {
+		t.Fatal("2-cycle is not isomorphic to a single edge")
+	}
+}
+
+func randomPattern(r *rand.Rand, n int) *Pattern {
+	labels := []string{"a", "b", "c", Wildcard}
+	p := &Pattern{NodeLabels: []string{labels[r.Intn(len(labels))]}}
+	for i := 1; i < n; i++ {
+		at := r.Intn(p.N())
+		p = p.ExtendNewNode(at, labels[r.Intn(3)], labels[r.Intn(len(labels))], r.Intn(2) == 0)
+	}
+	for i := 0; i < r.Intn(3); i++ {
+		s, d := r.Intn(p.N()), r.Intn(p.N())
+		if s != d && !p.HasEdge(s, d, "r") {
+			p = p.ExtendClosingEdge(s, d, "r")
+		}
+	}
+	return p
+}
+
+// Property: canonical codes are invariant under random variable renumbering.
+func TestQuickCanonicalInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPattern(r, 2+r.Intn(3))
+		// Random permutation of variables.
+		n := p.N()
+		perm := r.Perm(n)
+		q := &Pattern{NodeLabels: make([]string, n), Pivot: perm[p.Pivot]}
+		for v, l := range p.NodeLabels {
+			q.NodeLabels[perm[v]] = l
+		}
+		for _, e := range p.Edges {
+			q.Edges = append(q.Edges, Edge{Src: perm[e.Src], Dst: perm[e.Dst], Label: e.Label})
+		}
+		return p.CanonicalCode() == q.CanonicalCode()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmbeddings(t *testing.T) {
+	// Single person node embeds into q1 (once: only x0 is a person).
+	sub := SingleNode("person")
+	n := Embeddings(sub, q1(), EmbedOptions{}, func([]int) bool { return true })
+	if n != 1 {
+		t.Fatalf("person into q1: %d embeddings, want 1", n)
+	}
+	// Into q3: both variables are persons.
+	n = Embeddings(sub, q3(), EmbedOptions{}, func([]int) bool { return true })
+	if n != 2 {
+		t.Fatalf("person into q3: %d embeddings, want 2", n)
+	}
+	// Pivot preservation cuts it to 1.
+	n = Embeddings(sub, q3(), EmbedOptions{PivotPreserving: true}, func([]int) bool { return true })
+	if n != 1 {
+		t.Fatalf("pivot-preserving person into q3: %d, want 1", n)
+	}
+	// Wildcard node embeds anywhere.
+	wc := SingleNode(Wildcard)
+	if n = Embeddings(wc, q1(), EmbedOptions{}, func([]int) bool { return true }); n != 2 {
+		t.Fatalf("wildcard into q1: %d, want 2", n)
+	}
+	// Concrete does not embed into wildcard host position.
+	conc := SingleEdge("city", "located", "country")
+	host := q2() // targets are wildcard
+	if EmbedsInto(conc, host, EmbedOptions{}) {
+		t.Fatal("concrete country must not embed onto wildcard host label")
+	}
+	// But the wildcard-target edge embeds into q2 twice.
+	gen := SingleEdge("city", "located", Wildcard)
+	if n = Embeddings(gen, q2(), EmbedOptions{}, func([]int) bool { return true }); n != 2 {
+		t.Fatalf("gen into q2: %d, want 2", n)
+	}
+}
+
+func TestEmbeddingEdgeDirection(t *testing.T) {
+	fwd := SingleEdge("person", "parent", "person")
+	if !EmbedsInto(fwd, q3(), EmbedOptions{}) {
+		t.Fatal("forward edge must embed into the 2-cycle")
+	}
+	rev := &Pattern{NodeLabels: []string{"person", "person"}, Edges: []Edge{{1, 0, "parent"}}}
+	if !EmbedsInto(rev, q3(), EmbedOptions{}) {
+		t.Fatal("reverse edge must also embed into the 2-cycle")
+	}
+	other := SingleEdge("person", "knows", "person")
+	if EmbedsInto(other, q3(), EmbedOptions{}) {
+		t.Fatal("knows-edge must not embed into parent-cycle")
+	}
+}
+
+func TestEmbeddingStopEarly(t *testing.T) {
+	sub := SingleNode(Wildcard)
+	n := 0
+	Embeddings(sub, q2(), EmbedOptions{}, func([]int) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Fatalf("early stop: saw %d embeddings, want 1", n)
+	}
+}
+
+func TestReduces(t *testing.T) {
+	small := SingleEdge("person", "parent", "person")
+	if !Reduces(small, q3()) {
+		t.Fatal("single parent edge reduces the parent 2-cycle")
+	}
+	if Reduces(q3(), small) {
+		t.Fatal("2-cycle must not reduce its own sub-pattern")
+	}
+	// Wildcard upgrade is a strict reduction.
+	gen := SingleEdge("person", "create", Wildcard)
+	conc := SingleEdge("person", "create", "product")
+	if !Reduces(gen, conc) {
+		t.Fatal("wildcard target reduces concrete target")
+	}
+	if Reduces(conc, gen) {
+		t.Fatal("concrete target must not reduce wildcard target")
+	}
+	// A pattern does not reduce itself.
+	if Reduces(q1(), q1()) {
+		t.Fatal("pattern must not strictly reduce itself")
+	}
+	// Pivot must be preserved: q with pivot at the product end.
+	pivoted := SingleEdge("person", "create", "product")
+	pivoted.Pivot = 1
+	if Reduces(SingleNode("person"), pivoted) {
+		t.Fatal("pivot-violating reduction accepted")
+	}
+}
+
+// Property: Reduces is irreflexive and, on the random pattern pool,
+// antisymmetric (both directions never hold simultaneously).
+func TestQuickReducesOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPattern(r, 2+r.Intn(2))
+		q := randomPattern(r, 2+r.Intn(3))
+		if Reduces(p, p) || Reduces(q, q) {
+			return false
+		}
+		return !(Reduces(p, q) && Reduces(q, p))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	p := q3()
+	q, remap, ok := p.RemoveEdge(1)
+	if !ok {
+		t.Fatal("removing one edge of the 2-cycle keeps it connected")
+	}
+	if q.Size() != 1 || q.N() != 2 {
+		t.Fatalf("reduced pattern: %v", q)
+	}
+	if remap[0] != 0 || remap[1] != 1 {
+		t.Fatalf("remap = %v", remap)
+	}
+	// Removing the only edge of a 2-node pattern leaves just the pivot.
+	se := q1()
+	q2p, remap2, ok := se.RemoveEdge(0)
+	if !ok {
+		t.Fatal("single-edge removal should produce the pivot singleton")
+	}
+	if q2p.N() != 1 || q2p.NodeLabels[0] != "person" || remap2[1] != -1 {
+		t.Fatalf("singleton reduction wrong: %v remap=%v", q2p, remap2)
+	}
+	// Star with pivot at centre: removing a ray drops its leaf.
+	star := q2()
+	red, _, ok := star.RemoveEdge(0)
+	if !ok || red.N() != 2 || red.Size() != 1 {
+		t.Fatalf("star reduction wrong: %v ok=%v", red, ok)
+	}
+	if _, _, ok := star.RemoveEdge(7); ok {
+		t.Fatal("out-of-range edge index must fail")
+	}
+	// A path cut in the middle disconnects: reduction invalid.
+	path := &Pattern{
+		NodeLabels: []string{"a", "b", "c"},
+		Edges:      []Edge{{0, 1, "r"}, {1, 2, "s"}},
+		Pivot:      0,
+	}
+	if _, _, ok := path.RemoveEdge(0); ok {
+		t.Fatal("cutting edge 0 strands the pivot-bearing side from x1-x2; must report not ok")
+	}
+}
+
+func TestEdgeReductions(t *testing.T) {
+	rs := q3().EdgeReductions()
+	if len(rs) != 2 {
+		t.Fatalf("q3 has %d edge reductions, want 2", len(rs))
+	}
+	for _, r := range rs {
+		if !r.Connected() {
+			t.Fatalf("reduction %v disconnected", r)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := q1().String()
+	if s == "" || s[0] != 'Q' {
+		t.Fatalf("String() = %q", s)
+	}
+	// Pivot marker must appear exactly once.
+	cnt := 0
+	for _, c := range s {
+		if c == '*' {
+			cnt++
+		}
+	}
+	if cnt != 1 {
+		t.Fatalf("pivot marker count = %d in %q", cnt, s)
+	}
+}

@@ -1,0 +1,60 @@
+package pattern
+
+// RemoveEdge returns the pattern obtained from p by deleting edge index ei
+// and any variables left without incident edges (except the pivot, which is
+// always retained), with variables renumbered densely. It reports false if
+// the result is disconnected or empty: such reductions are not valid bases
+// for negative GFDs (Section 4.2 case (a) requires a pattern with positive
+// support, hence a well-formed connected pattern pivoted at z).
+//
+// The returned remap slice gives, for each old variable, its new index or
+// -1 if dropped.
+func (p *Pattern) RemoveEdge(ei int) (q *Pattern, remap []int, ok bool) {
+	if ei < 0 || ei >= len(p.Edges) {
+		return nil, nil, false
+	}
+	edges := make([]Edge, 0, len(p.Edges)-1)
+	for i, e := range p.Edges {
+		if i != ei {
+			edges = append(edges, e)
+		}
+	}
+	// Keep variables that still have incident edges, plus the pivot.
+	keep := make([]bool, p.N())
+	keep[p.Pivot] = true
+	for _, e := range edges {
+		keep[e.Src] = true
+		keep[e.Dst] = true
+	}
+	remap = make([]int, p.N())
+	labels := make([]string, 0, p.N())
+	for v := 0; v < p.N(); v++ {
+		if keep[v] {
+			remap[v] = len(labels)
+			labels = append(labels, p.NodeLabels[v])
+		} else {
+			remap[v] = -1
+		}
+	}
+	q = &Pattern{NodeLabels: labels, Pivot: remap[p.Pivot]}
+	for _, e := range edges {
+		q.Edges = append(q.Edges, Edge{Src: remap[e.Src], Dst: remap[e.Dst], Label: e.Label})
+	}
+	if !q.Connected() {
+		return nil, nil, false
+	}
+	return q, remap, true
+}
+
+// EdgeReductions returns every connected pivot-retaining pattern obtained
+// by deleting exactly one edge of p — the candidate bases of a negative GFD
+// Q[x̄](∅ → false).
+func (p *Pattern) EdgeReductions() []*Pattern {
+	var out []*Pattern
+	for i := range p.Edges {
+		if q, _, ok := p.RemoveEdge(i); ok {
+			out = append(out, q)
+		}
+	}
+	return out
+}

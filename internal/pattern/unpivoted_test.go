@@ -1,0 +1,95 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCanonicalCodeUnpivoted(t *testing.T) {
+	// Same structure, different pivots: pivoted codes differ, unpivoted
+	// codes agree — the property ParCover's grouping relies on.
+	a := SingleEdge("person", "create", "product")
+	b := SingleEdge("person", "create", "product")
+	b.Pivot = 1
+	if a.CanonicalCode() == b.CanonicalCode() {
+		t.Fatal("pivoted codes must differ")
+	}
+	if a.CanonicalCodeUnpivoted() != b.CanonicalCodeUnpivoted() {
+		t.Fatal("unpivoted codes must agree")
+	}
+	// Different labels still differ.
+	c := SingleEdge("person", "create", "film")
+	if a.CanonicalCodeUnpivoted() == c.CanonicalCodeUnpivoted() {
+		t.Fatal("different labels must give different unpivoted codes")
+	}
+	// Single node.
+	if SingleNode("x").CanonicalCodeUnpivoted() == SingleNode("y").CanonicalCodeUnpivoted() {
+		t.Fatal("single-node unpivoted codes must differ by label")
+	}
+}
+
+// Property: unpivoted codes are invariant under variable renumbering AND
+// pivot movement.
+func TestQuickUnpivotedInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPattern(r, 2+r.Intn(3))
+		n := p.N()
+		perm := r.Perm(n)
+		q := &Pattern{NodeLabels: make([]string, n), Pivot: r.Intn(n)} // pivot moved arbitrarily
+		for v, l := range p.NodeLabels {
+			q.NodeLabels[perm[v]] = l
+		}
+		for _, e := range p.Edges {
+			q.Edges = append(q.Edges, Edge{Src: perm[e.Src], Dst: perm[e.Dst], Label: e.Label})
+		}
+		return p.CanonicalCodeUnpivoted() == q.CanonicalCodeUnpivoted()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelProfileCompatible(t *testing.T) {
+	host := &Pattern{
+		NodeLabels: []string{"a", "b", "c"},
+		Edges:      []Edge{{Src: 0, Dst: 1, Label: "r"}, {Src: 1, Dst: 2, Label: "s"}},
+	}
+	cases := []struct {
+		sub  *Pattern
+		want bool
+	}{
+		{SingleEdge("a", "r", "b"), true},
+		{SingleEdge("a", "x", "b"), false},               // edge label absent
+		{SingleEdge("z", "r", "b"), false},               // node label absent
+		{SingleEdge(Wildcard, "r", Wildcard), true},      // wildcards absorb
+		{SingleEdge(Wildcard, Wildcard, Wildcard), true}, // fully generic
+		{host, true}, // itself
+		{host.ExtendNewNode(2, "r", "a", true), false},                                // more nodes than host
+		{host.ExtendClosingEdge(2, 0, "r"), false},                                    // more edges than host
+		{&Pattern{NodeLabels: []string{"a", "a"}, Edges: []Edge{{0, 1, "r"}}}, false}, // needs two 'a' nodes
+	}
+	for i, c := range cases {
+		if got := LabelProfileCompatible(c.sub, host); got != c.want {
+			t.Fatalf("case %d (%v): got %v want %v", i, c.sub, got, c.want)
+		}
+	}
+}
+
+// Property: LabelProfileCompatible never rejects an actually-embeddable
+// pattern (it is a sound pre-filter).
+func TestQuickProfileFilterSound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sub := randomPattern(r, 1+r.Intn(2))
+		super := randomPattern(r, 2+r.Intn(3))
+		if EmbedsInto(sub, super, EmbedOptions{}) && !LabelProfileCompatible(sub, super) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

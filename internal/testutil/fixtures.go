@@ -1,0 +1,140 @@
+// Package testutil provides shared fixtures reproducing Example 1 and
+// Figure 1 of Fan et al. (SIGMOD 2018): the graphs G1, G2, G3, the patterns
+// Q1, Q2, Q3 and the GFDs φ1, φ2, φ3. They are used across test suites and
+// the quickstart example.
+package testutil
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// G1 is the YAGO3 fragment in which high-jumper John Winter is (wrongly)
+// credited with creating the film "Selling Out".
+func G1() *graph.Graph {
+	g := graph.New(2, 1)
+	john := g.AddNode("person", map[string]string{"name": "John Winter", "type": "high jumper"})
+	film := g.AddNode("product", map[string]string{"name": "Selling Out", "type": "film"})
+	g.AddEdge(john, film, "create")
+	g.Finalize()
+	return g
+}
+
+// G2 is the YAGO3 fragment in which Saint Petersburg is located both in
+// Russia and in Florida.
+func G2() *graph.Graph {
+	g := graph.New(3, 2)
+	sp := g.AddNode("city", map[string]string{"name": "Saint Petersburg"})
+	ru := g.AddNode("country", map[string]string{"name": "Russia"})
+	fl := g.AddNode("city", map[string]string{"name": "Florida"})
+	g.AddEdge(sp, ru, "located")
+	g.AddEdge(sp, fl, "located")
+	g.Finalize()
+	return g
+}
+
+// G3 is the DBpedia fragment in which John Brown and Owen Brown are
+// mutually parents of each other.
+func G3() *graph.Graph {
+	g := graph.New(2, 2)
+	owen := g.AddNode("person", map[string]string{"name": "Owen Brown"})
+	john := g.AddNode("person", map[string]string{"name": "John Brown"})
+	g.AddEdge(owen, john, "parent")
+	g.AddEdge(john, owen, "parent")
+	g.Finalize()
+	return g
+}
+
+// Q1 is the pattern (x0:person) -create-> (x1:product), pivot x0.
+func Q1() *pattern.Pattern { return pattern.SingleEdge("person", "create", "product") }
+
+// Q2 is the pattern city x0 located in both x1 and x2 (wildcards), pivot x0.
+func Q2() *pattern.Pattern {
+	return &pattern.Pattern{
+		NodeLabels: []string{"city", pattern.Wildcard, pattern.Wildcard},
+		Edges: []pattern.Edge{
+			{Src: 0, Dst: 1, Label: "located"},
+			{Src: 0, Dst: 2, Label: "located"},
+		},
+	}
+}
+
+// Q3 is the parent 2-cycle between two persons, pivot x0.
+func Q3() *pattern.Pattern {
+	return &pattern.Pattern{
+		NodeLabels: []string{"person", "person"},
+		Edges: []pattern.Edge{
+			{Src: 0, Dst: 1, Label: "parent"},
+			{Src: 1, Dst: 0, Label: "parent"},
+		},
+	}
+}
+
+// Phi1 is φ1 = Q1[x,y](y.type = "film" → x.type = "producer").
+func Phi1() *core.GFD {
+	return core.New(Q1(), []core.Literal{core.Const(1, "type", "film")}, core.Const(0, "type", "producer"))
+}
+
+// Phi2 is φ2 = Q2[x,y,z](∅ → y.name = z.name).
+func Phi2() *core.GFD {
+	return core.New(Q2(), nil, core.Vars(1, "name", 2, "name"))
+}
+
+// Phi3 is φ3 = Q3[x,y](∅ → false).
+func Phi3() *core.GFD {
+	return core.New(Q3(), nil, core.False())
+}
+
+// Merge returns a single graph containing disjoint copies of the given
+// graphs.
+func Merge(gs ...*graph.Graph) *graph.Graph {
+	total := 0
+	for _, g := range gs {
+		total += g.NumNodes()
+	}
+	out := graph.New(total, 0)
+	for _, g := range gs {
+		base := out.NumNodes()
+		for v := 0; v < g.NumNodes(); v++ {
+			id := graph.NodeID(v)
+			attrs := g.Attrs(id)
+			var cp map[string]string
+			if attrs != nil {
+				cp = make(map[string]string, len(attrs))
+				for k, val := range attrs {
+					cp[k] = val
+				}
+			}
+			out.AddNode(g.Label(id), cp)
+		}
+		g.Edges(func(e graph.Edge) bool {
+			out.AddEdge(e.Src+graph.NodeID(base), e.Dst+graph.NodeID(base), e.Label)
+			return true
+		})
+	}
+	out.Finalize()
+	return out
+}
+
+// CleanG1 returns a corrected version of G1: the creator is producer Jack
+// Winter, so φ1 holds.
+func CleanG1() *graph.Graph {
+	g := graph.New(2, 1)
+	jack := g.AddNode("person", map[string]string{"name": "Jack Winter", "type": "producer"})
+	film := g.AddNode("product", map[string]string{"name": "Selling Out", "type": "film"})
+	g.AddEdge(jack, film, "create")
+	g.Finalize()
+	return g
+}
+
+// CleanG2 returns a corrected version of G2: Saint Petersburg is located
+// only in Russia (via a second edge to the same country), so φ2 holds.
+func CleanG2() *graph.Graph {
+	g := graph.New(2, 1)
+	sp := g.AddNode("city", map[string]string{"name": "Saint Petersburg"})
+	ru := g.AddNode("country", map[string]string{"name": "Russia"})
+	g.AddEdge(sp, ru, "located")
+	g.Finalize()
+	return g
+}

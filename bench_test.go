@@ -190,9 +190,49 @@ func BenchmarkAblationSupportDef(b *testing.B) {
 func BenchmarkMatcherEnumerate(b *testing.B) {
 	g := dataset.YAGO2Sim(400, 42)
 	p := SingleEdge(Wildcard, "citizenOf", "country")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		match.CountMatches(g, p, 0)
+	}
+}
+
+// dbpediaBenchWorkload returns a DBpedia-shaped graph and a 2-edge path
+// pattern over its frequent types, the pivoted-matching workload that
+// dominates SeqDis/ParDis and every Fig. 5 benchmark.
+func dbpediaBenchWorkload() (*Graph, *Pattern) {
+	g := dataset.DBpediaSim(2000, 42)
+	// x0:T00 -r00-> x1:T01 -r01-> x2:T02, pivoted at x0 (relation r_k
+	// prefers source type T_k and destination type T_{k+1}).
+	p := SingleEdge("T00", "r00", "T01").ExtendNewNode(1, "r01", "T02", true)
+	return g, p
+}
+
+func BenchmarkPivotNodes(b *testing.B) {
+	g, p := dbpediaBenchWorkload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pivots := match.PivotNodes(g, p); len(pivots) == 0 {
+			b.Fatal("workload pattern has no pivots")
+		}
+	}
+}
+
+func BenchmarkMatchesAt(b *testing.B) {
+	g, p := dbpediaBenchWorkload()
+	cands := g.NodesByLabel("T00")
+	if len(cands) == 0 {
+		b.Fatal("no candidate pivots")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		match.MatchesAt(g, p, cands[i%len(cands)], func(match.Match) bool {
+			n++
+			return true
+		})
 	}
 }
 

@@ -68,58 +68,72 @@ type Options struct {
 	MaxRules int
 }
 
-// index holds per-relation adjacency for counting.
+// index answers per-relation adjacency queries straight off the graph's
+// interned CSR label runs: out/in neighbour scans are contiguous run
+// slices and fact checks are binary searches, with no per-relation maps to
+// build or chase.
 type index struct {
 	g *graph.Graph
-	// facts[rel] = edge count.
-	facts map[string]int
-	// out[rel][src] = dsts; in[rel][dst] = srcs.
-	out map[string]map[graph.NodeID][]graph.NodeID
-	in  map[string]map[graph.NodeID][]graph.NodeID
-	// hasHeadX[rel] = set of nodes x with some rel(x, ·) fact.
-	hasHeadX map[string]map[graph.NodeID]bool
+	// facts[rel] = edge count, indexed by interned LabelID. Node labels
+	// share the table, so entries for them stay zero.
+	facts []int
+	// srcs[rel] = the nodes with at least one rel(·) out-edge, ascending.
+	// Grounding enumeration iterates these instead of all nodes, so sparse
+	// relations stay cheap on large graphs.
+	srcs [][]graph.NodeID
 }
 
 func buildIndex(g *graph.Graph) *index {
 	ix := &index{
-		g:        g,
-		facts:    make(map[string]int),
-		out:      make(map[string]map[graph.NodeID][]graph.NodeID),
-		in:       make(map[string]map[graph.NodeID][]graph.NodeID),
-		hasHeadX: make(map[string]map[graph.NodeID]bool),
+		g:     g,
+		facts: make([]int, g.NumLabels()),
+		srcs:  make([][]graph.NodeID, g.NumLabels()),
 	}
-	g.Edges(func(e graph.Edge) bool {
-		ix.facts[e.Label]++
-		if ix.out[e.Label] == nil {
-			ix.out[e.Label] = make(map[graph.NodeID][]graph.NodeID)
-			ix.in[e.Label] = make(map[graph.NodeID][]graph.NodeID)
-			ix.hasHeadX[e.Label] = make(map[graph.NodeID]bool)
+	for v := 0; v < g.NumNodes(); v++ {
+		lo, hi := g.OutRuns(graph.NodeID(v))
+		for r := lo; r < hi; r++ {
+			l := g.OutRunLabel(r)
+			ix.facts[l] += len(g.OutRunNodes(r))
+			ix.srcs[l] = append(ix.srcs[l], graph.NodeID(v))
 		}
-		ix.out[e.Label][e.Src] = append(ix.out[e.Label][e.Src], e.Dst)
-		ix.in[e.Label][e.Dst] = append(ix.in[e.Label][e.Dst], e.Src)
-		ix.hasHeadX[e.Label][e.Src] = true
-		return true
-	})
+	}
 	return ix
 }
 
-func (ix *index) has(rel string, s, d graph.NodeID) bool {
-	for _, v := range ix.out[rel][s] {
-		if v == d {
-			return true
-		}
+// rel resolves a relation name; ok=false means the graph has no such facts.
+func (ix *index) rel(name string) (graph.LabelID, bool) {
+	id, ok := ix.g.LookupLabel(name)
+	return id, ok && ix.facts[id] > 0
+}
+
+func (ix *index) factCount(name string) int {
+	id, ok := ix.rel(name)
+	if !ok {
+		return 0
 	}
-	return false
+	return ix.facts[id]
+}
+
+func (ix *index) has(rel graph.LabelID, s, d graph.NodeID) bool {
+	return ix.g.HasEdgeID(s, d, rel)
+}
+
+// hasHeadX reports whether x has any rel(x, ·) fact — the PCA denominator
+// condition.
+func (ix *index) hasHeadX(rel graph.LabelID, x graph.NodeID) bool {
+	return len(ix.g.OutTo(x, rel)) > 0
 }
 
 // relations returns the relation names sorted by descending fact count.
 func (ix *index) relations() []string {
-	rels := make([]string, 0, len(ix.facts))
-	for r := range ix.facts {
-		rels = append(rels, r)
+	var rels []string
+	for id, c := range ix.facts {
+		if c > 0 {
+			rels = append(rels, ix.g.LabelName(graph.LabelID(id)))
+		}
 	}
 	sort.Slice(rels, func(i, j int) bool {
-		ci, cj := ix.facts[rels[i]], ix.facts[rels[j]]
+		ci, cj := ix.factCount(rels[i]), ix.factCount(rels[j])
 		if ci != cj {
 			return ci > cj
 		}
@@ -132,7 +146,8 @@ func (ix *index) relations() []string {
 type pairKey struct{ x, y graph.NodeID }
 
 // bodyGroundings enumerates distinct (x, y) groundings of the body,
-// calling fn once per pair.
+// calling fn once per pair. Relation names are resolved to interned IDs
+// once; the enumeration itself walks CSR runs.
 func (ix *index) bodyGroundings(body []Atom, fn func(x, y graph.NodeID)) {
 	seen := make(map[pairKey]bool)
 	emit := func(x, y graph.NodeID) {
@@ -142,11 +157,16 @@ func (ix *index) bodyGroundings(body []Atom, fn func(x, y graph.NodeID)) {
 			fn(x, y)
 		}
 	}
+	g := ix.g
 	switch len(body) {
 	case 1:
 		a := body[0]
-		for s, ds := range ix.out[a.Rel] {
-			for _, d := range ds {
+		aRel, ok := ix.rel(a.Rel)
+		if !ok {
+			return
+		}
+		for _, s := range ix.srcs[aRel] {
+			for _, d := range g.OutTo(s, aRel) {
 				vals := [2]graph.NodeID{}
 				vals[a.Args[0]], vals[a.Args[1]] = s, d
 				emit(vals[0], vals[1])
@@ -157,8 +177,13 @@ func (ix *index) bodyGroundings(body []Atom, fn func(x, y graph.NodeID)) {
 		// over {x, y} directly. Enumerate the first atom's edges, then the
 		// second's candidates via the shared variable.
 		a, b := body[0], body[1]
-		for s, ds := range ix.out[a.Rel] {
-			for _, d := range ds {
+		aRel, aok := ix.rel(a.Rel)
+		bRel, bok := ix.rel(b.Rel)
+		if !aok || !bok {
+			return
+		}
+		for _, s := range ix.srcs[aRel] {
+			for _, d := range g.OutTo(s, aRel) {
 				var vals [3]graph.NodeID
 				var bound [3]bool
 				vals[a.Args[0]], bound[a.Args[0]] = s, true
@@ -167,16 +192,16 @@ func (ix *index) bodyGroundings(body []Atom, fn func(x, y graph.NodeID)) {
 				b0, b1 := b.Args[0], b.Args[1]
 				switch {
 				case bound[b0] && bound[b1]:
-					if ix.has(b.Rel, vals[b0], vals[b1]) {
+					if ix.has(bRel, vals[b0], vals[b1]) {
 						emit(vals[0], vals[1])
 					}
 				case bound[b0]:
-					for _, v := range ix.out[b.Rel][vals[b0]] {
+					for _, v := range g.OutTo(vals[b0], bRel) {
 						vals[b1] = v
 						emit(vals[0], vals[1])
 					}
 				case bound[b1]:
-					for _, v := range ix.in[b.Rel][vals[b1]] {
+					for _, v := range g.InFrom(vals[b1], bRel) {
 						vals[b0] = v
 						emit(vals[0], vals[1])
 					}
@@ -219,9 +244,11 @@ func Mine(g *graph.Graph, opts Options) []Rule {
 	rels := ix.relations()
 	var rules []Rule
 	for _, head := range rels {
-		if ix.facts[head] < opts.MinSupport {
+		headFacts := ix.factCount(head)
+		if headFacts < opts.MinSupport {
 			continue
 		}
+		headRel, _ := ix.rel(head)
 		headAtom := Atom{Rel: head, Args: [2]int{0, 1}}
 		for _, body := range bodyShapes(rels) {
 			if len(body) == 1 && body[0].Rel == head && body[0].Args == headAtom.Args {
@@ -230,10 +257,10 @@ func Mine(g *graph.Graph, opts Options) []Rule {
 			support, bodyCount, pcaCount := 0, 0, 0
 			ix.bodyGroundings(body, func(x, y graph.NodeID) {
 				bodyCount++
-				if ix.hasHeadX[head][x] {
+				if ix.hasHeadX(headRel, x) {
 					pcaCount++
 				}
-				if ix.has(head, x, y) {
+				if ix.has(headRel, x, y) {
 					support++
 				}
 			})
@@ -244,7 +271,7 @@ func Mine(g *graph.Graph, opts Options) []Rule {
 				Head:          headAtom,
 				Body:          body,
 				Support:       support,
-				HeadCoverage:  float64(support) / float64(ix.facts[head]),
+				HeadCoverage:  float64(support) / float64(headFacts),
 				StdConfidence: float64(support) / float64(bodyCount),
 			}
 			if pcaCount > 0 {
@@ -274,8 +301,9 @@ func PredictedViolations(g *graph.Graph, rules []Rule) map[graph.NodeID]struct{}
 	ix := buildIndex(g)
 	bad := make(map[graph.NodeID]struct{})
 	for _, r := range rules {
+		headRel, ok := ix.rel(r.Head.Rel)
 		ix.bodyGroundings(r.Body, func(x, y graph.NodeID) {
-			if !ix.has(r.Head.Rel, x, y) {
+			if !ok || !ix.has(headRel, x, y) {
 				bad[x] = struct{}{}
 				bad[y] = struct{}{}
 			}

@@ -23,9 +23,11 @@ func MineParallel(g *graph.Graph, opts Options, eng *cluster.Engine) []Rule {
 		var local []Rule
 		for hi := w; hi < len(rels); hi += n {
 			head := rels[hi]
-			if ix.facts[head] < opts.MinSupport {
+			headFacts := ix.factCount(head)
+			if headFacts < opts.MinSupport {
 				continue
 			}
+			headRel, _ := ix.rel(head)
 			headAtom := Atom{Rel: head, Args: [2]int{0, 1}}
 			for _, body := range bodyShapes(rels) {
 				if len(body) == 1 && body[0].Rel == head && body[0].Args == headAtom.Args {
@@ -34,10 +36,10 @@ func MineParallel(g *graph.Graph, opts Options, eng *cluster.Engine) []Rule {
 				support, bodyCount, pcaCount := 0, 0, 0
 				ix.bodyGroundings(body, func(x, y graph.NodeID) {
 					bodyCount++
-					if ix.hasHeadX[head][x] {
+					if ix.hasHeadX(headRel, x) {
 						pcaCount++
 					}
-					if ix.has(head, x, y) {
+					if ix.has(headRel, x, y) {
 						support++
 					}
 				})
@@ -48,7 +50,7 @@ func MineParallel(g *graph.Graph, opts Options, eng *cluster.Engine) []Rule {
 					Head:          headAtom,
 					Body:          body,
 					Support:       support,
-					HeadCoverage:  float64(support) / float64(ix.facts[head]),
+					HeadCoverage:  float64(support) / float64(headFacts),
 					StdConfidence: float64(support) / float64(bodyCount),
 				}
 				if pcaCount > 0 {

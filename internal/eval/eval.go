@@ -59,7 +59,7 @@ func MatchSatisfies(g *graph.Graph, m match.Match, phi *core.GFD) bool {
 // Validate reports G ⊨ φ: every match of φ's pattern satisfies X → l.
 func Validate(g *graph.Graph, phi *core.GFD) bool {
 	ok := true
-	match.Enumerate(g, phi.Q, func(m match.Match) bool {
+	match.PlanFor(g, phi.Q).Enumerate(func(m match.Match) bool {
 		if !MatchSatisfies(g, m, phi) {
 			ok = false
 			return false
@@ -84,7 +84,7 @@ func ValidateAll(g *graph.Graph, sigma []*core.GFD) (bool, int) {
 // means all). Each returned match is an independent copy.
 func Violations(g *graph.Graph, phi *core.GFD, limit int) []match.Match {
 	var out []match.Match
-	match.Enumerate(g, phi.Q, func(m match.Match) bool {
+	match.PlanFor(g, phi.Q).Enumerate(func(m match.Match) bool {
 		if !MatchSatisfies(g, m, phi) {
 			out = append(out, m.Clone())
 			if limit > 0 && len(out) >= limit {
@@ -102,7 +102,7 @@ func Violations(g *graph.Graph, phi *core.GFD, limit int) []match.Match {
 func ViolatingNodes(g *graph.Graph, sigma []*core.GFD) map[graph.NodeID]struct{} {
 	bad := make(map[graph.NodeID]struct{})
 	for _, phi := range sigma {
-		match.Enumerate(g, phi.Q, func(m match.Match) bool {
+		match.PlanFor(g, phi.Q).Enumerate(func(m match.Match) bool {
 			if !MatchSatisfies(g, m, phi) {
 				for _, v := range m {
 					bad[v] = struct{}{}
@@ -116,7 +116,7 @@ func ViolatingNodes(g *graph.Graph, sigma []*core.GFD) map[graph.NodeID]struct{}
 
 // PatternSupport returns supp(Q, G) = |Q(G, z)| for φ's pattern.
 func PatternSupport(g *graph.Graph, phi *core.GFD) int {
-	return match.PatternSupport(g, phi.Q)
+	return match.PlanFor(g, phi.Q).Support()
 }
 
 // SupportDetail carries the support decomposition of Section 4.2.
@@ -140,7 +140,7 @@ func Supp(g *graph.Graph, phi *core.GFD) int {
 		return NegativeSupport(g, phi)
 	}
 	pivots := make(map[graph.NodeID]struct{})
-	match.Enumerate(g, phi.Q, func(m match.Match) bool {
+	match.PlanFor(g, phi.Q).Enumerate(func(m match.Match) bool {
 		if AllHold(g, m, phi.X) && LiteralHolds(g, m, phi.RHS) {
 			pivots[m[phi.Q.Pivot]] = struct{}{}
 		}
@@ -166,7 +166,7 @@ func Detail(g *graph.Graph, phi *core.GFD) SupportDetail {
 // this is zero before emitting a negative GFD.
 func ConditionSupport(g *graph.Graph, phi *core.GFD) int {
 	pivots := make(map[graph.NodeID]struct{})
-	match.Enumerate(g, phi.Q, func(m match.Match) bool {
+	match.PlanFor(g, phi.Q).Enumerate(func(m match.Match) bool {
 		if AllHold(g, m, phi.X) {
 			pivots[m[phi.Q.Pivot]] = struct{}{}
 		}
@@ -190,7 +190,9 @@ func NegativeSupport(g *graph.Graph, phi *core.GFD) int {
 	best := 0
 	if len(phi.X) == 0 {
 		for _, q := range phi.Q.EdgeReductions() {
-			if s := match.PatternSupport(g, q); s > best {
+			// Edge reductions are freshly allocated each call; an uncached
+			// compile keeps them out of the per-graph plan cache.
+			if s := match.Compile(g, q).Support(); s > best {
 				best = s
 			}
 		}

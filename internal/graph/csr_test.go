@@ -1,0 +1,332 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// --- Label interning ---
+
+func TestLabelInterningRoundTrip(t *testing.T) {
+	g := buildSample()
+	for v := 0; v < g.NumNodes(); v++ {
+		id := NodeID(v)
+		name := g.Label(id)
+		lid, ok := g.LookupLabel(name)
+		if !ok {
+			t.Fatalf("node label %q not interned", name)
+		}
+		if lid != g.NodeLabelID(id) {
+			t.Fatalf("node %d: LookupLabel(%q) = %d, NodeLabelID = %d", v, name, lid, g.NodeLabelID(id))
+		}
+		if g.LabelName(lid) != name {
+			t.Fatalf("LabelName(%d) = %q, want %q", lid, g.LabelName(lid), name)
+		}
+	}
+	g.Edges(func(e Edge) bool {
+		lid, ok := g.LookupLabel(e.Label)
+		if !ok {
+			t.Fatalf("edge label %q not interned", e.Label)
+		}
+		if g.LabelName(lid) != e.Label {
+			t.Fatalf("edge label round trip: %q -> %d -> %q", e.Label, lid, g.LabelName(lid))
+		}
+		return true
+	})
+	if _, ok := g.LookupLabel("no-such-label"); ok {
+		t.Fatal("LookupLabel invented a label")
+	}
+	if g.NumLabels() == 0 {
+		t.Fatal("no labels interned")
+	}
+}
+
+func TestNodesByLabelIDMatchesString(t *testing.T) {
+	g := buildSample()
+	for _, name := range g.Labels() {
+		id, ok := g.LookupLabel(name)
+		if !ok {
+			t.Fatalf("label %q missing", name)
+		}
+		if !reflect.DeepEqual(g.NodesByLabel(name), g.NodesByLabelID(id)) {
+			t.Fatalf("NodesByLabel(%q) != NodesByLabelID(%d)", name, id)
+		}
+	}
+}
+
+// --- CSR vs. linear-scan differential on random graphs ---
+
+// naiveGraph mirrors the pre-CSR representation: a plain edge list scanned
+// linearly with string compares.
+type naiveGraph struct {
+	n     int
+	edges []Edge
+}
+
+func (ng *naiveGraph) hasEdge(src, dst NodeID, label string) bool {
+	for _, e := range ng.edges {
+		if e.Src == src && e.Dst == dst && (label == "" || e.Label == label) {
+			return true
+		}
+	}
+	return false
+}
+
+func (ng *naiveGraph) outTo(v NodeID, label string) []NodeID {
+	var out []NodeID
+	for _, e := range ng.edges {
+		if e.Src == v && e.Label == label {
+			out = append(out, e.Dst)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (ng *naiveGraph) inFrom(v NodeID, label string) []NodeID {
+	var in []NodeID
+	for _, e := range ng.edges {
+		if e.Dst == v && e.Label == label {
+			in = append(in, e.Src)
+		}
+	}
+	sort.Slice(in, func(i, j int) bool { return in[i] < in[j] })
+	return in
+}
+
+func (ng *naiveGraph) degrees(v NodeID) (out, in int) {
+	for _, e := range ng.edges {
+		if e.Src == v {
+			out++
+		}
+		if e.Dst == v {
+			in++
+		}
+	}
+	return out, in
+}
+
+func randomCSRGraph(r *rand.Rand, n, m int) (*Graph, *naiveGraph) {
+	nodeLabels := []string{"a", "b", "c", "d"}
+	edgeLabels := []string{"r", "s", "t", "u", "w"}
+	g := New(n, m)
+	for i := 0; i < n; i++ {
+		g.AddNode(nodeLabels[r.Intn(len(nodeLabels))], nil)
+	}
+	seen := make(map[Edge]bool)
+	ng := &naiveGraph{n: n}
+	for i := 0; i < m; i++ {
+		e := Edge{
+			Src:   NodeID(r.Intn(n)),
+			Dst:   NodeID(r.Intn(n)),
+			Label: edgeLabels[r.Intn(len(edgeLabels))],
+		}
+		g.AddEdge(e.Src, e.Dst, e.Label)
+		if !seen[e] {
+			seen[e] = true
+			ng.edges = append(ng.edges, e)
+		}
+	}
+	g.Finalize()
+	return g, ng
+}
+
+func TestCSRDifferentialRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	edgeLabels := []string{"r", "s", "t", "u", "w", "absent"}
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(12)
+		g, ng := randomCSRGraph(r, n, r.Intn(4*n))
+		if g.NumEdges() != len(ng.edges) {
+			t.Fatalf("trial %d: NumEdges = %d, naive %d", trial, g.NumEdges(), len(ng.edges))
+		}
+		for v := 0; v < n; v++ {
+			id := NodeID(v)
+			wantOut, wantIn := ng.degrees(id)
+			if g.OutDegree(id) != wantOut || g.InDegree(id) != wantIn {
+				t.Fatalf("trial %d node %d: degrees (%d,%d), naive (%d,%d)",
+					trial, v, g.OutDegree(id), g.InDegree(id), wantOut, wantIn)
+			}
+			if len(g.Out(id)) != wantOut || len(g.In(id)) != wantIn {
+				t.Fatalf("trial %d node %d: Out/In shim lengths disagree with degrees", trial, v)
+			}
+			for _, l := range edgeLabels {
+				lid, ok := g.LookupLabel(l)
+				var got []NodeID
+				if ok {
+					got = g.OutTo(id, lid)
+				}
+				if want := ng.outTo(id, l); !sameNodeIDs(got, want) {
+					t.Fatalf("trial %d: OutTo(%d, %s) = %v, naive %v", trial, v, l, got, want)
+				}
+				if ok {
+					got = g.InFrom(id, lid)
+				} else {
+					got = nil
+				}
+				if want := ng.inFrom(id, l); !sameNodeIDs(got, want) {
+					t.Fatalf("trial %d: InFrom(%d, %s) = %v, naive %v", trial, v, l, got, want)
+				}
+			}
+			for d := 0; d < n; d++ {
+				for _, l := range append(edgeLabels, "") {
+					if got, want := g.HasEdge(id, NodeID(d), l), ng.hasEdge(id, NodeID(d), l); got != want {
+						t.Fatalf("trial %d: HasEdge(%d,%d,%q) = %v, naive %v", trial, v, d, l, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func sameNodeIDs(a, b []NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRunIterationCoversAllEdges checks that walking the label runs visits
+// every edge exactly once, in agreement with Edges.
+func TestRunIterationCoversAllEdges(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	g, _ := randomCSRGraph(r, 10, 40)
+	want := make(map[Edge]int)
+	g.Edges(func(e Edge) bool { want[e]++; return true })
+	got := make(map[Edge]int)
+	for v := 0; v < g.NumNodes(); v++ {
+		lo, hi := g.OutRuns(NodeID(v))
+		for run := lo; run < hi; run++ {
+			name := g.LabelName(g.OutRunLabel(run))
+			for _, d := range g.OutRunNodes(run) {
+				got[Edge{Src: NodeID(v), Dst: d, Label: name}]++
+			}
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("run iteration visited %v, Edges %v", got, want)
+	}
+	// And through the in-runs.
+	got = make(map[Edge]int)
+	for v := 0; v < g.NumNodes(); v++ {
+		lo, hi := g.InRuns(NodeID(v))
+		for run := lo; run < hi; run++ {
+			name := g.LabelName(g.InRunLabel(run))
+			for _, s := range g.InRunNodes(run) {
+				got[Edge{Src: s, Dst: NodeID(v), Label: name}]++
+			}
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("in-run iteration visited %v, Edges %v", got, want)
+	}
+}
+
+// TestMutateAfterFinalize exercises the CSR -> staged-edge -> CSR round
+// trip: mutating a finalized graph must preserve the existing edges.
+func TestMutateAfterFinalize(t *testing.T) {
+	g := buildSample()
+	before := make(map[Edge]bool)
+	g.Edges(func(e Edge) bool { before[e] = true; return true })
+
+	// Adding a node after Finalize and then an edge touching it.
+	nv := g.AddNode("city", nil)
+	g.AddEdge(0, nv, "bornIn")
+	g.Finalize()
+
+	after := make(map[Edge]bool)
+	g.Edges(func(e Edge) bool { after[e] = true; return true })
+	if len(after) != len(before)+1 {
+		t.Fatalf("edge count after mutation: %d, want %d", len(after), len(before)+1)
+	}
+	for e := range before {
+		if !after[e] {
+			t.Fatalf("edge %v lost across definalize/refinalize", e)
+		}
+	}
+	if !g.HasEdge(0, nv, "bornIn") {
+		t.Fatal("new edge missing")
+	}
+}
+
+// TestAddNodeAfterFinalizeKeepsEdges: AddNode alone (no AddEdge) between
+// two Finalizes must not drop the CSR — Finalize rebuilds from staged
+// edges, which have to be reconstructed from the existing index first.
+func TestAddNodeAfterFinalizeKeepsEdges(t *testing.T) {
+	g := New(2, 1)
+	a := g.AddNode("a", nil)
+	b := g.AddNode("b", nil)
+	g.AddEdge(a, b, "r")
+	g.Finalize()
+	g.AddNode("c", nil) // definalizes without touching edges
+	g.Finalize()
+	if g.NumEdges() != 1 || !g.HasEdge(a, b, "r") {
+		t.Fatalf("edge lost across AddNode+Finalize: NumEdges=%d", g.NumEdges())
+	}
+}
+
+// TestFindRunBinarySearchAbsentLabel: with enough distinct labels at one
+// node to trigger the binary-search branch, an absent label greater than
+// all of the node's run labels must not leak into the next node's runs.
+func TestFindRunBinarySearchAbsentLabel(t *testing.T) {
+	g := New(3, 32)
+	v0 := g.AddNode("n", nil)
+	v1 := g.AddNode("n", nil)
+	v2 := g.AddNode("n", nil)
+	for i := 0; i < 20; i++ { // 20 distinct labels at v0: binary branch
+		g.AddEdge(v0, v1, fmt.Sprintf("l%02d", i))
+	}
+	g.AddEdge(v1, v2, "zz") // interned after all of v0's labels
+	g.Finalize()
+	if got := g.OutTo(v0, mustLabel(t, g, "zz")); got != nil {
+		t.Fatalf("OutTo(v0, zz) = %v, want nil (v0 has no zz edge)", got)
+	}
+	if g.HasEdge(v0, v2, "zz") {
+		t.Fatal("HasEdge(v0, v2, zz) = true: leaked into v1's runs")
+	}
+	if !g.HasEdge(v1, v2, "zz") {
+		t.Fatal("HasEdge(v1, v2, zz) = false")
+	}
+	if got := g.OutTo(v0, mustLabel(t, g, "l13")); !sameNodeIDs(got, []NodeID{v1}) {
+		t.Fatalf("OutTo(v0, l13) = %v, want [%d]", got, v1)
+	}
+}
+
+func mustLabel(t *testing.T, g *Graph, name string) LabelID {
+	t.Helper()
+	id, ok := g.LookupLabel(name)
+	if !ok {
+		t.Fatalf("label %q not interned", name)
+	}
+	return id
+}
+
+// TestNewCapacityHint verifies graph.New honours both hints (the edge hint
+// used to be ignored): building exactly to the hints must not disturb
+// behaviour, and the graph must stay correct past them.
+func TestNewCapacityHint(t *testing.T) {
+	const n, m = 50, 200
+	g := New(n, m)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < n; i++ {
+		g.AddNode("x", nil)
+	}
+	for i := 0; i < m+10; i++ { // exceed the hint: growth must still work
+		g.AddEdge(NodeID(r.Intn(n)), NodeID(r.Intn(n)), "r")
+	}
+	g.Finalize()
+	if g.NumNodes() != n {
+		t.Fatalf("NumNodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() == 0 || g.NumEdges() > m+10 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+}

@@ -7,15 +7,21 @@
 // Graphs are schemaless: different nodes, even with the same label, may
 // carry different attribute sets.
 //
-// The package provides adjacency and label indexes tuned for the access
-// patterns of subgraph-isomorphism matching: out/in neighbour scans
-// filtered by edge label, constant-time edge-existence tests, and
-// label-based candidate enumeration.
+// Storage is tuned for the access patterns of subgraph-isomorphism
+// matching. All labels are interned into dense LabelIDs by a per-graph
+// symbol table (see intern.go), and Finalize compiles adjacency into flat
+// CSR arrays sorted by (label, neighbour) with per-node per-label runs: an
+// anchored scan for one edge label is a short run lookup yielding a
+// contiguous []NodeID, and edge-existence tests are binary searches within
+// a run — no string comparisons anywhere on the matching hot path. The
+// string-based accessors (Out, In, HasEdge, NodesByLabel, ...) remain as
+// thin shims over the interned representation.
 package graph
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // NodeID identifies a node in a Graph. IDs are dense: 0..NumNodes()-1.
@@ -28,12 +34,10 @@ type HalfEdge struct {
 	To    NodeID
 }
 
-// node is the internal node representation.
-type node struct {
-	label string
-	attrs map[string]string
-	out   []HalfEdge // sorted by (To, Label) once finalized
-	in    []HalfEdge // sorted by (To, Label) once finalized; To is the source
+// rawEdge is a staged edge held between AddEdge and Finalize.
+type rawEdge struct {
+	src, dst NodeID
+	label    LabelID
 }
 
 // Graph is a directed labelled property multigraph. Parallel edges between
@@ -41,29 +45,90 @@ type node struct {
 // which knowledge graphs require (e.g. two relations between the same pair
 // of entities).
 //
-// A Graph is built incrementally with AddNode/AddEdge and must be
-// finalized with Finalize before matching. The zero value is an empty,
-// finalized graph ready for use.
+// A Graph is built incrementally with AddNode/AddEdge and finalized with
+// Finalize, which interns labels and compiles the CSR indexes; accessors
+// finalize lazily, so forgetting the call costs a rebuild, not correctness.
+// The zero value is an empty graph ready for use.
 type Graph struct {
-	nodes     []node
-	numEdges  int
-	byLabel   map[string][]NodeID // node label -> sorted node IDs
+	syms   *Symbols
+	labels []LabelID // node label per node
+	attrs  []map[string]string
+
+	raw      []rawEdge // staged edges; nil while finalized
+	numEdges int       // exact only after Finalize
+
+	// CSR adjacency, valid while finalized. Out-edges of all nodes are
+	// concatenated in outTo, grouped by source and sorted by (label, dst);
+	// each maximal (source, label) group is a "run". Node v's runs are
+	// outRunNode[v]..outRunNode[v+1]; run r has label outRunLabel[r] and
+	// spans outTo[outRunOff[r]:outRunOff[r+1]]. The in-CSR mirrors this
+	// with inTo holding edge sources.
+	outTo, inTo             []NodeID
+	outRunNode, inRunNode   []uint32
+	outRunLabel, inRunLabel []LabelID
+	outRunOff, inRunOff     []uint32
+
+	byLabel   [][]NodeID // node IDs per node-label LabelID, ascending
+	planCache sync.Map   // opaque per-graph cache of derived structures
 	finalized bool
 }
 
-// New returns an empty graph with capacity hints for n nodes and m edges.
+// New returns an empty graph pre-sized for n nodes and m edges.
 func New(n, m int) *Graph {
-	g := &Graph{nodes: make([]node, 0, n), byLabel: make(map[string][]NodeID)}
-	g.finalized = true
-	return g
+	return &Graph{
+		syms:   NewSymbols(),
+		labels: make([]LabelID, 0, n),
+		attrs:  make([]map[string]string, 0, n),
+		raw:    make([]rawEdge, 0, m),
+	}
+}
+
+func (g *Graph) symtab() *Symbols {
+	if g.syms == nil {
+		g.syms = NewSymbols()
+	}
+	return g.syms
+}
+
+// ensureMutable moves the graph back to staged-edge form so AddEdge can
+// append; the CSR indexes are rebuilt on the next Finalize.
+func (g *Graph) ensureMutable() {
+	if g.raw == nil && g.outTo != nil {
+		raw := make([]rawEdge, 0, len(g.outTo))
+		// Only nodes present at the last Finalize are covered by the CSR;
+		// nodes added since then cannot have edges yet.
+		for v := 0; v < len(g.outRunNode)-1; v++ {
+			lo, hi := int(g.outRunNode[v]), int(g.outRunNode[v+1])
+			for r := lo; r < hi; r++ {
+				l := g.outRunLabel[r]
+				for _, d := range g.outTo[g.outRunOff[r]:g.outRunOff[r+1]] {
+					raw = append(raw, rawEdge{src: NodeID(v), dst: d, label: l})
+				}
+			}
+		}
+		g.raw = raw
+		g.outTo, g.inTo = nil, nil
+		g.outRunNode, g.inRunNode = nil, nil
+		g.outRunLabel, g.inRunLabel = nil, nil
+		g.outRunOff, g.inRunOff = nil, nil
+	}
+	g.finalized = false
+}
+
+// requireFinal lazily finalizes before an indexed read.
+func (g *Graph) requireFinal() {
+	if !g.finalized {
+		g.Finalize()
+	}
 }
 
 // AddNode appends a node with the given label and attribute tuple and
 // returns its ID. The attrs map is retained by the graph (not copied);
 // callers must not mutate it afterwards. A nil attrs is allowed.
 func (g *Graph) AddNode(label string, attrs map[string]string) NodeID {
-	id := NodeID(len(g.nodes))
-	g.nodes = append(g.nodes, node{label: label, attrs: attrs})
+	id := NodeID(len(g.labels))
+	g.labels = append(g.labels, g.symtab().Intern(label))
+	g.attrs = append(g.attrs, attrs)
 	g.finalized = false
 	return id
 }
@@ -72,140 +137,367 @@ func (g *Graph) AddNode(label string, attrs map[string]string) NodeID {
 // already exist. Duplicate (src, dst, label) triples are inserted as given;
 // Finalize de-duplicates them.
 func (g *Graph) AddEdge(src, dst NodeID, label string) {
-	if int(src) >= len(g.nodes) || int(dst) >= len(g.nodes) {
-		panic(fmt.Sprintf("graph: AddEdge(%d, %d, %q): node out of range (have %d nodes)", src, dst, label, len(g.nodes)))
+	if int(src) >= len(g.labels) || int(dst) >= len(g.labels) {
+		panic(fmt.Sprintf("graph: AddEdge(%d, %d, %q): node out of range (have %d nodes)", src, dst, label, len(g.labels)))
 	}
-	g.nodes[src].out = append(g.nodes[src].out, HalfEdge{Label: label, To: dst})
-	g.nodes[dst].in = append(g.nodes[dst].in, HalfEdge{Label: label, To: src})
+	g.ensureMutable()
+	g.raw = append(g.raw, rawEdge{src: src, dst: dst, label: g.symtab().Intern(label)})
 	g.numEdges++
-	g.finalized = false
 }
 
-// Finalize sorts adjacency lists, removes duplicate edges and rebuilds the
-// label index. It must be called after the last mutation and before any
-// matching; it is idempotent.
+// Finalize de-duplicates the staged edges and compiles the CSR adjacency
+// and label indexes. It must run after the last mutation and before any
+// matching (indexed accessors call it lazily); it is idempotent. Finalizing
+// invalidates the derived-structure cache (PlanCache).
 func (g *Graph) Finalize() {
 	if g.finalized {
 		return
 	}
-	g.numEdges = 0
-	for i := range g.nodes {
-		g.nodes[i].out = dedupHalfEdges(g.nodes[i].out)
-		g.nodes[i].in = dedupHalfEdges(g.nodes[i].in)
-		g.numEdges += len(g.nodes[i].out)
-	}
-	g.byLabel = make(map[string][]NodeID)
-	for i := range g.nodes {
-		l := g.nodes[i].label
-		g.byLabel[l] = append(g.byLabel[l], NodeID(i))
-	}
-	g.finalized = true
-}
-
-func dedupHalfEdges(hs []HalfEdge) []HalfEdge {
-	if len(hs) == 0 {
-		return hs
-	}
-	sort.Slice(hs, func(i, j int) bool {
-		if hs[i].To != hs[j].To {
-			return hs[i].To < hs[j].To
+	// A mutation may have definalized the graph without restaging edges
+	// (e.g. AddNode alone): pull the existing CSR back into raw form first,
+	// or the rebuild below would silently drop every edge.
+	g.ensureMutable()
+	edges := g.raw
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.src != b.src {
+			return a.src < b.src
 		}
-		return hs[i].Label < hs[j].Label
+		if a.label != b.label {
+			return a.label < b.label
+		}
+		return a.dst < b.dst
 	})
-	w := 1
-	for i := 1; i < len(hs); i++ {
-		if hs[i] != hs[i-1] {
-			hs[w] = hs[i]
+	w := 0
+	for i, e := range edges {
+		if i == 0 || e != edges[i-1] {
+			edges[w] = e
 			w++
 		}
 	}
-	return hs[:w]
+	edges = edges[:w]
+	g.numEdges = w
+
+	g.outTo, g.outRunNode, g.outRunLabel, g.outRunOff = buildCSR(edges, len(g.labels),
+		func(e rawEdge) (NodeID, LabelID, NodeID) { return e.src, e.label, e.dst })
+
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.dst != b.dst {
+			return a.dst < b.dst
+		}
+		if a.label != b.label {
+			return a.label < b.label
+		}
+		return a.src < b.src
+	})
+	g.inTo, g.inRunNode, g.inRunLabel, g.inRunOff = buildCSR(edges, len(g.labels),
+		func(e rawEdge) (NodeID, LabelID, NodeID) { return e.dst, e.label, e.src })
+
+	g.byLabel = make([][]NodeID, g.symtab().Len())
+	for v, l := range g.labels {
+		g.byLabel[l] = append(g.byLabel[l], NodeID(v))
+	}
+	g.raw = nil
+	g.planCache.Clear()
+	g.finalized = true
+}
+
+// buildCSR lays out edges (pre-sorted by key node, then label, then other
+// endpoint) into the flat to/run arrays.
+func buildCSR(edges []rawEdge, n int, key func(rawEdge) (NodeID, LabelID, NodeID)) (to []NodeID, runNode []uint32, runLabel []LabelID, runOff []uint32) {
+	to = make([]NodeID, len(edges))
+	runNode = make([]uint32, n+1)
+	for i, e := range edges {
+		src, label, other := key(e)
+		to[i] = other
+		if i > 0 {
+			psrc, plabel, _ := key(edges[i-1])
+			if psrc == src && plabel == label {
+				continue
+			}
+		}
+		runLabel = append(runLabel, label)
+		runOff = append(runOff, uint32(i))
+		runNode[src+1]++
+	}
+	runOff = append(runOff, uint32(len(edges)))
+	for v := 0; v < n; v++ {
+		runNode[v+1] += runNode[v]
+	}
+	return to, runNode, runLabel, runOff
 }
 
 // NumNodes reports the number of nodes.
-func (g *Graph) NumNodes() int { return len(g.nodes) }
+func (g *Graph) NumNodes() int { return len(g.labels) }
 
 // NumEdges reports the number of distinct (src, dst, label) edges. It is
 // exact only after Finalize.
 func (g *Graph) NumEdges() int { return g.numEdges }
 
+// NumLabels reports the number of distinct interned labels (node and edge
+// labels share the table).
+func (g *Graph) NumLabels() int { return g.symtab().Len() }
+
 // Label returns the label of node v.
-func (g *Graph) Label(v NodeID) string { return g.nodes[v].label }
+func (g *Graph) Label(v NodeID) string { return g.syms.Name(g.labels[v]) }
+
+// NodeLabelID returns the interned label of node v.
+func (g *Graph) NodeLabelID(v NodeID) LabelID { return g.labels[v] }
+
+// LookupLabel returns the interned ID of a label string, without interning
+// it. A false result means no node or edge of the graph carries the label.
+func (g *Graph) LookupLabel(name string) (LabelID, bool) {
+	if g.syms == nil {
+		return NoLabel, false
+	}
+	return g.syms.Lookup(name)
+}
+
+// LabelName returns the string of an interned label.
+func (g *Graph) LabelName(id LabelID) string { return g.syms.Name(id) }
+
+// PlanCache is an opaque per-graph cache for derived read-only structures
+// (compiled match plans). It is cleared whenever Finalize rebuilds the
+// indexes, tying cached lifetimes to the graph snapshot they were built
+// from. Keys must be comparable; package match keys by *pattern.Pattern.
+func (g *Graph) PlanCache() *sync.Map { return &g.planCache }
 
 // Attr returns the value of attribute a at node v and whether it exists.
 func (g *Graph) Attr(v NodeID, a string) (string, bool) {
-	val, ok := g.nodes[v].attrs[a]
+	val, ok := g.attrs[v][a]
 	return val, ok
 }
 
 // Attrs returns the attribute tuple of node v. The returned map is the
 // graph's own storage; callers must treat it as read-only.
-func (g *Graph) Attrs(v NodeID) map[string]string { return g.nodes[v].attrs }
+func (g *Graph) Attrs(v NodeID) map[string]string { return g.attrs[v] }
 
 // SetAttr sets attribute a of node v to val, allocating the tuple if needed.
 // Used by mutation-based workloads (noise injection).
 func (g *Graph) SetAttr(v NodeID, a, val string) {
-	if g.nodes[v].attrs == nil {
-		g.nodes[v].attrs = make(map[string]string, 1)
+	if g.attrs[v] == nil {
+		g.attrs[v] = make(map[string]string, 1)
 	}
-	g.nodes[v].attrs[a] = val
+	g.attrs[v][a] = val
 }
 
-// Out returns the out-adjacency of v, sorted by (To, Label). Read-only.
-func (g *Graph) Out(v NodeID) []HalfEdge { return g.nodes[v].out }
+// --- Interned adjacency: the matching fast path ---
 
-// In returns the in-adjacency of v, sorted by (From, Label); the To field
-// of each HalfEdge holds the edge's source. Read-only.
-func (g *Graph) In(v NodeID) []HalfEdge { return g.nodes[v].in }
+// OutRuns returns the half-open run index range [lo, hi) of v's
+// out-adjacency; runs are sorted by ascending LabelID. Use OutRunLabel and
+// OutRunNodes to inspect each run.
+func (g *Graph) OutRuns(v NodeID) (lo, hi int) {
+	g.requireFinal()
+	return int(g.outRunNode[v]), int(g.outRunNode[v+1])
+}
 
-// OutDegree returns the number of out-edges at v.
-func (g *Graph) OutDegree(v NodeID) int { return len(g.nodes[v].out) }
+// InRuns is OutRuns for the in-adjacency.
+func (g *Graph) InRuns(v NodeID) (lo, hi int) {
+	g.requireFinal()
+	return int(g.inRunNode[v]), int(g.inRunNode[v+1])
+}
 
-// InDegree returns the number of in-edges at v.
-func (g *Graph) InDegree(v NodeID) int { return len(g.nodes[v].in) }
+// OutRunLabel returns the edge label of out-run r (from OutRuns).
+func (g *Graph) OutRunLabel(r int) LabelID { return g.outRunLabel[r] }
 
-// Degree returns the total degree of v.
-func (g *Graph) Degree(v NodeID) int { return len(g.nodes[v].out) + len(g.nodes[v].in) }
+// InRunLabel returns the edge label of in-run r (from InRuns).
+func (g *Graph) InRunLabel(r int) LabelID { return g.inRunLabel[r] }
 
-// HasEdge reports whether the edge src --label--> dst exists. The graph must
-// be finalized. If label is the empty string, any edge label matches.
-func (g *Graph) HasEdge(src, dst NodeID, label string) bool {
-	out := g.nodes[src].out
-	i := sort.Search(len(out), func(i int) bool {
-		if out[i].To != dst {
-			return out[i].To > dst
+// OutRunNodes returns the destinations of out-run r, ascending. The slice
+// is shared storage; treat it as read-only.
+func (g *Graph) OutRunNodes(r int) []NodeID {
+	return g.outTo[g.outRunOff[r]:g.outRunOff[r+1]]
+}
+
+// InRunNodes returns the sources of in-run r, ascending. Read-only.
+func (g *Graph) InRunNodes(r int) []NodeID {
+	return g.inTo[g.inRunOff[r]:g.inRunOff[r+1]]
+}
+
+// OutTo returns the destinations of v's out-edges labelled l, ascending, or
+// nil if there are none. The slice is shared storage; treat it as
+// read-only. l must be a concrete label (not NoLabel).
+func (g *Graph) OutTo(v NodeID, l LabelID) []NodeID {
+	lo, hi := g.OutRuns(v)
+	if r := findRun(g.outRunLabel, lo, hi, l); r >= 0 {
+		return g.OutRunNodes(r)
+	}
+	return nil
+}
+
+// InFrom returns the sources of v's in-edges labelled l, ascending, or nil.
+// Read-only; l must be concrete.
+func (g *Graph) InFrom(v NodeID, l LabelID) []NodeID {
+	lo, hi := g.InRuns(v)
+	if r := findRun(g.inRunLabel, lo, hi, l); r >= 0 {
+		return g.InRunNodes(r)
+	}
+	return nil
+}
+
+// findRun locates label l in the ascending run-label window [lo, hi),
+// returning the run index or -1. Windows are typically a handful of labels,
+// so it scans linearly, falling back to binary search for wide windows.
+func findRun(labels []LabelID, lo, hi int, l LabelID) int {
+	if hi-lo > 16 {
+		bound := hi // window end: runs past it belong to other nodes
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if labels[mid] < l {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
 		}
-		return label == "" || out[i].Label >= label
-	})
-	if i >= len(out) || out[i].To != dst {
+		if lo < bound && labels[lo] == l {
+			return lo
+		}
+		return -1
+	}
+	for r := lo; r < hi; r++ {
+		switch {
+		case labels[r] == l:
+			return r
+		case labels[r] > l:
+			return -1
+		}
+	}
+	return -1
+}
+
+// HasEdgeID reports whether the edge src --l--> dst exists; l == NoLabel
+// matches any label.
+func (g *Graph) HasEdgeID(src, dst NodeID, l LabelID) bool {
+	if l == NoLabel {
+		lo, hi := g.OutRuns(src)
+		for r := lo; r < hi; r++ {
+			if containsNode(g.OutRunNodes(r), dst) {
+				return true
+			}
+		}
 		return false
 	}
-	return label == "" || out[i].Label == label
+	return containsNode(g.OutTo(src, l), dst)
 }
 
-// EdgeLabelsBetween returns the labels of all edges src -> dst.
-func (g *Graph) EdgeLabelsBetween(src, dst NodeID) []string {
-	var labels []string
-	out := g.nodes[src].out
-	i := sort.Search(len(out), func(i int) bool { return out[i].To >= dst })
-	for ; i < len(out) && out[i].To == dst; i++ {
-		labels = append(labels, out[i].Label)
+// containsNode binary-searches an ascending run for v.
+func containsNode(ns []NodeID, v NodeID) bool {
+	lo, hi := 0, len(ns)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ns[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
+	return lo < len(ns) && ns[lo] == v
+}
+
+// NodesByLabelID returns the IDs of nodes with the given interned label,
+// ascending. Read-only shared storage.
+func (g *Graph) NodesByLabelID(l LabelID) []NodeID {
+	g.requireFinal()
+	if int(l) >= len(g.byLabel) {
+		return nil
+	}
+	return g.byLabel[l]
+}
+
+// --- String-based shims ---
+
+// Out returns the out-adjacency of v as (label, destination) pairs, grouped
+// by label run. It materialises a fresh slice per call: hot paths should
+// use OutTo / OutRuns instead.
+func (g *Graph) Out(v NodeID) []HalfEdge {
+	lo, hi := g.OutRuns(v)
+	out := make([]HalfEdge, 0, g.OutDegree(v))
+	for r := lo; r < hi; r++ {
+		name := g.syms.Name(g.outRunLabel[r])
+		for _, d := range g.OutRunNodes(r) {
+			out = append(out, HalfEdge{Label: name, To: d})
+		}
+	}
+	return out
+}
+
+// In returns the in-adjacency of v; the To field of each HalfEdge holds the
+// edge's source. Materialises a fresh slice per call: hot paths should use
+// InFrom / InRuns instead.
+func (g *Graph) In(v NodeID) []HalfEdge {
+	lo, hi := g.InRuns(v)
+	in := make([]HalfEdge, 0, g.InDegree(v))
+	for r := lo; r < hi; r++ {
+		name := g.syms.Name(g.inRunLabel[r])
+		for _, s := range g.InRunNodes(r) {
+			in = append(in, HalfEdge{Label: name, To: s})
+		}
+	}
+	return in
+}
+
+// OutDegree returns the number of out-edges at v.
+func (g *Graph) OutDegree(v NodeID) int {
+	g.requireFinal()
+	lo, hi := g.outRunNode[v], g.outRunNode[v+1]
+	return int(g.outRunOff[hi] - g.outRunOff[lo])
+}
+
+// InDegree returns the number of in-edges at v.
+func (g *Graph) InDegree(v NodeID) int {
+	g.requireFinal()
+	lo, hi := g.inRunNode[v], g.inRunNode[v+1]
+	return int(g.inRunOff[hi] - g.inRunOff[lo])
+}
+
+// Degree returns the total degree of v.
+func (g *Graph) Degree(v NodeID) int { return g.OutDegree(v) + g.InDegree(v) }
+
+// HasEdge reports whether the edge src --label--> dst exists. If label is
+// the empty string, any edge label matches.
+func (g *Graph) HasEdge(src, dst NodeID, label string) bool {
+	if label == "" {
+		return g.HasEdgeID(src, dst, NoLabel)
+	}
+	l, ok := g.LookupLabel(label)
+	if !ok {
+		return false
+	}
+	return g.HasEdgeID(src, dst, l)
+}
+
+// EdgeLabelsBetween returns the labels of all edges src -> dst, sorted.
+func (g *Graph) EdgeLabelsBetween(src, dst NodeID) []string {
+	lo, hi := g.OutRuns(src)
+	var labels []string
+	for r := lo; r < hi; r++ {
+		if containsNode(g.OutRunNodes(r), dst) {
+			labels = append(labels, g.syms.Name(g.outRunLabel[r]))
+		}
+	}
+	sort.Strings(labels)
 	return labels
 }
 
 // NodesByLabel returns the IDs of nodes with the given label, in ascending
-// order. The graph must be finalized. The returned slice is shared storage;
-// callers must treat it as read-only.
+// order. The returned slice is shared storage; treat it as read-only.
 func (g *Graph) NodesByLabel(label string) []NodeID {
-	return g.byLabel[label]
+	l, ok := g.LookupLabel(label)
+	if !ok {
+		return nil
+	}
+	return g.NodesByLabelID(l)
 }
 
 // Labels returns all distinct node labels, sorted.
 func (g *Graph) Labels() []string {
+	g.requireFinal()
 	ls := make([]string, 0, len(g.byLabel))
-	for l := range g.byLabel {
-		ls = append(ls, l)
+	for l, nodes := range g.byLabel {
+		if len(nodes) > 0 {
+			ls = append(ls, g.syms.Name(LabelID(l)))
+		}
 	}
 	sort.Strings(ls)
 	return ls
@@ -218,44 +510,60 @@ type Edge struct {
 	Label string
 }
 
-// Edges invokes fn for every edge in the graph, in (src, dst, label) order.
-// It stops early if fn returns false.
+// Edges invokes fn for every edge in the graph, grouped by source node and
+// sorted by (label, dst) within it. It stops early if fn returns false.
 func (g *Graph) Edges(fn func(Edge) bool) {
-	for s := range g.nodes {
-		for _, he := range g.nodes[s].out {
-			if !fn(Edge{Src: NodeID(s), Dst: he.To, Label: he.Label}) {
-				return
+	g.requireFinal()
+	for v := range g.labels {
+		lo, hi := int(g.outRunNode[v]), int(g.outRunNode[v+1])
+		for r := lo; r < hi; r++ {
+			name := g.syms.Name(g.outRunLabel[r])
+			for _, d := range g.OutRunNodes(r) {
+				if !fn(Edge{Src: NodeID(v), Dst: d, Label: name}) {
+					return
+				}
 			}
 		}
 	}
 }
 
-// Clone returns a deep copy of the graph, including attribute tuples.
+// Clone returns a deep copy of the graph, including attribute tuples. The
+// copy has an empty PlanCache.
 func (g *Graph) Clone() *Graph {
-	c := New(len(g.nodes), g.numEdges)
-	c.nodes = make([]node, len(g.nodes))
-	for i, n := range g.nodes {
-		var attrs map[string]string
-		if n.attrs != nil {
-			attrs = make(map[string]string, len(n.attrs))
-			for k, v := range n.attrs {
-				attrs[k] = v
+	c := &Graph{
+		syms:      g.symtab().Clone(),
+		labels:    append([]LabelID(nil), g.labels...),
+		attrs:     make([]map[string]string, len(g.attrs)),
+		raw:       append([]rawEdge(nil), g.raw...),
+		numEdges:  g.numEdges,
+		finalized: g.finalized,
+
+		outTo:       append([]NodeID(nil), g.outTo...),
+		inTo:        append([]NodeID(nil), g.inTo...),
+		outRunNode:  append([]uint32(nil), g.outRunNode...),
+		inRunNode:   append([]uint32(nil), g.inRunNode...),
+		outRunLabel: append([]LabelID(nil), g.outRunLabel...),
+		inRunLabel:  append([]LabelID(nil), g.inRunLabel...),
+		outRunOff:   append([]uint32(nil), g.outRunOff...),
+		inRunOff:    append([]uint32(nil), g.inRunOff...),
+	}
+	for i, attrs := range g.attrs {
+		if attrs != nil {
+			m := make(map[string]string, len(attrs))
+			for k, v := range attrs {
+				m[k] = v
 			}
-		}
-		c.nodes[i] = node{
-			label: n.label,
-			attrs: attrs,
-			out:   append([]HalfEdge(nil), n.out...),
-			in:    append([]HalfEdge(nil), n.in...),
+			c.attrs[i] = m
 		}
 	}
-	c.numEdges = g.numEdges
-	c.finalized = false
+	// byLabel is rebuilt wholesale by Finalize and its inner slices are
+	// never mutated in place afterwards, so sharing them is safe.
+	c.byLabel = append([][]NodeID(nil), g.byLabel...)
 	c.Finalize()
 	return c
 }
 
 // String summarises the graph.
 func (g *Graph) String() string {
-	return fmt.Sprintf("graph{%d nodes, %d edges, %d labels}", g.NumNodes(), g.NumEdges(), len(g.byLabel))
+	return fmt.Sprintf("graph{%d nodes, %d edges, %d labels}", g.NumNodes(), g.NumEdges(), g.NumLabels())
 }

@@ -1,0 +1,59 @@
+package graph
+
+// LabelID is a dense interned identifier for a node or edge label. IDs are
+// assigned in first-insertion order by a graph's symbol table; node and edge
+// labels share one table, so an ID is meaningful only together with its
+// graph.
+type LabelID uint32
+
+// NoLabel is the sentinel "no such label". Matching also uses it as the
+// wildcard: adjacency queries taking a LabelID treat NoLabel as "any label".
+const NoLabel = ^LabelID(0)
+
+// Symbols interns label strings to dense LabelIDs. It is append-only:
+// interned labels are never removed, so IDs stay valid for the lifetime of
+// the owning graph.
+type Symbols struct {
+	names []string
+	ids   map[string]LabelID
+}
+
+// NewSymbols returns an empty symbol table.
+func NewSymbols() *Symbols {
+	return &Symbols{ids: make(map[string]LabelID)}
+}
+
+// Intern returns the ID of name, assigning the next dense ID on first use.
+func (s *Symbols) Intern(name string) LabelID {
+	if id, ok := s.ids[name]; ok {
+		return id
+	}
+	id := LabelID(len(s.names))
+	s.names = append(s.names, name)
+	s.ids[name] = id
+	return id
+}
+
+// Lookup returns the ID of name without interning it.
+func (s *Symbols) Lookup(name string) (LabelID, bool) {
+	id, ok := s.ids[name]
+	return id, ok
+}
+
+// Name returns the label string of id.
+func (s *Symbols) Name(id LabelID) string { return s.names[id] }
+
+// Len returns the number of interned labels.
+func (s *Symbols) Len() int { return len(s.names) }
+
+// Clone returns an independent copy of the table.
+func (s *Symbols) Clone() *Symbols {
+	c := &Symbols{
+		names: append([]string(nil), s.names...),
+		ids:   make(map[string]LabelID, len(s.ids)),
+	}
+	for k, v := range s.ids {
+		c.ids[k] = v
+	}
+	return c
+}

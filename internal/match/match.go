@@ -8,9 +8,11 @@
 //
 // Two execution styles are provided:
 //
-//   - direct backtracking enumeration (Enumerate, MatchesAt), with
-//     candidate filtering on labels and adjacency, growing matches outward
-//     from the pivot;
+//   - compiled plans (Plan, built once per (graph, pattern) and cached in
+//     the graph's PlanCache): backtracking enumeration over the graph's
+//     interned CSR label runs, growing matches outward from the pivot with
+//     integer-only comparisons and pooled, allocation-free search state
+//     (Enumerate, MatchesAt, HasMatchAt, PivotNodes);
 //   - materialised match tables extended one edge at a time (Table,
 //     ExtendRows), the incremental-join primitive that both the sequential
 //     generation tree (Section 5) and the distributed joins of ParDis
@@ -18,6 +20,8 @@
 package match
 
 import (
+	"sync"
+
 	"repro/internal/graph"
 	"repro/internal/pattern"
 )
@@ -28,32 +32,88 @@ type Match []graph.NodeID
 // Clone returns a copy of m.
 func (m Match) Clone() Match { return append(Match(nil), m...) }
 
-// planStep is one step of a matching plan: bind variable Var by scanning
-// the adjacency of the already-bound variable Anchor (or by label scan when
-// Anchor < 0), then verify the edges in Check.
-type planStep struct {
-	Var      int
-	Anchor   int  // bound variable whose adjacency seeds candidates; -1 = label scan
-	Outgoing bool // direction of the anchoring edge: Anchor -> Var if true
-	ELabel   string
-	Check    []pattern.Edge // remaining pattern edges between Var and bound vars
+// checkEdge is a pattern edge with its label resolved against the graph's
+// symbol table, verified once both endpoints are bound.
+type checkEdge struct {
+	src, dst int32
+	label    graph.LabelID // NoLabel = wildcard (any edge label)
 }
 
-// plan compiles p into a sequence of planSteps starting at startVar.
-func plan(p *pattern.Pattern, startVar int) []planStep {
+// planStep binds variable vr by scanning the label run of the already-bound
+// variable anchor (or by label scan when anchor < 0), then verifies the
+// remaining pattern edges between vr and bound variables.
+type planStep struct {
+	vr       int32
+	anchor   int32         // bound variable whose adjacency seeds candidates; -1 = label scan
+	outgoing bool          // direction of the anchoring edge: anchor -> vr if true
+	elabel   graph.LabelID // anchoring edge label; NoLabel = wildcard
+	vlabel   graph.LabelID // required node label of vr; NoLabel = wildcard
+	check    []checkEdge
+}
+
+// Plan is a pattern compiled against one graph: step order, candidate
+// sources and interned labels are all resolved at compile time, so the
+// enumeration inner loop compares integers only. Plans are immutable and
+// safe for concurrent use; obtain cached ones with PlanFor.
+type Plan struct {
+	g          *graph.Graph
+	p          *pattern.Pattern
+	steps      []planStep
+	order      []int32 // binding order: order[d] = steps[d].vr
+	pivotLabel graph.LabelID
+	// dead marks a plan whose pattern uses a concrete label absent from the
+	// graph: no match can exist, so every query short-circuits.
+	dead bool
+}
+
+// PlanFor returns the compiled plan of p against g, caching it in g's
+// PlanCache keyed by the pattern pointer. Patterns must not be mutated
+// after first use (the extension helpers always clone, so discovery
+// satisfies this for free).
+func PlanFor(g *graph.Graph, p *pattern.Pattern) *Plan {
+	c := g.PlanCache()
+	if v, ok := c.Load(p); ok {
+		return v.(*Plan)
+	}
+	pl := Compile(g, p)
+	if v, loaded := c.LoadOrStore(p, pl); loaded {
+		return v.(*Plan)
+	}
+	return pl
+}
+
+// Compile builds a fresh plan of p against g, bypassing the cache. Use it
+// for throwaway patterns (e.g. edge reductions) that would only bloat the
+// per-graph cache.
+func Compile(g *graph.Graph, p *pattern.Pattern) *Plan {
+	pl := &Plan{g: g, p: p}
+	resolve := func(lbl string) graph.LabelID {
+		if lbl == pattern.Wildcard {
+			return graph.NoLabel
+		}
+		id, ok := g.LookupLabel(lbl)
+		if !ok {
+			pl.dead = true
+		}
+		return id
+	}
+	varLabel := make([]graph.LabelID, p.N())
+	for v, l := range p.NodeLabels {
+		varLabel[v] = resolve(l)
+	}
+	pl.pivotLabel = varLabel[p.Pivot]
+
 	n := p.N()
 	bound := make([]bool, n)
-	steps := make([]planStep, 0, n)
-	bound[startVar] = true
-	steps = append(steps, planStep{Var: startVar, Anchor: -1})
+	bound[p.Pivot] = true
+	pl.steps = append(pl.steps, planStep{vr: int32(p.Pivot), anchor: -1, elabel: graph.NoLabel, vlabel: varLabel[p.Pivot]})
 
-	for len(steps) < n {
+	for len(pl.steps) < n {
 		// Pick the next unbound variable adjacent to a bound one, preferring
 		// the one with the most edges to bound variables (cheap candidates).
-		bestVar, bestAnchor, bestCnt := -1, -1, -1
+		bestVar, bestAnchor, bestEdge, bestCnt := -1, -1, -1, -1
 		var bestOut bool
-		var bestLabel string
-		for _, e := range p.Edges {
+		for ei, e := range p.Edges {
 			type side struct {
 				v, anchor int
 				out       bool
@@ -69,7 +129,7 @@ func plan(p *pattern.Pattern, startVar int) []planStep {
 					}
 				}
 				if cnt > bestCnt {
-					bestVar, bestAnchor, bestOut, bestLabel, bestCnt = s.v, s.anchor, s.out, e.Label, cnt
+					bestVar, bestAnchor, bestOut, bestEdge, bestCnt = s.v, s.anchor, s.out, ei, cnt
 				}
 			}
 		}
@@ -79,164 +139,296 @@ func plan(p *pattern.Pattern, startVar int) []planStep {
 			// stays total.
 			for v := 0; v < n; v++ {
 				if !bound[v] {
-					bestVar, bestAnchor = v, -1
+					bestVar, bestAnchor, bestEdge = v, -1, -1
 					break
 				}
 			}
 		}
-		st := planStep{Var: bestVar, Anchor: bestAnchor, Outgoing: bestOut, ELabel: bestLabel}
-		// Collect all pattern edges between bestVar and bound variables; they
-		// are verified after candidate generation. (The anchoring edge is
-		// included too: verification is idempotent and keeps the code simple.)
-		for _, e := range p.Edges {
+		st := planStep{vr: int32(bestVar), anchor: int32(bestAnchor), outgoing: bestOut,
+			elabel: graph.NoLabel, vlabel: varLabel[bestVar]}
+		if bestEdge >= 0 {
+			st.elabel = resolve(p.Edges[bestEdge].Label)
+		}
+		// Collect the pattern edges between bestVar and bound variables for
+		// post-bind verification. The anchoring edge instance is excluded:
+		// its candidates come straight from that edge's CSR run.
+		for ei, e := range p.Edges {
+			if ei == bestEdge {
+				continue
+			}
 			if e.Src == bestVar && bound[e.Dst] || e.Dst == bestVar && bound[e.Src] {
-				st.Check = append(st.Check, e)
+				st.check = append(st.check, checkEdge{src: int32(e.Src), dst: int32(e.Dst), label: resolve(e.Label)})
 			}
 		}
 		bound[bestVar] = true
-		steps = append(steps, st)
+		pl.steps = append(pl.steps, st)
 	}
-	return steps
+	pl.order = make([]int32, len(pl.steps))
+	for d, s := range pl.steps {
+		pl.order[d] = s.vr
+	}
+	return pl
 }
 
-// edgesOK verifies the pattern edges in check against g under the partial
-// assignment m (all endpoints of check edges must be bound).
-func edgesOK(g *graph.Graph, m Match, check []pattern.Edge) bool {
-	for _, e := range check {
-		src, dst := m[e.Src], m[e.Dst]
-		if e.Label == pattern.Wildcard {
-			if !g.HasEdge(src, dst, "") {
-				return false
-			}
-		} else if !g.HasEdge(src, dst, e.Label) {
+// runState is the pooled, reusable search state of one enumeration: the
+// partial assignment doubles as the used-set (patterns have ≤ k ≈ 5
+// variables, so injectivity is a short linear scan over the bound prefix).
+type runState struct {
+	g         *graph.Graph
+	pl        *Plan
+	m         Match
+	fn        func(Match) bool
+	existOnly bool
+	found     bool
+}
+
+var statePool = sync.Pool{New: func() any { return new(runState) }}
+
+func (pl *Plan) newState() *runState {
+	st := statePool.Get().(*runState)
+	st.g, st.pl = pl.g, pl
+	if n := len(pl.steps); cap(st.m) < n {
+		st.m = make(Match, n)
+	} else {
+		st.m = st.m[:n]
+	}
+	st.found = false
+	st.existOnly = false
+	return st
+}
+
+func putState(st *runState) {
+	st.g, st.pl, st.fn = nil, nil, nil
+	statePool.Put(st)
+}
+
+// rec binds steps[d:]; it returns false when enumeration was stopped early.
+func (st *runState) rec(d int) bool {
+	pl := st.pl
+	if d == len(pl.steps) {
+		if st.existOnly {
+			st.found = true
 			return false
 		}
+		return st.fn(st.m)
 	}
-	return true
-}
-
-// run executes a compiled plan. seed, when non-negative, restricts the
-// first step's candidates to that single node. fn returns false to stop;
-// run reports whether enumeration ran to completion (true) or was stopped.
-func run(g *graph.Graph, p *pattern.Pattern, steps []planStep, seed graph.NodeID, haveSeed bool, fn func(Match) bool) bool {
-	n := p.N()
-	m := make(Match, n)
-	used := make(map[graph.NodeID]bool, n)
-
-	var rec func(step int) bool
-	rec = func(step int) bool {
-		if step == len(steps) {
-			return fn(m)
-		}
-		st := steps[step]
-		want := p.NodeLabels[st.Var]
-
-		try := func(cand graph.NodeID) bool {
-			if used[cand] || !pattern.LabelMatches(g.Label(cand), want) {
-				return true
-			}
-			m[st.Var] = cand
-			if !edgesOK(g, m, st.Check) {
-				return true
-			}
-			used[cand] = true
-			ok := rec(step + 1)
-			delete(used, cand)
-			return ok
-		}
-
-		if st.Anchor < 0 {
-			if step == 0 && haveSeed {
-				return try(seed)
-			}
-			if want == pattern.Wildcard {
-				for v := 0; v < g.NumNodes(); v++ {
-					if !try(graph.NodeID(v)) {
-						return false
-					}
-				}
-				return true
-			}
-			for _, v := range g.NodesByLabel(want) {
-				if !try(v) {
+	s := &pl.steps[d]
+	g := st.g
+	if s.anchor < 0 {
+		if s.vlabel == graph.NoLabel {
+			for v, n := 0, g.NumNodes(); v < n; v++ {
+				if !st.try(d, s, graph.NodeID(v)) {
 					return false
 				}
 			}
 			return true
 		}
-		anchorNode := m[st.Anchor]
-		var adj []graph.HalfEdge
-		if st.Outgoing {
-			adj = g.Out(anchorNode)
-		} else {
-			adj = g.In(anchorNode)
-		}
-		for _, he := range adj {
-			if !pattern.LabelMatches(he.Label, st.ELabel) {
-				continue
-			}
-			if !try(he.To) {
+		for _, v := range g.NodesByLabelID(s.vlabel) {
+			if !st.try(d, s, v) {
 				return false
 			}
 		}
 		return true
 	}
-	return rec(0)
+	a := st.m[s.anchor]
+	if s.elabel != graph.NoLabel {
+		var cands []graph.NodeID
+		if s.outgoing {
+			cands = g.OutTo(a, s.elabel)
+		} else {
+			cands = g.InFrom(a, s.elabel)
+		}
+		for _, v := range cands {
+			if !st.try(d, s, v) {
+				return false
+			}
+		}
+		return true
+	}
+	// Wildcard anchoring edge: every label run qualifies. A neighbour
+	// reachable under several labels is tried once per label, matching the
+	// per-edge semantics of match enumeration (and of EdgeMatches).
+	if s.outgoing {
+		lo, hi := g.OutRuns(a)
+		for r := lo; r < hi; r++ {
+			for _, v := range g.OutRunNodes(r) {
+				if !st.try(d, s, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	lo, hi := g.InRuns(a)
+	for r := lo; r < hi; r++ {
+		for _, v := range g.InRunNodes(r) {
+			if !st.try(d, s, v) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
-// Enumerate calls fn for every match of p in g, growing matches outward
-// from the pivot. fn returns false to stop early. The Match slice is reused
-// across calls; copy it (Clone) to retain it.
+// try attempts to bind step s (at depth d) to cand and recurses on success.
+// It returns false only when enumeration should stop.
+func (st *runState) try(d int, s *planStep, cand graph.NodeID) bool {
+	g := st.g
+	if s.vlabel != graph.NoLabel && g.NodeLabelID(cand) != s.vlabel {
+		return true
+	}
+	for j := 0; j < d; j++ {
+		if st.m[st.pl.order[j]] == cand {
+			return true // injectivity
+		}
+	}
+	st.m[s.vr] = cand
+	for _, c := range s.check {
+		if !g.HasEdgeID(st.m[c.src], st.m[c.dst], c.label) {
+			return true
+		}
+	}
+	return st.rec(d + 1)
+}
+
+// Enumerate calls fn for every match of the pattern in the graph, growing
+// matches outward from the pivot. fn returns false to stop early. The Match
+// slice is reused across calls; copy it (Clone) to retain it.
+func (pl *Plan) Enumerate(fn func(Match) bool) {
+	if pl.dead {
+		return
+	}
+	st := pl.newState()
+	st.fn = fn
+	st.rec(0)
+	putState(st)
+}
+
+// MatchesAt calls fn for every match with h(pivot) = v.
+func (pl *Plan) MatchesAt(v graph.NodeID, fn func(Match) bool) {
+	if pl.dead {
+		return
+	}
+	st := pl.newState()
+	st.fn = fn
+	st.try(0, &pl.steps[0], v)
+	putState(st)
+}
+
+// HasMatchAt reports whether the pattern has at least one match pivoted at
+// v. It allocates nothing beyond pooled search state.
+func (pl *Plan) HasMatchAt(v graph.NodeID) bool {
+	if pl.dead {
+		return false
+	}
+	st := pl.newState()
+	st.existOnly = true
+	st.try(0, &pl.steps[0], v)
+	found := st.found
+	putState(st)
+	return found
+}
+
+// PivotNodes returns Q(G, z): the distinct nodes v admitting a match
+// pivoted at v, in ascending order. Its cardinality is the pattern support
+// supp(Q, G) of Section 4.2.
+func (pl *Plan) PivotNodes() []graph.NodeID {
+	if pl.dead {
+		return nil
+	}
+	g := pl.g
+	var out []graph.NodeID
+	st := pl.newState()
+	st.existOnly = true
+	consider := func(v graph.NodeID) {
+		st.found = false
+		st.try(0, &pl.steps[0], v)
+		if st.found {
+			out = append(out, v)
+		}
+	}
+	if pl.pivotLabel == graph.NoLabel {
+		for v, n := 0, g.NumNodes(); v < n; v++ {
+			consider(graph.NodeID(v))
+		}
+	} else {
+		for _, v := range g.NodesByLabelID(pl.pivotLabel) {
+			consider(v)
+		}
+	}
+	putState(st)
+	return out
+}
+
+// Support returns supp(Q, G) = |Q(G, z)| without materialising the pivot
+// set.
+func (pl *Plan) Support() int {
+	if pl.dead {
+		return 0
+	}
+	g := pl.g
+	st := pl.newState()
+	st.existOnly = true
+	n := 0
+	if pl.pivotLabel == graph.NoLabel {
+		for v, nn := 0, g.NumNodes(); v < nn; v++ {
+			st.found = false
+			st.try(0, &pl.steps[0], graph.NodeID(v))
+			if st.found {
+				n++
+			}
+		}
+	} else {
+		for _, v := range g.NodesByLabelID(pl.pivotLabel) {
+			st.found = false
+			st.try(0, &pl.steps[0], v)
+			if st.found {
+				n++
+			}
+		}
+	}
+	putState(st)
+	return n
+}
+
+// CountMatches returns the total number of matches, up to limit (limit <= 0
+// means unlimited).
+func (pl *Plan) CountMatches(limit int) int {
+	n := 0
+	pl.Enumerate(func(Match) bool {
+		n++
+		return limit <= 0 || n < limit
+	})
+	return n
+}
+
+// --- Package-level shims over the cached plan ---
+
+// Enumerate calls fn for every match of p in g. fn returns false to stop
+// early. The Match slice is reused across calls; Clone to retain it.
 func Enumerate(g *graph.Graph, p *pattern.Pattern, fn func(Match) bool) {
-	steps := plan(p, p.Pivot)
-	run(g, p, steps, 0, false, fn)
+	PlanFor(g, p).Enumerate(fn)
 }
 
 // MatchesAt calls fn for every match of p in g with h(pivot) = v.
 func MatchesAt(g *graph.Graph, p *pattern.Pattern, v graph.NodeID, fn func(Match) bool) {
-	if !pattern.LabelMatches(g.Label(v), p.NodeLabels[p.Pivot]) {
-		return
-	}
-	steps := plan(p, p.Pivot)
-	run(g, p, steps, v, true, fn)
+	PlanFor(g, p).MatchesAt(v, fn)
 }
 
 // HasMatchAt reports whether p has at least one match pivoted at v.
 func HasMatchAt(g *graph.Graph, p *pattern.Pattern, v graph.NodeID) bool {
-	found := false
-	MatchesAt(g, p, v, func(Match) bool {
-		found = true
-		return false
-	})
-	return found
+	return PlanFor(g, p).HasMatchAt(v)
 }
 
 // PivotNodes returns Q(G, z): the distinct nodes v admitting a match of p
-// pivoted at v, in ascending order. Its cardinality is the pattern support
-// supp(Q, G) of Section 4.2.
+// pivoted at v, in ascending order.
 func PivotNodes(g *graph.Graph, p *pattern.Pattern) []graph.NodeID {
-	var out []graph.NodeID
-	label := p.NodeLabels[p.Pivot]
-	consider := func(v graph.NodeID) {
-		if HasMatchAt(g, p, v) {
-			out = append(out, v)
-		}
-	}
-	if label == pattern.Wildcard {
-		for v := 0; v < g.NumNodes(); v++ {
-			consider(graph.NodeID(v))
-		}
-	} else {
-		for _, v := range g.NodesByLabel(label) {
-			consider(v)
-		}
-	}
-	return out
+	return PlanFor(g, p).PivotNodes()
 }
 
 // PatternSupport returns supp(p, g) = |Q(G, z)|.
 func PatternSupport(g *graph.Graph, p *pattern.Pattern) int {
-	return len(PivotNodes(g, p))
+	return PlanFor(g, p).Support()
 }
 
 // CountMatches returns the total number of matches of p in g, up to limit
@@ -244,10 +436,5 @@ func PatternSupport(g *graph.Graph, p *pattern.Pattern) int {
 // support is match-count based (the non-anti-monotone definition the paper
 // rejects).
 func CountMatches(g *graph.Graph, p *pattern.Pattern, limit int) int {
-	n := 0
-	Enumerate(g, p, func(Match) bool {
-		n++
-		return limit <= 0 || n < limit
-	})
-	return n
+	return PlanFor(g, p).CountMatches(limit)
 }

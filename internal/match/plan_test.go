@@ -1,0 +1,222 @@
+package match
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// bruteForcePivots is an independent reference matcher: it enumerates every
+// injective assignment of pattern variables to graph nodes through the
+// string-based shim API (the seed representation) and returns the sorted
+// distinct pivots, exactly as PivotNodes defines Q(G, z).
+func bruteForcePivots(g *graph.Graph, p *pattern.Pattern) []graph.NodeID {
+	n := p.N()
+	assign := make([]graph.NodeID, n)
+	used := make(map[graph.NodeID]bool)
+	var pivots []graph.NodeID
+	seen := make(map[graph.NodeID]bool)
+
+	valid := func() bool {
+		for _, e := range p.Edges {
+			lbl := e.Label
+			if lbl == pattern.Wildcard {
+				lbl = ""
+			}
+			if !g.HasEdge(assign[e.Src], assign[e.Dst], lbl) {
+				return false
+			}
+		}
+		return true
+	}
+	var rec func(v int)
+	rec = func(v int) {
+		if v == n {
+			if valid() && !seen[assign[p.Pivot]] {
+				seen[assign[p.Pivot]] = true
+				pivots = append(pivots, assign[p.Pivot])
+			}
+			return
+		}
+		for c := 0; c < g.NumNodes(); c++ {
+			cand := graph.NodeID(c)
+			if used[cand] || !pattern.LabelMatches(g.Label(cand), p.NodeLabels[v]) {
+				continue
+			}
+			used[cand] = true
+			assign[v] = cand
+			rec(v + 1)
+			used[cand] = false
+		}
+	}
+	rec(0)
+	// Ascending, as PivotNodes guarantees.
+	for i := 1; i < len(pivots); i++ {
+		for j := i; j > 0 && pivots[j] < pivots[j-1]; j-- {
+			pivots[j], pivots[j-1] = pivots[j-1], pivots[j]
+		}
+	}
+	return pivots
+}
+
+func randomPlanGraph(r *rand.Rand, n int) *graph.Graph {
+	nodeLabels := []string{"a", "b", "c"}
+	edgeLabels := []string{"r", "s", "t"}
+	g := graph.New(n, 3*n)
+	for i := 0; i < n; i++ {
+		g.AddNode(nodeLabels[r.Intn(len(nodeLabels))], nil)
+	}
+	for i := 0; i < 3*n; i++ {
+		s, d := r.Intn(n), r.Intn(n)
+		if s != d {
+			g.AddEdge(graph.NodeID(s), graph.NodeID(d), edgeLabels[r.Intn(len(edgeLabels))])
+		}
+	}
+	g.Finalize()
+	return g
+}
+
+func randomPlanPattern(r *rand.Rand) *pattern.Pattern {
+	nodeLabels := []string{"a", "b", "c", pattern.Wildcard}
+	edgeLabels := []string{"r", "s", "t", pattern.Wildcard}
+	pick := func(ls []string) string { return ls[r.Intn(len(ls))] }
+	p := pattern.SingleEdge(pick(nodeLabels), pick(edgeLabels), pick(nodeLabels))
+	for p.Size() < 1+r.Intn(3) {
+		if r.Intn(3) == 0 && p.N() >= 2 {
+			src, dst := r.Intn(p.N()), r.Intn(p.N())
+			if src != dst {
+				p = p.ExtendClosingEdge(src, dst, pick(edgeLabels))
+				continue
+			}
+		}
+		p = p.ExtendNewNode(r.Intn(p.N()), pick(edgeLabels), pick(nodeLabels), r.Intn(2) == 0)
+	}
+	return p
+}
+
+// TestDifferentialPivotNodes proves the interned/CSR matcher returns
+// byte-identical PivotNodes results to an independent brute-force matcher
+// on randomized graphs and patterns.
+func TestDifferentialPivotNodes(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 150; trial++ {
+		g := randomPlanGraph(r, 3+r.Intn(6))
+		p := randomPlanPattern(r)
+		got := PivotNodes(g, p)
+		want := bruteForcePivots(g, p)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: PivotNodes(%v) = %v, brute force %v", trial, p, got, want)
+		}
+		if PatternSupport(g, p) != len(want) {
+			t.Fatalf("trial %d: PatternSupport = %d, want %d", trial, PatternSupport(g, p), len(want))
+		}
+		// HasMatchAt must agree pointwise with pivot membership.
+		inPivots := make(map[graph.NodeID]bool, len(want))
+		for _, v := range want {
+			inPivots[v] = true
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			if HasMatchAt(g, p, graph.NodeID(v)) != inPivots[graph.NodeID(v)] {
+				t.Fatalf("trial %d: HasMatchAt(%d) disagrees with pivot set", trial, v)
+			}
+		}
+	}
+}
+
+func collectAt(pl *Plan, v graph.NodeID) []Match {
+	var out []Match
+	pl.MatchesAt(v, func(m Match) bool {
+		out = append(out, m.Clone())
+		return true
+	})
+	return out
+}
+
+// TestCachedPlanIdenticalToFresh asserts that a cached plan returns exactly
+// the matches of a freshly compiled plan, and that PlanFor actually reuses
+// the compiled plan across calls.
+func TestCachedPlanIdenticalToFresh(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	g := randomPlanGraph(r, 12)
+	for trial := 0; trial < 30; trial++ {
+		p := randomPlanPattern(r)
+		cached := PlanFor(g, p)
+		if PlanFor(g, p) != cached {
+			t.Fatal("PlanFor compiled the same pattern twice")
+		}
+		fresh := Compile(g, p)
+		for v := 0; v < g.NumNodes(); v++ {
+			a := collectAt(cached, graph.NodeID(v))
+			b := collectAt(fresh, graph.NodeID(v))
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("trial %d pivot %d: cached %v, fresh %v", trial, v, a, b)
+			}
+		}
+		if !reflect.DeepEqual(cached.PivotNodes(), fresh.PivotNodes()) {
+			t.Fatalf("trial %d: cached and fresh PivotNodes disagree", trial)
+		}
+	}
+}
+
+// TestPlanReuseStability runs the same cached plan many times, interleaved
+// with other patterns, asserting the pooled matcher state never leaks
+// between runs.
+func TestPlanReuseStability(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	g := randomPlanGraph(r, 10)
+	p := pattern.SingleEdge("a", "r", pattern.Wildcard)
+	q := pattern.SingleEdge(pattern.Wildcard, "s", "b")
+	first := PivotNodes(g, p)
+	for i := 0; i < 50; i++ {
+		_ = PivotNodes(g, q) // interleave another pattern
+		if got := PivotNodes(g, p); !reflect.DeepEqual(got, first) {
+			t.Fatalf("iteration %d: PivotNodes drifted: %v vs %v", i, got, first)
+		}
+	}
+}
+
+// TestPlanCacheInvalidatedByMutation asserts that finalizing a mutated
+// graph drops stale plans: a label absent at compile time (dead plan) must
+// match after edges with that label appear.
+func TestPlanCacheInvalidatedByMutation(t *testing.T) {
+	g := graph.New(2, 2)
+	a := g.AddNode("a", nil)
+	b := g.AddNode("b", nil)
+	g.AddEdge(a, b, "r")
+	g.Finalize()
+	p := pattern.SingleEdge("a", "newrel", "b")
+	if n := PatternSupport(g, p); n != 0 {
+		t.Fatalf("support before mutation = %d, want 0", n)
+	}
+	g.AddEdge(a, b, "newrel")
+	g.Finalize()
+	if n := PatternSupport(g, p); n != 1 {
+		t.Fatalf("support after mutation = %d, want 1 (stale dead plan served?)", n)
+	}
+}
+
+// TestDeadPlanShortCircuits checks queries against labels the graph has
+// never seen.
+func TestDeadPlanShortCircuits(t *testing.T) {
+	g := graph.New(2, 1)
+	a := g.AddNode("a", nil)
+	b := g.AddNode("b", nil)
+	g.AddEdge(a, b, "r")
+	g.Finalize()
+	p := pattern.SingleEdge("ghost", "r", "b")
+	if PivotNodes(g, p) != nil {
+		t.Fatal("dead plan produced pivots")
+	}
+	if HasMatchAt(g, p, a) {
+		t.Fatal("dead plan matched")
+	}
+	if CountMatches(g, p, 0) != 0 {
+		t.Fatal("dead plan counted matches")
+	}
+}

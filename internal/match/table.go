@@ -16,6 +16,20 @@ type Table struct {
 	Rows []Match
 }
 
+// resolveLabel maps a pattern label to the graph's interned ID. ok=false
+// means a concrete label absent from the graph: nothing can match it.
+func resolveLabel(g *graph.Graph, lbl string) (id graph.LabelID, ok bool) {
+	if lbl == pattern.Wildcard {
+		return graph.NoLabel, true
+	}
+	return g.LookupLabel(lbl)
+}
+
+// nodeLabelOK reports L(v) ⪯ want for an interned pattern label.
+func nodeLabelOK(g *graph.Graph, v graph.NodeID, want graph.LabelID) bool {
+	return want == graph.NoLabel || g.NodeLabelID(v) == want
+}
+
 // NewSingleNodeTable materialises the matches of a one-variable pattern.
 func NewSingleNodeTable(g *graph.Graph, p *pattern.Pattern) *Table {
 	t := &Table{P: p}
@@ -41,30 +55,53 @@ func EdgeMatches(g *graph.Graph, p *pattern.Pattern, edges []graph.Edge) []Match
 		panic(fmt.Sprintf("match: EdgeMatches wants a single-edge pattern, got %v", p))
 	}
 	pe := p.Edges[0]
-	srcLabel, dstLabel := p.NodeLabels[pe.Src], p.NodeLabels[pe.Dst]
+	elabel, eok := resolveLabel(g, pe.Label)
+	srcLabel, sok := resolveLabel(g, p.NodeLabels[pe.Src])
+	dstLabel, dok := resolveLabel(g, p.NodeLabels[pe.Dst])
+	if !eok || !sok || !dok {
+		return nil
+	}
 	var rows []Match
-	consider := func(e graph.Edge) {
-		if !pattern.LabelMatches(e.Label, pe.Label) {
-			return
-		}
-		if !pattern.LabelMatches(g.Label(e.Src), srcLabel) || !pattern.LabelMatches(g.Label(e.Dst), dstLabel) {
-			return
-		}
-		if e.Src == e.Dst {
+	emit := func(s, d graph.NodeID) {
+		if s == d {
 			return // injectivity
 		}
+		if !nodeLabelOK(g, d, dstLabel) {
+			return
+		}
 		row := make(Match, 2)
-		row[pe.Src], row[pe.Dst] = e.Src, e.Dst
+		row[pe.Src], row[pe.Dst] = s, d
 		rows = append(rows, row)
 	}
 	if edges == nil {
-		g.Edges(func(e graph.Edge) bool {
-			consider(e)
-			return true
-		})
-	} else {
-		for _, e := range edges {
-			consider(e)
+		for v := 0; v < g.NumNodes(); v++ {
+			s := graph.NodeID(v)
+			if !nodeLabelOK(g, s, srcLabel) {
+				continue
+			}
+			if elabel != graph.NoLabel {
+				for _, d := range g.OutTo(s, elabel) {
+					emit(s, d)
+				}
+				continue
+			}
+			lo, hi := g.OutRuns(s)
+			for r := lo; r < hi; r++ {
+				for _, d := range g.OutRunNodes(r) {
+					emit(s, d)
+				}
+			}
+		}
+		return rows
+	}
+	for _, e := range edges {
+		if elabel != graph.NoLabel {
+			if id, ok := g.LookupLabel(e.Label); !ok || id != elabel {
+				continue
+			}
+		}
+		if nodeLabelOK(g, e.Src, srcLabel) {
+			emit(e.Src, e.Dst)
 		}
 	}
 	return rows
@@ -76,57 +113,77 @@ func EdgeMatches(g *graph.Graph, p *pattern.Pattern, edges []graph.Edge) []Match
 // variable. Child's first parent.N() variables must agree with parent's
 // (same labels); the new variable, if any, has index parent.N().
 //
-// Rows passed in are never mutated. Extended rows are fresh slices.
+// Rows passed in are never mutated. Extended rows are fresh slices. Labels
+// are resolved to interned IDs once per call, so the per-row work runs on
+// the CSR fast path.
 func ExtendRows(g *graph.Graph, rows []Match, parent, child *pattern.Pattern) []Match {
 	e := child.LastEdge()
+	elabel, eok := resolveLabel(g, e.Label)
+	if !eok {
+		return nil
+	}
 	var out []Match
 	switch child.N() {
 	case parent.N():
 		// Closing edge between two bound variables: filter.
 		for _, row := range rows {
-			ok := false
-			if e.Label == pattern.Wildcard {
-				ok = g.HasEdge(row[e.Src], row[e.Dst], "")
-			} else {
-				ok = g.HasEdge(row[e.Src], row[e.Dst], e.Label)
-			}
-			if ok {
+			if g.HasEdgeID(row[e.Src], row[e.Dst], elabel) {
 				out = append(out, row.Clone())
 			}
 		}
 	case parent.N() + 1:
 		nv := parent.N()
-		newLabel := child.NodeLabels[nv]
+		newLabel, nok := resolveLabel(g, child.NodeLabels[nv])
+		if !nok {
+			return nil
+		}
 		outgoing := e.Src != nv // true: bound -> new
 		anchorVar := e.Src
 		if !outgoing {
 			anchorVar = e.Dst
 		}
+		extend := func(row Match, cand graph.NodeID) {
+			if !nodeLabelOK(g, cand, newLabel) {
+				return
+			}
+			for _, b := range row {
+				if b == cand {
+					return // injectivity
+				}
+			}
+			nr := make(Match, nv+1)
+			copy(nr, row)
+			nr[nv] = cand
+			out = append(out, nr)
+		}
 		for _, row := range rows {
 			anchor := row[anchorVar]
-			var adj []graph.HalfEdge
-			if outgoing {
-				adj = g.Out(anchor)
-			} else {
-				adj = g.In(anchor)
+			if elabel != graph.NoLabel {
+				var cands []graph.NodeID
+				if outgoing {
+					cands = g.OutTo(anchor, elabel)
+				} else {
+					cands = g.InFrom(anchor, elabel)
+				}
+				for _, cand := range cands {
+					extend(row, cand)
+				}
+				continue
 			}
-		scan:
-			for _, he := range adj {
-				if !pattern.LabelMatches(he.Label, e.Label) {
-					continue
-				}
-				if !pattern.LabelMatches(g.Label(he.To), newLabel) {
-					continue
-				}
-				for _, b := range row {
-					if b == he.To {
-						continue scan // injectivity
+			if outgoing {
+				lo, hi := g.OutRuns(anchor)
+				for r := lo; r < hi; r++ {
+					for _, cand := range g.OutRunNodes(r) {
+						extend(row, cand)
 					}
 				}
-				nr := make(Match, nv+1)
-				copy(nr, row)
-				nr[nv] = he.To
-				out = append(out, nr)
+			} else {
+				lo, hi := g.InRuns(anchor)
+				for r := lo; r < hi; r++ {
+					for _, cand := range g.InRunNodes(r) {
+						extend(row, cand)
+					}
+				}
 			}
 		}
 	default:
@@ -147,11 +204,19 @@ func Extend(g *graph.Graph, t *Table, child *pattern.Pattern) *Table {
 // discovery derives a concrete-labelled pattern's table from its wildcard
 // parent without re-matching.
 func RelabelRows(g *graph.Graph, rows []Match, variant *pattern.Pattern) []Match {
+	wants := make([]graph.LabelID, variant.N())
+	for v, l := range variant.NodeLabels {
+		id, ok := resolveLabel(g, l)
+		if !ok {
+			return nil
+		}
+		wants[v] = id
+	}
 	var out []Match
 rows:
 	for _, row := range rows {
-		for v, want := range variant.NodeLabels {
-			if !pattern.LabelMatches(g.Label(row[v]), want) {
+		for v, want := range wants {
+			if !nodeLabelOK(g, row[v], want) {
 				continue rows
 			}
 		}

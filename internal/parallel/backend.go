@@ -102,20 +102,30 @@ func (b *Backend) bookkeep(rows int) {
 // superstep, with per-pattern pivot sets shipped for master-side union.
 func (b *Backend) SeedBatch(ps []*pattern.Pattern) []discovery.PatOut {
 	hs := make([]*parHandle, len(ps))
+	// Resolve seed labels to interned IDs once; NoLabel marks the wildcard
+	// full scan, and labels absent from the graph yield empty fragments.
+	labelIDs := make([]graph.LabelID, len(ps))
 	for i, p := range ps {
 		hs[i] = &parHandle{p: p, parts: make([][]match.Match, b.n())}
+		labelIDs[i] = graph.NoLabel
+		if l := p.NodeLabels[0]; l != pattern.Wildcard {
+			id, ok := b.g.LookupLabel(l)
+			if !ok {
+				continue
+			}
+			labelIDs[i] = id
+		}
 	}
 	b.eng.Superstep("seed level", func(w int) {
 		f := &b.frags[w]
 		for i, p := range ps {
 			var rows []match.Match
-			label := p.NodeLabels[0]
-			if label == pattern.Wildcard {
+			if p.NodeLabels[0] == pattern.Wildcard {
 				for v := f.NodeLo; v < f.NodeHi; v++ {
 					rows = append(rows, match.Match{v})
 				}
-			} else {
-				for _, v := range b.g.NodesByLabel(label) {
+			} else if labelIDs[i] != graph.NoLabel {
+				for _, v := range b.g.NodesByLabelID(labelIDs[i]) {
 					if f.OwnsNode(v) {
 						rows = append(rows, match.Match{v})
 					}

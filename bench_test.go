@@ -236,6 +236,45 @@ func BenchmarkMatchesAt(b *testing.B) {
 	}
 }
 
+// BenchmarkExtendRows measures one incremental join Q(t) ⋈ e(G) on the
+// DBpediaSim workload — the dominant per-level operation of SeqDis/ParDis.
+// The columnar table appends cells to flat per-variable columns, so
+// allocations are slice growth only, not one slice per output row.
+func BenchmarkExtendRows(b *testing.B) {
+	g, p := dbpediaBenchWorkload()
+	parent := SingleEdge("T00", "r00", "T01")
+	t1 := match.EdgeMatches(g, parent, nil)
+	if t1.Len() == 0 {
+		b.Fatal("empty parent table")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t2 := match.ExtendRows(g, t1, p)
+		if t2.Len() == 0 {
+			b.Fatal("empty extension")
+		}
+	}
+}
+
+// BenchmarkTableSupport measures distinct-pivot counting over a
+// materialised table — a bitset scan of the pivot column.
+func BenchmarkTableSupport(b *testing.B) {
+	g, p := dbpediaBenchWorkload()
+	parent := SingleEdge("T00", "r00", "T01")
+	t2 := match.ExtendRows(g, match.EdgeMatches(g, parent, nil), p)
+	if t2.Len() == 0 {
+		b.Fatal("empty table")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if t2.Support() == 0 {
+			b.Fatal("no support")
+		}
+	}
+}
+
 func BenchmarkImplication(b *testing.B) {
 	g := dataset.YAGO2Sim(200, 42)
 	sigma := dataset.GenGFDs(g, dataset.GFDGenConfig{Count: 300, K: 3, Seed: 7})

@@ -1,0 +1,109 @@
+package gfd
+
+// Golden mining test: runs full discovery on a small checked-in TSV graph
+// and compares the canonicalized GFD output byte-for-byte against a
+// committed golden file. Layout rewrites of the match/discovery stack
+// (e.g. the columnar table storage) must leave mining output identical;
+// regenerate deliberately with `go test -run TestGoldenMining -update .`.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+const (
+	goldenGraphPath = "internal/testutil/testdata/golden_graph.tsv"
+	goldenGFDsPath  = "internal/testutil/testdata/golden_gfds.txt"
+)
+
+// goldenOptions is the fixed discovery configuration of the golden run.
+// Changing it invalidates the golden file on purpose.
+func goldenOptions() DiscoverOptions {
+	return DiscoverOptions{
+		K:                3,
+		Support:          2,
+		MaxX:             2,
+		ConstantsPerAttr: 3,
+		WildcardNodes:    true,
+		MaxNegatives:     200,
+	}
+}
+
+// canonicalize renders a discovery result as sorted, self-contained lines:
+// one per mined GFD, carrying its canonical key, support and level.
+func canonicalize(res *DiscoverResult) string {
+	var lines []string
+	for _, m := range res.Positives {
+		lines = append(lines, fmt.Sprintf("P\t%s\tsupp=%d\tlevel=%d", m.GFD.Key(), m.Support, m.Level))
+	}
+	for _, m := range res.Negatives {
+		lines = append(lines, fmt.Sprintf("N\t%s\tsupp=%d\tlevel=%d", m.GFD.Key(), m.Support, m.Level))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func loadGoldenGraph(t *testing.T) *Graph {
+	t.Helper()
+	f, err := os.Open(goldenGraphPath)
+	if err != nil {
+		t.Fatalf("open golden graph: %v", err)
+	}
+	defer f.Close()
+	g, err := ReadGraph(f)
+	if err != nil {
+		t.Fatalf("read golden graph: %v", err)
+	}
+	return g
+}
+
+func TestGoldenMining(t *testing.T) {
+	g := loadGoldenGraph(t)
+	res := Discover(g, goldenOptions())
+	if len(res.Positives) == 0 || len(res.Negatives) == 0 {
+		t.Fatalf("golden run looks degenerate: %d positives, %d negatives",
+			len(res.Positives), len(res.Negatives))
+	}
+	got := canonicalize(res)
+
+	if *updateGolden {
+		if err := os.WriteFile(goldenGFDsPath, []byte(got), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+		t.Logf("golden file rewritten: %d GFDs", len(res.Positives)+len(res.Negatives))
+		return
+	}
+	want, err := os.ReadFile(goldenGFDsPath)
+	if err != nil {
+		t.Fatalf("read golden file (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("mining output diverged from golden file.\n"+
+			"If the change is intentional, regenerate with: go test -run TestGoldenMining -update .\n"+
+			"--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestGoldenMiningParallel locks the distributed path to the same bytes:
+// ParDis over the columnar fragment tables must mine exactly the golden
+// GFD set, for several worker counts.
+func TestGoldenMiningParallel(t *testing.T) {
+	g := loadGoldenGraph(t)
+	want, err := os.ReadFile(goldenGFDsPath)
+	if err != nil {
+		t.Fatalf("read golden file (regenerate with -update): %v", err)
+	}
+	for _, workers := range []int{1, 3, 4} {
+		res := DiscoverParallel(g, goldenOptions(), workers)
+		if got := canonicalize(res.DiscoverResult); got != string(want) {
+			t.Fatalf("parallel mining (n=%d) diverged from golden output.\n--- got ---\n%s--- want ---\n%s",
+				workers, got, want)
+		}
+	}
+}

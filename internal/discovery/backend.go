@@ -130,7 +130,7 @@ func (b *SeqBackend) ExtendBatch(parents []Handle, children []*pattern.Pattern) 
 	out := make([]PatOut, len(children))
 	for i, child := range children {
 		pt := parents[i].(*seqHandle).table
-		t := match.Extend(b.g, pt, child)
+		t := match.ExtendRows(b.g, pt, child)
 		if b.maxRows > 0 && t.Len() > b.maxRows {
 			if b.stats != nil {
 				b.stats.Aborted++
@@ -161,19 +161,20 @@ func (b *SeqBackend) Constants(h Handle, nvars int, gamma []string, max int) [][
 	out := make([][]string, nvars*len(gamma))
 	for v := 0; v < nvars; v++ {
 		for ai, attr := range gamma {
-			out[v*len(gamma)+ai] = TopConstants(ObservedConstantCounts(b.g, t.Rows, v, attr), max)
+			out[v*len(gamma)+ai] = TopConstants(ObservedConstantCounts(b.g, t, v, attr), max)
 		}
 	}
 	return out
 }
 
 // ObservedConstantCounts returns the frequency of each value of attr at
-// variable v over the given rows. The parallel backend computes these
-// per fragment and merges the maps at the master.
-func ObservedConstantCounts(g *graph.Graph, rows []match.Match, v int, attr string) map[string]int {
+// variable v over the table's rows — a single scan of column v. The
+// parallel backend computes these per fragment and merges the maps at the
+// master.
+func ObservedConstantCounts(g *graph.Graph, t *match.Table, v int, attr string) map[string]int {
 	counts := make(map[string]int)
-	for _, row := range rows {
-		if val, ok := g.Attr(row[v], attr); ok {
+	for _, node := range t.Col(v) {
+		if val, ok := g.Attr(node, attr); ok {
 			counts[val]++
 		}
 	}
@@ -202,8 +203,7 @@ func TopConstants(counts map[string]int, max int) []string {
 
 // Evaluate implements Backend.
 func (b *SeqBackend) Evaluate(h Handle, pool []core.Literal) Evaluator {
-	t := h.(*seqHandle).table
-	return NewTableEval(b.g, t.P, t.Rows, pool)
+	return NewTableEval(b.g, h.(*seqHandle).table, pool)
 }
 
 // TableEval indexes literal satisfaction per match row as bitsets and
@@ -212,11 +212,11 @@ func (b *SeqBackend) Evaluate(h Handle, pool []core.Literal) Evaluator {
 // the parallel backend one per fragment.
 type TableEval struct {
 	g      *graph.Graph
-	rows   []match.Match
-	pivots []graph.NodeID
-	sat    []Bitset // per pool literal
-	full   Bitset   // all rows
-	buf    Bitset   // scratch for AND(X)
+	t      *match.Table
+	pivots []graph.NodeID // the table's pivot column (shared storage)
+	sat    []Bitset       // per pool literal
+	full   Bitset         // all rows
+	buf    Bitset         // scratch for AND(X)
 	pool   []core.Literal
 	// attrPresent caches attribute presence per (variable, attribute).
 	attrPresent map[attrKey]bool
@@ -227,13 +227,15 @@ type attrKey struct {
 	attr string
 }
 
-// NewTableEval builds the satisfaction index of pool over rows of pattern p.
-func NewTableEval(g *graph.Graph, p *pattern.Pattern, rows []match.Match, pool []core.Literal) *TableEval {
-	n := len(rows)
+// NewTableEval builds the satisfaction index of pool over the columnar
+// table t. Each literal's bitset is filled by a column scan (eval.SatRows);
+// the pivot column is shared with the table, not copied.
+func NewTableEval(g *graph.Graph, t *match.Table, pool []core.Literal) *TableEval {
+	n := t.Len()
 	e := &TableEval{
 		g:           g,
-		rows:        rows,
-		pivots:      make([]graph.NodeID, n),
+		t:           t,
+		pivots:      t.PivotCol(),
 		sat:         make([]Bitset, len(pool)),
 		full:        NewBitset(n),
 		buf:         NewBitset(n),
@@ -241,17 +243,9 @@ func NewTableEval(g *graph.Graph, p *pattern.Pattern, rows []match.Match, pool [
 		attrPresent: make(map[attrKey]bool),
 	}
 	e.full.Fill(n)
-	for j := range pool {
+	for j, l := range pool {
 		e.sat[j] = NewBitset(n)
-	}
-	pivot := p.Pivot
-	for i, row := range rows {
-		e.pivots[i] = row[pivot]
-		for j, l := range pool {
-			if eval.LiteralHolds(g, row, l) {
-				e.sat[j].Set(i)
-			}
-		}
+		eval.SatRows(g, t, l, e.sat[j].Set)
 	}
 	return e
 }
@@ -322,8 +316,8 @@ func (e *TableEval) AttrPresent(v int, attr string) bool {
 		return p
 	}
 	present := false
-	for _, row := range e.rows {
-		if _, ok := e.g.Attr(row[v], attr); ok {
+	for _, node := range e.t.Col(v) {
+		if _, ok := e.g.Attr(node, attr); ok {
 			present = true
 			break
 		}
@@ -335,6 +329,6 @@ func (e *TableEval) AttrPresent(v int, attr string) bool {
 // Release implements Evaluator.
 func (e *TableEval) Release() {
 	e.sat = nil
-	e.rows = nil
+	e.t = nil
 	e.pivots = nil
 }

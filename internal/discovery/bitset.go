@@ -1,90 +1,13 @@
 package discovery
 
-import "math/bits"
+import "repro/internal/bitset"
 
 // Bitset is a fixed-size bit vector over match-table rows. Candidate
 // validation reduces to bit algebra: a candidate Q[x̄](X → l) is violated
 // iff AND(sat[X]) ∧ ¬sat[l] is nonempty, making each validation O(rows/64)
-// words after a single O(|pool|·rows) satisfaction pass.
-type Bitset []uint64
+// words after a single O(|pool|·rows) satisfaction pass. The implementation
+// lives in internal/bitset, shared with the columnar match tables.
+type Bitset = bitset.Bitset
 
 // NewBitset returns a bitset able to hold n bits, all zero.
-func NewBitset(n int) Bitset { return make(Bitset, (n+63)/64) }
-
-// Set sets bit i.
-func (b Bitset) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
-
-// Get reports bit i.
-func (b Bitset) Get(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
-
-// Fill sets the first n bits.
-func (b Bitset) Fill(n int) {
-	for i := 0; i < n>>6; i++ {
-		b[i] = ^uint64(0)
-	}
-	if r := n & 63; r != 0 {
-		b[n>>6] = (1 << uint(r)) - 1
-	}
-}
-
-// CopyFrom overwrites b with src (same length).
-func (b Bitset) CopyFrom(src Bitset) { copy(b, src) }
-
-// AndWith intersects b with o in place.
-func (b Bitset) AndWith(o Bitset) {
-	for i := range b {
-		b[i] &= o[i]
-	}
-}
-
-// AnyAndNot reports whether b ∧ ¬o is nonempty.
-func (b Bitset) AnyAndNot(o Bitset) bool {
-	for i := range b {
-		if b[i]&^o[i] != 0 {
-			return true
-		}
-	}
-	return false
-}
-
-// AnyAnd reports whether b ∧ o is nonempty.
-func (b Bitset) AnyAnd(o Bitset) bool {
-	for i := range b {
-		if b[i]&o[i] != 0 {
-			return true
-		}
-	}
-	return false
-}
-
-// Count returns the number of set bits.
-func (b Bitset) Count() int {
-	n := 0
-	for _, w := range b {
-		n += bits.OnesCount64(w)
-	}
-	return n
-}
-
-// ForEach calls fn for every set bit index, in ascending order.
-func (b Bitset) ForEach(fn func(i int)) {
-	for wi, w := range b {
-		for w != 0 {
-			t := bits.TrailingZeros64(w)
-			fn(wi<<6 | t)
-			w &= w - 1
-		}
-	}
-}
-
-// ForEachAnd calls fn for every index set in both b and o.
-func (b Bitset) ForEachAnd(o Bitset, fn func(i int)) {
-	for wi := range b {
-		w := b[wi] & o[wi]
-		for w != 0 {
-			t := bits.TrailingZeros64(w)
-			fn(wi<<6 | t)
-			w &= w - 1
-		}
-	}
-}
+func NewBitset(n int) Bitset { return bitset.New(n) }

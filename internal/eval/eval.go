@@ -33,6 +33,33 @@ func LiteralHolds(g *graph.Graph, m match.Match, l core.Literal) bool {
 	}
 }
 
+// SatRows calls mark(r) for every row of the columnar table t whose match
+// satisfies l. It is the column-scan form of LiteralHolds: a constant
+// literal reads one column, a variable literal two, so building the
+// per-literal satisfaction bitsets of discovery never materialises a row.
+func SatRows(g *graph.Graph, t *match.Table, l core.Literal, mark func(r int)) {
+	switch l.Kind {
+	case core.LConst:
+		for r, v := range t.Col(l.X) {
+			if val, ok := g.Attr(v, l.A); ok && val == l.C {
+				mark(r)
+			}
+		}
+	case core.LVar:
+		cx, cy := t.Col(l.X), t.Col(l.Y)
+		for r := range cx {
+			vx, okx := g.Attr(cx[r], l.A)
+			if !okx {
+				continue
+			}
+			vy, oky := g.Attr(cy[r], l.B)
+			if oky && vx == vy {
+				mark(r)
+			}
+		}
+	}
+}
+
 // AllHold reports whether m satisfies every literal in ls.
 func AllHold(g *graph.Graph, m match.Match, ls []core.Literal) bool {
 	for _, l := range ls {

@@ -1,0 +1,76 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadTSV hardens the TSV reader: arbitrary input — malformed lines,
+// out-of-range edges, duplicate edges, empty labels, stray tabs — must
+// either parse into a well-formed finalized graph or return an error,
+// never panic. Parsed graphs must round-trip: Write then Read yields a
+// graph with the same shape.
+func FuzzLoadTSV(f *testing.F) {
+	seeds := []string{
+		"",
+		"# comment only\n",
+		"N\t0\ta\n",
+		"N\t0\ta\nN\t1\tb\nE\t0\t1\tr\n",
+		"N\t0\ta\tk=v\tk2=v2\nN\t1\t\nE\t0\t1\t\n",
+		"N\t0\ta\nE\t0\t0\tr\nE\t0\t0\tr\n", // self-loop, duplicate edges
+		"N\t0\ta\nN\t1\ta\nE\t0\t1\tr\nE\t0\t1\tr\nE\t1\t0\ts\n",
+		"N\t1\ta\n",             // out-of-order id
+		"N\t0\n",                // missing label
+		"N\t0\ta\tnoequals\n",   // malformed attribute
+		"E\t0\t1\tr\n",          // edge before nodes
+		"N\t0\ta\nE\t0\t9\tr\n", // endpoint out of range
+		"X\t0\t1\n",             // unknown record type
+		"N\t0\ta\tk=\nN\t1\ta\tk==v\n",
+		"N\t0\t_\nN\t1\t_\nE\t0\t1\t_\n", // wildcard-looking labels
+		"N\t-1\ta\n",
+		"N\t0\ta\r\nE\t0\t0\tr\r\n", // CR line endings survive as label bytes
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully parsed graph must be finalized and internally
+		// consistent enough to serve queries and round-trip.
+		n := g.NumNodes()
+		for v := 0; v < n; v++ {
+			id := NodeID(v)
+			if strings.ContainsRune(g.Label(id), '\t') {
+				t.Fatalf("label with tab survived parse: %q", g.Label(id))
+			}
+			_ = g.Attrs(id)
+		}
+		edges := 0
+		g.Edges(func(e Edge) bool {
+			if int(e.Src) >= n || int(e.Dst) >= n || e.Src < 0 || e.Dst < 0 {
+				t.Fatalf("edge endpoint out of range: %+v", e)
+			}
+			edges++
+			return true
+		})
+		if edges != g.NumEdges() {
+			t.Fatalf("Edges iterated %d, NumEdges says %d", edges, g.NumEdges())
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("write parsed graph: %v", err)
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round-trip re-read failed: %v\n%s", err, buf.Bytes())
+		}
+		if g2.NumNodes() != n || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round-trip changed shape: %d/%d nodes, %d/%d edges",
+				g2.NumNodes(), n, g2.NumEdges(), g.NumEdges())
+		}
+	})
+}

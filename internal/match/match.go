@@ -13,8 +13,9 @@
 //     interned CSR label runs, growing matches outward from the pivot with
 //     integer-only comparisons and pooled, allocation-free search state
 //     (Enumerate, MatchesAt, HasMatchAt, PivotNodes);
-//   - materialised match tables extended one edge at a time (Table,
-//     ExtendRows), the incremental-join primitive that both the sequential
+//   - materialised columnar match tables extended one edge at a time
+//     (Table, ExtendRows): per-variable node-ID columns with zero-copy
+//     slicing, the incremental-join primitive that both the sequential
 //     generation tree (Section 5) and the distributed joins of ParDis
 //     (Section 6.2) are built on.
 package match

@@ -203,10 +203,20 @@ func TestSingleNodePattern(t *testing.T) {
 	}
 }
 
+// tableRows materialises a columnar table as row-major matches, for
+// comparisons against enumeration and the row-based references below.
+func tableRows(t *Table) []Match {
+	out := make([]Match, t.Len())
+	for r := range out {
+		out[r] = t.Row(r)
+	}
+	return out
+}
+
 func TestTables(t *testing.T) {
 	g := testutil.G2()
 	p1 := pattern.SingleEdge("city", "located", pattern.Wildcard)
-	t1 := &Table{P: p1, Rows: EdgeMatches(g, p1, nil)}
+	t1 := EdgeMatches(g, p1, nil)
 	if t1.Len() != 2 {
 		t.Fatalf("single-edge table: %d rows, want 2", t1.Len())
 	}
@@ -215,11 +225,11 @@ func TestTables(t *testing.T) {
 	}
 	// Extend with second located edge -> Q2.
 	q2 := p1.ExtendNewNode(0, "located", pattern.Wildcard, true)
-	t2 := Extend(g, t1, q2)
+	t2 := ExtendRows(g, t1, q2)
 	if t2.Len() != 2 {
 		t.Fatalf("extended table: %d rows, want 2", t2.Len())
 	}
-	for _, r := range t2.Rows {
+	for _, r := range tableRows(t2) {
 		if r[1] == r[2] {
 			t.Fatalf("join produced non-injective row %v", r)
 		}
@@ -229,12 +239,12 @@ func TestTables(t *testing.T) {
 func TestExtendClosingEdge(t *testing.T) {
 	g := testutil.G3()
 	p1 := pattern.SingleEdge("person", "parent", "person")
-	t1 := &Table{P: p1, Rows: EdgeMatches(g, p1, nil)}
+	t1 := EdgeMatches(g, p1, nil)
 	if t1.Len() != 2 {
 		t.Fatalf("parent edges: %d, want 2", t1.Len())
 	}
 	q3 := p1.ExtendClosingEdge(1, 0, "parent")
-	t2 := Extend(g, t1, q3)
+	t2 := ExtendRows(g, t1, q3)
 	if t2.Len() != 2 {
 		t.Fatalf("2-cycle table: %d rows, want 2", t2.Len())
 	}
@@ -248,23 +258,46 @@ func TestEdgeMatchesOnSubsetOfEdges(t *testing.T) {
 		some = append(some, e)
 		return len(some) < 1
 	})
-	rows := EdgeMatches(g, p, some)
-	if len(rows) != 1 {
-		t.Fatalf("restricted EdgeMatches: %d rows, want 1", len(rows))
+	if got := EdgeMatches(g, p, some).Len(); got != 1 {
+		t.Fatalf("restricted EdgeMatches: %d rows, want 1", got)
 	}
 }
 
 func TestRelabelRows(t *testing.T) {
 	g := testutil.G2()
 	gen := pattern.SingleEdge("city", "located", pattern.Wildcard)
-	rows := EdgeMatches(g, gen, nil)
+	tb := EdgeMatches(g, gen, nil)
 	conc := pattern.SingleEdge("city", "located", "country")
-	kept := RelabelRows(g, rows, conc)
-	if len(kept) != 1 {
-		t.Fatalf("relabel kept %d rows, want 1 (only Russia is a country)", len(kept))
+	kept := RelabelRows(g, tb, conc)
+	if kept.Len() != 1 {
+		t.Fatalf("relabel kept %d rows, want 1 (only Russia is a country)", kept.Len())
 	}
-	if g.Label(kept[0][1]) != "country" {
-		t.Fatalf("kept wrong row: %v", kept)
+	if g.Label(kept.At(0, 1)) != "country" {
+		t.Fatalf("kept wrong row: %v", kept.Row(0))
+	}
+}
+
+func TestTableSliceSplitAppend(t *testing.T) {
+	p := pattern.SingleNode("n")
+	rows := make([]Match, 10)
+	for i := range rows {
+		rows[i] = Match{graph.NodeID(i)}
+	}
+	tb := FromRows(p, rows)
+	parts := tb.Split(3, 7)
+	if len(parts) != 3 || parts[0].Len() != 3 || parts[1].Len() != 4 || parts[2].Len() != 3 {
+		t.Fatalf("split sizes wrong: %d %d %d", parts[0].Len(), parts[1].Len(), parts[2].Len())
+	}
+	if parts[1].At(0, 0) != 3 || parts[2].At(2, 0) != 9 {
+		t.Fatal("split rows misaligned")
+	}
+	// Appending to one slice must not clobber its neighbour (capacity clamp).
+	parts[0].AppendRows(parts[2], 0, 2)
+	if parts[0].Len() != 5 || parts[1].At(0, 0) != 3 {
+		t.Fatalf("append corrupted neighbouring slice: %v", parts[1].Row(0))
+	}
+	if tb.Len() != 10 {
+		t.Fatal("append mutated the parent table")
 	}
 }
 
@@ -301,11 +334,11 @@ func TestQuickJoinEqualsEnumerate(t *testing.T) {
 			child = p1.ExtendClosingEdge(1, 0, labels[r.Intn(3)])
 		}
 		// Via join:
-		t1 := &Table{P: p1, Rows: EdgeMatches(g, p1, nil)}
-		joined := Extend(g, t1, child)
+		t1 := EdgeMatches(g, p1, nil)
+		joined := ExtendRows(g, t1, child)
 		// Via direct enumeration:
 		direct := collect(g, child)
-		return sameMatchSet(joined.Rows, direct)
+		return sameMatchSet(tableRows(joined), direct)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
 		t.Fatal(err)

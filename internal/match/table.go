@@ -3,17 +3,132 @@ package match
 import (
 	"fmt"
 
+	"repro/internal/bitset"
 	"repro/internal/graph"
 	"repro/internal/pattern"
 )
 
-// Table materialises the matches of a pattern as rows of node IDs. Tables
-// are the unit of state that discovery carries between levels of the
-// generation tree, and — sliced into per-fragment ownership — the unit of
-// state ParDis workers exchange.
+// Table materialises the matches of a pattern in columnar form: one flat
+// []graph.NodeID column per pattern variable, with row r of the table being
+// (cols[0][r], ..., cols[n-1][r]). Tables are the unit of state that
+// discovery carries between levels of the generation tree, and — sliced
+// into per-fragment ownership — the unit of state ParDis workers exchange.
+//
+// The columnar layout is what makes table work allocation-free per row:
+// extension appends node IDs to columns (no per-row slice), label filters
+// and pivot-set counting are single-column scans, and partitioning a table
+// across workers is a zero-copy column slice (Slice, Split). Callers that
+// genuinely need a row materialise one through Row/RowInto.
 type Table struct {
 	P    *pattern.Pattern
-	Rows []Match
+	cols [][]graph.NodeID
+}
+
+// NewTable returns an empty table for p, with one (nil) column per
+// variable.
+func NewTable(p *pattern.Pattern) *Table {
+	return &Table{P: p, cols: make([][]graph.NodeID, p.N())}
+}
+
+// FromRows builds a columnar table from row-major matches. It is the
+// bridge from enumeration-style producers (and tests) into the columnar
+// layout; hot paths build columns directly.
+func FromRows(p *pattern.Pattern, rows []Match) *Table {
+	t := NewTable(p)
+	n := p.N()
+	for v := 0; v < n; v++ {
+		col := make([]graph.NodeID, len(rows))
+		for r, row := range rows {
+			col[r] = row[v]
+		}
+		t.cols[v] = col
+	}
+	return t
+}
+
+// Len returns the number of rows. A nil *Table reads as empty, like the
+// nil row slices of the row-major era.
+func (t *Table) Len() int {
+	if t == nil || len(t.cols) == 0 {
+		return 0
+	}
+	return len(t.cols[0])
+}
+
+// NumVars returns the number of variables (columns).
+func (t *Table) NumVars() int { return len(t.cols) }
+
+// Col returns the column of variable v: Col(v)[r] = h_r(x_v). Shared
+// read-only storage; callers must not mutate it. Nil-tolerant.
+func (t *Table) Col(v int) []graph.NodeID {
+	if t == nil {
+		return nil
+	}
+	return t.cols[v]
+}
+
+// At returns the node bound to variable v in row r.
+func (t *Table) At(r, v int) graph.NodeID { return t.cols[v][r] }
+
+// RowInto materialises row r into buf (reused when cap allows) and returns
+// it. This is the row-view accessor for callers that genuinely need
+// row-major access; column scans are preferred on hot paths.
+func (t *Table) RowInto(buf Match, r int) Match {
+	n := len(t.cols)
+	if cap(buf) < n {
+		buf = make(Match, n)
+	}
+	buf = buf[:n]
+	for v := 0; v < n; v++ {
+		buf[v] = t.cols[v][r]
+	}
+	return buf
+}
+
+// Row returns a freshly allocated copy of row r.
+func (t *Table) Row(r int) Match { return t.RowInto(nil, r) }
+
+// appendRow appends row r of src to t, over src's columns (t may have one
+// extra trailing column, filled by the caller).
+func (t *Table) appendRow(src *Table, r int) {
+	for v := range src.cols {
+		t.cols[v] = append(t.cols[v], src.cols[v][r])
+	}
+}
+
+// AppendRows appends rows [lo, hi) of src (same arity) to t, copying
+// column data. This is the materialised data movement of a rebalance: the
+// receiver owns the copied rows.
+func (t *Table) AppendRows(src *Table, lo, hi int) {
+	for v := range t.cols {
+		t.cols[v] = append(t.cols[v], src.cols[v][lo:hi]...)
+	}
+}
+
+// Slice returns the row range [lo, hi) as a table sharing t's column
+// storage — no rows are copied. The slice is capacity-clamped, so appending
+// to either table never clobbers the other.
+func (t *Table) Slice(lo, hi int) *Table {
+	out := &Table{P: t.P, cols: make([][]graph.NodeID, len(t.cols))}
+	for v := range t.cols {
+		out.cols[v] = t.cols[v][lo:hi:hi]
+	}
+	return out
+}
+
+// Split partitions the table at the given ascending row offsets into
+// len(cuts)+1 consecutive zero-copy slices: Split(c1, ..., ck) returns
+// [0,c1), [c1,c2), ..., [ck,Len). This is how a table is divided into
+// per-fragment ownership without copying rows — ParDis ships column
+// slices, not row objects.
+func (t *Table) Split(cuts ...int) []*Table {
+	out := make([]*Table, 0, len(cuts)+1)
+	lo := 0
+	for _, c := range cuts {
+		out = append(out, t.Slice(lo, c))
+		lo = c
+	}
+	return append(out, t.Slice(lo, t.Len()))
 }
 
 // resolveLabel maps a pattern label to the graph's interned ID. ok=false
@@ -31,37 +146,39 @@ func nodeLabelOK(g *graph.Graph, v graph.NodeID, want graph.LabelID) bool {
 }
 
 // NewSingleNodeTable materialises the matches of a one-variable pattern.
+// The single column is ascending by node ID, so ownership ranges map to
+// Split offsets by binary search.
 func NewSingleNodeTable(g *graph.Graph, p *pattern.Pattern) *Table {
-	t := &Table{P: p}
+	t := NewTable(p)
 	label := p.NodeLabels[0]
 	if label == pattern.Wildcard {
-		for v := 0; v < g.NumNodes(); v++ {
-			t.Rows = append(t.Rows, Match{graph.NodeID(v)})
+		col := make([]graph.NodeID, g.NumNodes())
+		for v := range col {
+			col[v] = graph.NodeID(v)
 		}
-	} else {
-		for _, v := range g.NodesByLabel(label) {
-			t.Rows = append(t.Rows, Match{v})
-		}
+		t.cols[0] = col
+	} else if vs := g.NodesByLabel(label); len(vs) > 0 {
+		t.cols[0] = append([]graph.NodeID(nil), vs...)
 	}
 	return t
 }
 
-// EdgeMatches enumerates the matches of the single-edge pattern p = (x_src
-// --l--> x_dst) among the given edges; this is e(F_s) of Section 6.2: the
-// matches of a single-edge pattern inside one fragment. edges == nil means
-// every edge of g.
-func EdgeMatches(g *graph.Graph, p *pattern.Pattern, edges []graph.Edge) []Match {
+// EdgeMatches materialises the matches of the single-edge pattern p =
+// (x_src --l--> x_dst) among the given edges; this is e(F_s) of Section
+// 6.2: the matches of a single-edge pattern inside one fragment. edges ==
+// nil means every edge of g.
+func EdgeMatches(g *graph.Graph, p *pattern.Pattern, edges []graph.Edge) *Table {
 	if p.N() != 2 || p.Size() != 1 {
 		panic(fmt.Sprintf("match: EdgeMatches wants a single-edge pattern, got %v", p))
 	}
+	t := NewTable(p)
 	pe := p.Edges[0]
 	elabel, eok := resolveLabel(g, pe.Label)
 	srcLabel, sok := resolveLabel(g, p.NodeLabels[pe.Src])
 	dstLabel, dok := resolveLabel(g, p.NodeLabels[pe.Dst])
 	if !eok || !sok || !dok {
-		return nil
+		return t
 	}
-	var rows []Match
 	emit := func(s, d graph.NodeID) {
 		if s == d {
 			return // injectivity
@@ -69,9 +186,8 @@ func EdgeMatches(g *graph.Graph, p *pattern.Pattern, edges []graph.Edge) []Match
 		if !nodeLabelOK(g, d, dstLabel) {
 			return
 		}
-		row := make(Match, 2)
-		row[pe.Src], row[pe.Dst] = s, d
-		rows = append(rows, row)
+		t.cols[pe.Src] = append(t.cols[pe.Src], s)
+		t.cols[pe.Dst] = append(t.cols[pe.Dst], d)
 	}
 	if edges == nil {
 		for v := 0; v < g.NumNodes(); v++ {
@@ -92,7 +208,7 @@ func EdgeMatches(g *graph.Graph, p *pattern.Pattern, edges []graph.Edge) []Match
 				}
 			}
 		}
-		return rows
+		return t
 	}
 	for _, e := range edges {
 		if elabel != graph.NoLabel {
@@ -104,60 +220,66 @@ func EdgeMatches(g *graph.Graph, p *pattern.Pattern, edges []graph.Edge) []Match
 			emit(e.Src, e.Dst)
 		}
 	}
-	return rows
+	return t
 }
 
-// ExtendRows computes the incremental join Q(rows) ⋈ e(G): it extends
-// every match of parent in rows to matches of child, where child is parent
-// plus exactly one new edge (child.LastEdge()), possibly with one new
-// variable. Child's first parent.N() variables must agree with parent's
-// (same labels); the new variable, if any, has index parent.N().
+// ExtendRows computes the incremental join Q(t) ⋈ e(G): it extends every
+// match of t to matches of child, where child is t's pattern plus exactly
+// one new edge (child.LastEdge()), possibly with one new variable. Child's
+// first t.P.N() variables must agree with t's pattern (same labels); the
+// new variable, if any, has index t.P.N().
 //
-// Rows passed in are never mutated. Extended rows are fresh slices. Labels
-// are resolved to interned IDs once per call, so the per-row work runs on
-// the CSR fast path.
-func ExtendRows(g *graph.Graph, rows []Match, parent, child *pattern.Pattern) []Match {
+// The input table is never mutated. Extension is a column builder: output
+// rows are appended cell-by-cell to flat columns, so no per-row slice is
+// ever allocated. Labels are resolved to interned IDs once per call, so
+// the per-row work runs on the CSR fast path.
+func ExtendRows(g *graph.Graph, t *Table, child *pattern.Pattern) *Table {
+	out := NewTable(child)
+	if t == nil {
+		return out
+	}
+	parent := t.P
 	e := child.LastEdge()
 	elabel, eok := resolveLabel(g, e.Label)
 	if !eok {
-		return nil
+		return out
 	}
-	var out []Match
+	pn := parent.N()
 	switch child.N() {
-	case parent.N():
-		// Closing edge between two bound variables: filter.
-		for _, row := range rows {
-			if g.HasEdgeID(row[e.Src], row[e.Dst], elabel) {
-				out = append(out, row.Clone())
+	case pn:
+		// Closing edge between two bound variables: filter rows.
+		srcCol, dstCol := t.cols[e.Src], t.cols[e.Dst]
+		for r := range srcCol {
+			if g.HasEdgeID(srcCol[r], dstCol[r], elabel) {
+				out.appendRow(t, r)
 			}
 		}
-	case parent.N() + 1:
-		nv := parent.N()
+	case pn + 1:
+		nv := pn
 		newLabel, nok := resolveLabel(g, child.NodeLabels[nv])
 		if !nok {
-			return nil
+			return out
 		}
 		outgoing := e.Src != nv // true: bound -> new
 		anchorVar := e.Src
 		if !outgoing {
 			anchorVar = e.Dst
 		}
-		extend := func(row Match, cand graph.NodeID) {
+		extend := func(r int, cand graph.NodeID) {
 			if !nodeLabelOK(g, cand, newLabel) {
 				return
 			}
-			for _, b := range row {
-				if b == cand {
+			for v := 0; v < pn; v++ {
+				if t.cols[v][r] == cand {
 					return // injectivity
 				}
 			}
-			nr := make(Match, nv+1)
-			copy(nr, row)
-			nr[nv] = cand
-			out = append(out, nr)
+			out.appendRow(t, r)
+			out.cols[nv] = append(out.cols[nv], cand)
 		}
-		for _, row := range rows {
-			anchor := row[anchorVar]
+		anchorCol := t.cols[anchorVar]
+		for r := range anchorCol {
+			anchor := anchorCol[r]
 			if elabel != graph.NoLabel {
 				var cands []graph.NodeID
 				if outgoing {
@@ -166,77 +288,120 @@ func ExtendRows(g *graph.Graph, rows []Match, parent, child *pattern.Pattern) []
 					cands = g.InFrom(anchor, elabel)
 				}
 				for _, cand := range cands {
-					extend(row, cand)
+					extend(r, cand)
 				}
 				continue
 			}
 			if outgoing {
 				lo, hi := g.OutRuns(anchor)
-				for r := lo; r < hi; r++ {
-					for _, cand := range g.OutRunNodes(r) {
-						extend(row, cand)
+				for rr := lo; rr < hi; rr++ {
+					for _, cand := range g.OutRunNodes(rr) {
+						extend(r, cand)
 					}
 				}
 			} else {
 				lo, hi := g.InRuns(anchor)
-				for r := lo; r < hi; r++ {
-					for _, cand := range g.InRunNodes(r) {
-						extend(row, cand)
+				for rr := lo; rr < hi; rr++ {
+					for _, cand := range g.InRunNodes(rr) {
+						extend(r, cand)
 					}
 				}
 			}
 		}
 	default:
-		panic(fmt.Sprintf("match: ExtendRows: child has %d vars, parent %d", child.N(), parent.N()))
+		panic(fmt.Sprintf("match: ExtendRows: child has %d vars, parent %d", child.N(), pn))
 	}
 	return out
 }
 
-// Extend builds the child pattern's table from the parent's by incremental
-// join.
-func Extend(g *graph.Graph, t *Table, child *pattern.Pattern) *Table {
-	return &Table{P: child, Rows: ExtendRows(g, t.Rows, t.P, child)}
-}
-
-// RelabelRows filters rows of a table for a node-label variant of the same
-// structure: variant must differ from base only in node labels, and only by
-// making them more specific (base wildcard -> concrete). Used when
-// discovery derives a concrete-labelled pattern's table from its wildcard
-// parent without re-matching.
-func RelabelRows(g *graph.Graph, rows []Match, variant *pattern.Pattern) []Match {
-	wants := make([]graph.LabelID, variant.N())
-	for v, l := range variant.NodeLabels {
-		id, ok := resolveLabel(g, l)
-		if !ok {
-			return nil
-		}
-		wants[v] = id
+// RelabelRows filters a table down to a node-label variant of the same
+// structure: variant must differ from t.P only in node labels, and only by
+// making them more specific (wildcard -> concrete). Used when discovery
+// derives a concrete-labelled pattern's table from its wildcard parent
+// without re-matching. The filter is a per-column label scan: each
+// newly-concrete column is scanned once against its interned label, and
+// surviving rows are compacted into fresh columns.
+func RelabelRows(g *graph.Graph, t *Table, variant *pattern.Pattern) *Table {
+	out := NewTable(variant)
+	if t == nil {
+		return out
 	}
-	var out []Match
-rows:
-	for _, row := range rows {
-		for v, want := range wants {
-			if !nodeLabelOK(g, row[v], want) {
-				continue rows
+	n := t.Len()
+	keep := bitset.New(n)
+	keep.Fill(n)
+	for v, l := range variant.NodeLabels {
+		want, ok := resolveLabel(g, l)
+		if !ok {
+			return out // concrete label absent from the graph: nothing survives
+		}
+		if want == graph.NoLabel {
+			continue
+		}
+		col := t.cols[v]
+		for r := 0; r < n; r++ {
+			if g.NodeLabelID(col[r]) != want {
+				keep.Clear(r)
 			}
 		}
-		out = append(out, row)
 	}
+	keep.ForEach(func(r int) { out.appendRow(t, r) })
 	return out
+}
+
+// PivotCol returns the pivot column: PivotCol()[r] = h_r(z). Shared
+// read-only storage. Nil-tolerant.
+func (t *Table) PivotCol() []graph.NodeID {
+	if t == nil {
+		return nil
+	}
+	return t.cols[t.P.Pivot]
 }
 
 // PivotSet returns the distinct pivot images of the rows, i.e. Q(G, z)
 // restricted to this table.
 func (t *Table) PivotSet() map[graph.NodeID]struct{} {
-	s := make(map[graph.NodeID]struct{}, len(t.Rows))
-	for _, row := range t.Rows {
-		s[row[t.P.Pivot]] = struct{}{}
+	col := t.PivotCol()
+	s := make(map[graph.NodeID]struct{}, len(col))
+	for _, v := range col {
+		s[v] = struct{}{}
 	}
 	return s
 }
 
-// Support returns the number of distinct pivot images in the table.
-func (t *Table) Support() int { return len(t.PivotSet()) }
-
-// Len returns the number of rows.
-func (t *Table) Len() int { return len(t.Rows) }
+// Support returns the number of distinct pivot images in the table. It is
+// a bitset scan of the pivot column: one pass finds the ID range, a second
+// counts first occurrences — no per-pivot map entries. When the pivots are
+// sparse over a wide ID range (zeroing the bitset would dominate), it
+// falls back to a map sized by the row count.
+func (t *Table) Support() int {
+	col := t.PivotCol()
+	if len(col) == 0 {
+		return 0
+	}
+	minID, maxID := col[0], col[0]
+	for _, v := range col {
+		if v < minID {
+			minID = v
+		}
+		if v > maxID {
+			maxID = v
+		}
+	}
+	span := int(maxID-minID) + 1
+	if span > 64*len(col) {
+		seen := make(map[graph.NodeID]struct{}, len(col))
+		for _, v := range col {
+			seen[v] = struct{}{}
+		}
+		return len(seen)
+	}
+	seen := bitset.New(span)
+	n := 0
+	for _, v := range col {
+		if i := int(v - minID); !seen.Get(i) {
+			seen.Set(i)
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,229 @@
+package match
+
+// Differential tests for the columnar table path: every column builder
+// (ExtendRows, RelabelRows, PivotSet/Support) is checked against a naive
+// row-based reference implementation — the pre-columnar code retained
+// verbatim below — on random patterns over random small graphs. Any future
+// layout rewrite has to keep agreeing with these references row for row.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// --- Row-based reference implementations (the retired layout) ---
+
+// refExtendRows is the row-major incremental join: one fresh Match slice
+// per output row.
+func refExtendRows(g *graph.Graph, rows []Match, parent, child *pattern.Pattern) []Match {
+	e := child.LastEdge()
+	elabel, eok := resolveLabel(g, e.Label)
+	if !eok {
+		return nil
+	}
+	var out []Match
+	switch child.N() {
+	case parent.N():
+		for _, row := range rows {
+			if g.HasEdgeID(row[e.Src], row[e.Dst], elabel) {
+				out = append(out, row.Clone())
+			}
+		}
+	case parent.N() + 1:
+		nv := parent.N()
+		newLabel, nok := resolveLabel(g, child.NodeLabels[nv])
+		if !nok {
+			return nil
+		}
+		outgoing := e.Src != nv
+		anchorVar := e.Src
+		if !outgoing {
+			anchorVar = e.Dst
+		}
+		extend := func(row Match, cand graph.NodeID) {
+			if !nodeLabelOK(g, cand, newLabel) {
+				return
+			}
+			for _, b := range row {
+				if b == cand {
+					return
+				}
+			}
+			nr := make(Match, nv+1)
+			copy(nr, row)
+			nr[nv] = cand
+			out = append(out, nr)
+		}
+		for _, row := range rows {
+			anchor := row[anchorVar]
+			if elabel != graph.NoLabel {
+				var cands []graph.NodeID
+				if outgoing {
+					cands = g.OutTo(anchor, elabel)
+				} else {
+					cands = g.InFrom(anchor, elabel)
+				}
+				for _, cand := range cands {
+					extend(row, cand)
+				}
+				continue
+			}
+			if outgoing {
+				lo, hi := g.OutRuns(anchor)
+				for r := lo; r < hi; r++ {
+					for _, cand := range g.OutRunNodes(r) {
+						extend(row, cand)
+					}
+				}
+			} else {
+				lo, hi := g.InRuns(anchor)
+				for r := lo; r < hi; r++ {
+					for _, cand := range g.InRunNodes(r) {
+						extend(row, cand)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// refRelabelRows is the row-major label-variant filter.
+func refRelabelRows(g *graph.Graph, rows []Match, variant *pattern.Pattern) []Match {
+	wants := make([]graph.LabelID, variant.N())
+	for v, l := range variant.NodeLabels {
+		id, ok := resolveLabel(g, l)
+		if !ok {
+			return nil
+		}
+		wants[v] = id
+	}
+	var out []Match
+rows:
+	for _, row := range rows {
+		for v, want := range wants {
+			if !nodeLabelOK(g, row[v], want) {
+				continue rows
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// refPivotSet is the map-based distinct-pivot count.
+func refPivotSet(rows []Match, pivot int) map[graph.NodeID]struct{} {
+	s := make(map[graph.NodeID]struct{}, len(rows))
+	for _, row := range rows {
+		s[row[pivot]] = struct{}{}
+	}
+	return s
+}
+
+// --- Differential properties ---
+
+// randomParentChild draws a random 1-edge parent and a random 2-edge (or
+// closing-edge) child over the test label alphabet.
+func randomParentChild(r *rand.Rand) (parent, child *pattern.Pattern) {
+	labels := []string{"a", "b", "c", pattern.Wildcard}
+	parent = pattern.SingleEdge(labels[r.Intn(4)], labels[r.Intn(3)], labels[r.Intn(4)])
+	if r.Intn(2) == 0 {
+		child = parent.ExtendNewNode(r.Intn(2), labels[r.Intn(3)], labels[r.Intn(4)], r.Intn(2) == 0)
+	} else {
+		child = parent.ExtendClosingEdge(1, 0, labels[r.Intn(3)])
+	}
+	return parent, child
+}
+
+func TestDiffExtendRowsColumnarVsReference(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 4+r.Intn(8))
+		parent, child := randomParentChild(r)
+		base := EdgeMatches(g, parent, nil)
+		got := ExtendRows(g, base, child)
+		want := refExtendRows(g, tableRows(base), parent, child)
+		return sameMatchSet(tableRows(got), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffRelabelRowsColumnarVsReference(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 4+r.Intn(8))
+		labels := []string{"a", "b", "c"}
+		gen := pattern.SingleEdge(pattern.Wildcard, labels[r.Intn(3)], pattern.Wildcard)
+		base := EdgeMatches(g, gen, nil)
+		// Specialise a random subset of the wildcard variables.
+		variant := gen.Clone()
+		for v := range variant.NodeLabels {
+			if r.Intn(2) == 0 {
+				variant.NodeLabels[v] = labels[r.Intn(3)]
+			}
+		}
+		got := RelabelRows(g, base, variant)
+		want := refRelabelRows(g, tableRows(base), variant)
+		return sameMatchSet(tableRows(got), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffPivotSetColumnarVsReference(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 4+r.Intn(8))
+		parent, child := randomParentChild(r)
+		tb := ExtendRows(g, EdgeMatches(g, parent, nil), child)
+		want := refPivotSet(tableRows(tb), tb.P.Pivot)
+		got := tb.PivotSet()
+		if len(got) != len(want) || tb.Support() != len(want) {
+			return false
+		}
+		for v := range want {
+			if _, ok := got[v]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FromRows and the columnar accessors must round-trip rows exactly.
+func TestDiffFromRowsRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 4+r.Intn(8))
+		parent, child := randomParentChild(r)
+		tb := ExtendRows(g, EdgeMatches(g, parent, nil), child)
+		rows := tableRows(tb)
+		rt := FromRows(child, rows)
+		if rt.Len() != tb.Len() || rt.NumVars() != tb.NumVars() {
+			return false
+		}
+		var buf Match
+		for i := 0; i < rt.Len(); i++ {
+			buf = rt.RowInto(buf, i)
+			for v := range buf {
+				if buf[v] != tb.At(i, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/cluster"
@@ -66,13 +67,16 @@ func NewBackend(g *graph.Graph, eng *cluster.Engine, opts Options, stats *discov
 	return b
 }
 
-// parHandle holds a pattern's match rows partitioned across workers.
-// Ownership is disjoint: the global match set is the disjoint union of the
-// per-worker slices (each match descends from a seed row owned by exactly
-// one fragment).
+// parHandle holds a pattern's columnar match table partitioned across
+// workers: parts[w] is worker w's share, a *match.Table whose columns are
+// either zero-copy slices of a seed table (Split by ownership) or locally
+// built extension columns. Ownership is disjoint: the global match set is
+// the disjoint union of the per-worker parts (each match descends from a
+// seed row owned by exactly one fragment). This is exactly what ParDis
+// ships between workers — flat node-ID columns, not row objects.
 type parHandle struct {
 	p     *pattern.Pattern
-	parts [][]match.Match
+	parts []*match.Table
 	rows  int
 }
 
@@ -81,7 +85,9 @@ type parHandle struct {
 func (h *parHandle) recount() {
 	h.rows = 0
 	for _, part := range h.parts {
-		h.rows += len(part)
+		if part != nil {
+			h.rows += part.Len()
+		}
 	}
 }
 
@@ -97,41 +103,20 @@ func (b *Backend) bookkeep(rows int) {
 	}
 }
 
-// SeedBatch implements discovery.Backend: single-node matches are
-// partitioned by node ownership; all seed patterns are materialised in one
-// superstep, with per-pattern pivot sets shipped for master-side union.
+// SeedBatch implements discovery.Backend: each single-node pattern is
+// materialised once as a columnar table (its column ascending by node ID)
+// and Split by node ownership into per-fragment zero-copy column slices —
+// no per-worker rescan and no row copies. Per-pattern pivot sets are then
+// shipped for master-side union.
 func (b *Backend) SeedBatch(ps []*pattern.Pattern) []discovery.PatOut {
 	hs := make([]*parHandle, len(ps))
-	// Resolve seed labels to interned IDs once; NoLabel marks the wildcard
-	// full scan, and labels absent from the graph yield empty fragments.
-	labelIDs := make([]graph.LabelID, len(ps))
 	for i, p := range ps {
-		hs[i] = &parHandle{p: p, parts: make([][]match.Match, b.n())}
-		labelIDs[i] = graph.NoLabel
-		if l := p.NodeLabels[0]; l != pattern.Wildcard {
-			id, ok := b.g.LookupLabel(l)
-			if !ok {
-				continue
-			}
-			labelIDs[i] = id
-		}
+		hs[i] = &parHandle{p: p}
 	}
-	b.eng.Superstep("seed level", func(w int) {
-		f := &b.frags[w]
+	b.eng.Master("seed scan", func() {
 		for i, p := range ps {
-			var rows []match.Match
-			if p.NodeLabels[0] == pattern.Wildcard {
-				for v := f.NodeLo; v < f.NodeHi; v++ {
-					rows = append(rows, match.Match{v})
-				}
-			} else if labelIDs[i] != graph.NoLabel {
-				for _, v := range b.g.NodesByLabelID(labelIDs[i]) {
-					if f.OwnsNode(v) {
-						rows = append(rows, match.Match{v})
-					}
-				}
-			}
-			hs[i].parts[w] = rows
+			full := match.NewSingleNodeTable(b.g, p)
+			hs[i].parts = b.splitByOwnership(full)
 		}
 	})
 	out := make([]discovery.PatOut, len(ps))
@@ -144,6 +129,20 @@ func (b *Backend) SeedBatch(ps []*pattern.Pattern) []discovery.PatOut {
 	return out
 }
 
+// splitByOwnership slices a table whose pivot column is ascending by node
+// ID into per-fragment parts along the fragments' contiguous ownership
+// ranges. The parts share the table's column storage (Table.Split): seeding
+// a level costs one scan total, not one scan per worker.
+func (b *Backend) splitByOwnership(t *match.Table) []*match.Table {
+	col := t.Col(0)
+	cuts := make([]int, 0, b.n()-1)
+	for w := 1; w < b.n(); w++ {
+		lo := b.frags[w].NodeLo
+		cuts = append(cuts, sort.Search(len(col), func(r int) bool { return col[r] >= lo }))
+	}
+	return t.Split(cuts...)
+}
+
 // ExtendBatch implements discovery.Backend: the distributed incremental
 // joins Q'(F_s) = Q(F_s) ⋈ e(G) of Section 6.2, with all of the level's
 // work units (Q, e) distributed across the workers in a single superstep.
@@ -153,7 +152,7 @@ func (b *Backend) SeedBatch(ps []*pattern.Pattern) []discovery.PatOut {
 func (b *Backend) ExtendBatch(parents []discovery.Handle, children []*pattern.Pattern) []discovery.PatOut {
 	hs := make([]*parHandle, len(children))
 	for i, child := range children {
-		hs[i] = &parHandle{p: child, parts: make([][]match.Match, b.n())}
+		hs[i] = &parHandle{p: child, parts: make([]*match.Table, b.n())}
 	}
 	b.eng.Superstep("extend level", func(w int) {
 		for i, child := range children {
@@ -164,7 +163,7 @@ func (b *Backend) ExtendBatch(parents []discovery.Handle, children []*pattern.Pa
 			if ph.parts == nil {
 				continue
 			}
-			hs[i].parts[w] = match.ExtendRows(b.g, ph.parts[w], ph.p, child)
+			hs[i].parts[w] = match.ExtendRows(b.g, ph.parts[w], child)
 		}
 	})
 	out := make([]discovery.PatOut, len(children))
@@ -234,8 +233,8 @@ func (b *Backend) rebalanceBatch(hs []*parHandle, skip []bool) {
 		}
 		maxRows := 0
 		for _, part := range h.parts {
-			if len(part) > maxRows {
-				maxRows = len(part)
+			if part.Len() > maxRows {
+				maxRows = part.Len()
 			}
 		}
 		mean := float64(h.rows) / float64(n)
@@ -246,40 +245,56 @@ func (b *Backend) rebalanceBatch(hs []*parHandle, skip []bool) {
 	if len(skewed) == 0 {
 		return
 	}
-	pools := make([][]match.Match, len(skewed))
-	targets := make([]int, len(skewed))
+	// Masterside: carve the surplus of every over-target part as zero-copy
+	// column slices (Table.Split at the target offset) and pre-assign
+	// consecutive surplus ranges to the under-target workers. Only the
+	// receiving append copies column data — that copy is the shipped volume.
+	type grab struct {
+		seg    *match.Table
+		lo, hi int
+	}
+	assigns := make([][][]grab, len(skewed)) // [skewed][worker][]grab
 	for i, h := range skewed {
 		target := (h.rows + n - 1) / n
-		targets[i] = target
+		var segs []grab
 		for w := range h.parts {
-			if len(h.parts[w]) > target {
-				pools[i] = append(pools[i], h.parts[w][target:]...)
-				h.parts[w] = h.parts[w][:target:target]
+			if h.parts[w].Len() > target {
+				halves := h.parts[w].Split(target)
+				h.parts[w] = halves[0]
+				segs = append(segs, grab{seg: halves[1], lo: 0, hi: halves[1].Len()})
 			}
 		}
+		assigns[i] = make([][]grab, n)
+		si := 0
+		for w := 0; w < n && si < len(segs); w++ {
+			need := target - h.parts[w].Len()
+			for need > 0 && si < len(segs) {
+				g := segs[si]
+				take := g.hi - g.lo
+				if take > need {
+					take = need
+				}
+				assigns[i][w] = append(assigns[i][w], grab{seg: g.seg, lo: g.lo, hi: g.lo + take})
+				segs[si].lo += take
+				if segs[si].lo == segs[si].hi {
+					si++
+				}
+				need -= take
+			}
+		}
+		// The surplus always fits: with target = ceil(rows/n), total
+		// receiver capacity Σ(target−len) ≥ Σ(len−target) = surplus, so the
+		// loop above drains every segment.
 	}
 	b.eng.Superstep("rebalance level", func(w int) {
 		for i, h := range skewed {
-			need := targets[i] - len(h.parts[w])
-			if need <= 0 || len(pools[i]) == 0 {
-				continue
-			}
-			if need > len(pools[i]) {
-				need = len(pools[i])
-			}
 			rowBytes := int64(4*h.p.N() + 8)
-			h.parts[w] = append(h.parts[w], pools[i][:need]...)
-			pools[i] = pools[i][need:]
-			b.eng.Ship(w, int64(need)*rowBytes)
+			for _, g := range assigns[i][w] {
+				h.parts[w].AppendRows(g.seg, g.lo, g.hi)
+				b.eng.Ship(w, int64(g.hi-g.lo)*rowBytes)
+			}
 		}
 	})
-	// Any remainder (rounding) goes to the last worker.
-	for i, h := range skewed {
-		if len(pools[i]) > 0 {
-			h.parts[n-1] = append(h.parts[n-1], pools[i]...)
-			b.eng.Ship(n-1, int64(len(pools[i]))*int64(4*h.p.N()+8))
-		}
-	}
 }
 
 // aggregateSupports computes supp(Q, G) = |Q(G, z)| for every pattern in
@@ -294,9 +309,8 @@ func (b *Backend) aggregateSupports(hs []*parHandle) []int {
 		for i, h := range hs {
 			set := make(map[graph.NodeID]struct{})
 			if h.parts != nil {
-				pivot := h.p.Pivot
-				for _, row := range h.parts[w] {
-					set[row[pivot]] = struct{}{}
+				for _, v := range h.parts[w].PivotCol() {
+					set[v] = struct{}{}
 				}
 			}
 			sets[i] = set
@@ -379,13 +393,13 @@ func (b *Backend) Evaluate(h discovery.Handle, pool []core.Literal) discovery.Ev
 	total := ph.rows
 	for w := range pe.share {
 		if total > 0 {
-			pe.share[w] = float64(len(ph.parts[w])) / float64(total)
+			pe.share[w] = float64(ph.parts[w].Len()) / float64(total)
 		} else {
 			pe.share[w] = 1 / float64(b.n())
 		}
 	}
 	b.eng.Superstep("index "+ph.p.String(), func(w int) {
-		pe.evs[w] = discovery.NewTableEval(b.g, ph.p, ph.parts[w], pool)
+		pe.evs[w] = discovery.NewTableEval(b.g, ph.parts[w], pool)
 	})
 	return pe
 }

@@ -138,9 +138,14 @@ func TestParallelNoBalanceStillCorrect(t *testing.T) {
 }
 
 // TestLoadBalanceReducesSkew: on a hub-heavy graph, locality partitioning
-// concentrates matches on one worker; rebalancing must spread them.
+// concentrates matches on one worker; rebalancing must spread them. The
+// assertion is on the per-worker row distribution itself (deterministic)
+// rather than on measured busy-time skew, which at this scale is dominated
+// by timer noise.
 func TestLoadBalanceReducesSkew(t *testing.T) {
-	// One hub with many spokes: all hub edges land in the first fragments.
+	// One hub with many spokes: every hub edge lands in the first fragment,
+	// and the hub seed row is owned by worker 0, so the extension's 100
+	// rows all materialise there.
 	g := graph.New(101, 100)
 	hub := g.AddNode("hub", map[string]string{"a": "1"})
 	for i := 0; i < 100; i++ {
@@ -148,16 +153,37 @@ func TestLoadBalanceReducesSkew(t *testing.T) {
 		g.AddEdge(hub, s, "link")
 	}
 	g.Finalize()
-	opts := discovery.Options{K: 2, Support: 1, WildcardNodes: false}
 
-	engNB := cluster.New(cluster.Config{Workers: 4})
-	Mine(g, opts, engNB, Options{LoadBalance: false})
-	engB := cluster.New(cluster.Config{Workers: 4})
-	Mine(g, opts, engB, Options{LoadBalance: true})
+	partSizes := func(lb bool) []int {
+		eng := cluster.New(cluster.Config{Workers: 4})
+		b := NewBackend(g, eng, Options{LoadBalance: lb}, nil)
+		seed := b.SeedBatch([]*pattern.Pattern{pattern.SingleNode("hub")})
+		child := pattern.SingleNode("hub").ExtendNewNode(0, "link", "spoke", true)
+		outs := b.ExtendBatch([]discovery.Handle{seed[0].H}, []*pattern.Pattern{child})
+		h := outs[0].H.(*parHandle)
+		sizes := make([]int, len(h.parts))
+		total := 0
+		for w, part := range h.parts {
+			sizes[w] = part.Len()
+			total += part.Len()
+		}
+		if total != 100 {
+			t.Fatalf("lb=%v: %d rows in parts, want 100", lb, total)
+		}
+		return sizes
+	}
 
-	if engB.Stats().Skew() >= engNB.Stats().Skew() {
-		t.Fatalf("balancing did not reduce skew: balanced=%.2f unbalanced=%.2f",
-			engB.Stats().Skew(), engNB.Stats().Skew())
+	unbalanced := partSizes(false)
+	if unbalanced[0] != 100 {
+		t.Fatalf("expected all rows on worker 0 without balancing: %v", unbalanced)
+	}
+	balanced := partSizes(true)
+	target := 25 // ceil(100 rows / 4 workers)
+	for w, n := range balanced {
+		if n > target {
+			t.Fatalf("worker %d holds %d rows after rebalance (target %d): %v",
+				w, n, target, balanced)
+		}
 	}
 }
 

@@ -187,6 +187,18 @@ func BenchmarkAblationSupportDef(b *testing.B) {
 
 // --- Micro-benchmarks of the core machinery ---
 
+// BenchmarkMicro runs the shared micro suite (internal/bench.MicroSpecs):
+// the same bodies gfdbench -json measures, including the fragment-view
+// benches that pin the ParDis refactor's claim — per-worker match cost
+// (PivotNodes against one n=4 fragment's SubCSR; ExtendRows over one
+// worker's row share and view order) sits measurably below the full-graph
+// cost, scaling with fragment size rather than |G|.
+func BenchmarkMicro(b *testing.B) {
+	for _, s := range bench.MicroSpecs() {
+		b.Run(s.Name, s.Fn)
+	}
+}
+
 func BenchmarkMatcherEnumerate(b *testing.B) {
 	g := dataset.YAGO2Sim(400, 42)
 	p := SingleEdge(Wildcard, "citizenOf", "country")

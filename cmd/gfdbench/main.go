@@ -7,11 +7,18 @@
 //	gfdbench [flags] <experiment>...
 //	gfdbench -list
 //	gfdbench all
+//	gfdbench -json results.json micro fig5a
 //
-// Experiments: fig5a..fig5l, fig6, fig7, fig8, infeas.
+// Experiments: fig5a..fig5l, fig6, fig7, fig8, infeas, plus the
+// pseudo-experiment "micro" (the core micro-benchmark suite, including
+// the fragment-view per-worker cost benches). With -json, every
+// measurement taken during the run — micro ns/op, B/op, allocs/op and
+// experiment wall times — is also written machine-readably, the format of
+// the committed BENCH_baseline.json trajectory file.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,23 +29,44 @@ import (
 	"repro/internal/bench"
 )
 
+// jsonOutput is the machine-readable result file schema (BENCH_baseline.json).
+type jsonOutput struct {
+	Schema      int                 `json:"schema"`
+	Note        string              `json:"note,omitempty"`
+	Scale       float64             `json:"scale"`
+	Seed        int64               `json:"seed"`
+	Workers     []int               `json:"workers"`
+	Micro       []bench.MicroResult `json:"micro,omitempty"`
+	Experiments []experimentResult  `json:"experiments,omitempty"`
+}
+
+type experimentResult struct {
+	ID     string `json:"id"`
+	WallNs int64  `json:"wall_ns"`
+}
+
 func main() {
 	scale := flag.Float64("scale", 1.0, "dataset scale multiplier (1.0 = harness defaults, ~1/500 of the paper's)")
 	seed := flag.Int64("seed", 42, "generator seed")
 	workers := flag.String("workers", "4,8,12,16,20", "comma-separated worker counts for n-sweeps")
 	verbose := flag.Bool("v", false, "print progress while running")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	jsonPath := flag.String("json", "", "write machine-readable results (micro ns/op, B/op, allocs/op and experiment wall times) to this file")
 	flag.Parse()
 
 	if *list {
+		fmt.Println("micro")
 		for _, id := range bench.IDs() {
 			fmt.Println(id)
 		}
 		return
 	}
 	args := flag.Args()
+	if len(args) == 0 && *jsonPath != "" {
+		args = []string{"micro"}
+	}
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: gfdbench [flags] <experiment>... | all   (-list to enumerate)")
+		fmt.Fprintln(os.Stderr, "usage: gfdbench [flags] <experiment>... | all | micro   (-list to enumerate)")
 		os.Exit(2)
 	}
 	if len(args) == 1 && args[0] == "all" {
@@ -55,9 +83,22 @@ func main() {
 		ws = append(ws, n)
 	}
 	cfg := bench.Config{Scale: *scale, Seed: *seed, Workers: ws, Verbose: *verbose, Out: os.Stdout}
+	results := jsonOutput{Schema: 1, Scale: *scale, Seed: *seed, Workers: ws}
 
 	exit := 0
 	for _, id := range args {
+		if id == "micro" {
+			start := time.Now()
+			ms := bench.Micro()
+			results.Micro = append(results.Micro, ms...)
+			fmt.Println("== micro: core matching micro-benchmarks ==")
+			for _, m := range ms {
+				fmt.Printf("%-28s %12.1f ns/op %10d B/op %8d allocs/op  (n=%d)\n",
+					m.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp, m.Iterations)
+			}
+			fmt.Printf("(micro completed in %v)\n\n", time.Since(start).Round(time.Millisecond))
+			continue
+		}
 		start := time.Now()
 		t, err := bench.Run(id, cfg)
 		if err != nil {
@@ -65,8 +106,24 @@ func main() {
 			exit = 1
 			continue
 		}
+		wall := time.Since(start)
+		results.Experiments = append(results.Experiments, experimentResult{ID: id, WallNs: wall.Nanoseconds()})
 		t.Fprint(os.Stdout)
-		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s completed in %v)\n\n", id, wall.Round(time.Millisecond))
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gfdbench: marshal results: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "gfdbench: write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 	os.Exit(exit)
 }

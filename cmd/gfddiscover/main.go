@@ -49,6 +49,7 @@ func main() {
 		report.Patterns, report.Candidates)
 	if report.SimulatedTime > 0 {
 		fmt.Printf("simulated parallel response time (n=%d): %v\n", *workers, report.SimulatedTime.Round(time.Microsecond))
+		fmt.Printf("fragment-local CSR views (edges per worker): %v\n", report.FragmentEdges)
 	}
 	fmt.Printf("cover: %d GFDs\n\n", len(report.Cover))
 	for _, m := range report.Cover {

@@ -91,15 +91,16 @@ func TestGoldenMining(t *testing.T) {
 }
 
 // TestGoldenMiningParallel locks the distributed path to the same bytes:
-// ParDis over the columnar fragment tables must mine exactly the golden
-// GFD set, for several worker counts.
+// ParDis over fragment-local SubCSR indexes must mine exactly the golden
+// GFD set, for several worker counts — including uneven ones, where
+// fragments and node-ownership ranges differ in size.
 func TestGoldenMiningParallel(t *testing.T) {
 	g := loadGoldenGraph(t)
 	want, err := os.ReadFile(goldenGFDsPath)
 	if err != nil {
 		t.Fatalf("read golden file (regenerate with -update): %v", err)
 	}
-	for _, workers := range []int{1, 3, 4} {
+	for _, workers := range []int{1, 2, 3, 4, 5, 7} {
 		res := DiscoverParallel(g, goldenOptions(), workers)
 		if got := canonicalize(res.DiscoverResult); got != string(want) {
 			t.Fatalf("parallel mining (n=%d) diverged from golden output.\n--- got ---\n%s--- want ---\n%s",

@@ -1,0 +1,204 @@
+package bench
+
+// Micro-benchmarks of the core matching machinery, runnable both as Go
+// benchmarks (the root BenchmarkMicro tree) and programmatically for
+// machine-readable output (gfdbench -json). The fragment-view entries are
+// the per-worker cost check of the ParDis refactor: PivotNodes/ExtendRows
+// against one fragment's SubCSR must sit measurably below the full-graph
+// cost, and shrink as worker counts grow.
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/parallel"
+	"repro/internal/pattern"
+)
+
+// MicroResult is one micro-benchmark's measurement in the units Go's
+// testing package reports.
+type MicroResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// MicroSpec names one micro-benchmark body, shared by `go test -bench
+// Micro` and the -json harness.
+type MicroSpec struct {
+	Name string
+	Fn   func(b *testing.B)
+}
+
+// microEnv is the shared DBpediaSim workload: the 2-edge path pattern over
+// frequent types that dominates SeqDis/ParDis, its parent table, and an
+// n=4 vertex cut with the per-worker join inputs precomputed.
+type microEnv struct {
+	g      *graph.Graph
+	parent *pattern.Pattern
+	child  *pattern.Pattern
+	t1     *match.Table
+
+	// busiest worker's join inputs at n=4: its row share and view order
+	// (own fragment first, then the received ones).
+	part  *match.Table
+	views []graph.View
+	// largest fragment view for pivoted matching.
+	frag *graph.SubCSR
+}
+
+var (
+	microOnce sync.Once
+	microE    microEnv
+)
+
+func microWorkload() *microEnv {
+	microOnce.Do(func() {
+		e := &microE
+		e.g = dataset.DBpediaSim(2000, 42)
+		e.parent = pattern.SingleEdge("T00", "r00", "T01")
+		e.child = e.parent.ExtendNewNode(1, "r01", "T02", true)
+		e.t1 = match.EdgeMatches(e.g, e.parent, nil)
+
+		frags := parallel.VertexCut(e.g, 4)
+		// Busiest worker = most parent rows under node ownership (the
+		// seed-split rule of the parallel backend).
+		col := e.t1.PivotCol()
+		cuts := make([]int, 0, 3)
+		for w := 1; w < len(frags); w++ {
+			lo := frags[w].NodeLo
+			cuts = append(cuts, sort.Search(len(col), func(r int) bool { return col[r] >= lo }))
+		}
+		parts := e.t1.Split(cuts...)
+		busiest := 0
+		for w, p := range parts {
+			if p.Len() > parts[busiest].Len() {
+				busiest = w
+			}
+		}
+		e.part = parts[busiest]
+		e.views = append(e.views, frags[busiest].Sub)
+		for w := range frags {
+			if w != busiest {
+				e.views = append(e.views, frags[w].Sub)
+			}
+		}
+		// Largest fragment by edge count for the pivoted-matching bench.
+		e.frag = frags[0].Sub
+		for _, f := range frags {
+			if f.Sub.NumEdges() > e.frag.NumEdges() {
+				e.frag = f.Sub
+			}
+		}
+	})
+	return &microE
+}
+
+// MicroSpecs returns the micro-benchmark suite.
+func MicroSpecs() []MicroSpec {
+	return []MicroSpec{
+		{"PivotNodes/full", func(b *testing.B) {
+			e := microWorkload()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if len(match.PivotNodes(e.g, e.child)) == 0 {
+					b.Fatal("no pivots")
+				}
+			}
+		}},
+		{"PivotNodes/fragment-n4", func(b *testing.B) {
+			e := microWorkload()
+			pl := match.PlanFor(e.frag, e.child)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Fragment pivot sets may legitimately be empty; the cost of
+				// discovering that is exactly the per-worker cost measured.
+				pl.PivotNodes()
+			}
+		}},
+		{"ExtendRows/full", func(b *testing.B) {
+			e := microWorkload()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if match.ExtendRows(e.g, e.t1, e.child).Len() == 0 {
+					b.Fatal("empty extension")
+				}
+			}
+		}},
+		{"ExtendRows/worker-n4", func(b *testing.B) {
+			// One ParDis worker's share of the level's join: its rows
+			// against its fragment index plus the received fragments.
+			e := microWorkload()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				match.ExtendRowsViews(e.views, e.part, e.child)
+			}
+		}},
+		{"TableSupport", func(b *testing.B) {
+			e := microWorkload()
+			t2 := match.ExtendRows(e.g, e.t1, e.child)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if t2.Support() == 0 {
+					b.Fatal("no support")
+				}
+			}
+		}},
+		{"MatchesAt", func(b *testing.B) {
+			e := microWorkload()
+			cands := e.g.NodesByLabel("T00")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				match.MatchesAt(e.g, e.child, cands[i%len(cands)], func(match.Match) bool { return true })
+			}
+		}},
+		{"Enumerate/selectivity-order", func(b *testing.B) {
+			e := microWorkload()
+			pl := match.Compile(e.g, e.child)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pl.CountMatches(0)
+			}
+		}},
+		{"Enumerate/static-order", func(b *testing.B) {
+			e := microWorkload()
+			pl := match.CompileStatic(e.g, e.child)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pl.CountMatches(0)
+			}
+		}},
+	}
+}
+
+// Micro runs the whole suite via testing.Benchmark and returns the
+// measurements, for gfdbench -json.
+func Micro() []MicroResult {
+	specs := MicroSpecs()
+	out := make([]MicroResult, 0, len(specs))
+	for _, s := range specs {
+		r := testing.Benchmark(s.Fn)
+		out = append(out, MicroResult{
+			Name:        s.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	return out
+}

@@ -62,6 +62,10 @@ type Report struct {
 	Cover                []discovery.Mined
 	All                  []discovery.Mined
 	SimulatedTime        time.Duration
+	// FragmentEdges is the per-worker edge count of the vertex cut the
+	// parallel run matched against (one fragment-local SubCSR index each);
+	// nil for sequential runs.
+	FragmentEdges []int
 }
 
 // Discover runs the pipeline (sequential when workers == 0, simulated
@@ -74,6 +78,7 @@ func Discover(g *graph.Graph, opts discovery.Options, workers int) *Report {
 		pr := parallel.Mine(g, opts, eng, parallel.Options{LoadBalance: true})
 		res = pr.Result
 		rep.SimulatedTime = pr.Cluster.Total()
+		rep.FragmentEdges = pr.FragmentEdges
 	} else {
 		res = discovery.Mine(g, opts)
 	}

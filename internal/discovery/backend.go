@@ -1,7 +1,9 @@
 package discovery
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/eval"
@@ -79,22 +81,34 @@ type Evaluator interface {
 // ---------------------------------------------------------------------------
 
 // SeqBackend is the single-machine Backend: one match table per pattern,
-// bitset-indexed literal evaluation.
+// bitset-indexed literal evaluation. It matches against any graph.View —
+// normally the full graph, but a fragment view works identically, which is
+// what the parallel backend's per-worker evaluation builds on.
+//
+// A level's ExtendBatch work units are independent, so they run on a
+// GOMAXPROCS-bounded worker pool; results are merged in deterministic
+// level order, so output is identical to a serial run.
 type SeqBackend struct {
-	g        *graph.Graph
+	v        graph.View
 	maxRows  int
 	stats    *Stats
 	liveRows int
 }
 
-// NewSeqBackend returns a sequential backend over g. maxRows caps match
+// NewSeqBackend returns a sequential backend over v. maxRows caps match
 // tables (0 = unlimited); stats, when non-nil, receives table counters.
-func NewSeqBackend(g *graph.Graph, maxRows int, stats *Stats) *SeqBackend {
-	return &SeqBackend{g: g, maxRows: maxRows, stats: stats}
+func NewSeqBackend(v graph.View, maxRows int, stats *Stats) *SeqBackend {
+	if g, ok := v.(*graph.Graph); ok {
+		// Compile the CSR up front: ExtendBatch reads the view from several
+		// goroutines, and a lazily-finalizing graph is not a concurrent-safe
+		// reader until finalized.
+		g.Finalize()
+	}
+	return &SeqBackend{v: v, maxRows: maxRows, stats: stats}
 }
 
-// Graph exposes the underlying graph (used by cover/validation helpers).
-func (b *SeqBackend) Graph() *graph.Graph { return b.g }
+// View exposes the matching surface the backend runs against.
+func (b *SeqBackend) View() graph.View { return b.v }
 
 type seqHandle struct {
 	table *match.Table
@@ -118,27 +132,67 @@ func (b *SeqBackend) bookkeep(rows int) {
 func (b *SeqBackend) SeedBatch(ps []*pattern.Pattern) []PatOut {
 	out := make([]PatOut, len(ps))
 	for i, p := range ps {
-		t := match.NewSingleNodeTable(b.g, p)
+		t := match.NewSingleNodeTable(b.v, p)
 		b.bookkeep(t.Len())
 		out[i] = PatOut{H: &seqHandle{table: t}, Support: t.Support(), Rows: t.Len(), OK: true}
 	}
 	return out
 }
 
-// ExtendBatch implements Backend.
+// ExtendBatch implements Backend: the level's incremental joins run
+// concurrently on a GOMAXPROCS-bounded worker pool (each work unit only
+// reads the immutable view and its own parent table), and the results —
+// including supports, computed inside the workers — are folded into stats
+// and PatOuts in level order afterwards, so the output and every counter
+// are independent of scheduling.
 func (b *SeqBackend) ExtendBatch(parents []Handle, children []*pattern.Pattern) []PatOut {
-	out := make([]PatOut, len(children))
-	for i, child := range children {
+	type ext struct {
+		t       *match.Table
+		support int
+	}
+	exts := make([]ext, len(children))
+	work := func(i int) {
 		pt := parents[i].(*seqHandle).table
-		t := match.ExtendRows(b.g, pt, child)
-		if b.maxRows > 0 && t.Len() > b.maxRows {
+		t := match.ExtendRows(b.v, pt, children[i])
+		sup := 0
+		if b.maxRows <= 0 || t.Len() <= b.maxRows {
+			sup = t.Support()
+		}
+		exts[i] = ext{t: t, support: sup}
+	}
+	if workers := min(runtime.GOMAXPROCS(0), len(children)); workers <= 1 {
+		for i := range children {
+			work(i)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for k := 0; k < workers; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					work(i)
+				}
+			}()
+		}
+		for i := range children {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	out := make([]PatOut, len(children))
+	for i, e := range exts {
+		if b.maxRows > 0 && e.t.Len() > b.maxRows {
 			if b.stats != nil {
 				b.stats.Aborted++
 			}
 			continue
 		}
-		b.bookkeep(t.Len())
-		out[i] = PatOut{H: &seqHandle{table: t}, Support: t.Support(), Rows: t.Len(), OK: true}
+		b.bookkeep(e.t.Len())
+		out[i] = PatOut{H: &seqHandle{table: e.t}, Support: e.support, Rows: e.t.Len(), OK: true}
 	}
 	return out
 }
@@ -161,17 +215,17 @@ func (b *SeqBackend) Constants(h Handle, nvars int, gamma []string, max int) [][
 	out := make([][]string, nvars*len(gamma))
 	for v := 0; v < nvars; v++ {
 		for ai, attr := range gamma {
-			out[v*len(gamma)+ai] = TopConstants(ObservedConstantCounts(b.g, t, v, attr), max)
+			out[v*len(gamma)+ai] = TopConstants(ObservedConstantCounts(b.v, t, v, attr), max)
 		}
 	}
 	return out
 }
 
 // ObservedConstantCounts returns the frequency of each value of attr at
-// variable v over the table's rows — a single scan of column v. The
-// parallel backend computes these per fragment and merges the maps at the
-// master.
-func ObservedConstantCounts(g *graph.Graph, t *match.Table, v int, attr string) map[string]int {
+// variable v over the table's rows — a single scan of column v against the
+// view's shared node store. The parallel backend computes these per
+// fragment and merges the maps at the master.
+func ObservedConstantCounts(g graph.View, t *match.Table, v int, attr string) map[string]int {
 	counts := make(map[string]int)
 	for _, node := range t.Col(v) {
 		if val, ok := g.Attr(node, attr); ok {
@@ -203,7 +257,7 @@ func TopConstants(counts map[string]int, max int) []string {
 
 // Evaluate implements Backend.
 func (b *SeqBackend) Evaluate(h Handle, pool []core.Literal) Evaluator {
-	return NewTableEval(b.g, h.(*seqHandle).table, pool)
+	return NewTableEval(b.v, h.(*seqHandle).table, pool)
 }
 
 // TableEval indexes literal satisfaction per match row as bitsets and
@@ -211,7 +265,7 @@ func (b *SeqBackend) Evaluate(h Handle, pool []core.Literal) Evaluator {
 // evaluation unit: the sequential backend uses one over the whole table,
 // the parallel backend one per fragment.
 type TableEval struct {
-	g      *graph.Graph
+	g      graph.View
 	t      *match.Table
 	pivots []graph.NodeID // the table's pivot column (shared storage)
 	sat    []Bitset       // per pool literal
@@ -229,8 +283,9 @@ type attrKey struct {
 
 // NewTableEval builds the satisfaction index of pool over the columnar
 // table t. Each literal's bitset is filled by a column scan (eval.SatRows);
-// the pivot column is shared with the table, not copied.
-func NewTableEval(g *graph.Graph, t *match.Table, pool []core.Literal) *TableEval {
+// the pivot column is shared with the table, not copied. It evaluates
+// against any graph.View: ParDis workers pass their fragment views.
+func NewTableEval(g graph.View, t *match.Table, pool []core.Literal) *TableEval {
 	n := t.Len()
 	e := &TableEval{
 		g:           g,

@@ -1,0 +1,91 @@
+package discovery
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// richGraph seeds enough label/attribute variety that each mining level
+// spawns many independent ExtendBatch work units for the pool to chew on.
+func richGraph(n int) *graph.Graph {
+	g := graph.New(6*n, 5*n)
+	for i := 0; i < n; i++ {
+		p := g.AddNode("person", map[string]string{"type": "producer", "country": "FR"})
+		f := g.AddNode("product", map[string]string{"type": "film", "year": "1999"})
+		g.AddEdge(p, f, "create")
+		j := g.AddNode("person", map[string]string{"type": "jumper", "country": "US"})
+		s := g.AddNode("product", map[string]string{"type": "song", "year": "2001"})
+		g.AddEdge(j, s, "create")
+		c := g.AddNode("person", map[string]string{"type": "child", "country": "FR"})
+		g.AddEdge(p, c, "parent")
+		o := g.AddNode("org", map[string]string{"kind": "studio"})
+		g.AddEdge(p, o, "works_for")
+		g.AddEdge(o, f, "funds")
+	}
+	g.Finalize()
+	return g
+}
+
+func canonKeys(res *Result) string {
+	var lines []string
+	for _, m := range res.Positives {
+		lines = append(lines, fmt.Sprintf("P\t%s\t%d\t%d", m.GFD.Key(), m.Support, m.Level))
+	}
+	for _, m := range res.Negatives {
+		lines = append(lines, fmt.Sprintf("N\t%s\t%d\t%d", m.GFD.Key(), m.Support, m.Level))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// TestConcurrentExtendBatchDeterministic pins down the concurrent SeqDis
+// pool: mining with a multi-goroutine ExtendBatch must be byte-identical
+// to the forced-serial run, repeatably. Run under -race (the CI race job
+// does) this also proves the level's work units share no mutable state.
+func TestConcurrentExtendBatchDeterministic(t *testing.T) {
+	g := richGraph(6)
+	opts := Options{K: 3, Support: 3, WildcardNodes: true, MaxX: 1}
+
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	base := canonKeys(Mine(g, opts))
+	if base == "" {
+		t.Fatal("degenerate run: nothing mined")
+	}
+	for i := 0; i < 3; i++ {
+		if got := canonKeys(Mine(g, opts)); got != base {
+			t.Fatalf("concurrent run %d diverged:\n%s\n--- want ---\n%s", i, got, base)
+		}
+	}
+
+	runtime.GOMAXPROCS(1)
+	if got := canonKeys(Mine(g, opts)); got != base {
+		t.Fatalf("serial run diverged from concurrent:\n%s\n--- want ---\n%s", got, base)
+	}
+}
+
+// TestConcurrentStatsDeterministic: the work counters the miner reports
+// (rows, aborts, prunes) must not depend on goroutine scheduling either.
+func TestConcurrentStatsDeterministic(t *testing.T) {
+	g := richGraph(5)
+	opts := Options{K: 3, Support: 3, WildcardNodes: true, MaxX: 1, MaxTableRows: 64}
+
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	first := Mine(g, opts).Stats
+	for i := 0; i < 2; i++ {
+		s := Mine(g, opts).Stats
+		if s != first {
+			t.Fatalf("stats diverged across runs: %+v vs %+v", s, first)
+		}
+	}
+	runtime.GOMAXPROCS(1)
+	if s := Mine(g, opts).Stats; s != first {
+		t.Fatalf("serial stats diverged: %+v vs %+v", s, first)
+	}
+}

@@ -37,7 +37,10 @@ func LiteralHolds(g *graph.Graph, m match.Match, l core.Literal) bool {
 // satisfies l. It is the column-scan form of LiteralHolds: a constant
 // literal reads one column, a variable literal two, so building the
 // per-literal satisfaction bitsets of discovery never materialises a row.
-func SatRows(g *graph.Graph, t *match.Table, l core.Literal, mark func(r int)) {
+// It takes any graph.View — literals read node attributes only, which
+// fragment views share with their base graph — so ParDis workers evaluate
+// against their own fragment views.
+func SatRows(g graph.View, t *match.Table, l core.Literal, mark func(r int)) {
 	switch l.Kind {
 	case core.LConst:
 		for r, v := range t.Col(l.X) {

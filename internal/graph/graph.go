@@ -68,9 +68,10 @@ type Graph struct {
 	outRunLabel, inRunLabel []LabelID
 	outRunOff, inRunOff     []uint32
 
-	byLabel   [][]NodeID // node IDs per node-label LabelID, ascending
-	planCache sync.Map   // opaque per-graph cache of derived structures
-	finalized bool
+	byLabel        [][]NodeID // node IDs per node-label LabelID, ascending
+	edgeLabelCount []int      // edges per edge-label LabelID
+	planCache      sync.Map   // opaque per-graph cache of derived structures
+	finalized      bool
 }
 
 // New returns an empty graph pre-sized for n nodes and m edges.
@@ -177,6 +178,11 @@ func (g *Graph) Finalize() {
 	}
 	edges = edges[:w]
 	g.numEdges = w
+
+	g.edgeLabelCount = make([]int, g.symtab().Len())
+	for _, e := range edges {
+		g.edgeLabelCount[e.label]++
+	}
 
 	g.outTo, g.outRunNode, g.outRunLabel, g.outRunOff = buildCSR(edges, len(g.labels),
 		func(e rawEdge) (NodeID, LabelID, NodeID) { return e.src, e.label, e.dst })
@@ -395,6 +401,20 @@ func containsNode(ns []NodeID, v NodeID) bool {
 	return lo < len(ns) && ns[lo] == v
 }
 
+// EdgeLabelCount reports how many edges carry edge label l; l == NoLabel
+// returns the total edge count. This is the per-label run statistic that
+// selectivity-ordered match plans consume.
+func (g *Graph) EdgeLabelCount(l LabelID) int {
+	g.requireFinal()
+	if l == NoLabel {
+		return g.numEdges
+	}
+	if int(l) >= len(g.edgeLabelCount) {
+		return 0
+	}
+	return g.edgeLabelCount[int(l)]
+}
+
 // NodesByLabelID returns the IDs of nodes with the given interned label,
 // ascending. Read-only shared storage.
 func (g *Graph) NodesByLabelID(l LabelID) []NodeID {
@@ -559,6 +579,7 @@ func (g *Graph) Clone() *Graph {
 	// byLabel is rebuilt wholesale by Finalize and its inner slices are
 	// never mutated in place afterwards, so sharing them is safe.
 	c.byLabel = append([][]NodeID(nil), g.byLabel...)
+	c.edgeLabelCount = append([]int(nil), g.edgeLabelCount...)
 	c.Finalize()
 	return c
 }

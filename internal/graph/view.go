@@ -1,0 +1,285 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// View is the read-only matching surface of a graph: the interned CSR
+// label-run adjacency plus the node store (labels, attributes) and the
+// per-view cache of derived structures. Both a full *Graph and a
+// fragment-local *SubCSR satisfy it, so the same compiled match plans and
+// columnar table joins run unchanged against a whole graph or one
+// worker's fragment.
+//
+// All NodeIDs exposed by a View are global (the owning graph's ID space)
+// and all LabelIDs come from the owning graph's symbol table; a view
+// restricts the *edge set*, never the node store. Implementations must be
+// immutable once published and safe for concurrent readers.
+type View interface {
+	// NumNodes reports the number of nodes of the underlying node store.
+	NumNodes() int
+	// NumEdges reports the number of edges visible through this view.
+	NumEdges() int
+	// NodeLabelID returns the interned label of node v.
+	NodeLabelID(v NodeID) LabelID
+	// Attr returns the value of attribute a at node v and whether it exists.
+	Attr(v NodeID, a string) (string, bool)
+	// LookupLabel resolves a label string against the shared symbol table
+	// without interning it.
+	LookupLabel(name string) (LabelID, bool)
+	// LabelName returns the string of an interned label.
+	LabelName(id LabelID) string
+	// NodesByLabelID returns the nodes carrying the given node label,
+	// ascending. Node-level: unaffected by the view's edge restriction.
+	NodesByLabelID(l LabelID) []NodeID
+
+	// OutRuns / InRuns return the half-open run index range of v's
+	// adjacency under this view; run indexes are only meaningful with the
+	// matching OutRun*/InRun* accessors of the same view.
+	OutRuns(v NodeID) (lo, hi int)
+	InRuns(v NodeID) (lo, hi int)
+	OutRunLabel(r int) LabelID
+	InRunLabel(r int) LabelID
+	OutRunNodes(r int) []NodeID
+	InRunNodes(r int) []NodeID
+	// OutTo / InFrom return the neighbours of v under edge label l
+	// (ascending, shared storage); l must be concrete (not NoLabel).
+	OutTo(v NodeID, l LabelID) []NodeID
+	InFrom(v NodeID, l LabelID) []NodeID
+	// HasEdgeID reports whether src --l--> dst is visible through the
+	// view; l == NoLabel matches any label.
+	HasEdgeID(src, dst NodeID, l LabelID) bool
+
+	// EdgeLabelCount reports how many visible edges carry label l; l ==
+	// NoLabel returns the total edge count. This is the per-label run
+	// statistic selectivity-ordered match plans are built from.
+	EdgeLabelCount(l LabelID) int
+
+	// PlanCache is the view's cache of derived read-only structures
+	// (compiled match plans), keyed per pattern. Each view has its own:
+	// plans compiled against a fragment must not leak to the full graph.
+	PlanCache() *sync.Map
+}
+
+// Compile-time interface checks: the full graph and the fragment view
+// share one matching surface.
+var (
+	_ View = (*Graph)(nil)
+	_ View = (*SubCSR)(nil)
+)
+
+// IEdge is an interned edge triple — the unit a SubCSR is built from and
+// the unit a vertex cut assigns to fragments. Src/Dst are global NodeIDs,
+// Label a LabelID of the owning graph's symbol table.
+type IEdge struct {
+	Src, Dst NodeID
+	Label    LabelID
+}
+
+// SubCSR is a fragment-local CSR view over a subset of one graph's edges:
+// its own flat adjacency arrays with per-node per-label runs, indexed by
+// the *global* NodeIDs and LabelIDs of the base graph (nothing is
+// remapped), with the node store (labels, attributes, symbol table)
+// shared with the base graph. Match rows produced against a SubCSR are
+// therefore globally meaningful and can be unioned across fragments
+// without translation — which is what lets ParDis workers join against
+// real per-fragment indexes and still assemble byte-identical global
+// results.
+//
+// A SubCSR is immutable after construction and safe for concurrent
+// readers. It does not track later mutations of the base graph.
+type SubCSR struct {
+	base     *Graph
+	numEdges int
+
+	outTo, inTo             []NodeID
+	outRunNode, inRunNode   []uint32
+	outRunLabel, inRunLabel []LabelID
+	outRunOff, inRunOff     []uint32
+
+	edgeLabelCount []int
+	planCache      sync.Map
+}
+
+// NewSubCSR builds the fragment-local CSR view of the given edge subset
+// of g. Edges must reference existing nodes and interned labels of g;
+// duplicates are de-duplicated like Finalize does. The input slice is not
+// retained or mutated.
+func NewSubCSR(g *Graph, edges []IEdge) *SubCSR {
+	g.requireFinal()
+	raw := make([]rawEdge, len(edges))
+	for i, e := range edges {
+		if int(e.Src) >= g.NumNodes() || int(e.Dst) >= g.NumNodes() {
+			panic(fmt.Sprintf("graph: NewSubCSR: edge (%d,%d) out of node range %d", e.Src, e.Dst, g.NumNodes()))
+		}
+		raw[i] = rawEdge{src: e.Src, dst: e.Dst, label: e.Label}
+	}
+	sort.Slice(raw, func(i, j int) bool {
+		a, b := raw[i], raw[j]
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		if a.label != b.label {
+			return a.label < b.label
+		}
+		return a.dst < b.dst
+	})
+	w := 0
+	for i, e := range raw {
+		if i == 0 || e != raw[i-1] {
+			raw[w] = e
+			w++
+		}
+	}
+	raw = raw[:w]
+
+	s := &SubCSR{base: g, numEdges: len(raw)}
+	n := g.NumNodes()
+	s.outTo, s.outRunNode, s.outRunLabel, s.outRunOff = buildCSR(raw, n,
+		func(e rawEdge) (NodeID, LabelID, NodeID) { return e.src, e.label, e.dst })
+
+	s.edgeLabelCount = make([]int, g.symtab().Len())
+	for _, e := range raw {
+		s.edgeLabelCount[e.label]++
+	}
+
+	sort.Slice(raw, func(i, j int) bool {
+		a, b := raw[i], raw[j]
+		if a.dst != b.dst {
+			return a.dst < b.dst
+		}
+		if a.label != b.label {
+			return a.label < b.label
+		}
+		return a.src < b.src
+	})
+	s.inTo, s.inRunNode, s.inRunLabel, s.inRunOff = buildCSR(raw, n,
+		func(e rawEdge) (NodeID, LabelID, NodeID) { return e.dst, e.label, e.src })
+	return s
+}
+
+// Base returns the graph whose node store the view shares.
+func (s *SubCSR) Base() *Graph { return s.base }
+
+// --- Node store: delegated to the base graph ---
+
+// NumNodes implements View (the full node store: a view restricts edges,
+// not nodes — vertex-cut fragments replicate endpoint nodes).
+func (s *SubCSR) NumNodes() int { return s.base.NumNodes() }
+
+// NodeLabelID implements View.
+func (s *SubCSR) NodeLabelID(v NodeID) LabelID { return s.base.NodeLabelID(v) }
+
+// Attr implements View.
+func (s *SubCSR) Attr(v NodeID, a string) (string, bool) { return s.base.Attr(v, a) }
+
+// LookupLabel implements View.
+func (s *SubCSR) LookupLabel(name string) (LabelID, bool) { return s.base.LookupLabel(name) }
+
+// LabelName implements View.
+func (s *SubCSR) LabelName(id LabelID) string { return s.base.LabelName(id) }
+
+// NodesByLabelID implements View.
+func (s *SubCSR) NodesByLabelID(l LabelID) []NodeID { return s.base.NodesByLabelID(l) }
+
+// --- Fragment-local adjacency ---
+
+// NumEdges implements View: the number of edges in the fragment.
+func (s *SubCSR) NumEdges() int { return s.numEdges }
+
+// OutRuns implements View.
+func (s *SubCSR) OutRuns(v NodeID) (lo, hi int) {
+	return int(s.outRunNode[v]), int(s.outRunNode[v+1])
+}
+
+// InRuns implements View.
+func (s *SubCSR) InRuns(v NodeID) (lo, hi int) {
+	return int(s.inRunNode[v]), int(s.inRunNode[v+1])
+}
+
+// OutRunLabel implements View.
+func (s *SubCSR) OutRunLabel(r int) LabelID { return s.outRunLabel[r] }
+
+// InRunLabel implements View.
+func (s *SubCSR) InRunLabel(r int) LabelID { return s.inRunLabel[r] }
+
+// OutRunNodes implements View. Read-only shared storage.
+func (s *SubCSR) OutRunNodes(r int) []NodeID {
+	return s.outTo[s.outRunOff[r]:s.outRunOff[r+1]]
+}
+
+// InRunNodes implements View. Read-only shared storage.
+func (s *SubCSR) InRunNodes(r int) []NodeID {
+	return s.inTo[s.inRunOff[r]:s.inRunOff[r+1]]
+}
+
+// OutTo implements View.
+func (s *SubCSR) OutTo(v NodeID, l LabelID) []NodeID {
+	lo, hi := s.OutRuns(v)
+	if r := findRun(s.outRunLabel, lo, hi, l); r >= 0 {
+		return s.OutRunNodes(r)
+	}
+	return nil
+}
+
+// InFrom implements View.
+func (s *SubCSR) InFrom(v NodeID, l LabelID) []NodeID {
+	lo, hi := s.InRuns(v)
+	if r := findRun(s.inRunLabel, lo, hi, l); r >= 0 {
+		return s.InRunNodes(r)
+	}
+	return nil
+}
+
+// HasEdgeID implements View.
+func (s *SubCSR) HasEdgeID(src, dst NodeID, l LabelID) bool {
+	if l == NoLabel {
+		lo, hi := s.OutRuns(src)
+		for r := lo; r < hi; r++ {
+			if containsNode(s.OutRunNodes(r), dst) {
+				return true
+			}
+		}
+		return false
+	}
+	return containsNode(s.OutTo(src, l), dst)
+}
+
+// EdgeLabelCount implements View.
+func (s *SubCSR) EdgeLabelCount(l LabelID) int {
+	if l == NoLabel {
+		return s.numEdges
+	}
+	if int(l) >= len(s.edgeLabelCount) {
+		return 0
+	}
+	return s.edgeLabelCount[int(l)]
+}
+
+// PlanCache implements View: the fragment's own compiled-plan cache,
+// independent of the base graph's.
+func (s *SubCSR) PlanCache() *sync.Map { return &s.planCache }
+
+// Edges invokes fn for every edge of the fragment, grouped by source node
+// and sorted by (label, dst) within it. It stops early if fn returns
+// false.
+func (s *SubCSR) Edges(fn func(IEdge) bool) {
+	for v := 0; v < s.NumNodes(); v++ {
+		lo, hi := s.OutRuns(NodeID(v))
+		for r := lo; r < hi; r++ {
+			l := s.outRunLabel[r]
+			for _, d := range s.OutRunNodes(r) {
+				if !fn(IEdge{Src: NodeID(v), Dst: d, Label: l}) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// String summarises the view.
+func (s *SubCSR) String() string {
+	return fmt.Sprintf("subcsr{%d edges of %s}", s.numEdges, s.base)
+}

@@ -6,18 +6,22 @@
 // satisfies ⪯ (non-induced semantics: G may contain extra edges among the
 // matched nodes).
 //
-// Two execution styles are provided:
+// Everything matches against a graph.View — the CSR label-run surface
+// shared by a full *graph.Graph and a fragment-local *graph.SubCSR — so
+// the same machinery serves sequential mining and ParDis workers holding
+// real per-fragment indexes. Two execution styles are provided:
 //
-//   - compiled plans (Plan, built once per (graph, pattern) and cached in
-//     the graph's PlanCache): backtracking enumeration over the graph's
+//   - compiled plans (Plan, built once per (view, pattern) and cached in
+//     the view's PlanCache): backtracking enumeration over the view's
 //     interned CSR label runs, growing matches outward from the pivot with
 //     integer-only comparisons and pooled, allocation-free search state
-//     (Enumerate, MatchesAt, HasMatchAt, PivotNodes);
+//     (Enumerate, MatchesAt, HasMatchAt, PivotNodes). Step order is chosen
+//     by estimated selectivity from the view's per-label run statistics;
 //   - materialised columnar match tables extended one edge at a time
-//     (Table, ExtendRows): per-variable node-ID columns with zero-copy
-//     slicing, the incremental-join primitive that both the sequential
-//     generation tree (Section 5) and the distributed joins of ParDis
-//     (Section 6.2) are built on.
+//     (Table, ExtendRows, ExtendRowsViews): per-variable node-ID columns
+//     with zero-copy slicing, the incremental-join primitive that both the
+//     sequential generation tree (Section 5) and the distributed joins of
+//     ParDis (Section 6.2) are built on.
 package match
 
 import (
@@ -33,7 +37,7 @@ type Match []graph.NodeID
 // Clone returns a copy of m.
 func (m Match) Clone() Match { return append(Match(nil), m...) }
 
-// checkEdge is a pattern edge with its label resolved against the graph's
+// checkEdge is a pattern edge with its label resolved against the view's
 // symbol table, verified once both endpoints are bound.
 type checkEdge struct {
 	src, dst int32
@@ -52,57 +56,99 @@ type planStep struct {
 	check    []checkEdge
 }
 
-// Plan is a pattern compiled against one graph: step order, candidate
+// Plan is a pattern compiled against one view: step order, candidate
 // sources and interned labels are all resolved at compile time, so the
 // enumeration inner loop compares integers only. Plans are immutable and
 // safe for concurrent use; obtain cached ones with PlanFor.
 type Plan struct {
-	g          *graph.Graph
+	v          graph.View
 	p          *pattern.Pattern
 	steps      []planStep
 	order      []int32 // binding order: order[d] = steps[d].vr
 	pivotLabel graph.LabelID
 	// dead marks a plan whose pattern uses a concrete label absent from the
-	// graph: no match can exist, so every query short-circuits.
+	// view: no match can exist, so every query short-circuits.
 	dead bool
 }
 
-// PlanFor returns the compiled plan of p against g, caching it in g's
+// PlanFor returns the compiled plan of p against v, caching it in v's
 // PlanCache keyed by the pattern pointer. Patterns must not be mutated
 // after first use (the extension helpers always clone, so discovery
-// satisfies this for free).
-func PlanFor(g *graph.Graph, p *pattern.Pattern) *Plan {
-	c := g.PlanCache()
-	if v, ok := c.Load(p); ok {
-		return v.(*Plan)
+// satisfies this for free). Fragment views carry their own caches, so a
+// pattern compiled against one fragment never leaks to another.
+func PlanFor(v graph.View, p *pattern.Pattern) *Plan {
+	c := v.PlanCache()
+	if pl, ok := c.Load(p); ok {
+		return pl.(*Plan)
 	}
-	pl := Compile(g, p)
-	if v, loaded := c.LoadOrStore(p, pl); loaded {
-		return v.(*Plan)
+	pl := Compile(v, p)
+	if prev, loaded := c.LoadOrStore(p, pl); loaded {
+		return prev.(*Plan)
 	}
 	return pl
 }
 
-// Compile builds a fresh plan of p against g, bypassing the cache. Use it
-// for throwaway patterns (e.g. edge reductions) that would only bloat the
-// per-graph cache.
-func Compile(g *graph.Graph, p *pattern.Pattern) *Plan {
-	pl := &Plan{g: g, p: p}
+// Compile builds a fresh selectivity-ordered plan of p against v,
+// bypassing the cache. Use it for throwaway patterns (e.g. edge
+// reductions) that would only bloat the per-view cache.
+func Compile(v graph.View, p *pattern.Pattern) *Plan {
+	return compile(v, p, true)
+}
+
+// CompileStatic builds a plan with the pre-statistics step order (most
+// pattern edges into the bound prefix first, ignoring the view's label
+// frequencies). It is retained as the reference point for the
+// selectivity-ordering differential tests and ablation benchmarks.
+func CompileStatic(v graph.View, p *pattern.Pattern) *Plan {
+	return compile(v, p, false)
+}
+
+// compile builds the step order. With useStats, the next variable is the
+// candidate with the smallest estimated fan-out — expected candidates per
+// anchored scan, from the view's per-label edge counts, times the node
+// label's selectivity — so tight labels are bound before promiscuous
+// ones. Without it, the order prefers the variable with the most edges
+// into the bound prefix (the static heuristic of the pre-View matcher).
+// Both orders are deterministic for a given (view, pattern).
+func compile(v graph.View, p *pattern.Pattern, useStats bool) *Plan {
+	pl := &Plan{v: v, p: p}
 	resolve := func(lbl string) graph.LabelID {
 		if lbl == pattern.Wildcard {
 			return graph.NoLabel
 		}
-		id, ok := g.LookupLabel(lbl)
+		id, ok := v.LookupLabel(lbl)
 		if !ok {
 			pl.dead = true
 		}
 		return id
 	}
 	varLabel := make([]graph.LabelID, p.N())
-	for v, l := range p.NodeLabels {
-		varLabel[v] = resolve(l)
+	for vi, l := range p.NodeLabels {
+		varLabel[vi] = resolve(l)
 	}
 	pl.pivotLabel = varLabel[p.Pivot]
+
+	// fanout estimates the number of candidate bindings an anchored scan
+	// for edge label el produces, discounted by the node-label filter of
+	// the variable being bound. Dead labels estimate to 0.
+	nn := float64(v.NumNodes())
+	fanout := func(el string, vl graph.LabelID) float64 {
+		if nn == 0 {
+			return 0
+		}
+		var perNode float64
+		if el == pattern.Wildcard {
+			perNode = float64(v.NumEdges()) / nn
+		} else if id, ok := v.LookupLabel(el); ok {
+			perNode = float64(v.EdgeLabelCount(id)) / nn
+		} else {
+			return 0
+		}
+		if vl != graph.NoLabel {
+			perNode *= float64(len(v.NodesByLabelID(vl))) / nn
+		}
+		return perNode
+	}
 
 	n := p.N()
 	bound := make([]bool, n)
@@ -110,9 +156,11 @@ func Compile(g *graph.Graph, p *pattern.Pattern) *Plan {
 	pl.steps = append(pl.steps, planStep{vr: int32(p.Pivot), anchor: -1, elabel: graph.NoLabel, vlabel: varLabel[p.Pivot]})
 
 	for len(pl.steps) < n {
-		// Pick the next unbound variable adjacent to a bound one, preferring
-		// the one with the most edges to bound variables (cheap candidates).
+		// Pick the next unbound variable adjacent to a bound one: by
+		// estimated selectivity (useStats) with the bound-edge count as
+		// tiebreak, or by bound-edge count alone (static).
 		bestVar, bestAnchor, bestEdge, bestCnt := -1, -1, -1, -1
+		bestScore := 0.0
 		var bestOut bool
 		for ei, e := range p.Edges {
 			type side struct {
@@ -129,7 +177,20 @@ func Compile(g *graph.Graph, p *pattern.Pattern) *Plan {
 						cnt++
 					}
 				}
-				if cnt > bestCnt {
+				better := false
+				if useStats {
+					score := fanout(e.Label, varLabel[s.v])
+					switch {
+					case bestVar < 0 || score < bestScore:
+						better = true
+						bestScore = score
+					case score == bestScore && cnt > bestCnt:
+						better = true
+					}
+				} else {
+					better = cnt > bestCnt
+				}
+				if better {
 					bestVar, bestAnchor, bestOut, bestEdge, bestCnt = s.v, s.anchor, s.out, ei, cnt
 				}
 			}
@@ -138,9 +199,9 @@ func Compile(g *graph.Graph, p *pattern.Pattern) *Plan {
 			// Disconnected pattern: fall back to a label scan for the first
 			// unbound variable. Discovery never spawns these, but the matcher
 			// stays total.
-			for v := 0; v < n; v++ {
-				if !bound[v] {
-					bestVar, bestAnchor, bestEdge = v, -1, -1
+			for vi := 0; vi < n; vi++ {
+				if !bound[vi] {
+					bestVar, bestAnchor, bestEdge = vi, -1, -1
 					break
 				}
 			}
@@ -175,7 +236,7 @@ func Compile(g *graph.Graph, p *pattern.Pattern) *Plan {
 // partial assignment doubles as the used-set (patterns have ≤ k ≈ 5
 // variables, so injectivity is a short linear scan over the bound prefix).
 type runState struct {
-	g         *graph.Graph
+	v         graph.View
 	pl        *Plan
 	m         Match
 	fn        func(Match) bool
@@ -187,7 +248,7 @@ var statePool = sync.Pool{New: func() any { return new(runState) }}
 
 func (pl *Plan) newState() *runState {
 	st := statePool.Get().(*runState)
-	st.g, st.pl = pl.g, pl
+	st.v, st.pl = pl.v, pl
 	if n := len(pl.steps); cap(st.m) < n {
 		st.m = make(Match, n)
 	} else {
@@ -199,7 +260,7 @@ func (pl *Plan) newState() *runState {
 }
 
 func putState(st *runState) {
-	st.g, st.pl, st.fn = nil, nil, nil
+	st.v, st.pl, st.fn = nil, nil, nil
 	statePool.Put(st)
 }
 
@@ -214,7 +275,7 @@ func (st *runState) rec(d int) bool {
 		return st.fn(st.m)
 	}
 	s := &pl.steps[d]
-	g := st.g
+	g := st.v
 	if s.anchor < 0 {
 		if s.vlabel == graph.NoLabel {
 			for v, n := 0, g.NumNodes(); v < n; v++ {
@@ -274,7 +335,7 @@ func (st *runState) rec(d int) bool {
 // try attempts to bind step s (at depth d) to cand and recurses on success.
 // It returns false only when enumeration should stop.
 func (st *runState) try(d int, s *planStep, cand graph.NodeID) bool {
-	g := st.g
+	g := st.v
 	if s.vlabel != graph.NoLabel && g.NodeLabelID(cand) != s.vlabel {
 		return true
 	}
@@ -292,7 +353,7 @@ func (st *runState) try(d int, s *planStep, cand graph.NodeID) bool {
 	return st.rec(d + 1)
 }
 
-// Enumerate calls fn for every match of the pattern in the graph, growing
+// Enumerate calls fn for every match of the pattern in the view, growing
 // matches outward from the pivot. fn returns false to stop early. The Match
 // slice is reused across calls; copy it (Clone) to retain it.
 func (pl *Plan) Enumerate(fn func(Match) bool) {
@@ -337,7 +398,7 @@ func (pl *Plan) PivotNodes() []graph.NodeID {
 	if pl.dead {
 		return nil
 	}
-	g := pl.g
+	g := pl.v
 	var out []graph.NodeID
 	st := pl.newState()
 	st.existOnly = true
@@ -367,7 +428,7 @@ func (pl *Plan) Support() int {
 	if pl.dead {
 		return 0
 	}
-	g := pl.g
+	g := pl.v
 	st := pl.newState()
 	st.existOnly = true
 	n := 0
@@ -405,37 +466,37 @@ func (pl *Plan) CountMatches(limit int) int {
 
 // --- Package-level shims over the cached plan ---
 
-// Enumerate calls fn for every match of p in g. fn returns false to stop
+// Enumerate calls fn for every match of p in v. fn returns false to stop
 // early. The Match slice is reused across calls; Clone to retain it.
-func Enumerate(g *graph.Graph, p *pattern.Pattern, fn func(Match) bool) {
-	PlanFor(g, p).Enumerate(fn)
+func Enumerate(v graph.View, p *pattern.Pattern, fn func(Match) bool) {
+	PlanFor(v, p).Enumerate(fn)
 }
 
-// MatchesAt calls fn for every match of p in g with h(pivot) = v.
-func MatchesAt(g *graph.Graph, p *pattern.Pattern, v graph.NodeID, fn func(Match) bool) {
-	PlanFor(g, p).MatchesAt(v, fn)
+// MatchesAt calls fn for every match of p in v with h(pivot) = node.
+func MatchesAt(v graph.View, p *pattern.Pattern, node graph.NodeID, fn func(Match) bool) {
+	PlanFor(v, p).MatchesAt(node, fn)
 }
 
-// HasMatchAt reports whether p has at least one match pivoted at v.
-func HasMatchAt(g *graph.Graph, p *pattern.Pattern, v graph.NodeID) bool {
-	return PlanFor(g, p).HasMatchAt(v)
+// HasMatchAt reports whether p has at least one match pivoted at node.
+func HasMatchAt(v graph.View, p *pattern.Pattern, node graph.NodeID) bool {
+	return PlanFor(v, p).HasMatchAt(node)
 }
 
-// PivotNodes returns Q(G, z): the distinct nodes v admitting a match of p
-// pivoted at v, in ascending order.
-func PivotNodes(g *graph.Graph, p *pattern.Pattern) []graph.NodeID {
-	return PlanFor(g, p).PivotNodes()
+// PivotNodes returns Q(G, z): the distinct nodes admitting a match of p
+// pivoted there, in ascending order.
+func PivotNodes(v graph.View, p *pattern.Pattern) []graph.NodeID {
+	return PlanFor(v, p).PivotNodes()
 }
 
-// PatternSupport returns supp(p, g) = |Q(G, z)|.
-func PatternSupport(g *graph.Graph, p *pattern.Pattern) int {
-	return PlanFor(g, p).Support()
+// PatternSupport returns supp(p, v) = |Q(G, z)|.
+func PatternSupport(v graph.View, p *pattern.Pattern) int {
+	return PlanFor(v, p).Support()
 }
 
-// CountMatches returns the total number of matches of p in g, up to limit
+// CountMatches returns the total number of matches of p in v, up to limit
 // (limit <= 0 means unlimited). Used by tests and by baselines whose
 // support is match-count based (the non-anti-monotone definition the paper
 // rejects).
-func CountMatches(g *graph.Graph, p *pattern.Pattern, limit int) int {
-	return PlanFor(g, p).CountMatches(limit)
+func CountMatches(v graph.View, p *pattern.Pattern, limit int) int {
+	return PlanFor(v, p).CountMatches(limit)
 }

@@ -131,24 +131,25 @@ func (t *Table) Split(cuts ...int) []*Table {
 	return append(out, t.Slice(lo, t.Len()))
 }
 
-// resolveLabel maps a pattern label to the graph's interned ID. ok=false
-// means a concrete label absent from the graph: nothing can match it.
-func resolveLabel(g *graph.Graph, lbl string) (id graph.LabelID, ok bool) {
+// resolveLabel maps a pattern label to the view's interned ID. ok=false
+// means a concrete label absent from the view's symbol table: nothing can
+// match it.
+func resolveLabel(v graph.View, lbl string) (id graph.LabelID, ok bool) {
 	if lbl == pattern.Wildcard {
 		return graph.NoLabel, true
 	}
-	return g.LookupLabel(lbl)
+	return v.LookupLabel(lbl)
 }
 
 // nodeLabelOK reports L(v) ⪯ want for an interned pattern label.
-func nodeLabelOK(g *graph.Graph, v graph.NodeID, want graph.LabelID) bool {
+func nodeLabelOK(g graph.View, v graph.NodeID, want graph.LabelID) bool {
 	return want == graph.NoLabel || g.NodeLabelID(v) == want
 }
 
 // NewSingleNodeTable materialises the matches of a one-variable pattern.
 // The single column is ascending by node ID, so ownership ranges map to
 // Split offsets by binary search.
-func NewSingleNodeTable(g *graph.Graph, p *pattern.Pattern) *Table {
+func NewSingleNodeTable(g graph.View, p *pattern.Pattern) *Table {
 	t := NewTable(p)
 	label := p.NodeLabels[0]
 	if label == pattern.Wildcard {
@@ -157,8 +158,10 @@ func NewSingleNodeTable(g *graph.Graph, p *pattern.Pattern) *Table {
 			col[v] = graph.NodeID(v)
 		}
 		t.cols[0] = col
-	} else if vs := g.NodesByLabel(label); len(vs) > 0 {
-		t.cols[0] = append([]graph.NodeID(nil), vs...)
+	} else if l, ok := g.LookupLabel(label); ok {
+		if vs := g.NodesByLabelID(l); len(vs) > 0 {
+			t.cols[0] = append([]graph.NodeID(nil), vs...)
+		}
 	}
 	return t
 }
@@ -166,8 +169,8 @@ func NewSingleNodeTable(g *graph.Graph, p *pattern.Pattern) *Table {
 // EdgeMatches materialises the matches of the single-edge pattern p =
 // (x_src --l--> x_dst) among the given edges; this is e(F_s) of Section
 // 6.2: the matches of a single-edge pattern inside one fragment. edges ==
-// nil means every edge of g.
-func EdgeMatches(g *graph.Graph, p *pattern.Pattern, edges []graph.Edge) *Table {
+// nil means every edge visible through g.
+func EdgeMatches(g graph.View, p *pattern.Pattern, edges []graph.Edge) *Table {
 	if p.N() != 2 || p.Size() != 1 {
 		panic(fmt.Sprintf("match: EdgeMatches wants a single-edge pattern, got %v", p))
 	}
@@ -233,30 +236,60 @@ func EdgeMatches(g *graph.Graph, p *pattern.Pattern, edges []graph.Edge) *Table 
 // rows are appended cell-by-cell to flat columns, so no per-row slice is
 // ever allocated. Labels are resolved to interned IDs once per call, so
 // the per-row work runs on the CSR fast path.
-func ExtendRows(g *graph.Graph, t *Table, child *pattern.Pattern) *Table {
+func ExtendRows(g graph.View, t *Table, child *pattern.Pattern) *Table {
+	return extendRowsViews([]graph.View{g}, t, child)
+}
+
+// ExtendRowsViews is the distributed form of ExtendRows: the candidate
+// edges come from several edge-disjoint views over one shared node store
+// (a worker's own fragment plus the received e(F_t) of every other
+// fragment, per Section 6.2). Because each graph edge is visible through
+// exactly one view, the output is row-for-row the multiset ExtendRows
+// would produce against the union graph — only the within-table row order
+// differs (rows are emitted per parent row in view order). A closing edge
+// keeps a row if any view holds a qualifying edge, so wildcard closing
+// edges never duplicate rows.
+func ExtendRowsViews(views []graph.View, t *Table, child *pattern.Pattern) *Table {
+	if len(views) == 0 {
+		panic("match: ExtendRowsViews: no views")
+	}
+	return extendRowsViews(views, t, child)
+}
+
+func extendRowsViews(views []graph.View, t *Table, child *pattern.Pattern) *Table {
 	out := NewTable(child)
 	if t == nil {
 		return out
 	}
+	// Labels and node structure are shared by every view (one node store,
+	// one symbol table), so the new edge's label resolves once against the
+	// first view and holds for all of them.
+	store := views[0]
 	parent := t.P
 	e := child.LastEdge()
-	elabel, eok := resolveLabel(g, e.Label)
+	elabel, eok := resolveLabel(store, e.Label)
 	if !eok {
 		return out
 	}
 	pn := parent.N()
 	switch child.N() {
 	case pn:
-		// Closing edge between two bound variables: filter rows.
+		// Closing edge between two bound variables: filter rows. A row
+		// survives if any view holds the edge (each concrete edge lives in
+		// exactly one view; a wildcard label may be witnessed by several,
+		// hence the boolean any-view test rather than a per-view append).
 		srcCol, dstCol := t.cols[e.Src], t.cols[e.Dst]
 		for r := range srcCol {
-			if g.HasEdgeID(srcCol[r], dstCol[r], elabel) {
-				out.appendRow(t, r)
+			for _, v := range views {
+				if v.HasEdgeID(srcCol[r], dstCol[r], elabel) {
+					out.appendRow(t, r)
+					break
+				}
 			}
 		}
 	case pn + 1:
 		nv := pn
-		newLabel, nok := resolveLabel(g, child.NodeLabels[nv])
+		newLabel, nok := resolveLabel(store, child.NodeLabels[nv])
 		if !nok {
 			return out
 		}
@@ -266,7 +299,7 @@ func ExtendRows(g *graph.Graph, t *Table, child *pattern.Pattern) *Table {
 			anchorVar = e.Dst
 		}
 		extend := func(r int, cand graph.NodeID) {
-			if !nodeLabelOK(g, cand, newLabel) {
+			if !nodeLabelOK(store, cand, newLabel) {
 				return
 			}
 			for v := 0; v < pn; v++ {
@@ -280,30 +313,32 @@ func ExtendRows(g *graph.Graph, t *Table, child *pattern.Pattern) *Table {
 		anchorCol := t.cols[anchorVar]
 		for r := range anchorCol {
 			anchor := anchorCol[r]
-			if elabel != graph.NoLabel {
-				var cands []graph.NodeID
-				if outgoing {
-					cands = g.OutTo(anchor, elabel)
-				} else {
-					cands = g.InFrom(anchor, elabel)
-				}
-				for _, cand := range cands {
-					extend(r, cand)
-				}
-				continue
-			}
-			if outgoing {
-				lo, hi := g.OutRuns(anchor)
-				for rr := lo; rr < hi; rr++ {
-					for _, cand := range g.OutRunNodes(rr) {
+			for _, v := range views {
+				if elabel != graph.NoLabel {
+					var cands []graph.NodeID
+					if outgoing {
+						cands = v.OutTo(anchor, elabel)
+					} else {
+						cands = v.InFrom(anchor, elabel)
+					}
+					for _, cand := range cands {
 						extend(r, cand)
 					}
+					continue
 				}
-			} else {
-				lo, hi := g.InRuns(anchor)
-				for rr := lo; rr < hi; rr++ {
-					for _, cand := range g.InRunNodes(rr) {
-						extend(r, cand)
+				if outgoing {
+					lo, hi := v.OutRuns(anchor)
+					for rr := lo; rr < hi; rr++ {
+						for _, cand := range v.OutRunNodes(rr) {
+							extend(r, cand)
+						}
+					}
+				} else {
+					lo, hi := v.InRuns(anchor)
+					for rr := lo; rr < hi; rr++ {
+						for _, cand := range v.InRunNodes(rr) {
+							extend(r, cand)
+						}
 					}
 				}
 			}
@@ -321,7 +356,7 @@ func ExtendRows(g *graph.Graph, t *Table, child *pattern.Pattern) *Table {
 // without re-matching. The filter is a per-column label scan: each
 // newly-concrete column is scanned once against its interned label, and
 // surviving rows are compacted into fresh columns.
-func RelabelRows(g *graph.Graph, t *Table, variant *pattern.Pattern) *Table {
+func RelabelRows(g graph.View, t *Table, variant *pattern.Pattern) *Table {
 	out := NewTable(variant)
 	if t == nil {
 		return out

@@ -45,6 +45,12 @@ type Backend struct {
 	frags []Fragment
 	opts  Options
 	stats *discovery.Stats
+	// workerViews[w] is the view order of worker w's incremental joins:
+	// its own fragment index first, then the other fragments' in worker
+	// order — the received e(F_t) of Section 6.2, which in the simulated
+	// cluster are the other workers' SubCSR indexes (their shipment is
+	// charged as communication).
+	workerViews [][]graph.View
 	// edgeCountCache caches |e(G)| per (srcLabel, edgeLabel, dstLabel)
 	// pattern-edge shape, the volume shipped to every worker during an
 	// incremental join.
@@ -53,7 +59,8 @@ type Backend struct {
 }
 
 // NewBackend builds a ParDis backend over g fragmented across eng's
-// workers. stats may be nil.
+// workers: an edge-balanced vertex cut compiled into one fragment-local
+// SubCSR index per worker. stats may be nil.
 func NewBackend(g *graph.Graph, eng *cluster.Engine, opts Options, stats *discovery.Stats) *Backend {
 	b := &Backend{
 		g:              g,
@@ -63,6 +70,18 @@ func NewBackend(g *graph.Graph, eng *cluster.Engine, opts Options, stats *discov
 		stats:          stats,
 		edgeCountCache: make(map[graph.TripleKey]int64),
 		tripleCount:    graph.NewStats(g).TripleCount,
+	}
+	n := eng.Workers()
+	b.workerViews = make([][]graph.View, n)
+	for w := 0; w < n; w++ {
+		views := make([]graph.View, 0, n)
+		views = append(views, b.frags[w].Sub)
+		for t := 0; t < n; t++ {
+			if t != w {
+				views = append(views, b.frags[t].Sub)
+			}
+		}
+		b.workerViews[w] = views
 	}
 	return b
 }
@@ -92,6 +111,16 @@ func (h *parHandle) recount() {
 }
 
 func (b *Backend) n() int { return b.eng.Workers() }
+
+// FragmentEdges returns the per-worker edge count of the vertex cut — the
+// size of each fragment-local SubCSR index.
+func (b *Backend) FragmentEdges() []int {
+	out := make([]int, len(b.frags))
+	for w := range b.frags {
+		out[w] = b.frags[w].EdgeCount()
+	}
+	return out
+}
 
 func (b *Backend) bookkeep(rows int) {
 	if b.stats == nil {
@@ -148,7 +177,9 @@ func (b *Backend) splitByOwnership(t *match.Table) []*match.Table {
 // work units (Q, e) distributed across the workers in a single superstep.
 // Every worker receives the other fragments' matches of each new
 // single-edge pattern e (charged as communication) and extends its local
-// rows against the full adjacency.
+// rows against its own fragment index plus the received fragments — the
+// per-worker probe surface is the fragment views, never the full graph's
+// CSR, so the compute accounting reflects fragment-local work.
 func (b *Backend) ExtendBatch(parents []discovery.Handle, children []*pattern.Pattern) []discovery.PatOut {
 	hs := make([]*parHandle, len(children))
 	for i, child := range children {
@@ -163,7 +194,7 @@ func (b *Backend) ExtendBatch(parents []discovery.Handle, children []*pattern.Pa
 			if ph.parts == nil {
 				continue
 			}
-			hs[i].parts[w] = match.ExtendRows(b.g, ph.parts[w], child)
+			hs[i].parts[w] = match.ExtendRowsViews(b.workerViews[w], ph.parts[w], child)
 		}
 	})
 	out := make([]discovery.PatOut, len(children))
@@ -353,7 +384,7 @@ func (b *Backend) Constants(h discovery.Handle, nvars int, gamma []string, max i
 		shipped := 0
 		for v := 0; v < nvars; v++ {
 			for ai, attr := range gamma {
-				c := discovery.ObservedConstantCounts(b.g, ph.parts[w], v, attr)
+				c := discovery.ObservedConstantCounts(b.frags[w].Sub, ph.parts[w], v, attr)
 				counts[v*len(gamma)+ai] = c
 				shipped += len(c)
 			}
@@ -399,7 +430,10 @@ func (b *Backend) Evaluate(h discovery.Handle, pool []core.Literal) discovery.Ev
 		}
 	}
 	b.eng.Superstep("index "+ph.p.String(), func(w int) {
-		pe.evs[w] = discovery.NewTableEval(b.g, ph.parts[w], pool)
+		// Each worker indexes its rows against its own fragment view;
+		// literal evaluation reads node attributes, which every fragment
+		// shares with the base graph's node store.
+		pe.evs[w] = discovery.NewTableEval(b.frags[w].Sub, ph.parts[w], pool)
 	})
 	return pe
 }

@@ -33,6 +33,12 @@ func rulesGraph(n int) *graph.Graph {
 
 func TestVertexCut(t *testing.T) {
 	g := rulesGraph(10)
+	maxOutDeg := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := g.OutDegree(graph.NodeID(v)); d > maxOutDeg {
+			maxOutDeg = d
+		}
+	}
 	for _, n := range []int{1, 2, 4, 7} {
 		frags := VertexCut(g, n)
 		if len(frags) != n {
@@ -40,12 +46,13 @@ func TestVertexCut(t *testing.T) {
 		}
 		// Edges are partitioned: disjoint and complete.
 		total := 0
-		seen := make(map[graph.Edge]int)
+		seen := make(map[graph.IEdge]int)
 		for _, f := range frags {
 			total += f.EdgeCount()
-			for _, e := range f.Edges {
+			f.Sub.Edges(func(e graph.IEdge) bool {
 				seen[e]++
-			}
+				return true
+			})
 		}
 		if total != g.NumEdges() {
 			t.Fatalf("n=%d: %d edges in fragments, graph has %d", n, total, g.NumEdges())
@@ -55,29 +62,38 @@ func TestVertexCut(t *testing.T) {
 				t.Fatalf("edge %v in %d fragments", e, c)
 			}
 		}
-		// Balanced within one chunk.
-		max, min := 0, g.NumEdges()
-		for _, f := range frags {
-			if f.EdgeCount() > max {
-				max = f.EdgeCount()
-			}
-			if f.EdgeCount() < min {
-				min = f.EdgeCount()
-			}
-		}
+		// Edge-balanced up to the contiguity constraint: a fragment never
+		// exceeds its quota by more than one source node's whole run block
+		// (hub runs are kept contiguous on purpose).
 		per := (g.NumEdges() + n - 1) / n
-		if max > per {
-			t.Fatalf("n=%d: fragment of %d edges exceeds per-worker %d", n, max, per)
-		}
-		// Node ownership covers every node exactly once.
-		owned := 0
 		for _, f := range frags {
+			if f.EdgeCount() > per+maxOutDeg {
+				t.Fatalf("n=%d: fragment of %d edges exceeds per-worker %d + max out-degree %d",
+					n, f.EdgeCount(), per, maxOutDeg)
+			}
+		}
+		// Fragments hold contiguous source ranges aligned with ownership:
+		// every fragment edge's source is an owned node.
+		for _, f := range frags {
+			f.Sub.Edges(func(e graph.IEdge) bool {
+				if !f.OwnsNode(e.Src) {
+					t.Fatalf("n=%d: worker %d holds edge with unowned source %d (owns [%d,%d))",
+						n, f.Worker, e.Src, f.NodeLo, f.NodeHi)
+				}
+				return true
+			})
+		}
+		// Node ownership covers every node exactly once (consecutive ranges).
+		owned := 0
+		for w, f := range frags {
 			owned += int(f.NodeHi - f.NodeLo)
+			if w > 0 && frags[w-1].NodeHi != f.NodeLo {
+				t.Fatalf("n=%d: ownership gap between workers %d and %d", n, w-1, w)
+			}
 		}
 		if owned != g.NumNodes() {
 			t.Fatalf("n=%d: %d owned nodes of %d", n, owned, g.NumNodes())
 		}
-		_ = min
 	}
 }
 

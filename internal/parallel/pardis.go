@@ -12,6 +12,9 @@ import (
 type MineResult struct {
 	*discovery.Result
 	Cluster cluster.Stats
+	// FragmentEdges is the per-worker edge count of the vertex cut the run
+	// matched against (one fragment-local SubCSR index per worker).
+	FragmentEdges []int
 }
 
 // Mine runs algorithm ParDis (Section 6.2): the generation-tree master
@@ -30,7 +33,7 @@ func Mine(g *graph.Graph, opts discovery.Options, eng *cluster.Engine, popts Opt
 	res.Stats.MaxTableRows = stats.MaxTableRows
 	res.Stats.TotalTableRows = stats.TotalTableRows
 	res.Stats.Aborted += stats.Aborted
-	return &MineResult{Result: res, Cluster: eng.Stats()}
+	return &MineResult{Result: res, Cluster: eng.Stats(), FragmentEdges: backend.FragmentEdges()}
 }
 
 // DisGFDResult is the output of the full parallel pipeline DisGFD =

@@ -8,71 +8,92 @@
 package parallel
 
 import (
-	"sort"
-
 	"repro/internal/graph"
 )
 
-// Fragment is one worker's share of the graph under a vertex cut: a set of
-// edges (each graph edge belongs to exactly one fragment) plus the
-// replicated endpoint nodes, and a contiguous range of owned node IDs used
-// to partition single-node match tables.
+// Fragment is one worker's share of the graph under a vertex cut: a real
+// fragment-local CSR index (graph.SubCSR) over its edge set — not an
+// ownership filter — plus a contiguous range of owned node IDs used to
+// partition single-node match tables. The SubCSR keeps global NodeIDs and
+// the shared symbol table, so rows matched against one fragment compose
+// with rows from any other.
 type Fragment struct {
 	Worker int
-	Edges  []graph.Edge
-	// NodeLo, NodeHi delimit the owned node range [NodeLo, NodeHi).
+	// Sub is the fragment's own CSR view: the edges assigned to this
+	// worker, indexed with per-node per-label runs exactly like the full
+	// graph's CSR.
+	Sub *graph.SubCSR
+	// NodeLo, NodeHi delimit the owned node range [NodeLo, NodeHi). The
+	// range is aligned with the edge cut: the fragment owns exactly the
+	// source nodes whose out-edge blocks it holds.
 	NodeLo, NodeHi graph.NodeID
 }
 
-// VertexCut partitions g's edges into n fragments of even size. Edges are
-// assigned in source-node order, preserving locality (all edges of a hub
-// node land in one fragment) — which is what makes skewed graphs skew the
-// per-worker match tables and gives the paper's load balancing something
-// to fix. Node ownership is split evenly by ID range.
+// VertexCut partitions g's edges into n fragments by an edge-balanced cut
+// at source-node boundaries: walking nodes in ID order, each node's whole
+// out-edge block goes to the current fragment, and a fragment closes once
+// it holds its share of ⌈|E|·w/n⌉ edges. Keeping every node's out-run
+// contiguous preserves locality — all edges of a hub node land in one
+// fragment — which is what makes skewed graphs skew the per-worker match
+// tables and gives the paper's load balancing something to fix. Each
+// fragment's edge set is compiled into its own SubCSR index; node
+// ownership follows the same boundaries (a fragment may own an empty node
+// range when a hub swallowed several quotas).
 func VertexCut(g *graph.Graph, n int) []Fragment {
 	if n < 1 {
 		n = 1
 	}
-	edges := make([]graph.Edge, 0, g.NumEdges())
-	g.Edges(func(e graph.Edge) bool {
-		edges = append(edges, e)
-		return true
-	})
-	// Edges iterates in source order already; keep it explicit and stable.
-	sort.SliceStable(edges, func(i, j int) bool { return edges[i].Src < edges[j].Src })
+	g.Finalize()
+	nodes, m := g.NumNodes(), g.NumEdges()
+
+	// bounds[w]..bounds[w+1] is fragment w's source-node range.
+	bounds := make([]int, n+1)
+	bounds[n] = nodes
+	if m == 0 {
+		// Degenerate: no edges to balance; split the node space evenly so
+		// seed tables still spread.
+		per := (nodes + n - 1) / n
+		for w := 1; w < n; w++ {
+			bounds[w] = min(w*per, nodes)
+		}
+	} else {
+		cum, w := 0, 1
+		for v := 0; v < nodes && w < n; v++ {
+			for w < n && cum >= (m*w+n-1)/n {
+				bounds[w] = v
+				w++
+			}
+			cum += g.OutDegree(graph.NodeID(v))
+		}
+		for ; w < n; w++ {
+			bounds[w] = nodes
+		}
+	}
 
 	frags := make([]Fragment, n)
-	per := (len(edges) + n - 1) / n
-	nodesPer := (g.NumNodes() + n - 1) / n
 	for w := 0; w < n; w++ {
-		lo := w * per
-		hi := lo + per
-		if lo > len(edges) {
-			lo = len(edges)
-		}
-		if hi > len(edges) {
-			hi = len(edges)
-		}
-		nlo := w * nodesPer
-		nhi := nlo + nodesPer
-		if nlo > g.NumNodes() {
-			nlo = g.NumNodes()
-		}
-		if nhi > g.NumNodes() {
-			nhi = g.NumNodes()
+		var edges []graph.IEdge
+		for v := bounds[w]; v < bounds[w+1]; v++ {
+			lo, hi := g.OutRuns(graph.NodeID(v))
+			for r := lo; r < hi; r++ {
+				l := g.OutRunLabel(r)
+				for _, d := range g.OutRunNodes(r) {
+					edges = append(edges, graph.IEdge{Src: graph.NodeID(v), Dst: d, Label: l})
+				}
+			}
 		}
 		frags[w] = Fragment{
 			Worker: w,
-			Edges:  edges[lo:hi],
-			NodeLo: graph.NodeID(nlo),
-			NodeHi: graph.NodeID(nhi),
+			Sub:    graph.NewSubCSR(g, edges),
+			NodeLo: graph.NodeID(bounds[w]),
+			NodeHi: graph.NodeID(bounds[w+1]),
 		}
 	}
 	return frags
 }
 
 // EdgeCount returns the number of edges in the fragment.
-func (f *Fragment) EdgeCount() int { return len(f.Edges) }
+func (f *Fragment) EdgeCount() int { return f.Sub.NumEdges() }
 
 // OwnsNode reports whether the fragment owns node v.
 func (f *Fragment) OwnsNode(v graph.NodeID) bool { return v >= f.NodeLo && v < f.NodeHi }

@@ -1,0 +1,98 @@
+package parallel
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+)
+
+// TestFragmentAdjacencyMatchesRestrictedCSR is the partitioning
+// differential: for every fragment of an edge-balanced VertexCut, the
+// SubCSR's adjacency must equal the full graph's CSR restricted to the
+// fragment's edge set — per node, per label, in both directions — and the
+// fragments together must reconstruct the full adjacency exactly.
+func TestFragmentAdjacencyMatchesRestrictedCSR(t *testing.T) {
+	graphs := []*graph.Graph{
+		rulesGraph(12),
+		dataset.YAGO2Sim(120, 3),
+		dataset.DBpediaSim(150, 9),
+	}
+	r := rand.New(rand.NewSource(23))
+	for gi, g := range graphs {
+		for _, n := range []int{2, 3, 5, 7} {
+			frags := VertexCut(g, n)
+			// Membership: which fragment holds each edge (exactly one; checked
+			// by TestVertexCut, relied on here).
+			owner := make(map[graph.IEdge]int)
+			for w, f := range frags {
+				f.Sub.Edges(func(e graph.IEdge) bool {
+					owner[e] = w
+					return true
+				})
+			}
+			// Sample nodes (all for small graphs) and compare adjacency.
+			for s := 0; s < 60; s++ {
+				v := graph.NodeID(r.Intn(g.NumNodes()))
+				lo, hi := g.OutRuns(v)
+				for run := lo; run < hi; run++ {
+					l := g.OutRunLabel(run)
+					full := g.OutTo(v, l)
+					// Restricted reference per fragment.
+					for w, f := range frags {
+						var want []graph.NodeID
+						for _, d := range full {
+							if owner[graph.IEdge{Src: v, Dst: d, Label: l}] == w {
+								want = append(want, d)
+							}
+						}
+						got := f.Sub.OutTo(v, l)
+						if !reflect.DeepEqual(append([]graph.NodeID(nil), got...), want) {
+							t.Fatalf("graph %d n=%d: worker %d OutTo(%d,%d) = %v, restricted CSR %v",
+								gi, n, w, v, l, got, want)
+						}
+					}
+					// Union across fragments reconstructs the full run.
+					var union []graph.NodeID
+					for _, f := range frags {
+						union = append(union, f.Sub.OutTo(v, l)...)
+					}
+					sortIDs(union)
+					if !reflect.DeepEqual(union, append([]graph.NodeID(nil), full...)) {
+						t.Fatalf("graph %d n=%d: OutTo(%d,%d) union %v != full %v", gi, n, v, l, union, full)
+					}
+				}
+				ilo, ihi := g.InRuns(v)
+				for run := ilo; run < ihi; run++ {
+					l := g.InRunLabel(run)
+					full := g.InFrom(v, l)
+					var union []graph.NodeID
+					for _, f := range frags {
+						part := f.Sub.InFrom(v, l)
+						for _, src := range part {
+							if owner[graph.IEdge{Src: src, Dst: v, Label: l}] != f.Worker {
+								t.Fatalf("graph %d n=%d: worker %d in-CSR has foreign edge %d-%d->%d",
+									gi, n, f.Worker, src, l, v)
+							}
+						}
+						union = append(union, part...)
+					}
+					sortIDs(union)
+					if !reflect.DeepEqual(union, append([]graph.NodeID(nil), full...)) {
+						t.Fatalf("graph %d n=%d: InFrom(%d,%d) union %v != full %v", gi, n, v, l, union, full)
+					}
+				}
+			}
+		}
+	}
+}
+
+func sortIDs(ns []graph.NodeID) {
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && ns[j] < ns[j-1]; j-- {
+			ns[j], ns[j-1] = ns[j-1], ns[j]
+		}
+	}
+}

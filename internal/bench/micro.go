@@ -12,7 +12,11 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/bitset"
+	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/discovery"
+	"repro/internal/eval"
 	"repro/internal/graph"
 	"repro/internal/match"
 	"repro/internal/parallel"
@@ -44,6 +48,7 @@ type microEnv struct {
 	parent *pattern.Pattern
 	child  *pattern.Pattern
 	t1     *match.Table
+	t2     *match.Table // t1 extended by child's new edge: the literal-path workload
 
 	// busiest worker's join inputs at n=4: its row share and view order
 	// (own fragment first, then the received ones).
@@ -65,6 +70,7 @@ func microWorkload() *microEnv {
 		e.parent = pattern.SingleEdge("T00", "r00", "T01")
 		e.child = e.parent.ExtendNewNode(1, "r01", "T02", true)
 		e.t1 = match.EdgeMatches(e.g, e.parent, nil)
+		e.t2 = match.ExtendRows(e.g, e.t1, e.child)
 
 		frags := parallel.VertexCut(e.g, 4)
 		// Busiest worker = most parent rows under node ownership (the
@@ -146,12 +152,69 @@ func MicroSpecs() []MicroSpec {
 		}},
 		{"TableSupport", func(b *testing.B) {
 			e := microWorkload()
-			t2 := match.ExtendRows(e.g, e.t1, e.child)
+			t2 := e.t2
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if t2.Support() == 0 {
 					b.Fatal("no support")
+				}
+			}
+		}},
+		{"SatRows/const", func(b *testing.B) {
+			// One constant-literal satisfaction scan over the level-2 table:
+			// the per-literal bitset fill of HSpawn's candidate validation.
+			e := microWorkload()
+			lit := core.Const(0, "category", "cat00")
+			bs := bitset.New(e.t2.Len())
+			set := bs.Set
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eval.SatRows(e.g, e.t2, lit, set)
+			}
+		}},
+		{"SatRows/var", func(b *testing.B) {
+			// Variable literal x0.origin = x2.origin: two attribute columns
+			// compared per row.
+			e := microWorkload()
+			lit := core.Vars(0, "origin", 2, "origin")
+			bs := bitset.New(e.t2.Len())
+			set := bs.Set
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eval.SatRows(e.g, e.t2, lit, set)
+			}
+		}},
+		{"Constants/count", func(b *testing.B) {
+			// Counting the observed values of one (variable, attribute) pair
+			// over the table — the per-pair unit of Backend.Constants: a
+			// column scan into the reusable dense ValueID scratch (the
+			// map-based era built a map[string]int per pair here).
+			e := microWorkload()
+			vc := discovery.NewValueCounter(e.g.NumValues())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				discovery.ObservedValueCounts(e.g, e.t2, 0, "category", vc)
+				vc.Reset()
+			}
+		}},
+		{"HSpawn/mine-level1", func(b *testing.B) {
+			// End-to-end single-level mine: seeding, one VSpawn level, and the
+			// full HSpawn literal lattice (Constants, SatRows indexing,
+			// candidate validation) over every verified pattern.
+			g := dataset.DBpediaSim(500, 42)
+			opts := discovery.Options{
+				K: 2, Support: 12, ConstantsPerAttr: 5, MaxX: 1,
+				MaxLevels: 1, MaxNegatives: 200,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if len(discovery.Mine(g, opts).Positives) == 0 {
+					b.Fatal("no GFDs mined")
 				}
 			}
 		}},

@@ -117,14 +117,9 @@ func Noise(g *graph.Graph, cfg NoiseConfig) (*graph.Graph, map[graph.NodeID]bool
 	out := graph.New(g.NumNodes(), g.NumEdges())
 	for v := 0; v < g.NumNodes(); v++ {
 		id := graph.NodeID(v)
-		src := g.Attrs(id)
-		var attrs map[string]string
-		if src != nil {
-			attrs = make(map[string]string, len(src))
-			for k, val := range src {
-				attrs[k] = val
-			}
-		}
+		// Attrs materialises a fresh map and AddNode interns without
+		// retaining, so the edits merge in place — no defensive copy.
+		attrs := g.Attrs(id)
 		for k, val := range attrEdits[id] {
 			if attrs == nil {
 				attrs = make(map[string]string, 1)

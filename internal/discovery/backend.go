@@ -93,6 +93,7 @@ type SeqBackend struct {
 	maxRows  int
 	stats    *Stats
 	liveRows int
+	vc       *ValueCounter // reusable constant-count scratch (Constants is driver-serial)
 }
 
 // NewSeqBackend returns a sequential backend over v. maxRows caps match
@@ -209,22 +210,38 @@ func (b *SeqBackend) Release(h Handle) {
 	}
 }
 
-// Constants implements Backend.
+// Constants implements Backend: every (variable, attribute) pair is one
+// column scan counting ValueIDs into a shared dense scratch (constants.go)
+// — the attribute columns resolve once per call, and the only maps left
+// are the two symbol lookups per gamma entry.
 func (b *SeqBackend) Constants(h Handle, nvars int, gamma []string, max int) [][]string {
 	t := h.(*seqHandle).table
 	out := make([][]string, nvars*len(gamma))
+	cols := make([]graph.AttrColumn, len(gamma))
+	for ai, attr := range gamma {
+		if aid, ok := b.v.LookupAttr(attr); ok {
+			cols[ai] = b.v.AttrColumn(aid)
+		}
+	}
+	if b.vc == nil {
+		b.vc = NewValueCounter(b.v.NumValues())
+	}
+	vc := b.vc
 	for v := 0; v < nvars; v++ {
-		for ai, attr := range gamma {
-			out[v*len(gamma)+ai] = TopConstants(ObservedConstantCounts(b.v, t, v, attr), max)
+		col := t.Col(v)
+		for ai := range gamma {
+			vc.CountColumn(cols[ai], col)
+			out[v*len(gamma)+ai] = vc.Top(max, b.v.ValueName)
 		}
 	}
 	return out
 }
 
 // ObservedConstantCounts returns the frequency of each value of attr at
-// variable v over the table's rows — a single scan of column v against the
-// view's shared node store. The parallel backend computes these per
-// fragment and merges the maps at the master.
+// variable v over the table's rows, as strings. It is the map-based
+// reference form of ObservedValueCounts (constants.go), retained for
+// differential tests and one-off callers; the backends count ValueIDs
+// into a dense scratch instead.
 func ObservedConstantCounts(g graph.View, t *match.Table, v int, attr string) map[string]int {
 	counts := make(map[string]int)
 	for _, node := range t.Col(v) {
@@ -236,7 +253,8 @@ func ObservedConstantCounts(g graph.View, t *match.Table, v int, attr string) ma
 }
 
 // TopConstants returns the up-to-max most frequent values in counts,
-// ordered by descending count then value.
+// ordered by descending count then value — the reference form of
+// ValueCounter.Top, kept alongside ObservedConstantCounts.
 func TopConstants(counts map[string]int, max int) []string {
 	vals := make([]string, 0, len(counts))
 	for val := range counts {
@@ -364,17 +382,31 @@ func (e *TableEval) CoHolds(x []int) []bool {
 	return out
 }
 
-// AttrPresent implements Evaluator.
+// AttrPresent implements Evaluator: an interned column scan that stops at
+// the first carrying node (an attribute carried by no node at all skips
+// the scan outright).
 func (e *TableEval) AttrPresent(v int, attr string) bool {
 	key := attrKey{v, attr}
 	if p, ok := e.attrPresent[key]; ok {
 		return p
 	}
 	present := false
-	for _, node := range e.t.Col(v) {
-		if _, ok := e.g.Attr(node, attr); ok {
-			present = true
-			break
+	if aid, ok := e.g.LookupAttr(attr); ok {
+		col := e.g.AttrColumn(aid)
+		if d := col.Dense(); d != nil {
+			for _, node := range e.t.Col(v) {
+				if d[node] != graph.NoValue {
+					present = true
+					break
+				}
+			}
+		} else if col.Len() > 0 {
+			for _, node := range e.t.Col(v) {
+				if col.ValueAt(node) != graph.NoValue {
+					present = true
+					break
+				}
+			}
 		}
 	}
 	e.attrPresent[key] = present

@@ -17,50 +17,119 @@ import (
 	"repro/internal/match"
 )
 
-// LiteralHolds reports whether match m satisfies literal l on g: the
-// mentioned attributes exist and the equality holds. LFalse never holds.
-func LiteralHolds(g *graph.Graph, m match.Match, l core.Literal) bool {
+// CompiledLiteral is a literal resolved once against a graph's interned
+// attribute plane: the attribute names are bound to their AttrColumns and
+// the constant to its ValueID, so per-row evaluation is an integer column
+// read with no map traffic and no string comparison. A literal mentioning
+// an attribute or constant absent from the graph compiles to a literal
+// that never holds (the columns are empty / the ValueID is NoValue), which
+// is exactly the schemaless semantics.
+type CompiledLiteral struct {
+	kind core.LiteralKind
+	x, y int
+	a, b graph.AttrColumn
+	c    graph.ValueID
+}
+
+// CompileLiteral resolves l against v's attribute plane. Compilation is
+// cheap (two symbol-table lookups); pools compile each literal once and
+// evaluate it over every row.
+func CompileLiteral(v graph.View, l core.Literal) CompiledLiteral {
+	cl := CompiledLiteral{kind: l.Kind, x: l.X, y: l.Y, c: graph.NoValue}
 	switch l.Kind {
 	case core.LConst:
-		v, ok := g.Attr(m[l.X], l.A)
-		return ok && v == l.C
+		if aid, ok := v.LookupAttr(l.A); ok {
+			cl.a = v.AttrColumn(aid)
+		}
+		if val, ok := v.LookupValue(l.C); ok {
+			cl.c = val
+		}
 	case core.LVar:
-		vx, okx := g.Attr(m[l.X], l.A)
-		vy, oky := g.Attr(m[l.Y], l.B)
-		return okx && oky && vx == vy
+		if aid, ok := v.LookupAttr(l.A); ok {
+			cl.a = v.AttrColumn(aid)
+		}
+		if bid, ok := v.LookupAttr(l.B); ok {
+			cl.b = v.AttrColumn(bid)
+		}
+	}
+	return cl
+}
+
+// Holds reports whether the bound nodes of match m satisfy the literal.
+func (cl CompiledLiteral) Holds(m match.Match) bool {
+	switch cl.kind {
+	case core.LConst:
+		return cl.c != graph.NoValue && cl.a.ValueAt(m[cl.x]) == cl.c
+	case core.LVar:
+		va := cl.a.ValueAt(m[cl.x])
+		return va != graph.NoValue && va == cl.b.ValueAt(m[cl.y])
 	default:
 		return false
 	}
 }
 
-// SatRows calls mark(r) for every row of the columnar table t whose match
-// satisfies l. It is the column-scan form of LiteralHolds: a constant
-// literal reads one column, a variable literal two, so building the
-// per-literal satisfaction bitsets of discovery never materialises a row.
-// It takes any graph.View — literals read node attributes only, which
-// fragment views share with their base graph — so ParDis workers evaluate
-// against their own fragment views.
-func SatRows(g graph.View, t *match.Table, l core.Literal, mark func(r int)) {
-	switch l.Kind {
+// SatRows calls mark(r) for every row of the columnar table t satisfying
+// the literal. Dense attribute columns take a branch-light direct-indexed
+// scan; sparse ones fall back to per-row binary searches over the carrying
+// nodes.
+func (cl CompiledLiteral) SatRows(t *match.Table, mark func(r int)) {
+	switch cl.kind {
 	case core.LConst:
-		for r, v := range t.Col(l.X) {
-			if val, ok := g.Attr(v, l.A); ok && val == l.C {
+		want := cl.c
+		if want == graph.NoValue {
+			return // constant absent from the graph: no row can satisfy it
+		}
+		xs := t.Col(cl.x)
+		if d := cl.a.Dense(); d != nil {
+			for r, v := range xs {
+				if d[v] == want {
+					mark(r)
+				}
+			}
+			return
+		}
+		for r, v := range xs {
+			if cl.a.ValueAt(v) == want {
 				mark(r)
 			}
 		}
 	case core.LVar:
-		cx, cy := t.Col(l.X), t.Col(l.Y)
-		for r := range cx {
-			vx, okx := g.Attr(cx[r], l.A)
-			if !okx {
-				continue
+		cx, cy := t.Col(cl.x), t.Col(cl.y)
+		if da, db := cl.a.Dense(), cl.b.Dense(); da != nil && db != nil {
+			for r := range cx {
+				if va := da[cx[r]]; va != graph.NoValue && va == db[cy[r]] {
+					mark(r)
+				}
 			}
-			vy, oky := g.Attr(cy[r], l.B)
-			if oky && vx == vy {
+			return
+		}
+		for r := range cx {
+			va := cl.a.ValueAt(cx[r])
+			if va != graph.NoValue && va == cl.b.ValueAt(cy[r]) {
 				mark(r)
 			}
 		}
 	}
+}
+
+// LiteralHolds reports whether match m satisfies literal l on g: the
+// mentioned attributes exist and the equality holds. LFalse never holds.
+// One-shot string-API form of CompiledLiteral.Holds.
+func LiteralHolds(g *graph.Graph, m match.Match, l core.Literal) bool {
+	return CompileLiteral(g, l).Holds(m)
+}
+
+// SatRows calls mark(r) for every row of the columnar table t whose match
+// satisfies l. It is the column-scan form of LiteralHolds: a constant
+// literal reads one attribute column, a variable literal two, so building
+// the per-literal satisfaction bitsets of discovery never materialises a
+// row — and since literals compile to (AttrID, ValueID) form, the scan
+// compares interned integers, never strings. It takes any graph.View —
+// literals read node attributes only, which fragment views share with
+// their base graph — so ParDis workers evaluate against their own fragment
+// views.
+func SatRows(g graph.View, t *match.Table, l core.Literal, mark func(r int)) {
+	CompileLiteral(g, l).SatRows(t, mark)
 }
 
 // AllHold reports whether m satisfies every literal in ls.

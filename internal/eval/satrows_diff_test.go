@@ -1,0 +1,101 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/pattern"
+)
+
+// TestSatRowsDifferential drives the interned column-scan SatRows against
+// an independent reference built from caller-retained maps: the test
+// records every attribute write in its own map-per-node store while
+// building a random graph, then checks literal satisfaction row by row
+// against those maps. Attribute fills are skewed so both dense and sparse
+// columns sit under the literals, and the literal pool includes attributes
+// and constants absent from the graph (which must satisfy nothing).
+func TestSatRowsDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	const nodes = 300
+	attrs := []string{"dense0", "dense1", "sparse0", "sparse1"}
+	vals := make([]string, 12)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("v%d", i)
+	}
+
+	g := graph.New(nodes, nodes)
+	ref := make([]map[string]string, nodes)
+	for v := 0; v < nodes; v++ {
+		m := make(map[string]string)
+		for ai, a := range attrs {
+			fill := 0.9
+			if ai >= 2 {
+				fill = 0.08
+			}
+			if r.Float64() < fill {
+				m[a] = vals[r.Intn(len(vals))]
+			}
+		}
+		id := g.AddNode("n", m)
+		cp := make(map[string]string, len(m))
+		for k, val := range m {
+			cp[k] = val
+		}
+		ref[id] = cp
+	}
+	for v := 0; v+1 < nodes; v++ {
+		g.AddEdge(graph.NodeID(v), graph.NodeID(v+1), "e")
+	}
+	g.Finalize()
+
+	// A random 2-variable table over the node space (row structure does not
+	// matter to SatRows; only the column reads do).
+	p := pattern.SingleEdge("n", "e", "n")
+	rows := make([]match.Match, 500)
+	for i := range rows {
+		rows[i] = match.Match{graph.NodeID(r.Intn(nodes)), graph.NodeID(r.Intn(nodes))}
+	}
+	tab := match.FromRows(p, rows)
+
+	lits := []core.Literal{
+		core.Const(0, "dense0", "v3"),
+		core.Const(1, "sparse0", "v5"),
+		core.Const(0, "dense1", "no-such-value"),
+		core.Const(0, "no-such-attr", "v1"),
+		core.Vars(0, "dense0", 1, "dense0"),
+		core.Vars(0, "dense0", 1, "dense1"),
+		core.Vars(0, "sparse0", 1, "sparse1"),
+		core.Vars(0, "dense0", 1, "sparse0"),
+		core.Vars(0, "no-such-attr", 1, "dense0"),
+		core.False(),
+	}
+	refHolds := func(row match.Match, l core.Literal) bool {
+		switch l.Kind {
+		case core.LConst:
+			v, ok := ref[row[l.X]][l.A]
+			return ok && v == l.C
+		case core.LVar:
+			vx, okx := ref[row[l.X]][l.A]
+			vy, oky := ref[row[l.Y]][l.B]
+			return okx && oky && vx == vy
+		default:
+			return false
+		}
+	}
+	for _, l := range lits {
+		got := make([]bool, tab.Len())
+		SatRows(g, tab, l, func(r int) { got[r] = true })
+		for ri := range rows {
+			if want := refHolds(rows[ri], l); got[ri] != want {
+				t.Fatalf("literal %v row %d (%v): SatRows=%v reference=%v", l, ri, rows[ri], got[ri], want)
+			}
+			if holds := LiteralHolds(g, rows[ri], l); holds != refHolds(rows[ri], l) {
+				t.Fatalf("literal %v row %d: LiteralHolds=%v reference=%v", l, ri, holds, refHolds(rows[ri], l))
+			}
+		}
+	}
+}

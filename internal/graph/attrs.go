@@ -1,0 +1,252 @@
+package graph
+
+import "sort"
+
+// This file implements the attribute plane: the columnar, fully interned
+// storage of node attribute tuples F_A(v). Where the CSR of graph.go makes
+// topology queries allocation-free integer scans, the AttrStore does the
+// same for the literal evaluation of GFD discovery — the actual hot path
+// of HSpawn (Section 5.1), which reads one or two attribute values per
+// match row per literal.
+//
+// Attribute names intern to dense AttrIDs and values to a shared ValueID
+// pool (intern.go), so a literal x.A = c compiles once to an (AttrID,
+// ValueID) pair and satisfaction is an integer comparison. Each attribute
+// owns one column, compiled at Finalize time into one of two layouts:
+//
+//   - dense: a flat []ValueID indexed by NodeID with NoValue marking
+//     absence, chosen for high-fill attributes (≥ 1/4 of nodes carry it):
+//     lookup is a single slice index;
+//   - sparse: parallel (NodeID, ValueID) arrays sorted by node, chosen for
+//     long-tail attributes: lookup is a binary search over only the
+//     carrying nodes.
+//
+// Both layouts are flat arrays, which is what makes fragment attribute
+// state serialisable (the ROADMAP's mmap-able fragment direction); maps
+// are not.
+
+// denseFillDivisor selects the dense layout when at least numNodes /
+// denseFillDivisor nodes carry the attribute. Dense costs 4 bytes per node
+// but O(1) lookups; sparse costs 8 bytes per carrying node and a binary
+// search. The break-even on memory is a fill of 1/2; we buy lookup speed a
+// little earlier.
+const denseFillDivisor = 4
+
+// attrEntry is one staged attribute write (node, attr, value).
+type attrEntry struct {
+	node NodeID
+	attr AttrID
+	val  ValueID
+}
+
+// AttrColumn is one attribute's compiled column. The zero value reads as
+// an attribute no node carries. Columns are immutable once published and
+// safe for concurrent readers; mutation goes through the owning AttrStore,
+// which recompiles.
+type AttrColumn struct {
+	dense []ValueID // NodeID-indexed, NoValue = absent; nil for sparse columns
+	nodes []NodeID  // sparse: carrying nodes, ascending
+	vals  []ValueID // sparse: vals[i] is the value at nodes[i]
+}
+
+// ValueAt returns the interned value of the column's attribute at node v,
+// or NoValue if v does not carry it.
+func (c AttrColumn) ValueAt(v NodeID) ValueID {
+	if c.dense != nil {
+		return c.dense[v]
+	}
+	lo, hi := 0, len(c.nodes)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.nodes[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(c.nodes) && c.nodes[lo] == v {
+		return c.vals[lo]
+	}
+	return NoValue
+}
+
+// Dense returns the NodeID-indexed value slice of a dense column, or nil
+// for sparse columns. Callers scanning many rows branch once on the layout
+// and index directly; shared read-only storage.
+func (c AttrColumn) Dense() []ValueID { return c.dense }
+
+// Len returns the number of nodes carrying the attribute.
+func (c AttrColumn) Len() int {
+	if c.dense != nil {
+		n := 0
+		for _, v := range c.dense {
+			if v != NoValue {
+				n++
+			}
+		}
+		return n
+	}
+	return len(c.nodes)
+}
+
+// ForEach calls fn for every (node, value) pair of the column, in
+// ascending node order.
+func (c AttrColumn) ForEach(fn func(NodeID, ValueID)) {
+	if c.dense != nil {
+		for v, val := range c.dense {
+			if val != NoValue {
+				fn(NodeID(v), val)
+			}
+		}
+		return
+	}
+	for i, v := range c.nodes {
+		fn(v, c.vals[i])
+	}
+}
+
+// AttrStore holds all attribute columns of one graph. Writes stage
+// (node, attr, value) entries; reads compile the staged entries into
+// per-attribute columns lazily (require), exactly mirroring the staged
+// edge / CSR life cycle of Graph. The zero value is an empty store.
+type AttrStore struct {
+	staged   []attrEntry  // pending writes; the last write per (node, attr) wins
+	cols     []AttrColumn // per AttrID, valid while compiled
+	compiled bool
+	numNodes int // node count the compiled columns cover
+	entries  int // live (node, attr) pairs in cols, for sizing restages
+}
+
+// set stages one attribute write. Compiled columns are pulled back into
+// staged form first; the next read recompiles.
+func (s *AttrStore) set(v NodeID, a AttrID, val ValueID) {
+	s.ensureStaged()
+	s.staged = append(s.staged, attrEntry{node: v, attr: a, val: val})
+}
+
+// ensureStaged moves the store back to staged-entry form so set can append.
+func (s *AttrStore) ensureStaged() {
+	if s.compiled {
+		if s.staged == nil && s.entries > 0 {
+			staged := make([]attrEntry, 0, s.entries)
+			for a, col := range s.cols {
+				col.ForEach(func(v NodeID, val ValueID) {
+					staged = append(staged, attrEntry{node: v, attr: AttrID(a), val: val})
+				})
+			}
+			s.staged = staged
+		}
+		s.cols = nil
+		s.compiled = false
+	}
+}
+
+// require compiles the columns if needed. numNodes and numAttrs come from
+// the owning graph; a node-count change (AddNode after a compile) forces a
+// recompile so dense columns cover every node.
+func (s *AttrStore) require(numNodes, numAttrs int) {
+	if s.compiled && s.numNodes == numNodes {
+		return
+	}
+	if s.compiled {
+		s.ensureStaged()
+	}
+	s.compile(numNodes, numAttrs)
+}
+
+// compile sorts the staged entries by (attr, node) and lays each
+// attribute's run out as a dense or sparse column by fill ratio. Later
+// writes of the same (node, attr) pair win, matching map-overwrite
+// semantics.
+func (s *AttrStore) compile(numNodes, numAttrs int) {
+	entries := s.staged
+	// Stable by (attr, node): equal pairs keep staging order, so the last
+	// entry of each group is the live write.
+	sort.SliceStable(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.attr != b.attr {
+			return a.attr < b.attr
+		}
+		return a.node < b.node
+	})
+	w := 0
+	for i, e := range entries {
+		if i+1 < len(entries) {
+			if n := entries[i+1]; n.attr == e.attr && n.node == e.node {
+				continue // overwritten by a later entry
+			}
+		}
+		entries[w] = e
+		w++
+	}
+	entries = entries[:w]
+
+	s.cols = make([]AttrColumn, numAttrs)
+	for lo := 0; lo < len(entries); {
+		hi := lo
+		for hi < len(entries) && entries[hi].attr == entries[lo].attr {
+			hi++
+		}
+		run := entries[lo:hi]
+		col := AttrColumn{}
+		if len(run)*denseFillDivisor >= numNodes && numNodes > 0 {
+			dense := make([]ValueID, numNodes)
+			for i := range dense {
+				dense[i] = NoValue
+			}
+			for _, e := range run {
+				dense[e.node] = e.val
+			}
+			col.dense = dense
+		} else {
+			nodes := make([]NodeID, len(run))
+			vals := make([]ValueID, len(run))
+			for i, e := range run {
+				nodes[i] = e.node
+				vals[i] = e.val
+			}
+			col.nodes, col.vals = nodes, vals
+		}
+		s.cols[run[0].attr] = col
+		lo = hi
+	}
+	s.staged = nil
+	s.entries = len(entries)
+	s.numNodes = numNodes
+	s.compiled = true
+}
+
+// col returns the compiled column of attribute a; the store must be
+// compiled (require). Out-of-range IDs read as an empty column.
+func (s *AttrStore) col(a AttrID) AttrColumn {
+	if int(a) >= len(s.cols) {
+		return AttrColumn{}
+	}
+	return s.cols[a]
+}
+
+// value returns the interned value of attribute a at node v, or NoValue.
+func (s *AttrStore) value(v NodeID, a AttrID) ValueID {
+	return s.col(a).ValueAt(v)
+}
+
+// clone returns an independent deep copy of the store.
+func (s *AttrStore) clone() AttrStore {
+	c := AttrStore{
+		staged:   append([]attrEntry(nil), s.staged...),
+		compiled: s.compiled,
+		numNodes: s.numNodes,
+		entries:  s.entries,
+	}
+	if s.cols != nil {
+		c.cols = make([]AttrColumn, len(s.cols))
+		for i, col := range s.cols {
+			c.cols[i] = AttrColumn{
+				dense: append([]ValueID(nil), col.dense...),
+				nodes: append([]NodeID(nil), col.nodes...),
+				vals:  append([]ValueID(nil), col.vals...),
+			}
+		}
+	}
+	return c
+}

@@ -1,0 +1,232 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// The attribute-plane differential tests drive the interned columnar
+// AttrStore and a caller-retained map-based reference through the same
+// random workload — AddNode tuples, interleaved SetAttr overwrites and
+// fresh attributes, reads between mutation bursts — and require Attr,
+// Attrs and column contents to agree at every checkpoint. The workload is
+// shaped so both column layouts are exercised: a few attributes carried by
+// nearly every node (dense) and a long tail carried by a handful (sparse).
+
+// refAttrs is the retained map-per-node reference implementation.
+type refAttrs []map[string]string
+
+func (r refAttrs) set(v NodeID, a, val string) {
+	if r[v] == nil {
+		r[v] = make(map[string]string)
+	}
+	r[v][a] = val
+}
+
+// checkAgainstRef compares every node's Attr/Attrs against the reference
+// over the full attribute-name universe.
+func checkAgainstRef(t *testing.T, g *Graph, ref refAttrs, names []string) {
+	t.Helper()
+	for v := 0; v < g.NumNodes(); v++ {
+		id := NodeID(v)
+		for _, a := range names {
+			want, wantOK := ref[id][a]
+			got, gotOK := g.Attr(id, a)
+			if wantOK != gotOK || got != want {
+				t.Fatalf("Attr(%d, %q) = %q,%v; reference %q,%v", v, a, got, gotOK, want, wantOK)
+			}
+		}
+		got := g.Attrs(id)
+		want := ref[id]
+		if len(got) != len(want) || (len(want) > 0 && !reflect.DeepEqual(got, want)) {
+			t.Fatalf("Attrs(%d) = %v; reference %v", v, got, want)
+		}
+	}
+}
+
+func TestAttrStoreDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	const nodes = 400
+	denseAttrs := []string{"d0", "d1", "d2"}
+	sparseAttrs := []string{"s0", "s1", "s2", "s3", "s4", "s5"}
+	names := append(append([]string{}, denseAttrs...), sparseAttrs...)
+	names = append(names, "never-set")
+
+	g := New(nodes, 0)
+	ref := make(refAttrs, nodes)
+	val := func() string { return fmt.Sprintf("v%d", r.Intn(40)) }
+
+	for v := 0; v < nodes; v++ {
+		attrs := make(map[string]string)
+		for _, a := range denseAttrs {
+			if r.Float64() < 0.9 {
+				attrs[a] = val()
+			}
+		}
+		if r.Float64() < 0.1 {
+			attrs[sparseAttrs[r.Intn(len(sparseAttrs))]] = val()
+		}
+		id := g.AddNode("n", attrs)
+		for a, c := range attrs {
+			ref.set(id, a, c)
+		}
+		// The AddNode contract: the caller's map is interned, not retained.
+		// Mutating it afterwards must not leak into the graph.
+		attrs["d0"] = "poisoned"
+		attrs["never-set"] = "poisoned"
+	}
+	checkAgainstRef(t, g, ref, names)
+
+	// Interleave mutation bursts (overwrites and fresh attributes) with
+	// full reads, crossing the compile/restage boundary repeatedly.
+	for burst := 0; burst < 5; burst++ {
+		for i := 0; i < 200; i++ {
+			id := NodeID(r.Intn(nodes))
+			a := names[r.Intn(len(names)-1)] // anything but "never-set"
+			c := val()
+			g.SetAttr(id, a, c)
+			ref.set(id, a, c)
+		}
+		checkAgainstRef(t, g, ref, names)
+	}
+
+	// The workload must have produced both column layouts, or the test is
+	// not exercising what it claims to.
+	g.requireAttrs()
+	dense, sparse := 0, 0
+	for a := 0; a < g.NumAttrs(); a++ {
+		if col := g.attrs.col(AttrID(a)); col.Dense() != nil {
+			dense++
+		} else if col.Len() > 0 {
+			sparse++
+		}
+	}
+	if dense == 0 || sparse == 0 {
+		t.Fatalf("workload produced %d dense and %d sparse columns; want both kinds", dense, sparse)
+	}
+}
+
+// TestAttrColumnLayoutSelection pins the fill-ratio rule: an attribute on
+// every node compiles dense, one on a single node compiles sparse, and
+// both read back identically.
+func TestAttrColumnLayoutSelection(t *testing.T) {
+	g := New(100, 0)
+	for v := 0; v < 100; v++ {
+		g.AddNode("n", map[string]string{"common": fmt.Sprintf("c%d", v%7)})
+	}
+	g.SetAttr(42, "rare", "x")
+	g.Finalize()
+
+	aid, ok := g.LookupAttr("common")
+	if !ok || g.AttrColumn(aid).Dense() == nil {
+		t.Fatalf("full-fill attribute should compile to a dense column")
+	}
+	if g.AttrColumn(aid).Len() != 100 {
+		t.Fatalf("dense column Len = %d, want 100", g.AttrColumn(aid).Len())
+	}
+	rid, ok := g.LookupAttr("rare")
+	if !ok || g.AttrColumn(rid).Dense() != nil {
+		t.Fatalf("single-node attribute should compile to a sparse column")
+	}
+	if got := g.AttrValueID(42, rid); got == NoValue || g.ValueName(got) != "x" {
+		t.Fatalf("sparse lookup at carrying node failed: %v", got)
+	}
+	if g.AttrValueID(41, rid) != NoValue {
+		t.Fatalf("sparse lookup at non-carrying node should be NoValue")
+	}
+}
+
+// TestAttrStoreLastWriteWins pins the overwrite semantics across staging
+// and recompiles: the last SetAttr per (node, attribute) is the value read
+// back, exactly like the map era.
+func TestAttrStoreLastWriteWins(t *testing.T) {
+	g := New(2, 0)
+	g.AddNode("n", map[string]string{"a": "first"})
+	g.AddNode("n", nil)
+	g.SetAttr(0, "a", "second")
+	if v, _ := g.Attr(0, "a"); v != "second" {
+		t.Fatalf("pre-finalize overwrite lost: %q", v)
+	}
+	g.Finalize()
+	g.SetAttr(0, "a", "third") // definalizes the columns, not the CSR
+	g.SetAttr(1, "a", "fresh")
+	if v, _ := g.Attr(0, "a"); v != "third" {
+		t.Fatalf("post-finalize overwrite lost: %q", v)
+	}
+	if v, _ := g.Attr(1, "a"); v != "fresh" {
+		t.Fatalf("post-finalize fresh write lost: %q", v)
+	}
+}
+
+// TestSetAttrOutOfRange pins the call-site validation: writing an
+// attribute of a node that does not exist fails immediately, like the
+// map-indexing era did, not at a distant later column compile.
+func TestSetAttrOutOfRange(t *testing.T) {
+	g := New(1, 0)
+	g.AddNode("n", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetAttr on a missing node should panic at the call site")
+		}
+	}()
+	g.SetAttr(5, "a", "x")
+}
+
+// TestFinalizeRecompilesAttrs pins the publish contract: a SetAttr after
+// Finalize leaves the CSR valid, and the NEXT Finalize — which no-ops on
+// the edge plane — must still recompile the attribute columns, so a
+// finalized graph is always a safe concurrent reader across both planes.
+func TestFinalizeRecompilesAttrs(t *testing.T) {
+	g := New(2, 1)
+	g.AddNode("n", map[string]string{"a": "x"})
+	g.AddNode("n", nil)
+	g.AddEdge(0, 1, "e")
+	g.Finalize()
+	g.SetAttr(0, "a", "y")
+	if g.attrs.compiled {
+		t.Fatal("SetAttr should decompile the attribute columns")
+	}
+	g.Finalize()
+	if !g.attrs.compiled {
+		t.Fatal("Finalize after SetAttr left the attribute columns staged")
+	}
+	if v, _ := g.Attr(0, "a"); v != "y" {
+		t.Fatalf("recompiled column holds %q, want %q", v, "y")
+	}
+	// Stats reads the columns directly and must see the mutation too.
+	if got := NewStats(g).ValueCount("a", "y"); got != 1 {
+		t.Fatalf("NewStats after SetAttr: ValueCount(a,y) = %d, want 1", got)
+	}
+}
+
+// TestAttrsCloneIndependence covers the store's deep copy: mutations of
+// the clone's attribute plane never reach the original, in either
+// direction, in both staged and compiled states.
+func TestAttrsCloneIndependence(t *testing.T) {
+	g := New(3, 0)
+	g.AddNode("n", map[string]string{"a": "x"})
+	g.AddNode("n", map[string]string{"a": "y", "b": "z"})
+	g.AddNode("n", nil)
+
+	staged := g.Clone() // clone while attrs are still staged
+	g.Finalize()
+	compiled := g.Clone() // clone with compiled columns
+
+	staged.SetAttr(0, "a", "mutated")
+	compiled.SetAttr(0, "a", "mutated")
+	compiled.SetAttr(2, "c", "new")
+	if v, _ := g.Attr(0, "a"); v != "x" {
+		t.Fatalf("clone mutation leaked into original: %q", v)
+	}
+	if _, ok := g.Attr(2, "c"); ok {
+		t.Fatal("clone-added attribute leaked into original")
+	}
+	if v, _ := staged.Attr(0, "a"); v != "mutated" {
+		t.Fatal("staged clone lost its own mutation")
+	}
+	if v, _ := compiled.Attr(1, "b"); v != "z" {
+		t.Fatal("compiled clone lost copied attribute")
+	}
+}

@@ -13,9 +13,13 @@
 // CSR arrays sorted by (label, neighbour) with per-node per-label runs: an
 // anchored scan for one edge label is a short run lookup yielding a
 // contiguous []NodeID, and edge-existence tests are binary searches within
-// a run — no string comparisons anywhere on the matching hot path. The
-// string-based accessors (Out, In, HasEdge, NodesByLabel, ...) remain as
-// thin shims over the interned representation.
+// a run — no string comparisons anywhere on the matching hot path. Node
+// attributes live in the same regime (attrs.go): names intern to AttrIDs,
+// values to a shared ValueID pool, and each attribute compiles into a
+// dense or sparse flat column, so literal evaluation is an integer column
+// scan with no map traffic. The string-based accessors (Out, In, HasEdge,
+// NodesByLabel, Attr, Attrs, ...) remain as thin shims over the interned
+// representation.
 package graph
 
 import (
@@ -52,7 +56,7 @@ type rawEdge struct {
 type Graph struct {
 	syms   *Symbols
 	labels []LabelID // node label per node
-	attrs  []map[string]string
+	attrs  AttrStore // interned columnar attribute plane (attrs.go)
 
 	raw      []rawEdge // staged edges; nil while finalized
 	numEdges int       // exact only after Finalize
@@ -79,7 +83,6 @@ func New(n, m int) *Graph {
 	return &Graph{
 		syms:   NewSymbols(),
 		labels: make([]LabelID, 0, n),
-		attrs:  make([]map[string]string, 0, n),
 		raw:    make([]rawEdge, 0, m),
 	}
 }
@@ -124,12 +127,16 @@ func (g *Graph) requireFinal() {
 }
 
 // AddNode appends a node with the given label and attribute tuple and
-// returns its ID. The attrs map is retained by the graph (not copied);
-// callers must not mutate it afterwards. A nil attrs is allowed.
+// returns its ID. The attrs map is interned into the graph's columnar
+// attribute store and NOT retained: callers may reuse or mutate it freely
+// afterwards (this is a contract change from the map-backed era, which
+// kept the caller's map alive). A nil attrs is allowed.
 func (g *Graph) AddNode(label string, attrs map[string]string) NodeID {
 	id := NodeID(len(g.labels))
 	g.labels = append(g.labels, g.symtab().Intern(label))
-	g.attrs = append(g.attrs, attrs)
+	for k, v := range attrs {
+		g.attrs.set(id, g.syms.InternAttr(k), g.syms.InternValue(v))
+	}
 	g.finalized = false
 	return id
 }
@@ -151,6 +158,12 @@ func (g *Graph) AddEdge(src, dst NodeID, label string) {
 // matching (indexed accessors call it lazily); it is idempotent. Finalizing
 // invalidates the derived-structure cache (PlanCache).
 func (g *Graph) Finalize() {
+	// The attribute plane compiles independently of the CSR: a SetAttr
+	// after a previous Finalize leaves the CSR valid but the columns
+	// staged, so recompile them even when the early return below fires —
+	// after Finalize returns, a graph is a safe concurrent reader across
+	// both planes.
+	g.requireAttrs()
 	if g.finalized {
 		return
 	}
@@ -269,23 +282,99 @@ func (g *Graph) LabelName(id LabelID) string { return g.syms.Name(id) }
 // from. Keys must be comparable; package match keys by *pattern.Pattern.
 func (g *Graph) PlanCache() *sync.Map { return &g.planCache }
 
-// Attr returns the value of attribute a at node v and whether it exists.
-func (g *Graph) Attr(v NodeID, a string) (string, bool) {
-	val, ok := g.attrs[v][a]
-	return val, ok
+// requireAttrs compiles the attribute columns if needed. Attribute
+// compilation is independent of edge finalization: SetAttr does not
+// invalidate the CSR or the plan cache (plans are structural).
+func (g *Graph) requireAttrs() {
+	g.attrs.require(len(g.labels), g.symtab().NumAttrs())
 }
 
-// Attrs returns the attribute tuple of node v. The returned map is the
-// graph's own storage; callers must treat it as read-only.
-func (g *Graph) Attrs(v NodeID) map[string]string { return g.attrs[v] }
-
-// SetAttr sets attribute a of node v to val, allocating the tuple if needed.
-// Used by mutation-based workloads (noise injection).
-func (g *Graph) SetAttr(v NodeID, a, val string) {
-	if g.attrs[v] == nil {
-		g.attrs[v] = make(map[string]string, 1)
+// Attr returns the value of attribute a at node v and whether it exists.
+// This is the string shim over the interned plane; hot paths resolve the
+// attribute once (LookupAttr) and scan its AttrColumn.
+func (g *Graph) Attr(v NodeID, a string) (string, bool) {
+	aid, ok := g.LookupAttr(a)
+	if !ok {
+		return "", false
 	}
-	g.attrs[v][a] = val
+	g.requireAttrs()
+	val := g.attrs.value(v, aid)
+	if val == NoValue {
+		return "", false
+	}
+	return g.syms.ValueName(val), true
+}
+
+// Attrs returns the attribute tuple of node v, materialised as a fresh map
+// per call (nil when the node carries no attributes). Hot paths should use
+// AttrColumn / ForEachAttr instead.
+func (g *Graph) Attrs(v NodeID) map[string]string {
+	g.requireAttrs()
+	var m map[string]string
+	for a := range g.attrs.cols {
+		if val := g.attrs.cols[a].ValueAt(v); val != NoValue {
+			if m == nil {
+				m = make(map[string]string, 4)
+			}
+			m[g.syms.AttrName(AttrID(a))] = g.syms.ValueName(val)
+		}
+	}
+	return m
+}
+
+// SetAttr sets attribute a of node v to val. Used by mutation-based
+// workloads (noise injection); the columns recompile on the next read.
+func (g *Graph) SetAttr(v NodeID, a, val string) {
+	if int(v) >= len(g.labels) {
+		panic(fmt.Sprintf("graph: SetAttr(%d, %q, %q): node out of range (have %d nodes)", v, a, val, len(g.labels)))
+	}
+	g.attrs.set(v, g.symtab().InternAttr(a), g.symtab().InternValue(val))
+}
+
+// LookupAttr resolves an attribute name against the symbol table without
+// interning it. A false result means no node of the graph carries it.
+func (g *Graph) LookupAttr(name string) (AttrID, bool) {
+	if g.syms == nil {
+		return NoAttr, false
+	}
+	return g.syms.LookupAttr(name)
+}
+
+// AttrName returns the string of an interned attribute name.
+func (g *Graph) AttrName(id AttrID) string { return g.syms.AttrName(id) }
+
+// NumAttrs reports the number of distinct interned attribute names.
+func (g *Graph) NumAttrs() int { return g.symtab().NumAttrs() }
+
+// LookupValue resolves an attribute value against the shared value pool
+// without interning it. A false result means the value occurs nowhere in
+// the graph, so no literal mentioning it can hold.
+func (g *Graph) LookupValue(val string) (ValueID, bool) {
+	if g.syms == nil {
+		return NoValue, false
+	}
+	return g.syms.LookupValue(val)
+}
+
+// ValueName returns the string of an interned attribute value.
+func (g *Graph) ValueName(id ValueID) string { return g.syms.ValueName(id) }
+
+// NumValues reports the number of distinct interned attribute values.
+func (g *Graph) NumValues() int { return g.symtab().NumValues() }
+
+// AttrColumn returns attribute a's compiled column — the unit literal
+// evaluation scans. Shared read-only storage, valid until the next
+// attribute mutation.
+func (g *Graph) AttrColumn(a AttrID) AttrColumn {
+	g.requireAttrs()
+	return g.attrs.col(a)
+}
+
+// AttrValueID returns the interned value of attribute a at node v, or
+// NoValue if v does not carry it.
+func (g *Graph) AttrValueID(v NodeID, a AttrID) ValueID {
+	g.requireAttrs()
+	return g.attrs.value(v, a)
 }
 
 // --- Interned adjacency: the matching fast path ---
@@ -553,7 +642,7 @@ func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		syms:      g.symtab().Clone(),
 		labels:    append([]LabelID(nil), g.labels...),
-		attrs:     make([]map[string]string, len(g.attrs)),
+		attrs:     g.attrs.clone(),
 		raw:       append([]rawEdge(nil), g.raw...),
 		numEdges:  g.numEdges,
 		finalized: g.finalized,
@@ -566,15 +655,6 @@ func (g *Graph) Clone() *Graph {
 		inRunLabel:  append([]LabelID(nil), g.inRunLabel...),
 		outRunOff:   append([]uint32(nil), g.outRunOff...),
 		inRunOff:    append([]uint32(nil), g.inRunOff...),
-	}
-	for i, attrs := range g.attrs {
-		if attrs != nil {
-			m := make(map[string]string, len(attrs))
-			for k, v := range attrs {
-				m[k] = v
-			}
-			c.attrs[i] = m
-		}
 	}
 	// byLabel is rebuilt wholesale by Finalize and its inner slices are
 	// never mutated in place afterwards, so sharing them is safe.

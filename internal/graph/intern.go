@@ -10,17 +10,46 @@ type LabelID uint32
 // wildcard: adjacency queries taking a LabelID treat NoLabel as "any label".
 const NoLabel = ^LabelID(0)
 
-// Symbols interns label strings to dense LabelIDs. It is append-only:
-// interned labels are never removed, so IDs stay valid for the lifetime of
-// the owning graph.
+// AttrID is a dense interned identifier for an attribute name. Attribute
+// names live in their own namespace, separate from node/edge labels: the
+// same string interned as a label and as an attribute gets independent IDs.
+type AttrID uint32
+
+// NoAttr is the sentinel "no such attribute".
+const NoAttr = ^AttrID(0)
+
+// ValueID is a dense interned identifier for an attribute value. All
+// attributes share one value pool, so two equal value strings — even under
+// different attributes — always intern to the same ValueID, and literal
+// equality x.A = y.B reduces to ValueID equality.
+type ValueID uint32
+
+// NoValue is the sentinel "attribute absent at this node"; it doubles as
+// the absent marker inside dense attribute columns.
+const NoValue = ^ValueID(0)
+
+// Symbols interns label, attribute-name and attribute-value strings to
+// dense IDs (three independent namespaces). It is append-only: interned
+// strings are never removed, so IDs stay valid for the lifetime of the
+// owning graph.
 type Symbols struct {
 	names []string
 	ids   map[string]LabelID
+
+	attrNames []string
+	attrIDs   map[string]AttrID
+
+	valNames []string
+	valIDs   map[string]ValueID
 }
 
 // NewSymbols returns an empty symbol table.
 func NewSymbols() *Symbols {
-	return &Symbols{ids: make(map[string]LabelID)}
+	return &Symbols{
+		ids:     make(map[string]LabelID),
+		attrIDs: make(map[string]AttrID),
+		valIDs:  make(map[string]ValueID),
+	}
 }
 
 // Intern returns the ID of name, assigning the next dense ID on first use.
@@ -46,14 +75,72 @@ func (s *Symbols) Name(id LabelID) string { return s.names[id] }
 // Len returns the number of interned labels.
 func (s *Symbols) Len() int { return len(s.names) }
 
+// InternAttr returns the ID of attribute name, assigning the next dense
+// AttrID on first use.
+func (s *Symbols) InternAttr(name string) AttrID {
+	if id, ok := s.attrIDs[name]; ok {
+		return id
+	}
+	id := AttrID(len(s.attrNames))
+	s.attrNames = append(s.attrNames, name)
+	s.attrIDs[name] = id
+	return id
+}
+
+// LookupAttr returns the ID of attribute name without interning it.
+func (s *Symbols) LookupAttr(name string) (AttrID, bool) {
+	id, ok := s.attrIDs[name]
+	return id, ok
+}
+
+// AttrName returns the string of an interned attribute name.
+func (s *Symbols) AttrName(id AttrID) string { return s.attrNames[id] }
+
+// NumAttrs returns the number of interned attribute names.
+func (s *Symbols) NumAttrs() int { return len(s.attrNames) }
+
+// InternValue returns the ID of an attribute value, assigning the next
+// dense ValueID on first use. The pool is shared across all attributes.
+func (s *Symbols) InternValue(val string) ValueID {
+	if id, ok := s.valIDs[val]; ok {
+		return id
+	}
+	id := ValueID(len(s.valNames))
+	s.valNames = append(s.valNames, val)
+	s.valIDs[val] = id
+	return id
+}
+
+// LookupValue returns the ID of an attribute value without interning it.
+func (s *Symbols) LookupValue(val string) (ValueID, bool) {
+	id, ok := s.valIDs[val]
+	return id, ok
+}
+
+// ValueName returns the string of an interned attribute value.
+func (s *Symbols) ValueName(id ValueID) string { return s.valNames[id] }
+
+// NumValues returns the number of interned attribute values.
+func (s *Symbols) NumValues() int { return len(s.valNames) }
+
 // Clone returns an independent copy of the table.
 func (s *Symbols) Clone() *Symbols {
 	c := &Symbols{
-		names: append([]string(nil), s.names...),
-		ids:   make(map[string]LabelID, len(s.ids)),
+		names:     append([]string(nil), s.names...),
+		ids:       make(map[string]LabelID, len(s.ids)),
+		attrNames: append([]string(nil), s.attrNames...),
+		attrIDs:   make(map[string]AttrID, len(s.attrIDs)),
+		valNames:  append([]string(nil), s.valNames...),
+		valIDs:    make(map[string]ValueID, len(s.valIDs)),
 	}
 	for k, v := range s.ids {
 		c.ids[k] = v
+	}
+	for k, v := range s.attrIDs {
+		c.attrIDs[k] = v
+	}
+	for k, v := range s.valIDs {
+		c.valIDs[k] = v
 	}
 	return c
 }

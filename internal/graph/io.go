@@ -19,21 +19,28 @@ import (
 // newlines are not supported (knowledge-base identifiers never need them).
 
 // Write serialises g to w in the TSV format. Attributes are written in
-// sorted order so output is deterministic.
+// name-sorted order so output is deterministic; the attribute order is
+// resolved once against the interned store and each node reads straight
+// off the compiled columns — no per-node map materialisation.
 func Write(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "# gfd graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+	order := make([]AttrID, g.NumAttrs())
+	for a := range order {
+		order[a] = AttrID(a)
+	}
+	sort.Slice(order, func(i, j int) bool { return g.AttrName(order[i]) < g.AttrName(order[j]) })
+	cols := make([]AttrColumn, len(order))
+	for i, a := range order {
+		cols[i] = g.AttrColumn(a)
+	}
 	for v := 0; v < g.NumNodes(); v++ {
 		id := NodeID(v)
 		fmt.Fprintf(bw, "N\t%d\t%s", v, g.Label(id))
-		attrs := g.Attrs(id)
-		keys := make([]string, 0, len(attrs))
-		for k := range attrs {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			fmt.Fprintf(bw, "\t%s=%s", k, attrs[k])
+		for i, a := range order {
+			if val := cols[i].ValueAt(id); val != NoValue {
+				fmt.Fprintf(bw, "\t%s=%s", g.AttrName(a), g.ValueName(val))
+			}
 		}
 		fmt.Fprintln(bw)
 	}
@@ -73,18 +80,17 @@ func Read(r io.Reader) (*Graph, error) {
 			if id != g.NumNodes() {
 				return nil, fmt.Errorf("graph: line %d: node id %d out of order (want %d)", lineNo, id, g.NumNodes())
 			}
-			var attrs map[string]string
-			if len(fields) > 3 {
-				attrs = make(map[string]string, len(fields)-3)
-				for _, f := range fields[3:] {
-					eq := strings.IndexByte(f, '=')
-					if eq < 0 {
-						return nil, fmt.Errorf("graph: line %d: malformed attribute %q", lineNo, f)
-					}
-					attrs[f[:eq]] = f[eq+1:]
+			// Attributes intern straight into the columnar store — the loader
+			// allocates no per-node map and the graph retains nothing of the
+			// input buffers beyond the interned strings.
+			nid := g.AddNode(fields[2], nil)
+			for _, f := range fields[3:] {
+				eq := strings.IndexByte(f, '=')
+				if eq < 0 {
+					return nil, fmt.Errorf("graph: line %d: malformed attribute %q", lineNo, f)
 				}
+				g.SetAttr(nid, f[:eq], f[eq+1:])
 			}
-			g.AddNode(fields[2], attrs)
 		case "E":
 			if len(fields) != 4 {
 				return nil, fmt.Errorf("graph: line %d: malformed edge line", lineNo)

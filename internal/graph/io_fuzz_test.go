@@ -49,6 +49,42 @@ func FuzzLoadTSV(f *testing.F) {
 			}
 			_ = g.Attrs(id)
 		}
+		// The interned attribute plane must agree with the string shims:
+		// every (node, value) a column holds reads back through Attr with
+		// the same string, column cardinalities match, and the value pool
+		// resolves round-trip.
+		attrEntries := 0
+		for a := 0; a < g.NumAttrs(); a++ {
+			aid := AttrID(a)
+			name := g.AttrName(aid)
+			if got, ok := g.LookupAttr(name); !ok || got != aid {
+				t.Fatalf("attr %q does not round-trip: got %v,%v", name, got, ok)
+			}
+			col := g.AttrColumn(aid)
+			seen := 0
+			col.ForEach(func(v NodeID, val ValueID) {
+				seen++
+				s, ok := g.Attr(v, name)
+				if !ok || s != g.ValueName(val) {
+					t.Fatalf("node %d attr %q: column holds %q, Attr returns %q,%v",
+						v, name, g.ValueName(val), s, ok)
+				}
+				if got, ok := g.LookupValue(s); !ok || got != val {
+					t.Fatalf("value %q does not round-trip: got %v,%v", s, got, ok)
+				}
+			})
+			if seen != col.Len() {
+				t.Fatalf("attr %q: ForEach visited %d, Len says %d", name, seen, col.Len())
+			}
+			attrEntries += seen
+		}
+		perNode := 0
+		for v := 0; v < n; v++ {
+			perNode += len(g.Attrs(NodeID(v)))
+		}
+		if perNode != attrEntries {
+			t.Fatalf("per-node Attrs total %d, column total %d", perNode, attrEntries)
+		}
 		edges := 0
 		g.Edges(func(e Edge) bool {
 			if int(e.Src) >= n || int(e.Dst) >= n || e.Src < 0 || e.Dst < 0 {
@@ -71,6 +107,21 @@ func FuzzLoadTSV(f *testing.F) {
 		if g2.NumNodes() != n || g2.NumEdges() != g.NumEdges() {
 			t.Fatalf("round-trip changed shape: %d/%d nodes, %d/%d edges",
 				g2.NumNodes(), n, g2.NumEdges(), g.NumEdges())
+		}
+		// Attribute tuples survive the round trip node for node. (Write
+		// emits "k=v" fields, so a parsed value containing '=' re-reads
+		// with the split at the first '='; tuples that serialise to the
+		// same bytes must compare equal, which Attrs-map equality checks.)
+		for v := 0; v < n; v++ {
+			a1, a2 := g.Attrs(NodeID(v)), g2.Attrs(NodeID(v))
+			if len(a1) != len(a2) {
+				t.Fatalf("round-trip changed node %d attr count: %v vs %v", v, a1, a2)
+			}
+			for k, val := range a1 {
+				if a2[k] != val {
+					t.Fatalf("round-trip changed node %d attr %q: %q vs %q", v, k, val, a2[k])
+				}
+			}
 		}
 	})
 }

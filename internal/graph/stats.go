@@ -27,7 +27,11 @@ type Stats struct {
 	attrValues map[string]map[string]int
 }
 
-// NewStats scans g and returns its frequency statistics.
+// NewStats scans g and returns its frequency statistics. Label counts come
+// off the label index and attribute statistics off the compiled attribute
+// columns — one pass per attribute over its carrying nodes, with value
+// counts accumulated per ValueID and resolved to strings once at the end,
+// instead of a per-node map walk.
 func NewStats(g *Graph) *Stats {
 	s := &Stats{
 		NodeLabelCount: make(map[string]int),
@@ -36,18 +40,37 @@ func NewStats(g *Graph) *Stats {
 		AttrCount:      make(map[string]int),
 		attrValues:     make(map[string]map[string]int),
 	}
-	for v := 0; v < g.NumNodes(); v++ {
-		id := NodeID(v)
-		s.NodeLabelCount[g.Label(id)]++
-		for a, val := range g.Attrs(id) {
-			s.AttrCount[a]++
-			m := s.attrValues[a]
-			if m == nil {
-				m = make(map[string]int)
-				s.attrValues[a] = m
-			}
-			m[val]++
+	g.requireFinal()
+	g.requireAttrs() // requireFinal no-ops on a finalized graph with staged attrs
+	for l, nodes := range g.byLabel {
+		if len(nodes) > 0 {
+			s.NodeLabelCount[g.syms.Name(LabelID(l))] = len(nodes)
 		}
+	}
+	valCounts := make([]int, g.NumValues()) // ValueID-indexed scratch, reused per attribute
+	var touched []ValueID
+	for a := 0; a < g.NumAttrs(); a++ {
+		col := g.attrs.col(AttrID(a))
+		n := 0
+		col.ForEach(func(_ NodeID, val ValueID) {
+			n++
+			if valCounts[val] == 0 {
+				touched = append(touched, val)
+			}
+			valCounts[val]++
+		})
+		if n == 0 {
+			continue
+		}
+		name := g.syms.AttrName(AttrID(a))
+		s.AttrCount[name] = n
+		m := make(map[string]int, len(touched))
+		for _, val := range touched {
+			m[g.syms.ValueName(val)] = valCounts[val]
+			valCounts[val] = 0
+		}
+		touched = touched[:0]
+		s.attrValues[name] = m
 	}
 	g.Edges(func(e Edge) bool {
 		s.EdgeLabelCount[e.Label]++

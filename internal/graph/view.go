@@ -24,13 +24,35 @@ type View interface {
 	NumEdges() int
 	// NodeLabelID returns the interned label of node v.
 	NodeLabelID(v NodeID) LabelID
-	// Attr returns the value of attribute a at node v and whether it exists.
+	// Attr returns the value of attribute a at node v and whether it
+	// exists — the string shim; hot paths use the interned accessors below.
 	Attr(v NodeID, a string) (string, bool)
 	// LookupLabel resolves a label string against the shared symbol table
 	// without interning it.
 	LookupLabel(name string) (LabelID, bool)
 	// LabelName returns the string of an interned label.
 	LabelName(id LabelID) string
+
+	// LookupAttr resolves an attribute name without interning it; false
+	// means no node of the underlying store carries it.
+	LookupAttr(name string) (AttrID, bool)
+	// AttrName returns the string of an interned attribute name.
+	AttrName(id AttrID) string
+	// LookupValue resolves an attribute value against the shared value
+	// pool; false means the value occurs nowhere in the store.
+	LookupValue(val string) (ValueID, bool)
+	// ValueName returns the string of an interned attribute value.
+	ValueName(id ValueID) string
+	// NumValues reports the number of distinct interned attribute values —
+	// the bound dense ValueID-indexed scratch is sized to.
+	NumValues() int
+	// AttrColumn returns attribute a's compiled column: the flat interned
+	// store literal evaluation scans. Node-level — shared by every view of
+	// one graph, like the label store.
+	AttrColumn(a AttrID) AttrColumn
+	// AttrValueID returns the interned value of attribute a at node v, or
+	// NoValue if absent.
+	AttrValueID(v NodeID, a AttrID) ValueID
 	// NodesByLabelID returns the nodes carrying the given node label,
 	// ascending. Node-level: unaffected by the view's edge restriction.
 	NodesByLabelID(l LabelID) []NodeID
@@ -174,6 +196,27 @@ func (s *SubCSR) NodeLabelID(v NodeID) LabelID { return s.base.NodeLabelID(v) }
 
 // Attr implements View.
 func (s *SubCSR) Attr(v NodeID, a string) (string, bool) { return s.base.Attr(v, a) }
+
+// LookupAttr implements View.
+func (s *SubCSR) LookupAttr(name string) (AttrID, bool) { return s.base.LookupAttr(name) }
+
+// AttrName implements View.
+func (s *SubCSR) AttrName(id AttrID) string { return s.base.AttrName(id) }
+
+// LookupValue implements View.
+func (s *SubCSR) LookupValue(val string) (ValueID, bool) { return s.base.LookupValue(val) }
+
+// ValueName implements View.
+func (s *SubCSR) ValueName(id ValueID) string { return s.base.ValueName(id) }
+
+// NumValues implements View.
+func (s *SubCSR) NumValues() int { return s.base.NumValues() }
+
+// AttrColumn implements View.
+func (s *SubCSR) AttrColumn(a AttrID) AttrColumn { return s.base.AttrColumn(a) }
+
+// AttrValueID implements View.
+func (s *SubCSR) AttrValueID(v NodeID, a AttrID) ValueID { return s.base.AttrValueID(v, a) }
 
 // LookupLabel implements View.
 func (s *SubCSR) LookupLabel(name string) (LabelID, bool) { return s.base.LookupLabel(name) }

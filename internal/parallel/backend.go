@@ -56,12 +56,20 @@ type Backend struct {
 	// incremental join.
 	edgeCountCache map[graph.TripleKey]int64
 	tripleCount    map[graph.TripleKey]int
+	// Constant-count scratches, one per worker plus the master's, reused
+	// across Constants calls (Constants itself is driver-serial; within a
+	// superstep each worker touches only its own counter).
+	workerVC []*discovery.ValueCounter
+	masterVC *discovery.ValueCounter
 }
 
 // NewBackend builds a ParDis backend over g fragmented across eng's
 // workers: an edge-balanced vertex cut compiled into one fragment-local
 // SubCSR index per worker. stats may be nil.
 func NewBackend(g *graph.Graph, eng *cluster.Engine, opts Options, stats *discovery.Stats) *Backend {
+	// Compile both planes (CSR and attribute columns) before the workers
+	// read the graph concurrently, like the sequential backend does.
+	g.Finalize()
 	b := &Backend{
 		g:              g,
 		eng:            eng,
@@ -372,36 +380,56 @@ func (b *Backend) Release(h discovery.Handle) {
 	}
 }
 
-// Constants implements discovery.Backend: each worker computes the value
-// counts of every (variable, attribute) pair over its fragment's rows in
-// one superstep; the master merges and ranks them.
+// Constants implements discovery.Backend: each worker counts the interned
+// values of every (variable, attribute) pair over its fragment's rows in
+// one superstep — a column scan into a dense ValueID-indexed scratch — and
+// ships the observed (ValueID, count) pairs (ValueIDs are global: every
+// fragment shares the base graph's value pool, so no translation is
+// needed). The master merges the pairs by ValueID and ranks them, with
+// value strings resolved only for the final ordering.
 func (b *Backend) Constants(h discovery.Handle, nvars int, gamma []string, max int) [][]string {
 	ph := h.(*parHandle)
 	slots := nvars * len(gamma)
-	locals := make([][]map[string]int, b.n())
+	cols := make([]graph.AttrColumn, len(gamma))
+	for ai, attr := range gamma {
+		if aid, ok := b.g.LookupAttr(attr); ok {
+			cols[ai] = b.g.AttrColumn(aid)
+		}
+	}
+	if b.workerVC == nil {
+		b.workerVC = make([]*discovery.ValueCounter, b.n())
+		for w := range b.workerVC {
+			b.workerVC[w] = discovery.NewValueCounter(b.g.NumValues())
+		}
+		b.masterVC = discovery.NewValueCounter(b.g.NumValues())
+	}
+	locals := make([][][]discovery.ValueCount, b.n())
 	b.eng.Superstep("constants", func(w int) {
-		counts := make([]map[string]int, slots)
+		vc := b.workerVC[w]
+		counts := make([][]discovery.ValueCount, slots)
 		shipped := 0
 		for v := 0; v < nvars; v++ {
-			for ai, attr := range gamma {
-				c := discovery.ObservedConstantCounts(b.frags[w].Sub, ph.parts[w], v, attr)
+			col := ph.parts[w].Col(v)
+			for ai := range gamma {
+				vc.CountColumn(cols[ai], col)
+				c := vc.Drain()
 				counts[v*len(gamma)+ai] = c
 				shipped += len(c)
 			}
 		}
 		locals[w] = counts
-		b.eng.Ship(w, int64(12*shipped))
+		b.eng.Ship(w, int64(8*shipped)) // 4-byte ValueID + 4-byte count per pair
 	})
 	out := make([][]string, slots)
 	b.eng.Master("constants merge", func() {
+		vc := b.masterVC
 		for s := 0; s < slots; s++ {
-			merged := make(map[string]int)
 			for w := 0; w < b.n(); w++ {
-				for val, c := range locals[w][s] {
-					merged[val] += c
+				for _, p := range locals[w][s] {
+					vc.Add(p.Val, p.N)
 				}
 			}
-			out[s] = discovery.TopConstants(merged, max)
+			out[s] = vc.Top(max, b.g.ValueName)
 		}
 	})
 	return out

@@ -98,15 +98,9 @@ func Merge(gs ...*graph.Graph) *graph.Graph {
 		base := out.NumNodes()
 		for v := 0; v < g.NumNodes(); v++ {
 			id := graph.NodeID(v)
-			attrs := g.Attrs(id)
-			var cp map[string]string
-			if attrs != nil {
-				cp = make(map[string]string, len(attrs))
-				for k, val := range attrs {
-					cp[k] = val
-				}
-			}
-			out.AddNode(g.Label(id), cp)
+			// AddNode interns the tuple without retaining it, so the
+			// materialised Attrs map passes straight through.
+			out.AddNode(g.Label(id), g.Attrs(id))
 		}
 		g.Edges(func(e graph.Edge) bool {
 			out.AddEdge(e.Src+graph.NodeID(base), e.Dst+graph.NodeID(base), e.Label)

@@ -36,6 +36,14 @@ func benchConfig() bench.Config {
 	return bench.Config{Scale: scale, Workers: []int{4, 12, 20}}
 }
 
+// TestMain removes the micro workload's temp snapshot after -bench runs
+// (no-op when the micro suite never ran).
+func TestMain(m *testing.M) {
+	code := m.Run()
+	bench.CleanupMicro()
+	os.Exit(code)
+}
+
 func runExperiment(b *testing.B, id string) {
 	b.Helper()
 	cfg := benchConfig()

@@ -11,10 +11,13 @@
 //
 // Experiments: fig5a..fig5l, fig6, fig7, fig8, infeas, plus the
 // pseudo-experiment "micro" (the core micro-benchmark suite, including
-// the fragment-view per-worker cost benches). With -json, every
-// measurement taken during the run — micro ns/op, B/op, allocs/op and
-// experiment wall times — is also written machine-readably, the format of
-// the committed BENCH_baseline.json trajectory file.
+// the fragment-view per-worker cost benches and the snapshot-vs-TSV load
+// micros). With -in the micro suite runs over a user-supplied graph —
+// TSV or binary snapshot, auto-detected by magic bytes — instead of the
+// built-in DBpediaSim workload. With -json, every measurement taken
+// during the run — micro ns/op, B/op, allocs/op and experiment wall
+// times — is also written machine-readably, the format of the committed
+// BENCH_baseline.json trajectory file.
 package main
 
 import (
@@ -45,8 +48,26 @@ type experimentResult struct {
 	WallNs int64  `json:"wall_ns"`
 }
 
+// noteFor records a non-default micro input in the result file, so a
+// reviewer diffing BENCH_*.json files can tell the workloads apart.
+func noteFor(in string) string {
+	if in == "" {
+		return ""
+	}
+	return "micro input: " + in
+}
+
 func main() {
+	// run + deferred cleanup, so the micro suite's temp snapshot is
+	// removed on every exit path (os.Exit skips defers).
+	code := run()
+	bench.CleanupMicro()
+	os.Exit(code)
+}
+
+func run() int {
 	scale := flag.Float64("scale", 1.0, "dataset scale multiplier (1.0 = harness defaults, ~1/500 of the paper's)")
+	in := flag.String("in", "", "run the micro suite over this graph, TSV or snapshot (.gfds), auto-detected")
 	seed := flag.Int64("seed", 42, "generator seed")
 	workers := flag.String("workers", "4,8,12,16,20", "comma-separated worker counts for n-sweeps")
 	verbose := flag.Bool("v", false, "print progress while running")
@@ -59,7 +80,7 @@ func main() {
 		for _, id := range bench.IDs() {
 			fmt.Println(id)
 		}
-		return
+		return 0
 	}
 	args := flag.Args()
 	if len(args) == 0 && *jsonPath != "" {
@@ -67,7 +88,7 @@ func main() {
 	}
 	if len(args) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: gfdbench [flags] <experiment>... | all | micro   (-list to enumerate)")
-		os.Exit(2)
+		return 2
 	}
 	if len(args) == 1 && args[0] == "all" {
 		args = bench.IDs()
@@ -78,12 +99,27 @@ func main() {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n < 1 {
 			fmt.Fprintf(os.Stderr, "gfdbench: bad -workers entry %q\n", part)
-			os.Exit(2)
+			return 2
 		}
 		ws = append(ws, n)
 	}
+	if *in != "" {
+		// -in reroutes only the micro suite; running it alongside dataset
+		// experiments would silently attribute generated-dataset numbers
+		// to the user's graph in the JSON note.
+		for _, id := range args {
+			if id != "micro" {
+				fmt.Fprintf(os.Stderr, "gfdbench: -in applies only to the micro suite (got experiment %q)\n", id)
+				return 2
+			}
+		}
+		if err := bench.SetMicroInput(*in); err != nil {
+			fmt.Fprintf(os.Stderr, "gfdbench: %v\n", err)
+			return 1
+		}
+	}
 	cfg := bench.Config{Scale: *scale, Seed: *seed, Workers: ws, Verbose: *verbose, Out: os.Stdout}
-	results := jsonOutput{Schema: 1, Scale: *scale, Seed: *seed, Workers: ws}
+	results := jsonOutput{Schema: 1, Note: noteFor(*in), Scale: *scale, Seed: *seed, Workers: ws}
 
 	exit := 0
 	for _, id := range args {
@@ -116,14 +152,14 @@ func main() {
 		data, err := json.MarshalIndent(results, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gfdbench: marshal results: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		data = append(data, '\n')
 		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "gfdbench: write %s: %v\n", *jsonPath, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
 	}
-	os.Exit(exit)
+	return exit
 }

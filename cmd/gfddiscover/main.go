@@ -1,12 +1,17 @@
 // Command gfddiscover mines graph functional dependencies from a property
-// graph: either a TSV graph file (see internal/graph) or one of the
+// graph: a TSV graph file, a binary snapshot (.gfds, opened zero-copy via
+// mmap — the format is auto-detected by magic bytes), or one of the
 // built-in dataset generators. It prints the discovered cover with
-// supports, sequentially or on the simulated cluster.
+// supports, sequentially or on the simulated cluster. With -fragdir the
+// parallel run persists every fragment as a snapshot and the workers
+// re-attach and join against the mmap-backed fragment views.
 //
 // Examples:
 //
 //	gfddiscover -dataset yago2 -scale 500 -k 3 -sigma 25
 //	gfddiscover -in graph.tsv -k 3 -sigma 100 -workers 8
+//	gfddiscover -in graph.gfds -k 3 -sigma 100
+//	gfddiscover -in graph.gfds -workers 4 -fragdir /tmp/frags
 package main
 
 import (
@@ -19,7 +24,7 @@ import (
 )
 
 func main() {
-	in := flag.String("in", "", "input graph in TSV format (overrides -dataset)")
+	in := flag.String("in", "", "input graph, TSV or snapshot (.gfds), auto-detected (overrides -dataset)")
 	ds := flag.String("dataset", "yago2", "built-in dataset: yago2 | dbpedia | imdb | synthetic")
 	scale := flag.Int("scale", 500, "dataset generator scale")
 	seed := flag.Int64("seed", 42, "generator seed")
@@ -27,6 +32,7 @@ func main() {
 	sigma := flag.Int("sigma", 25, "support threshold σ")
 	maxX := flag.Int("maxx", 1, "max LHS literals on positive GFDs")
 	workers := flag.Int("workers", 0, "simulated cluster workers (0 = sequential)")
+	fragDir := flag.String("fragdir", "", "spill fragments as snapshots to this dir and mine over the mmap-backed views (needs -workers)")
 	negatives := flag.Int("negatives", 50, "max negative GFDs to mine (-1 disables)")
 	showAll := flag.Bool("all", false, "print the full mined set, not just the cover")
 	flag.Parse()
@@ -43,7 +49,21 @@ func main() {
 	opts.MaxNegatives = *negatives
 
 	start := time.Now()
-	report := gfdlib.Discover(g, opts, *workers)
+	var report *gfdlib.Report
+	if *fragDir != "" {
+		if *workers < 1 {
+			fmt.Fprintln(os.Stderr, "gfddiscover: -fragdir requires -workers >= 1")
+			os.Exit(2)
+		}
+		report, err = gfdlib.DiscoverSpilled(g, opts, *workers, *fragDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gfddiscover: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("fragments spilled to and re-attached from %s (mmap-backed views)\n", *fragDir)
+	} else {
+		report = gfdlib.Discover(g, opts, *workers)
+	}
 	fmt.Printf("mined %d positives, %d negatives in %v (%d patterns, %d candidates)\n",
 		report.Positives, report.Negatives, time.Since(start).Round(time.Millisecond),
 		report.Patterns, report.Candidates)

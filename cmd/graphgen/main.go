@@ -1,10 +1,13 @@
 // Command graphgen generates the reproduction datasets — the paper-spec
 // synthetic graphs and the DBpedia/YAGO2/IMDB-shaped simulators — and
-// writes them in the TSV graph format, optionally with injected noise.
+// writes them in the TSV graph format and/or as a binary snapshot
+// (-snapshot), optionally with injected noise. Snapshots open zero-copy
+// in gfddiscover/gfdbench, so the whole pipeline can run TSV-free.
 //
 // Examples:
 //
 //	graphgen -dataset yago2 -scale 800 -out yago2.tsv
+//	graphgen -dataset yago2 -scale 800 -snapshot yago2.gfds
 //	graphgen -dataset synthetic -nodes 30000 -edges 60000 -out syn.tsv
 //	graphgen -dataset imdb -scale 1000 -noise 10 -out imdb-dirty.tsv
 package main
@@ -16,6 +19,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/graph"
+	"repro/internal/store"
 )
 
 func main() {
@@ -25,7 +29,8 @@ func main() {
 	edges := flag.Int("edges", 0, "synthetic only: edge count (default 2×nodes)")
 	seed := flag.Int64("seed", 42, "generator seed")
 	noise := flag.Float64("noise", 0, "inject noise into this percentage of nodes (α); β is 50%")
-	out := flag.String("out", "", "output path (default stdout)")
+	out := flag.String("out", "", "TSV output path (default stdout unless -snapshot is given)")
+	snap := flag.String("snapshot", "", "also write a binary snapshot (.gfds) to this path")
 	flag.Parse()
 
 	var g *graph.Graph
@@ -57,19 +62,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "graphgen: injected errors into %d nodes\n", len(dirty))
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+	if *snap != "" {
+		if err := store.WriteFile(*snap, g); err != nil {
 			fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		w = f
+		fmt.Fprintf(os.Stderr, "graphgen: wrote snapshot %s\n", *snap)
 	}
-	if err := graph.Write(w, g); err != nil {
-		fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
-		os.Exit(1)
+	if *out != "" || *snap == "" {
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := graph.Write(w, g); err != nil {
+			fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "graphgen: wrote %v\n", g)
 }

@@ -39,6 +39,8 @@
 package gfd
 
 import (
+	"io"
+
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/discovery"
@@ -47,12 +49,19 @@ import (
 	"repro/internal/match"
 	"repro/internal/parallel"
 	"repro/internal/pattern"
+	"repro/internal/store"
 )
 
 // Re-exported substrate types. Aliases preserve full method sets.
 type (
 	// Graph is a directed labelled property multigraph.
 	Graph = graph.Graph
+	// GraphView is the read-only matching surface shared by a full Graph,
+	// a fragment, and an opened Snapshot.
+	GraphView = graph.View
+	// Snapshot is a persistent graph opened zero-copy (store.MappedGraph):
+	// a GraphView whose arrays alias the mapped snapshot bytes.
+	Snapshot = store.MappedGraph
 	// NodeID identifies a node in a Graph.
 	NodeID = graph.NodeID
 	// Edge is a materialised graph edge.
@@ -92,6 +101,18 @@ var (
 	ReadGraph  = graph.Read
 	WriteGraph = graph.Write
 )
+
+// SnapshotSource is a view that can be serialised as a snapshot: a full
+// *Graph, a fragment, or an already opened *Snapshot.
+type SnapshotSource = store.Source
+
+// WriteSnapshot serialises a graph (or any serialisable view) in the
+// binary snapshot format of internal/store.
+func WriteSnapshot(w io.Writer, g SnapshotSource) error { return store.Write(w, g) }
+
+// OpenSnapshot maps a snapshot file as a zero-copy GraphView. The caller
+// must Close it; strings and slices obtained from it alias the mapping.
+func OpenSnapshot(path string) (*Snapshot, error) { return store.Open(path) }
 
 // SingleNode returns a one-variable pattern.
 func SingleNode(label string) *Pattern { return pattern.SingleNode(label) }
@@ -143,6 +164,12 @@ func Satisfiable(sigma []*GFD) bool { return core.Satisfiable(sigma) }
 // (algorithm SeqDis).
 func Discover(g *Graph, opts DiscoverOptions) *DiscoverResult {
 	return discovery.Mine(g, opts)
+}
+
+// DiscoverView is Discover over any GraphView — in particular an opened
+// Snapshot, which mines straight off the mapped bytes.
+func DiscoverView(v GraphView, opts DiscoverOptions) *DiscoverResult {
+	return discovery.MineView(v, opts)
 }
 
 // Cover reduces Σ to a minimal equivalent subset (algorithm SeqCover).

@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"testing"
@@ -87,6 +88,43 @@ func TestGoldenMining(t *testing.T) {
 		t.Fatalf("mining output diverged from golden file.\n"+
 			"If the change is intentional, regenerate with: go test -run TestGoldenMining -update .\n"+
 			"--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestGoldenMiningSnapshot locks the persistent path to the same bytes:
+// serialising the golden graph to a binary snapshot, reopening it as a
+// zero-copy mmap-backed view and mining straight off the mapped bytes
+// must produce output byte-identical to the in-memory sequential run.
+func TestGoldenMiningSnapshot(t *testing.T) {
+	g := loadGoldenGraph(t)
+	want, err := os.ReadFile(goldenGFDsPath)
+	if err != nil {
+		t.Fatalf("read golden file (regenerate with -update): %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "golden.gfds")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapshot(f, g); err != nil {
+		t.Fatalf("write snapshot: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatalf("open snapshot: %v", err)
+	}
+	res := DiscoverView(m, goldenOptions())
+	// Canonicalize before Close: rendering copies the literal strings out
+	// of the mapping.
+	got := canonicalize(res)
+	if err := m.Close(); err != nil {
+		t.Fatalf("close snapshot: %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("snapshot-backed mining diverged from golden output.\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
 }
 

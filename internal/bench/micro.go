@@ -8,6 +8,10 @@ package bench
 // cost, and shrink as worker counts grow.
 
 import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
 	"sort"
 	"sync"
 	"testing"
@@ -21,6 +25,7 @@ import (
 	"repro/internal/match"
 	"repro/internal/parallel"
 	"repro/internal/pattern"
+	"repro/internal/store"
 )
 
 // MicroResult is one micro-benchmark's measurement in the units Go's
@@ -40,35 +45,84 @@ type MicroSpec struct {
 	Fn   func(b *testing.B)
 }
 
-// microEnv is the shared DBpediaSim workload: the 2-edge path pattern over
-// frequent types that dominates SeqDis/ParDis, its parent table, and an
-// n=4 vertex cut with the per-worker join inputs precomputed.
+// microEnv is the shared micro-benchmark workload — by default the
+// DBpediaSim 2-edge path pattern over frequent types that dominates
+// SeqDis/ParDis, its parent table, and an n=4 vertex cut with the
+// per-worker join inputs precomputed. With SetMicroInput the graph comes
+// from a user-supplied file instead (TSV or snapshot, auto-detected) and
+// the pattern/literal shapes are derived from its statistics.
 type microEnv struct {
-	g      *graph.Graph
+	g      graph.View
 	parent *pattern.Pattern
 	child  *pattern.Pattern
 	t1     *match.Table
 	t2     *match.Table // t1 extended by child's new edge: the literal-path workload
+
+	// literal shapes for the SatRows/Constants micros (derived from stats
+	// for custom inputs, the fixed DBpediaSim ones otherwise).
+	constAttr, constVal, varAttr string
+	pivotLabel                   string // parent pattern's source label, for MatchesAt
 
 	// busiest worker's join inputs at n=4: its row share and view order
 	// (own fragment first, then the received ones).
 	part  *match.Table
 	views []graph.View
 	// largest fragment view for pivoted matching.
-	frag *graph.SubCSR
+	frag graph.View
+
+	// snapshot-vs-TSV load surfaces: the graph serialised both ways,
+	// built lazily (loadSurfaces) so only the load micros pay for a full
+	// in-memory TSV copy and a snapshot temp file of the input graph.
+	loadOnce sync.Once
+	loadErr  error
+	tsv      []byte
+	snapPath string
 }
 
 var (
-	microOnce sync.Once
-	microE    microEnv
+	microOnce    sync.Once
+	microE       microEnv
+	microInView  graph.View
+	microInStats *graph.Stats
 )
+
+// SetMicroInput points the micro suite at a graph file (TSV or snapshot,
+// sniffed by magic bytes) instead of the built-in DBpediaSim workload —
+// the gfdbench -in plumbing. It loads and validates the input eagerly so
+// unusable graphs (no edges, no attributes) are a clean error at the CLI,
+// not a panic mid-benchmark. Must be called before the first benchmark
+// runs; the pattern and literal shapes are then derived from the input's
+// frequency statistics, so the micro names stay comparable run-to-run for
+// a fixed input.
+func SetMicroInput(path string) error {
+	v, _, err := store.LoadGraph(path) // mapping (if any) lives for the process
+	if err != nil {
+		return err
+	}
+	st := graph.NewStats(v)
+	if len(st.FrequentTriples(1)) == 0 {
+		return fmt.Errorf("bench: micro input %s has no edges", path)
+	}
+	if len(st.TopAttributes(1)) == 0 {
+		return fmt.Errorf("bench: micro input %s has no node attributes", path)
+	}
+	microInView, microInStats = v, st
+	return nil
+}
 
 func microWorkload() *microEnv {
 	microOnce.Do(func() {
 		e := &microE
-		e.g = dataset.DBpediaSim(2000, 42)
-		e.parent = pattern.SingleEdge("T00", "r00", "T01")
-		e.child = e.parent.ExtendNewNode(1, "r01", "T02", true)
+		if microInView != nil {
+			e.g = microInView
+			deriveMicroShapes(e, microInStats)
+		} else {
+			e.g = dataset.DBpediaSim(2000, 42)
+			e.parent = pattern.SingleEdge("T00", "r00", "T01")
+			e.child = e.parent.ExtendNewNode(1, "r01", "T02", true)
+			e.constAttr, e.constVal, e.varAttr = "category", "cat00", "origin"
+			e.pivotLabel = "T00"
+		}
 		e.t1 = match.EdgeMatches(e.g, e.parent, nil)
 		e.t2 = match.ExtendRows(e.g, e.t1, e.child)
 
@@ -104,6 +158,67 @@ func microWorkload() *microEnv {
 		}
 	})
 	return &microE
+}
+
+// loadSurfaces lazily materialises both serialised forms of the micro
+// graph for the snapshot-vs-TSV load micros: parse cost is measured from
+// memory, open cost from a real file (that is the unit mmap avoids
+// re-paying). The build result (including its error) is recorded outside
+// the Once, so a failure reports the real cause from every load micro
+// instead of poisoning the Once for the next one.
+func (e *microEnv) loadSurfaces(b *testing.B) {
+	e.loadOnce.Do(func() { e.loadErr = e.buildLoadSurfaces() })
+	if e.loadErr != nil {
+		b.Fatalf("build load surfaces: %v", e.loadErr)
+	}
+}
+
+func (e *microEnv) buildLoadSurfaces() error {
+	var tsv bytes.Buffer
+	if err := graph.Write(&tsv, e.g); err != nil {
+		return fmt.Errorf("serialise micro graph: %w", err)
+	}
+	e.tsv = tsv.Bytes()
+	f, err := os.CreateTemp("", "gfds-micro-*.gfds")
+	if err != nil {
+		return err
+	}
+	// Record the path first so CleanupMicro removes the file even when a
+	// write below fails.
+	e.snapPath = f.Name()
+	if err := store.Write(f, e.g.(store.Source)); err != nil {
+		f.Close()
+		return fmt.Errorf("write micro snapshot: %w", err)
+	}
+	return f.Close()
+}
+
+// deriveMicroShapes picks the pattern and literal shapes for a custom
+// input graph (already validated non-degenerate by SetMicroInput): the
+// most frequent edge triple seeds the parent pattern, a compatible second
+// triple extends it, and the top attributes/values seed the literal
+// micros.
+func deriveMicroShapes(e *microEnv, st *graph.Stats) {
+	triples := st.FrequentTriples(1)
+	t0 := triples[0]
+	e.parent = pattern.SingleEdge(t0.SrcLabel, t0.EdgeLabel, t0.DstLabel)
+	e.pivotLabel = t0.SrcLabel
+	// Extend at the destination with a triple leaving its label, falling
+	// back to the most frequent triple when none chains.
+	t1 := t0
+	for _, t := range triples {
+		if t.SrcLabel == t0.DstLabel {
+			t1 = t
+			break
+		}
+	}
+	e.child = e.parent.ExtendNewNode(1, t1.EdgeLabel, t1.DstLabel, true)
+	gamma := st.TopAttributes(2)
+	e.constAttr = gamma[0]
+	e.varAttr = gamma[len(gamma)-1]
+	if vals := st.TopValues(e.constAttr, 1); len(vals) > 0 {
+		e.constVal = vals[0]
+	}
 }
 
 // MicroSpecs returns the micro-benchmark suite.
@@ -165,7 +280,7 @@ func MicroSpecs() []MicroSpec {
 			// One constant-literal satisfaction scan over the level-2 table:
 			// the per-literal bitset fill of HSpawn's candidate validation.
 			e := microWorkload()
-			lit := core.Const(0, "category", "cat00")
+			lit := core.Const(0, e.constAttr, e.constVal)
 			bs := bitset.New(e.t2.Len())
 			set := bs.Set
 			b.ReportAllocs()
@@ -178,7 +293,7 @@ func MicroSpecs() []MicroSpec {
 			// Variable literal x0.origin = x2.origin: two attribute columns
 			// compared per row.
 			e := microWorkload()
-			lit := core.Vars(0, "origin", 2, "origin")
+			lit := core.Vars(0, e.varAttr, 2, e.varAttr)
 			bs := bitset.New(e.t2.Len())
 			set := bs.Set
 			b.ReportAllocs()
@@ -197,7 +312,7 @@ func MicroSpecs() []MicroSpec {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				discovery.ObservedValueCounts(e.g, e.t2, 0, "category", vc)
+				discovery.ObservedValueCounts(e.g, e.t2, 0, e.constAttr, vc)
 				vc.Reset()
 			}
 		}},
@@ -220,7 +335,13 @@ func MicroSpecs() []MicroSpec {
 		}},
 		{"MatchesAt", func(b *testing.B) {
 			e := microWorkload()
-			cands := e.g.NodesByLabel("T00")
+			var cands []graph.NodeID
+			if l, ok := e.g.LookupLabel(e.pivotLabel); ok {
+				cands = e.g.NodesByLabelID(l)
+			}
+			if len(cands) == 0 {
+				b.Skipf("no %q nodes in micro input", e.pivotLabel)
+			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -245,6 +366,61 @@ func MicroSpecs() []MicroSpec {
 				pl.CountMatches(0)
 			}
 		}},
+		{"LoadTSV", func(b *testing.B) {
+			// Parsing the micro graph from TSV: the full per-process index
+			// (re)build cost a snapshot removes — line scan, interning, CSR
+			// compile, attribute-column compile.
+			e := microWorkload()
+			e.loadSurfaces(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g, err := graph.Read(bytes.NewReader(e.tsv))
+				if err != nil || g.NumNodes() != e.g.NumNodes() {
+					b.Fatalf("LoadTSV: %v", err)
+				}
+			}
+		}},
+		{"SnapshotOpen", func(b *testing.B) {
+			// Opening the same graph from its binary snapshot: mmap + the
+			// checked decoder's validation scan, zero copies, zero rebuild.
+			// The snapshot-vs-TSV speedup is this number against LoadTSV.
+			e := microWorkload()
+			e.loadSurfaces(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m, err := store.Open(e.snapPath)
+				if err != nil || m.NumNodes() != e.g.NumNodes() {
+					b.Fatalf("SnapshotOpen: %v", err)
+				}
+				m.Close()
+			}
+		}},
+		{"SnapshotWrite", func(b *testing.B) {
+			// Serialising the micro graph: straight dumps of the flat
+			// arrays plus the symbol pools.
+			e := microWorkload()
+			src := e.g.(store.Source)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := store.Write(io.Discard, src); err != nil {
+					b.Fatalf("SnapshotWrite: %v", err)
+				}
+			}
+		}},
+	}
+}
+
+// CleanupMicro removes the temp snapshot file the workload wrote for the
+// SnapshotOpen micro. Call it once after the last benchmark (gfdbench
+// does on every exit path; the root benchmark TestMain does for go test
+// -bench runs); it is safe to call when nothing ran.
+func CleanupMicro() {
+	if microE.snapPath != "" {
+		os.Remove(microE.snapPath)
+		microE.snapPath = ""
 	}
 }
 

@@ -4,7 +4,6 @@ package cli
 
 import (
 	"fmt"
-	"os"
 	"time"
 
 	"repro/internal/cluster"
@@ -12,18 +11,18 @@ import (
 	"repro/internal/discovery"
 	"repro/internal/graph"
 	"repro/internal/parallel"
+	"repro/internal/store"
 )
 
-// LoadOrGenerate reads a TSV graph from path when non-empty, otherwise
-// generates the named built-in dataset at the given scale.
-func LoadOrGenerate(path, ds string, scale int, seed int64) (*graph.Graph, error) {
+// LoadOrGenerate reads a graph from path when non-empty — a binary
+// snapshot (opened zero-copy) or a TSV file, auto-detected by magic
+// bytes — otherwise it generates the named built-in dataset at the given
+// scale. A snapshot's mapping stays live for the process (CLI lifetime);
+// use store.LoadGraph directly when explicit release matters.
+func LoadOrGenerate(path, ds string, scale int, seed int64) (graph.View, error) {
 	if path != "" {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return graph.Read(f)
+		v, _, err := store.LoadGraph(path)
+		return v, err
 	}
 	switch ds {
 	case "yago2":
@@ -69,24 +68,58 @@ type Report struct {
 }
 
 // Discover runs the pipeline (sequential when workers == 0, simulated
-// cluster otherwise) and computes the cover.
-func Discover(g *graph.Graph, opts discovery.Options, workers int) *Report {
-	var res *discovery.Result
+// cluster otherwise) and computes the cover. v may be a heap graph or a
+// snapshot view — the miner only reads the View surface.
+func Discover(v graph.View, opts discovery.Options, workers int) *Report {
 	rep := &Report{}
+	var res *discovery.Result
 	if workers > 0 {
 		eng := cluster.New(cluster.Config{Workers: workers})
-		pr := parallel.Mine(g, opts, eng, parallel.Options{LoadBalance: true})
+		pr := parallel.Mine(v, opts, eng, parallel.Options{LoadBalance: true})
 		res = pr.Result
 		rep.SimulatedTime = pr.Cluster.Total()
 		rep.FragmentEdges = pr.FragmentEdges
 	} else {
-		res = discovery.Mine(g, opts)
+		res = discovery.MineView(v, opts)
 	}
+	rep.fill(res)
+	return rep
+}
+
+// DiscoverSpilled runs the parallel pipeline through the persistent
+// fragment path: v is vertex-cut, every fragment (and the whole graph)
+// is spilled to dir as a snapshot, the directory is re-attached, and
+// ParDis workers join against the mmap-backed fragment views. The
+// attached mappings stay live for the process: the report's mined GFDs
+// hold strings that alias them.
+func DiscoverSpilled(v graph.View, opts discovery.Options, workers int, dir string) (*Report, error) {
+	src, ok := v.(store.Source)
+	if !ok {
+		return nil, fmt.Errorf("cli: %T is not serialisable as a snapshot", v)
+	}
+	if err := parallel.Spill(dir, src, parallel.VertexCut(v, workers)); err != nil {
+		return nil, err
+	}
+	att, err := parallel.Attach(dir)
+	if err != nil {
+		return nil, err
+	}
+	if att.Workers() != workers {
+		att.Close()
+		return nil, fmt.Errorf("cli: %s holds %d fragments, want %d", dir, att.Workers(), workers)
+	}
+	eng := cluster.New(cluster.Config{Workers: workers})
+	pr := parallel.MineFragments(att.Graph, att.Frags, opts, eng, parallel.Options{LoadBalance: true})
+	rep := &Report{SimulatedTime: pr.Cluster.Total(), FragmentEdges: pr.FragmentEdges}
+	rep.fill(pr.Result)
+	return rep, nil
+}
+
+func (rep *Report) fill(res *discovery.Result) {
 	rep.Positives = len(res.Positives)
 	rep.Negatives = len(res.Negatives)
 	rep.Patterns = res.Stats.PatternsVerified
 	rep.Candidates = res.Stats.CandidatesChecked
 	rep.All = append(append([]discovery.Mined(nil), res.Positives...), res.Negatives...)
 	rep.Cover = discovery.MinedCover(res)
-	return rep
 }

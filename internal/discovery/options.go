@@ -170,10 +170,11 @@ type Profile struct {
 	Gamma []string
 }
 
-// NewProfile computes the catalog for g. gamma == nil selects the 5 most
-// frequent attributes, the paper's experimental setting.
-func NewProfile(g *graph.Graph, gamma []string) *Profile {
-	st := graph.NewStats(g)
+// NewProfile computes the catalog for v — any matching surface, including
+// a snapshot-backed view. gamma == nil selects the 5 most frequent
+// attributes, the paper's experimental setting.
+func NewProfile(v graph.View, gamma []string) *Profile {
+	st := graph.NewStats(v)
 	if gamma == nil {
 		gamma = st.TopAttributes(5)
 	}

@@ -13,10 +13,18 @@ import (
 // g: it returns the k-bounded minimum σ-frequent positive GFDs and the
 // negative GFDs triggered by them, with work statistics.
 func Mine(g *graph.Graph, opts Options) *Result {
+	return MineView(g, opts)
+}
+
+// MineView is Mine over any graph.View: the miner, like the match and
+// eval layers it drives, only reads the View surface, so discovery runs
+// unchanged against a fragment or a zero-copy snapshot-backed
+// store.MappedGraph.
+func MineView(v graph.View, opts Options) *Result {
 	opts = opts.withDefaults()
-	prof := NewProfile(g, opts.ActiveAttrs)
+	prof := NewProfile(v, opts.ActiveAttrs)
 	res := &Result{Tree: make(map[string][]string)}
-	backend := NewSeqBackend(g, opts.MaxTableRows, &res.Stats)
+	backend := NewSeqBackend(v, opts.MaxTableRows, &res.Stats)
 	mineWithBackend(backend, prof, opts, res)
 	return res
 }

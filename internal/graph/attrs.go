@@ -75,6 +75,23 @@ func (c AttrColumn) ValueAt(v NodeID) ValueID {
 // and index directly; shared read-only storage.
 func (c AttrColumn) Dense() []ValueID { return c.dense }
 
+// Sparse returns the parallel (carrying node, value) arrays of a sparse
+// column, nil for dense or empty columns. Shared read-only storage; nodes
+// are ascending.
+func (c AttrColumn) Sparse() ([]NodeID, []ValueID) { return c.nodes, c.vals }
+
+// DenseColumn wraps a NodeID-indexed value slice (NoValue = absent) as a
+// dense column without copying. The snapshot decoder uses it to alias
+// mmap'd storage; the slice must stay immutable while the column is live.
+func DenseColumn(vals []ValueID) AttrColumn { return AttrColumn{dense: vals} }
+
+// SparseColumn wraps parallel (node, value) arrays, sorted ascending by
+// node, as a sparse column without copying. Same aliasing contract as
+// DenseColumn.
+func SparseColumn(nodes []NodeID, vals []ValueID) AttrColumn {
+	return AttrColumn{nodes: nodes, vals: vals}
+}
+
 // Len returns the number of nodes carrying the attribute.
 func (c AttrColumn) Len() int {
 	if c.dense != nil {

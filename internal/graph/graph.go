@@ -415,7 +415,7 @@ func (g *Graph) InRunNodes(r int) []NodeID {
 // read-only. l must be a concrete label (not NoLabel).
 func (g *Graph) OutTo(v NodeID, l LabelID) []NodeID {
 	lo, hi := g.OutRuns(v)
-	if r := findRun(g.outRunLabel, lo, hi, l); r >= 0 {
+	if r := FindRun(g.outRunLabel, lo, hi, l); r >= 0 {
 		return g.OutRunNodes(r)
 	}
 	return nil
@@ -425,16 +425,18 @@ func (g *Graph) OutTo(v NodeID, l LabelID) []NodeID {
 // Read-only; l must be concrete.
 func (g *Graph) InFrom(v NodeID, l LabelID) []NodeID {
 	lo, hi := g.InRuns(v)
-	if r := findRun(g.inRunLabel, lo, hi, l); r >= 0 {
+	if r := FindRun(g.inRunLabel, lo, hi, l); r >= 0 {
 		return g.InRunNodes(r)
 	}
 	return nil
 }
 
-// findRun locates label l in the ascending run-label window [lo, hi),
+// FindRun locates label l in the ascending run-label window [lo, hi),
 // returning the run index or -1. Windows are typically a handful of labels,
 // so it scans linearly, falling back to binary search for wide windows.
-func findRun(labels []LabelID, lo, hi int, l LabelID) int {
+// Exported so every View implementation (SubCSR, store.MappedGraph)
+// resolves runs with the one shared search.
+func FindRun(labels []LabelID, lo, hi int, l LabelID) int {
 	if hi-lo > 16 {
 		bound := hi // window end: runs past it belong to other nodes
 		for lo < hi {
@@ -467,17 +469,18 @@ func (g *Graph) HasEdgeID(src, dst NodeID, l LabelID) bool {
 	if l == NoLabel {
 		lo, hi := g.OutRuns(src)
 		for r := lo; r < hi; r++ {
-			if containsNode(g.OutRunNodes(r), dst) {
+			if ContainsNode(g.OutRunNodes(r), dst) {
 				return true
 			}
 		}
 		return false
 	}
-	return containsNode(g.OutTo(src, l), dst)
+	return ContainsNode(g.OutTo(src, l), dst)
 }
 
-// containsNode binary-searches an ascending run for v.
-func containsNode(ns []NodeID, v NodeID) bool {
+// ContainsNode binary-searches an ascending run for v. Shared by every
+// View implementation's edge-existence test.
+func ContainsNode(ns []NodeID, v NodeID) bool {
 	lo, hi := 0, len(ns)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -581,7 +584,7 @@ func (g *Graph) EdgeLabelsBetween(src, dst NodeID) []string {
 	lo, hi := g.OutRuns(src)
 	var labels []string
 	for r := lo; r < hi; r++ {
-		if containsNode(g.OutRunNodes(r), dst) {
+		if ContainsNode(g.OutRunNodes(r), dst) {
 			labels = append(labels, g.syms.Name(g.outRunLabel[r]))
 		}
 	}

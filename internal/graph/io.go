@@ -18,11 +18,13 @@ import (
 // '#' and blank lines are ignored. Attribute values containing tabs or
 // newlines are not supported (knowledge-base identifiers never need them).
 
-// Write serialises g to w in the TSV format. Attributes are written in
-// name-sorted order so output is deterministic; the attribute order is
-// resolved once against the interned store and each node reads straight
-// off the compiled columns — no per-node map materialisation.
-func Write(w io.Writer, g *Graph) error {
+// Write serialises g to w in the TSV format. It accepts any View — the
+// full graph, a fragment, or a snapshot-backed MappedGraph — and writes
+// the edges visible through it. Attributes are written in name-sorted
+// order so output is deterministic; the attribute order is resolved once
+// against the interned store and each node reads straight off the
+// compiled columns — no per-node map materialisation.
+func Write(w io.Writer, g View) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "# gfd graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
 	order := make([]AttrID, g.NumAttrs())
@@ -36,17 +38,17 @@ func Write(w io.Writer, g *Graph) error {
 	}
 	for v := 0; v < g.NumNodes(); v++ {
 		id := NodeID(v)
-		fmt.Fprintf(bw, "N\t%d\t%s", v, g.Label(id))
+		fmt.Fprintf(bw, "N\t%d\t%s", v, g.LabelName(g.NodeLabelID(id)))
 		for i, a := range order {
 			if val := cols[i].ValueAt(id); val != NoValue {
 				fmt.Fprintf(bw, "\t%s=%s", g.AttrName(a), g.ValueName(val))
 			}
 		}
-		fmt.Fprintln(bw)
+		bw.WriteByte('\n')
 	}
 	var err error
-	g.Edges(func(e Edge) bool {
-		_, err = fmt.Fprintf(bw, "E\t%d\t%d\t%s\n", e.Src, e.Dst, e.Label)
+	ViewEdges(g, func(e IEdge) bool {
+		_, err = fmt.Fprintf(bw, "E\t%d\t%d\t%s\n", e.Src, e.Dst, g.LabelName(e.Label))
 		return err == nil
 	})
 	if err != nil {

@@ -27,12 +27,15 @@ type Stats struct {
 	attrValues map[string]map[string]int
 }
 
-// NewStats scans g and returns its frequency statistics. Label counts come
-// off the label index and attribute statistics off the compiled attribute
-// columns — one pass per attribute over its carrying nodes, with value
-// counts accumulated per ValueID and resolved to strings once at the end,
-// instead of a per-node map walk.
-func NewStats(g *Graph) *Stats {
+// NewStats scans v and returns its frequency statistics. It runs against
+// any View — the full graph, a fragment, or a snapshot-backed MappedGraph:
+// label counts come off the label index, attribute statistics off the
+// compiled attribute columns (one pass per attribute over its carrying
+// nodes, with value counts accumulated per ValueID and resolved to strings
+// once at the end), and edge/triple counts off the interned run adjacency.
+// Edge statistics reflect the view's edge set: fragment views yield
+// fragment-local counts.
+func NewStats(v View) *Stats {
 	s := &Stats{
 		NodeLabelCount: make(map[string]int),
 		EdgeLabelCount: make(map[string]int),
@@ -40,17 +43,15 @@ func NewStats(g *Graph) *Stats {
 		AttrCount:      make(map[string]int),
 		attrValues:     make(map[string]map[string]int),
 	}
-	g.requireFinal()
-	g.requireAttrs() // requireFinal no-ops on a finalized graph with staged attrs
-	for l, nodes := range g.byLabel {
-		if len(nodes) > 0 {
-			s.NodeLabelCount[g.syms.Name(LabelID(l))] = len(nodes)
+	for l := 0; l < v.NumLabels(); l++ {
+		if nodes := v.NodesByLabelID(LabelID(l)); len(nodes) > 0 {
+			s.NodeLabelCount[v.LabelName(LabelID(l))] = len(nodes)
 		}
 	}
-	valCounts := make([]int, g.NumValues()) // ValueID-indexed scratch, reused per attribute
+	valCounts := make([]int, v.NumValues()) // ValueID-indexed scratch, reused per attribute
 	var touched []ValueID
-	for a := 0; a < g.NumAttrs(); a++ {
-		col := g.attrs.col(AttrID(a))
+	for a := 0; a < v.NumAttrs(); a++ {
+		col := v.AttrColumn(AttrID(a))
 		n := 0
 		col.ForEach(func(_ NodeID, val ValueID) {
 			n++
@@ -62,19 +63,24 @@ func NewStats(g *Graph) *Stats {
 		if n == 0 {
 			continue
 		}
-		name := g.syms.AttrName(AttrID(a))
+		name := v.AttrName(AttrID(a))
 		s.AttrCount[name] = n
 		m := make(map[string]int, len(touched))
 		for _, val := range touched {
-			m[g.syms.ValueName(val)] = valCounts[val]
+			m[v.ValueName(val)] = valCounts[val]
 			valCounts[val] = 0
 		}
 		touched = touched[:0]
 		s.attrValues[name] = m
 	}
-	g.Edges(func(e Edge) bool {
-		s.EdgeLabelCount[e.Label]++
-		s.TripleCount[TripleKey{g.Label(e.Src), e.Label, g.Label(e.Dst)}]++
+	ViewEdges(v, func(e IEdge) bool {
+		name := v.LabelName(e.Label)
+		s.EdgeLabelCount[name]++
+		s.TripleCount[TripleKey{
+			SrcLabel:  v.LabelName(v.NodeLabelID(e.Src)),
+			EdgeLabel: name,
+			DstLabel:  v.LabelName(v.NodeLabelID(e.Dst)),
+		}]++
 		return true
 	})
 	return s

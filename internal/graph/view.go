@@ -32,6 +32,12 @@ type View interface {
 	LookupLabel(name string) (LabelID, bool)
 	// LabelName returns the string of an interned label.
 	LabelName(id LabelID) string
+	// NumLabels reports the number of distinct interned labels (node and
+	// edge labels share one table); LabelIDs are dense in [0, NumLabels).
+	NumLabels() int
+	// NumAttrs reports the number of distinct interned attribute names;
+	// AttrIDs are dense in [0, NumAttrs).
+	NumAttrs() int
 
 	// LookupAttr resolves an attribute name without interning it; false
 	// means no node of the underlying store carries it.
@@ -113,7 +119,7 @@ type IEdge struct {
 // A SubCSR is immutable after construction and safe for concurrent
 // readers. It does not track later mutations of the base graph.
 type SubCSR struct {
-	base     *Graph
+	base     View
 	numEdges int
 
 	outTo, inTo             []NodeID
@@ -126,15 +132,20 @@ type SubCSR struct {
 }
 
 // NewSubCSR builds the fragment-local CSR view of the given edge subset
-// of g. Edges must reference existing nodes and interned labels of g;
-// duplicates are de-duplicated like Finalize does. The input slice is not
-// retained or mutated.
-func NewSubCSR(g *Graph, edges []IEdge) *SubCSR {
-	g.requireFinal()
+// of base. The base may be a full *Graph or any other View whose node
+// store the fragment should share — in particular a snapshot-backed
+// store.MappedGraph, which is how spilled fragments reattach. Edges must
+// reference existing nodes and interned labels of base; duplicates are
+// de-duplicated like Finalize does. The input slice is not retained or
+// mutated.
+func NewSubCSR(base View, edges []IEdge) *SubCSR {
+	if g, ok := base.(*Graph); ok {
+		g.requireFinal()
+	}
 	raw := make([]rawEdge, len(edges))
 	for i, e := range edges {
-		if int(e.Src) >= g.NumNodes() || int(e.Dst) >= g.NumNodes() {
-			panic(fmt.Sprintf("graph: NewSubCSR: edge (%d,%d) out of node range %d", e.Src, e.Dst, g.NumNodes()))
+		if int(e.Src) >= base.NumNodes() || int(e.Dst) >= base.NumNodes() {
+			panic(fmt.Sprintf("graph: NewSubCSR: edge (%d,%d) out of node range %d", e.Src, e.Dst, base.NumNodes()))
 		}
 		raw[i] = rawEdge{src: e.Src, dst: e.Dst, label: e.Label}
 	}
@@ -157,12 +168,12 @@ func NewSubCSR(g *Graph, edges []IEdge) *SubCSR {
 	}
 	raw = raw[:w]
 
-	s := &SubCSR{base: g, numEdges: len(raw)}
-	n := g.NumNodes()
+	s := &SubCSR{base: base, numEdges: len(raw)}
+	n := base.NumNodes()
 	s.outTo, s.outRunNode, s.outRunLabel, s.outRunOff = buildCSR(raw, n,
 		func(e rawEdge) (NodeID, LabelID, NodeID) { return e.src, e.label, e.dst })
 
-	s.edgeLabelCount = make([]int, g.symtab().Len())
+	s.edgeLabelCount = make([]int, base.NumLabels())
 	for _, e := range raw {
 		s.edgeLabelCount[e.label]++
 	}
@@ -182,8 +193,8 @@ func NewSubCSR(g *Graph, edges []IEdge) *SubCSR {
 	return s
 }
 
-// Base returns the graph whose node store the view shares.
-func (s *SubCSR) Base() *Graph { return s.base }
+// Base returns the view whose node store the fragment shares.
+func (s *SubCSR) Base() View { return s.base }
 
 // --- Node store: delegated to the base graph ---
 
@@ -224,6 +235,12 @@ func (s *SubCSR) LookupLabel(name string) (LabelID, bool) { return s.base.Lookup
 // LabelName implements View.
 func (s *SubCSR) LabelName(id LabelID) string { return s.base.LabelName(id) }
 
+// NumLabels implements View.
+func (s *SubCSR) NumLabels() int { return s.base.NumLabels() }
+
+// NumAttrs implements View.
+func (s *SubCSR) NumAttrs() int { return s.base.NumAttrs() }
+
 // NodesByLabelID implements View.
 func (s *SubCSR) NodesByLabelID(l LabelID) []NodeID { return s.base.NodesByLabelID(l) }
 
@@ -261,7 +278,7 @@ func (s *SubCSR) InRunNodes(r int) []NodeID {
 // OutTo implements View.
 func (s *SubCSR) OutTo(v NodeID, l LabelID) []NodeID {
 	lo, hi := s.OutRuns(v)
-	if r := findRun(s.outRunLabel, lo, hi, l); r >= 0 {
+	if r := FindRun(s.outRunLabel, lo, hi, l); r >= 0 {
 		return s.OutRunNodes(r)
 	}
 	return nil
@@ -270,7 +287,7 @@ func (s *SubCSR) OutTo(v NodeID, l LabelID) []NodeID {
 // InFrom implements View.
 func (s *SubCSR) InFrom(v NodeID, l LabelID) []NodeID {
 	lo, hi := s.InRuns(v)
-	if r := findRun(s.inRunLabel, lo, hi, l); r >= 0 {
+	if r := FindRun(s.inRunLabel, lo, hi, l); r >= 0 {
 		return s.InRunNodes(r)
 	}
 	return nil
@@ -281,13 +298,13 @@ func (s *SubCSR) HasEdgeID(src, dst NodeID, l LabelID) bool {
 	if l == NoLabel {
 		lo, hi := s.OutRuns(src)
 		for r := lo; r < hi; r++ {
-			if containsNode(s.OutRunNodes(r), dst) {
+			if ContainsNode(s.OutRunNodes(r), dst) {
 				return true
 			}
 		}
 		return false
 	}
-	return containsNode(s.OutTo(src, l), dst)
+	return ContainsNode(s.OutTo(src, l), dst)
 }
 
 // EdgeLabelCount implements View.
@@ -308,21 +325,82 @@ func (s *SubCSR) PlanCache() *sync.Map { return &s.planCache }
 // Edges invokes fn for every edge of the fragment, grouped by source node
 // and sorted by (label, dst) within it. It stops early if fn returns
 // false.
-func (s *SubCSR) Edges(fn func(IEdge) bool) {
-	for v := 0; v < s.NumNodes(); v++ {
-		lo, hi := s.OutRuns(NodeID(v))
+func (s *SubCSR) Edges(fn func(IEdge) bool) { ViewEdges(s, fn) }
+
+// String summarises the view.
+func (s *SubCSR) String() string {
+	return fmt.Sprintf("subcsr{%d edges of %s}", s.numEdges, s.base)
+}
+
+// FlatCSR is the raw CSR adjacency of a view: the flat arrays behind the
+// run accessors, exposed read-only for serialisation (internal/store dumps
+// them straight into snapshot sections). Out-edges of all nodes are
+// concatenated in OutTo grouped by source and sorted by (label, dst); node
+// v's runs are OutRunNode[v]..OutRunNode[v+1]; run r has label
+// OutRunLabel[r] and spans OutTo[OutRunOff[r]:OutRunOff[r+1]]. The In*
+// arrays mirror this with InTo holding edge sources. All slices are shared
+// storage: treat them as immutable.
+type FlatCSR struct {
+	OutTo, InTo             []NodeID
+	OutRunNode, InRunNode   []uint32
+	OutRunLabel, InRunLabel []LabelID
+	OutRunOff, InRunOff     []uint32
+}
+
+// FlatCSR returns the graph's compiled CSR arrays (finalizing first if
+// needed). Read-only shared storage.
+func (g *Graph) FlatCSR() FlatCSR {
+	g.requireFinal()
+	return FlatCSR{
+		OutTo: g.outTo, InTo: g.inTo,
+		OutRunNode: g.outRunNode, InRunNode: g.inRunNode,
+		OutRunLabel: g.outRunLabel, InRunLabel: g.inRunLabel,
+		OutRunOff: g.outRunOff, InRunOff: g.inRunOff,
+	}
+}
+
+// FlatCSR returns the fragment's CSR arrays. Read-only shared storage.
+func (s *SubCSR) FlatCSR() FlatCSR {
+	return FlatCSR{
+		OutTo: s.outTo, InTo: s.inTo,
+		OutRunNode: s.outRunNode, InRunNode: s.inRunNode,
+		OutRunLabel: s.outRunLabel, InRunLabel: s.inRunLabel,
+		OutRunOff: s.outRunOff, InRunOff: s.inRunOff,
+	}
+}
+
+// NodeLabels returns the per-node label array indexed by NodeID. Read-only
+// shared storage.
+func (g *Graph) NodeLabels() []LabelID { return g.labels }
+
+// NodeLabels returns the node-label array of the underlying node store.
+func (s *SubCSR) NodeLabels() []LabelID {
+	type labeler interface{ NodeLabels() []LabelID }
+	if b, ok := s.base.(labeler); ok {
+		return b.NodeLabels()
+	}
+	labels := make([]LabelID, s.base.NumNodes())
+	for v := range labels {
+		labels[v] = s.base.NodeLabelID(NodeID(v))
+	}
+	return labels
+}
+
+// ViewEdges invokes fn for every edge visible through v, grouped by source
+// node and sorted by (label, dst) within it — the interned counterpart of
+// (*Graph).Edges that works against any View. It stops early if fn returns
+// false.
+func ViewEdges(v View, fn func(IEdge) bool) {
+	n := v.NumNodes()
+	for s := 0; s < n; s++ {
+		lo, hi := v.OutRuns(NodeID(s))
 		for r := lo; r < hi; r++ {
-			l := s.outRunLabel[r]
-			for _, d := range s.OutRunNodes(r) {
-				if !fn(IEdge{Src: NodeID(v), Dst: d, Label: l}) {
+			l := v.OutRunLabel(r)
+			for _, d := range v.OutRunNodes(r) {
+				if !fn(IEdge{Src: NodeID(s), Dst: d, Label: l}) {
 					return
 				}
 			}
 		}
 	}
-}
-
-// String summarises the view.
-func (s *SubCSR) String() string {
-	return fmt.Sprintf("subcsr{%d edges of %s}", s.numEdges, s.base)
 }

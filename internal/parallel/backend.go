@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -40,7 +41,7 @@ func (o Options) withDefaults() Options {
 // master-side aggregation of supports (pivot-set unions) and validation
 // flags.
 type Backend struct {
-	g     *graph.Graph
+	g     graph.View
 	eng   *cluster.Engine
 	frags []Fragment
 	opts  Options
@@ -63,21 +64,44 @@ type Backend struct {
 	masterVC *discovery.ValueCounter
 }
 
-// NewBackend builds a ParDis backend over g fragmented across eng's
+// NewBackend builds a ParDis backend over v fragmented across eng's
 // workers: an edge-balanced vertex cut compiled into one fragment-local
 // SubCSR index per worker. stats may be nil.
-func NewBackend(g *graph.Graph, eng *cluster.Engine, opts Options, stats *discovery.Stats) *Backend {
+func NewBackend(v graph.View, eng *cluster.Engine, opts Options, stats *discovery.Stats) *Backend {
+	return NewBackendWithFragments(v, eng, VertexCut(v, eng.Workers()), opts, stats)
+}
+
+// NewBackendWithFragments builds a ParDis backend over pre-built
+// fragments, one per worker of eng — either the heap SubCSRs of a
+// VertexCut or snapshot-backed MappedGraph fragments reattached with
+// Attach, which is how workers run against spilled fragments without
+// rebuilding any index. v is the master's view of the whole graph (its
+// node store is shared by every fragment); stats may be nil.
+func NewBackendWithFragments(v graph.View, eng *cluster.Engine, frags []Fragment, opts Options, stats *discovery.Stats) *Backend {
+	return newBackend(v, eng, frags, opts, stats, graph.NewStats(v))
+}
+
+// newBackend is the shared constructor; gstats carries the full-graph
+// frequency statistics so callers that already computed them (the mining
+// driver builds a discovery.Profile from the same scan) do not pay a
+// second O(V+E+attrs) pass over the view.
+func newBackend(v graph.View, eng *cluster.Engine, frags []Fragment, opts Options, stats *discovery.Stats, gstats *graph.Stats) *Backend {
+	if len(frags) != eng.Workers() {
+		panic(fmt.Sprintf("parallel: %d fragments for %d workers", len(frags), eng.Workers()))
+	}
 	// Compile both planes (CSR and attribute columns) before the workers
 	// read the graph concurrently, like the sequential backend does.
-	g.Finalize()
+	if g, ok := v.(*graph.Graph); ok {
+		g.Finalize()
+	}
 	b := &Backend{
-		g:              g,
+		g:              v,
 		eng:            eng,
-		frags:          VertexCut(g, eng.Workers()),
+		frags:          frags,
 		opts:           opts.withDefaults(),
 		stats:          stats,
 		edgeCountCache: make(map[graph.TripleKey]int64),
-		tripleCount:    graph.NewStats(g).TripleCount,
+		tripleCount:    gstats.TripleCount,
 	}
 	n := eng.Workers()
 	b.workerViews = make([][]graph.View, n)

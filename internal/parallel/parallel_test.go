@@ -49,7 +49,7 @@ func TestVertexCut(t *testing.T) {
 		seen := make(map[graph.IEdge]int)
 		for _, f := range frags {
 			total += f.EdgeCount()
-			f.Sub.Edges(func(e graph.IEdge) bool {
+			graph.ViewEdges(f.Sub, func(e graph.IEdge) bool {
 				seen[e]++
 				return true
 			})
@@ -75,7 +75,7 @@ func TestVertexCut(t *testing.T) {
 		// Fragments hold contiguous source ranges aligned with ownership:
 		// every fragment edge's source is an owned node.
 		for _, f := range frags {
-			f.Sub.Edges(func(e graph.IEdge) bool {
+			graph.ViewEdges(f.Sub, func(e graph.IEdge) bool {
 				if !f.OwnsNode(e.Src) {
 					t.Fatalf("n=%d: worker %d holds edge with unowned source %d (owns [%d,%d))",
 						n, f.Worker, e.Src, f.NodeLo, f.NodeHi)

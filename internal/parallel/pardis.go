@@ -21,14 +21,32 @@ type MineResult struct {
 // drives vertical and horizontal spawning while pattern verification and
 // GFD validation execute on the fragmented graph across eng's workers.
 // It is parallel scalable relative to discovery.Mine: simulated response
-// time decreases as eng.Workers() grows.
-func Mine(g *graph.Graph, opts discovery.Options, eng *cluster.Engine, popts Options) *MineResult {
+// time decreases as eng.Workers() grows. v may be a heap graph or an
+// opened snapshot.
+func Mine(v graph.View, opts discovery.Options, eng *cluster.Engine, popts Options) *MineResult {
+	return mine(v, nil, opts, eng, popts)
+}
+
+// MineFragments is Mine over pre-built fragments (one per worker of eng) —
+// in particular fragments reattached from a spill directory, where every
+// worker's index is a zero-copy MappedGraph instead of a heap SubCSR.
+func MineFragments(v graph.View, frags []Fragment, opts discovery.Options, eng *cluster.Engine, popts Options) *MineResult {
+	return mine(v, frags, opts, eng, popts)
+}
+
+func mine(v graph.View, frags []Fragment, opts discovery.Options, eng *cluster.Engine, popts Options) *MineResult {
 	if popts.MaxTableRows == 0 {
 		popts.MaxTableRows = opts.MaxTableRows
 	}
+	// One statistics scan feeds both the mining profile and the backend's
+	// triple counts — the graph scan dominates startup on large (snapshot)
+	// inputs, so it must not run twice.
+	prof := discovery.NewProfile(v, opts.ActiveAttrs)
+	if frags == nil {
+		frags = VertexCut(v, eng.Workers())
+	}
 	var stats discovery.Stats
-	backend := NewBackend(g, eng, popts, &stats)
-	prof := discovery.NewProfile(g, opts.ActiveAttrs)
+	backend := newBackend(v, eng, frags, popts, &stats, prof.Stats)
 	res := discovery.MineWithBackend(backend, prof, opts)
 	res.Stats.MaxTableRows = stats.MaxTableRows
 	res.Stats.TotalTableRows = stats.TotalTableRows
@@ -50,8 +68,8 @@ type DisGFDResult struct {
 // reduce them to a cover. Mining and cover computation use separate
 // engines so their costs are reported independently (as the paper does in
 // Exp-1 vs Exp-4).
-func DisGFD(g *graph.Graph, opts discovery.Options, mineEng, coverEng *cluster.Engine, popts Options) *DisGFDResult {
-	mr := Mine(g, opts, mineEng, popts)
+func DisGFD(v graph.View, opts discovery.Options, mineEng, coverEng *cluster.Engine, popts Options) *DisGFDResult {
+	mr := Mine(v, opts, mineEng, popts)
 	cr := Cover(mr.All(), mr.Tree, coverEng, CoverOptions{Grouping: true})
 	return &DisGFDResult{Mine: mr, Cover: cr, Sigma: cr.Cover}
 }

@@ -28,7 +28,7 @@ func TestFragmentAdjacencyMatchesRestrictedCSR(t *testing.T) {
 			// by TestVertexCut, relied on here).
 			owner := make(map[graph.IEdge]int)
 			for w, f := range frags {
-				f.Sub.Edges(func(e graph.IEdge) bool {
+				graph.ViewEdges(f.Sub, func(e graph.IEdge) bool {
 					owner[e] = w
 					return true
 				})

@@ -1,0 +1,252 @@
+package parallel
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/store"
+)
+
+// This file gives ParDis persistent fragments: Spill writes a vertex cut
+// to a directory of self-contained snapshots (one per worker, plus the
+// master's whole-graph snapshot), and Attach maps them back as
+// MappedGraph fragment views. Workers then join against mmap'd indexes
+// instead of heap SubCSRs — the match/eval/discovery layers are unchanged
+// because they only ever see graph.View — which is the first concrete step
+// of the ROADMAP's "distributed fragments over View" direction: a
+// fragment now outlives its process and can be handed to another one.
+
+// GraphSnapshotName is the master's whole-graph snapshot inside a spill
+// directory.
+const GraphSnapshotName = "graph.gfds"
+
+// FragmentSnapshotName returns the file name of worker w's fragment
+// snapshot.
+func FragmentSnapshotName(w int) string { return fmt.Sprintf("frag-%d.gfds", w) }
+
+// Spill persists a fragmented graph to dir: the whole graph as
+// graph.gfds and each fragment's CSR as frag-N.gfds with its worker index
+// and owned node range in the snapshot's fragment section. Every file is
+// self-contained (full node store + symbol pools), so any single fragment
+// can be attached with no other state. dir is created if missing.
+//
+// All files are staged under temporary names and moved into place only
+// after every write succeeds, with stale fragments of an older cut
+// cleared in between: a mid-spill failure (disk full, interrupt before
+// the rename phase) leaves a previously good directory untouched rather
+// than half-destroyed. The rename phase itself is not transactional
+// across files, but Attach rejects any inconsistent mix it could leave.
+func Spill(dir string, src store.Source, frags []Fragment) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	// The ".tmp-" prefix keeps staged files outside Attach's frag-*.gfds
+	// glob; leftovers from a failed spill are removed on return.
+	tmp := func(name string) string { return filepath.Join(dir, ".tmp-"+name) }
+	var staged []string
+	defer func() {
+		for _, p := range staged {
+			os.Remove(p)
+		}
+	}()
+
+	writeTo := func(path string, write func(w *os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		staged = append(staged, path)
+		err = write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+	if err := writeTo(tmp(GraphSnapshotName), func(w *os.File) error {
+		return store.Write(w, src)
+	}); err != nil {
+		return fmt.Errorf("parallel: spill graph: %w", err)
+	}
+	for _, f := range frags {
+		fsrc, ok := f.Sub.(store.Source)
+		if !ok {
+			return fmt.Errorf("parallel: fragment %d view %T is not serialisable", f.Worker, f.Sub)
+		}
+		fi := store.FragmentInfo{Worker: f.Worker, NodeLo: f.NodeLo, NodeHi: f.NodeHi}
+		if err := writeTo(tmp(FragmentSnapshotName(f.Worker)), func(w *os.File) error {
+			return store.WriteFragment(w, fsrc, fi)
+		}); err != nil {
+			return fmt.Errorf("parallel: spill fragment %d: %w", f.Worker, err)
+		}
+	}
+
+	// Everything staged: clear fragments of an older, wider cut (Attach's
+	// glob must not sweep them up), then move the new set into place.
+	stale, err := filepath.Glob(filepath.Join(dir, "frag-*.gfds"))
+	if err != nil {
+		return err
+	}
+	for _, p := range stale {
+		if err := os.Remove(p); err != nil {
+			return fmt.Errorf("parallel: spill: clear stale %s: %w", p, err)
+		}
+	}
+	if err := os.Rename(tmp(GraphSnapshotName), filepath.Join(dir, GraphSnapshotName)); err != nil {
+		return err
+	}
+	staged = staged[1:]
+	for _, f := range frags {
+		if err := os.Rename(tmp(FragmentSnapshotName(f.Worker)), filepath.Join(dir, FragmentSnapshotName(f.Worker))); err != nil {
+			return err
+		}
+		staged = staged[1:]
+	}
+	return nil
+}
+
+// Attached is a spill directory mapped back into memory: the master's
+// whole-graph view plus one fragment view per worker, all zero-copy
+// snapshots. Close releases every mapping.
+type Attached struct {
+	// Graph is the master's whole-graph view (graph.gfds).
+	Graph *store.MappedGraph
+	// Frags are the worker fragments in worker order; each Sub is a
+	// *store.MappedGraph.
+	Frags []Fragment
+
+	maps []*store.MappedGraph
+}
+
+// Attach maps a spill directory written by Spill: graph.gfds plus every
+// frag-*.gfds, validated to form a complete worker set 0..n-1. The caller
+// must Close the result when done.
+func Attach(dir string) (*Attached, error) {
+	a := &Attached{}
+	ok := false
+	defer func() {
+		if !ok {
+			a.Close()
+		}
+	}()
+
+	g, err := store.Open(filepath.Join(dir, GraphSnapshotName))
+	if err != nil {
+		return nil, fmt.Errorf("parallel: attach: %w", err)
+	}
+	a.Graph = g
+	a.maps = append(a.maps, g)
+
+	paths, err := filepath.Glob(filepath.Join(dir, "frag-*.gfds"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("parallel: attach %s: no fragment snapshots", dir)
+	}
+	for _, p := range paths {
+		m, err := store.Open(p)
+		if err != nil {
+			return nil, fmt.Errorf("parallel: attach: %w", err)
+		}
+		a.maps = append(a.maps, m)
+		fi, has := m.Fragment()
+		if !has {
+			return nil, fmt.Errorf("parallel: attach %s: snapshot carries no fragment metadata", p)
+		}
+		if m.NumNodes() != g.NumNodes() {
+			return nil, fmt.Errorf("parallel: attach %s: node store (%d nodes) disagrees with graph snapshot (%d)", p, m.NumNodes(), g.NumNodes())
+		}
+		a.Frags = append(a.Frags, Fragment{Worker: fi.Worker, Sub: m, NodeLo: fi.NodeLo, NodeHi: fi.NodeHi})
+	}
+	sort.Slice(a.Frags, func(i, j int) bool { return a.Frags[i].Worker < a.Frags[j].Worker })
+	// The fragments must form one coherent cut of the attached graph:
+	// contiguous workers whose owned node ranges tile [0, NumNodes)
+	// exactly, and node stores / symbol pools sized like the master's
+	// (splitByOwnership routes seed rows by these boundaries and the
+	// master merges constant counts by ValueID, so a directory mixing
+	// files from two different cuts must be rejected, not mined wrong).
+	for w, f := range a.Frags {
+		if f.Worker != w {
+			return nil, fmt.Errorf("parallel: attach %s: fragment workers not contiguous (want %d, have %d)", dir, w, f.Worker)
+		}
+		prevHi := graph.NodeID(0)
+		if w > 0 {
+			prevHi = a.Frags[w-1].NodeHi
+		}
+		if f.NodeLo != prevHi {
+			return nil, fmt.Errorf("parallel: attach %s: worker %d owns [%d,%d) but the previous range ends at %d (mixed-cut directory?)",
+				dir, w, f.NodeLo, f.NodeHi, prevHi)
+		}
+		if err := sameNodeStore(g, f.Sub.(*store.MappedGraph)); err != nil {
+			return nil, fmt.Errorf("parallel: attach %s: worker %d: %w", dir, w, err)
+		}
+	}
+	if last := a.Frags[len(a.Frags)-1].NodeHi; int(last) != g.NumNodes() {
+		return nil, fmt.Errorf("parallel: attach %s: ownership ranges end at %d, graph has %d nodes", dir, last, g.NumNodes())
+	}
+	ok = true
+	return a, nil
+}
+
+// sameNodeStore verifies that a fragment snapshot carries the master
+// snapshot's node store by content — node labels and all three symbol
+// pools — not just by counts. The master merges fragment results by
+// interned ID (constant counts by ValueID, supports by NodeID), which is
+// only sound when every fragment's intern tables are the graph's; a
+// directory mixing snapshots of two different graphs whose counts happen
+// to coincide must fail here rather than mine wrong. One linear pass per
+// fragment over mapped arrays — far below the cost of the open itself
+// being amortised away.
+func sameNodeStore(g, m *store.MappedGraph) error {
+	gl, ml := g.NodeLabels(), m.NodeLabels()
+	if len(gl) != len(ml) {
+		return fmt.Errorf("node store has %d nodes, graph snapshot %d", len(ml), len(gl))
+	}
+	for i := range gl {
+		if gl[i] != ml[i] {
+			return fmt.Errorf("node %d label diverges from graph snapshot (mixed-graph directory?)", i)
+		}
+	}
+	if m.NumLabels() != g.NumLabels() || m.NumAttrs() != g.NumAttrs() || m.NumValues() != g.NumValues() {
+		return fmt.Errorf("symbol pools (%d labels, %d attrs, %d values) disagree with graph snapshot (%d, %d, %d)",
+			m.NumLabels(), m.NumAttrs(), m.NumValues(), g.NumLabels(), g.NumAttrs(), g.NumValues())
+	}
+	for i := 0; i < g.NumLabels(); i++ {
+		if g.LabelName(graph.LabelID(i)) != m.LabelName(graph.LabelID(i)) {
+			return fmt.Errorf("label %d diverges from graph snapshot (mixed-graph directory?)", i)
+		}
+	}
+	for i := 0; i < g.NumAttrs(); i++ {
+		if g.AttrName(graph.AttrID(i)) != m.AttrName(graph.AttrID(i)) {
+			return fmt.Errorf("attribute %d diverges from graph snapshot (mixed-graph directory?)", i)
+		}
+	}
+	for i := 0; i < g.NumValues(); i++ {
+		if g.ValueName(graph.ValueID(i)) != m.ValueName(graph.ValueID(i)) {
+			return fmt.Errorf("value %d diverges from graph snapshot (mixed-graph directory?)", i)
+		}
+	}
+	return nil
+}
+
+// Workers returns the number of attached fragments.
+func (a *Attached) Workers() int { return len(a.Frags) }
+
+// Close releases every mapping opened by Attach.
+func (a *Attached) Close() error {
+	var first error
+	for _, m := range a.maps {
+		if err := m.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	a.maps = nil
+	return first
+}
+
+// Compile-time check: heap fragments stay serialisable (SubCSR is a
+// store.Source), so VertexCut output can always Spill.
+var _ store.Source = (*graph.SubCSR)(nil)

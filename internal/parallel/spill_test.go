@@ -1,0 +1,230 @@
+package parallel
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/discovery"
+	"repro/internal/graph"
+	"repro/internal/store"
+)
+
+// TestSpillAttach: a spilled vertex cut must reattach as mmap-backed
+// fragments that agree with the heap SubCSRs edge-for-edge, carry the
+// same ownership metadata, and share the base graph's node store.
+func TestSpillAttach(t *testing.T) {
+	g := dataset.DBpediaSim(150, 7)
+	for _, n := range []int{1, 3, 4} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			frags := VertexCut(g, n)
+			dir := t.TempDir()
+			if err := Spill(dir, g, frags); err != nil {
+				t.Fatalf("Spill: %v", err)
+			}
+			att, err := Attach(dir)
+			if err != nil {
+				t.Fatalf("Attach: %v", err)
+			}
+			defer att.Close()
+
+			if att.Workers() != n {
+				t.Fatalf("attached %d fragments, want %d", att.Workers(), n)
+			}
+			if att.Graph.NumNodes() != g.NumNodes() || att.Graph.NumEdges() != g.NumEdges() {
+				t.Fatalf("attached graph %v, want %v", att.Graph, g)
+			}
+			for w, f := range att.Frags {
+				want := frags[w]
+				if f.Worker != w || f.NodeLo != want.NodeLo || f.NodeHi != want.NodeHi {
+					t.Fatalf("worker %d metadata: got [%d,%d) worker %d, want [%d,%d)",
+						w, f.NodeLo, f.NodeHi, f.Worker, want.NodeLo, want.NodeHi)
+				}
+				if f.Sub.NumEdges() != want.Sub.NumEdges() {
+					t.Fatalf("worker %d: %d edges attached, %d in heap fragment", w, f.Sub.NumEdges(), want.Sub.NumEdges())
+				}
+				var heap, mapped []graph.IEdge
+				graph.ViewEdges(want.Sub, func(e graph.IEdge) bool { heap = append(heap, e); return true })
+				graph.ViewEdges(f.Sub, func(e graph.IEdge) bool { mapped = append(mapped, e); return true })
+				if len(heap) != len(mapped) {
+					t.Fatalf("worker %d: edge walks differ in length", w)
+				}
+				for i := range heap {
+					if heap[i] != mapped[i] {
+						t.Fatalf("worker %d edge %d: %v vs %v", w, i, heap[i], mapped[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAttachErrors: incomplete or inconsistent spill directories must be
+// rejected.
+func TestAttachErrors(t *testing.T) {
+	if _, err := Attach(t.TempDir()); err == nil {
+		t.Fatal("empty dir attached")
+	}
+
+	g := dataset.YAGO2Sim(60, 3)
+	dir := t.TempDir()
+	if err := Spill(dir, g, VertexCut(g, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// Remove a middle fragment: the worker set is no longer contiguous.
+	if err := os.Remove(filepath.Join(dir, FragmentSnapshotName(1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Attach(dir); err == nil {
+		t.Fatal("non-contiguous worker set attached")
+	}
+
+	// A directory mixing fragments of two different cuts over the same
+	// graph: worker indexes are contiguous but the ownership ranges no
+	// longer tile the node space — must be rejected, not mined wrong.
+	dir3 := t.TempDir()
+	if err := Spill(dir3, g, VertexCut(g, 3)); err != nil {
+		t.Fatal(err)
+	}
+	dir2 := t.TempDir()
+	if err := Spill(dir2, g, VertexCut(g, 2)); err != nil {
+		t.Fatal(err)
+	}
+	alien, err := os.ReadFile(filepath.Join(dir2, FragmentSnapshotName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir3, FragmentSnapshotName(1)), alien, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Attach(dir3); err == nil {
+		t.Fatal("mixed-cut directory attached")
+	}
+
+	// A directory whose graph.gfds comes from a different graph than its
+	// fragments (same generator, different seed): node stores diverge by
+	// content, and ID-based result merging would be unsound — reject.
+	other := dataset.YAGO2Sim(60, 99)
+	dirM := t.TempDir()
+	if err := Spill(dirM, g, VertexCut(g, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WriteFile(filepath.Join(dirM, GraphSnapshotName), other); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Attach(dirM); err == nil {
+		t.Fatal("mixed-graph directory attached")
+	}
+}
+
+// --- Golden mining over mmap-backed fragments ---
+
+const (
+	goldenGraphPath = "../testutil/testdata/golden_graph.tsv"
+	goldenGFDsPath  = "../testutil/testdata/golden_gfds.txt"
+)
+
+// goldenSpillOptions mirrors the root golden test's fixed configuration.
+func goldenSpillOptions() discovery.Options {
+	return discovery.Options{
+		K:                3,
+		Support:          2,
+		MaxX:             2,
+		ConstantsPerAttr: 3,
+		WildcardNodes:    true,
+		MaxNegatives:     200,
+	}
+}
+
+func canonicalizeResult(res *discovery.Result) string {
+	var lines []string
+	for _, m := range res.Positives {
+		lines = append(lines, fmt.Sprintf("P\t%s\tsupp=%d\tlevel=%d", m.GFD.Key(), m.Support, m.Level))
+	}
+	for _, m := range res.Negatives {
+		lines = append(lines, fmt.Sprintf("N\t%s\tsupp=%d\tlevel=%d", m.GFD.Key(), m.Support, m.Level))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// TestGoldenMiningSpilled locks the persistent-fragment path to the
+// committed golden bytes: ParDis over fragments spilled to disk and
+// reattached as zero-copy MappedGraph views — master view included — must
+// mine exactly the same GFD set as the in-memory sequential run, at every
+// worker count the in-memory golden parallel test covers.
+func TestGoldenMiningSpilled(t *testing.T) {
+	f, err := os.Open(goldenGraphPath)
+	if err != nil {
+		t.Fatalf("open golden graph: %v", err)
+	}
+	g, err := graph.Read(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("read golden graph: %v", err)
+	}
+	want, err := os.ReadFile(goldenGFDsPath)
+	if err != nil {
+		t.Fatalf("read golden file: %v", err)
+	}
+
+	for _, workers := range []int{1, 2, 3, 4, 5, 7} {
+		dir := t.TempDir()
+		if err := Spill(dir, g, VertexCut(g, workers)); err != nil {
+			t.Fatalf("n=%d: Spill: %v", workers, err)
+		}
+		att, err := Attach(dir)
+		if err != nil {
+			t.Fatalf("n=%d: Attach: %v", workers, err)
+		}
+		eng := cluster.New(cluster.Config{Workers: workers})
+		res := MineFragments(att.Graph, att.Frags, goldenSpillOptions(), eng, Options{LoadBalance: true})
+		// Canonicalize before Close: rendering copies the literal strings
+		// out of the mapping.
+		got := canonicalizeResult(res.Result)
+		if err := att.Close(); err != nil {
+			t.Fatalf("n=%d: Close: %v", workers, err)
+		}
+		if got != string(want) {
+			t.Fatalf("mmap-fragment mining (n=%d) diverged from golden output.\n--- got ---\n%s--- want ---\n%s",
+				workers, got, want)
+		}
+	}
+}
+
+// TestSpilledFragmentStandalone: any single fragment snapshot is
+// self-contained — it opens with no other state and its node store
+// matches the base graph's.
+func TestSpilledFragmentStandalone(t *testing.T) {
+	g := dataset.DBpediaSim(80, 13)
+	dir := t.TempDir()
+	if err := Spill(dir, g, VertexCut(g, 4)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := store.Open(filepath.Join(dir, FragmentSnapshotName(2)))
+	if err != nil {
+		t.Fatalf("standalone open: %v", err)
+	}
+	defer m.Close()
+	fi, ok := m.Fragment()
+	if !ok || fi.Worker != 2 {
+		t.Fatalf("fragment metadata = (%+v, %v)", fi, ok)
+	}
+	if m.NumNodes() != g.NumNodes() || m.NumLabels() != g.NumLabels() || m.NumValues() != g.NumValues() {
+		t.Fatalf("fragment node store diverged: %v vs %v", m, g)
+	}
+	// A fragment's attribute plane is the whole graph's.
+	for a := 0; a < g.NumAttrs(); a++ {
+		wc, gc := g.AttrColumn(graph.AttrID(a)), m.AttrColumn(graph.AttrID(a))
+		for v := 0; v < g.NumNodes(); v++ {
+			if wc.ValueAt(graph.NodeID(v)) != gc.ValueAt(graph.NodeID(v)) {
+				t.Fatalf("attr %d node %d diverged", a, v)
+			}
+		}
+	}
+}

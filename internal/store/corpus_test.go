@@ -1,0 +1,74 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const fuzzCorpusDir = "testdata/fuzz/FuzzStoreOpen"
+
+// TestFuzzCorpus maintains the checked-in seed corpus of FuzzStoreOpen:
+// with -update it regenerates the files (a valid snapshot, a fragment
+// snapshot, truncations, bit flips and header forgeries); without it, it
+// verifies the corpus exists and that the two valid seeds still decode —
+// so a format change that invalidates the corpus is caught in CI, not in
+// a fuzzing run months later.
+func TestFuzzCorpus(t *testing.T) {
+	var whole, frag bytes.Buffer
+	g := fuzzSeedGraph()
+	if err := Write(&whole, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFragment(&frag, g, FragmentInfo{Worker: 1, NodeLo: 1, NodeHi: 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	if *updateFixture {
+		if err := os.RemoveAll(fuzzCorpusDir); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(fuzzCorpusDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		add := func(name string, data []byte) {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+			if err := os.WriteFile(filepath.Join(fuzzCorpusDir, name), []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		v := whole.Bytes()
+		add("valid", v)
+		add("valid-fragment", frag.Bytes())
+		add("empty", nil)
+		add("magic-only", []byte(Magic))
+		add("trunc-header", v[:headerSize-2])
+		add("trunc-table", v[:headerSize+sectionEntry/2])
+		add("trunc-mid", v[:len(v)/2])
+		flip := func(name string, off int) {
+			mut := append([]byte(nil), v...)
+			mut[off] ^= 0xff
+			add(name, mut)
+		}
+		flip("flip-version", 6)
+		flip("flip-nsec", 8)
+		flip("flip-sec-off", headerSize+8)
+		flip("flip-sec-len", headerSize+16)
+		flip("flip-meta", int(getU64(v, headerSize+8)))
+		flip("flip-payload", len(v)-9)
+		t.Log("fuzz corpus rewritten")
+		return
+	}
+
+	entries, err := os.ReadDir(fuzzCorpusDir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("fuzz corpus missing (regenerate with -update): %v", err)
+	}
+	for _, seed := range [][]byte{whole.Bytes(), frag.Bytes()} {
+		if _, err := OpenBytes(seed); err != nil {
+			t.Fatalf("valid corpus seed no longer decodes: %v", err)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package store implements persistent graph snapshots: a versioned flat
+// binary format holding everything a graph.View needs — the CSR adjacency
+// arrays, per-node run tables, label/attribute/value symbol pools and the
+// compiled attribute columns — as straight dumps of the flat slices the
+// graph package already maintains. Write serialises any Source (a full
+// *graph.Graph, a fragment *graph.SubCSR, or a previously opened
+// *MappedGraph); Open maps a snapshot back as a MappedGraph that satisfies
+// the full graph.View interface by aliasing the mapped bytes zero-copy, so
+// the match/eval/discovery layers run against it unchanged and opening
+// costs a validation scan instead of a TSV re-parse and CSR rebuild.
+//
+// # On-disk layout (version 1)
+//
+//	offset 0   magic   [6]byte "GFDSNP"
+//	offset 6   version uint16  (1)
+//	offset 8   nsec    uint32  number of section-table entries
+//	offset 12  flags   uint32  reserved, 0
+//	offset 16  section table: nsec entries of
+//	           { id uint32, reserved uint32, off uint64, len uint64 }
+//	...        section payloads, each starting at an 8-byte-aligned offset
+//
+// All integers are little-endian; snapshots are not portable to big-endian
+// hosts (Open refuses them). Section offsets are absolute file offsets;
+// payloads do not overlap the header or table. Sections may appear in any
+// order; readers locate them by id.
+//
+// # Versioning rules
+//
+//   - Unknown section ids are ignored by readers: additive format changes
+//     (new sections) keep the version number.
+//   - Any change to an existing section's encoding, or the removal of a
+//     required section, bumps the version; readers reject versions they do
+//     not know.
+//   - The committed fixture under testdata locks the current encoding: a
+//     writer change that alters the bytes of an existing section must
+//     regenerate it deliberately (and bump the version).
+//
+// # Sections
+//
+// Counts (node, edge, label, attr, value) live in secMeta; every other
+// section's byte length is fully determined by those counts plus its own
+// length, and Open cross-checks all of them before aliasing anything, so a
+// corrupted or adversarial header can neither over-allocate nor place a
+// slice out of bounds.
+package store
+
+// Magic is the 6-byte signature at offset 0 of every snapshot; LooksLike
+// sniffs it to auto-detect snapshot vs TSV input.
+const Magic = "GFDSNP"
+
+// Version is the current format version.
+const Version = 1
+
+// Section ids of version 1. The numeric values are part of the format.
+const (
+	secMeta           = 1  // 5×uint64: numNodes, numEdges, numLabels, numAttrs, numValues
+	secNodeLabels     = 2  // [numNodes]LabelID
+	secOutTo          = 3  // [numEdges]NodeID, grouped by src, sorted (label, dst)
+	secOutRunNode     = 4  // [numNodes+1]uint32 into the out-run tables
+	secOutRunLabel    = 5  // [numOutRuns]LabelID
+	secOutRunOff      = 6  // [numOutRuns+1]uint32 into OutTo
+	secInTo           = 7  // [numEdges]NodeID, grouped by dst, sorted (label, src)
+	secInRunNode      = 8  // [numNodes+1]uint32
+	secInRunLabel     = 9  // [numInRuns]LabelID
+	secInRunOff       = 10 // [numInRuns+1]uint32 into InTo
+	secByLabelOff     = 11 // [numLabels+1]uint32 into ByLabelNodes
+	secByLabelNodes   = 12 // concatenated per-label node lists, each ascending
+	secEdgeLabelCount = 13 // [numLabels]uint64
+	secLabelNameOff   = 14 // [numLabels+1]uint32 into LabelNameBlob
+	secLabelNameBlob  = 15 // concatenated label strings
+	secAttrNameOff    = 16 // [numAttrs+1]uint32
+	secAttrNameBlob   = 17
+	secValueNameOff   = 18 // [numValues+1]uint32
+	secValueNameBlob  = 19
+	secAttrKind       = 20 // [numAttrs]uint32: attrEmpty | attrDense | attrSparse
+	secAttrDense      = 21 // dense columns concatenated in AttrID order, numNodes ValueIDs each
+	secAttrSparseOff  = 22 // [numAttrs+1]uint32 into the sparse pools (0-width for non-sparse)
+	secAttrSparseNode = 23 // concatenated sparse carrying-node arrays, each ascending
+	secAttrSparseVal  = 24 // parallel values for secAttrSparseNode
+	secFragment       = 25 // optional, 4×uint32: worker, nodeLo, nodeHi, reserved
+)
+
+// Attribute column layout tags of secAttrKind.
+const (
+	attrEmpty  = 0
+	attrDense  = 1
+	attrSparse = 2
+)
+
+const (
+	headerSize   = 16
+	sectionEntry = 24
+	// maxSections bounds the section-table allocation before any payload
+	// validation has run: ids are dense small ints, so a table longer than
+	// this is adversarial.
+	maxSections = 64
+)
+
+// align8 rounds n up to the next multiple of 8 (section payloads start
+// 8-byte aligned so uint64 sections alias safely on the mapped bytes).
+func align8(n int64) int64 { return (n + 7) &^ 7 }
+
+// LooksLike reports whether data begins with a snapshot magic — the sniff
+// the CLI loaders use to auto-detect snapshot vs TSV input.
+func LooksLike(data []byte) bool {
+	return len(data) >= len(Magic) && string(data[:len(Magic)]) == Magic
+}

@@ -1,0 +1,112 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// fuzzSeedGraph builds a tiny graph exercising every section kind: both
+// attribute layouts, duplicate edges, an isolated node, an edge-only
+// label and an empty string value.
+func fuzzSeedGraph() *graph.Graph {
+	g := graph.New(5, 4)
+	a := g.AddNode("person", map[string]string{"name": "ada", "type": "x"})
+	b := g.AddNode("person", map[string]string{"name": "bob", "type": "x"})
+	c := g.AddNode("city", map[string]string{"name": ""})
+	g.AddNode("island", nil)
+	g.AddEdge(a, b, "knows")
+	g.AddEdge(a, c, "lives")
+	g.AddEdge(b, c, "lives")
+	g.AddEdge(a, b, "knows") // duplicate
+	g.Finalize()
+	return g
+}
+
+// FuzzStoreOpen hammers the checked decoder: for arbitrary input bytes,
+// OpenBytes must either reject with an error or return a MappedGraph
+// whose full surface can be walked without panicking — no assumption a
+// validation scan missed may survive into the accessors. The seed corpus
+// under testdata/fuzz/FuzzStoreOpen holds a valid snapshot, a fragment
+// snapshot, truncations and bit flips.
+func FuzzStoreOpen(f *testing.F) {
+	var buf bytes.Buffer
+	if err := Write(&buf, fuzzSeedGraph()); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+	for off := 0; off < len(valid); off += 97 {
+		mut := append([]byte(nil), valid...)
+		mut[off] ^= 0x40
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := OpenBytes(data)
+		if err != nil {
+			return
+		}
+		// Decoded: every accessor must hold up. Walk the whole surface.
+		exercise(m)
+	})
+}
+
+// exercise walks every View method of a decoded snapshot; any panic here
+// is a validation gap in OpenBytes.
+func exercise(m *MappedGraph) {
+	n := m.NumNodes()
+	for l := 0; l < m.NumLabels(); l++ {
+		_ = m.LabelName(graph.LabelID(l))
+		_ = m.NodesByLabelID(graph.LabelID(l))
+		_ = m.EdgeLabelCount(graph.LabelID(l))
+	}
+	_ = m.EdgeLabelCount(graph.NoLabel)
+	for a := 0; a < m.NumAttrs(); a++ {
+		name := m.AttrName(graph.AttrID(a))
+		col := m.AttrColumn(graph.AttrID(a))
+		col.ForEach(func(graph.NodeID, graph.ValueID) {})
+		_ = col.Len()
+		if n > 0 {
+			_, _ = m.Attr(0, name)
+			_ = m.AttrValueID(graph.NodeID(n-1), graph.AttrID(a))
+		}
+	}
+	for v := 0; v < m.NumValues(); v++ {
+		_ = m.ValueName(graph.ValueID(v))
+	}
+	m.lookups()
+	edges := 0
+	for v := 0; v < n; v++ {
+		id := graph.NodeID(v)
+		_ = m.NodeLabelID(id)
+		lo, hi := m.OutRuns(id)
+		for r := lo; r < hi; r++ {
+			l := m.OutRunLabel(r)
+			for _, d := range m.OutRunNodes(r) {
+				if edges < 4096 {
+					_ = m.HasEdgeID(id, d, l)
+					_ = m.HasEdgeID(id, d, graph.NoLabel)
+					edges++
+				}
+			}
+			_ = m.OutTo(id, l)
+		}
+		lo, hi = m.InRuns(id)
+		for r := lo; r < hi; r++ {
+			_ = m.InFrom(id, m.InRunLabel(r))
+			_ = m.InRunNodes(r)
+		}
+	}
+	graph.ViewEdges(m, func(graph.IEdge) bool { return true })
+	if fi, ok := m.Fragment(); ok {
+		_ = fi
+	}
+	_ = m.String()
+	_ = m.FlatCSR()
+	_ = m.NodeLabels()
+}

@@ -1,0 +1,46 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/graph"
+)
+
+// LoadGraph opens a graph file of either supported format, sniffing the
+// first bytes: snapshots (Magic prefix) open zero-copy as a MappedGraph,
+// anything else parses as the TSV graph format into a heap *graph.Graph.
+// The returned close function releases the mapping for snapshots and is a
+// no-op for TSV graphs; it must be called when the view is no longer
+// needed (process exit suffices for CLI lifetimes).
+func LoadGraph(path string) (graph.View, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	head := make([]byte, len(Magic))
+	n, err := io.ReadFull(f, head)
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: sniff %s: %w", path, err)
+	}
+	if LooksLike(head[:n]) {
+		f.Close()
+		m, err := Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return m, m.Close, nil
+	}
+	defer f.Close()
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, nil, err
+	}
+	g, err := graph.Read(bufio.NewReaderSize(f, 1<<20))
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: read %s: %w", path, err)
+	}
+	return g, func() error { return nil }, nil
+}

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported gates the zero-copy Open path; without it Open reads the
+// file into an aligned buffer and aliases that instead — same MappedGraph,
+// one copy at open time.
+const mmapSupported = false
+
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	return nil, nil, errors.New("store: mmap unsupported on this platform")
+}

@@ -1,0 +1,26 @@
+//go:build unix
+
+package store
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy Open path; the !unix fallback reads
+// the file into an aligned buffer instead.
+const mmapSupported = true
+
+// mapFile maps size bytes of f read-only and returns the mapping with its
+// release function.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size != int64(int(size)) {
+		return nil, nil, errors.New("store: snapshot exceeds address space")
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return syscall.Munmap(b) }, nil
+}

@@ -11,6 +11,7 @@ package gfd
 // datasets; default 1.0 is roughly 1/500 of the paper's setting.
 
 import (
+	"context"
 	"os"
 	"strconv"
 	"testing"
@@ -148,7 +149,7 @@ func BenchmarkAblationBalance(b *testing.B) {
 		b.Run(mode.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				eng := cluster.New(cluster.Config{Workers: 8})
-				res := parallel.Mine(g, opts, eng, parallel.Options{LoadBalance: mode.lb})
+				res := parallel.Mine(context.Background(), g, opts, eng, parallel.Options{LoadBalance: mode.lb})
 				b.ReportMetric(res.Cluster.Total().Seconds(), "sim-s")
 				b.ReportMetric(res.Cluster.Skew(), "skew")
 			}

@@ -12,15 +12,27 @@
 //	gfddiscover -in graph.tsv -k 3 -sigma 100 -workers 8
 //	gfddiscover -in graph.gfds -k 3 -sigma 100
 //	gfddiscover -in graph.gfds -workers 4 -fragdir /tmp/frags
+//
+// With -serve the parallel run becomes distributed: every worker except
+// worker 0 is a fragment server dialed over loopback TCP (or external
+// gfdfrag processes named by -connect), and -fault injects deterministic
+// transport faults — the mining output must stay identical, absorbed by
+// the deadline/retry/failover machinery.
+//
+//	gfddiscover -in graph.gfds -workers 4 -fragdir /tmp/frags -serve
+//	gfddiscover -in graph.gfds -workers 4 -fragdir /tmp/frags -serve -fault drop=0.05,seed=1
+//	gfddiscover -in graph.gfds -workers 2 -fragdir /tmp/frags -serve -connect 127.0.0.1:7701
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	gfdlib "repro/internal/cli"
+	"repro/internal/remote"
 )
 
 func main() {
@@ -33,6 +45,9 @@ func main() {
 	maxX := flag.Int("maxx", 1, "max LHS literals on positive GFDs")
 	workers := flag.Int("workers", 0, "simulated cluster workers (0 = sequential)")
 	fragDir := flag.String("fragdir", "", "spill fragments as snapshots to this dir and mine over the mmap-backed views (needs -workers)")
+	serve := flag.Bool("serve", false, "serve workers 1..n-1 as remote fragment servers over loopback TCP (needs -fragdir)")
+	faultSpec := flag.String("fault", "", "with -serve: inject transport faults, e.g. drop=0.05,corrupt=0.01,seed=1")
+	connect := flag.String("connect", "", "with -serve: comma-separated addresses of external gfdfrag servers for workers 1..n-1")
 	negatives := flag.Int("negatives", 50, "max negative GFDs to mine (-1 disables)")
 	showAll := flag.Bool("all", false, "print the full mined set, not just the cover")
 	flag.Parse()
@@ -50,7 +65,28 @@ func main() {
 
 	start := time.Now()
 	var report *gfdlib.Report
-	if *fragDir != "" {
+	if *serve {
+		if *fragDir == "" || *workers < 2 {
+			fmt.Fprintln(os.Stderr, "gfddiscover: -serve requires -fragdir and -workers >= 2")
+			os.Exit(2)
+		}
+		fault, err := remote.ParseFaultSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gfddiscover: %v\n", err)
+			os.Exit(2)
+		}
+		var addrs []string
+		if *connect != "" {
+			addrs = strings.Split(*connect, ",")
+		}
+		report, err = gfdlib.DiscoverRemote(g, opts, *workers, *fragDir, fault, addrs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gfddiscover: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("distributed run: worker 0 local, workers 1..%d remote (%d wire bytes measured)\n",
+			*workers-1, report.MeasuredBytes)
+	} else if *fragDir != "" {
 		if *workers < 1 {
 			fmt.Fprintln(os.Stderr, "gfddiscover: -fragdir requires -workers >= 1")
 			os.Exit(2)

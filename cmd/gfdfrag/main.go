@@ -1,0 +1,72 @@
+// Command gfdfrag is a ParDis fragment server: it mmaps one spilled
+// fragment snapshot (frag-N.gfds, written by a coordinator's Spill) and
+// serves that worker's share of the distributed incremental join over
+// the remote package's frame protocol. A coordinator (gfddiscover, or
+// any remote.Dial client) joins row-table batches against it exactly as
+// it would against a local mmap view — the mining output is identical.
+//
+// The process is stateless beyond its mapping: killing it mid-mine is
+// always safe, because the coordinator fails over to the same frag-N.gfds
+// file the server was started from.
+//
+// Examples:
+//
+//	gfdfrag -frag /data/frags/frag-1.gfds -listen :7701
+//	gfdfrag -frag frag-0.gfds -listen 127.0.0.1:0            # prints the bound port
+//	gfdfrag -frag frag-2.gfds -listen :7702 -fault drop=0.05,seed=1
+//	gfdfrag -frag frag-1.gfds -listen :7701 -die-after 100   # crash-test the coordinator
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"repro/internal/remote"
+)
+
+func main() {
+	frag := flag.String("frag", "", "fragment snapshot to serve (a frag-N.gfds written by Spill)")
+	listen := flag.String("listen", "127.0.0.1:0", "listen address (port 0 picks a free port, printed on stdout)")
+	fault := flag.String("fault", "", "fault injection spec: drop=P,corrupt=P,delay=D,closeafter=N,seed=S")
+	dieAfter := flag.Int("die-after", 0, "exit(3) abruptly after serving this many frames (simulates a worker crash)")
+	flag.Parse()
+
+	if *frag == "" {
+		fmt.Fprintln(os.Stderr, "gfdfrag: -frag is required")
+		os.Exit(2)
+	}
+	spec, err := remote.ParseFaultSpec(*fault)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gfdfrag: %v\n", err)
+		os.Exit(2)
+	}
+	opts := remote.ServerOptions{
+		Fault:    spec,
+		DieAfter: *dieAfter,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "gfdfrag: "+format+"\n", args...)
+		},
+	}
+	if *dieAfter > 0 {
+		opts.OnDeath = func() {
+			// An abrupt exit, not a graceful drain: the coordinator must see
+			// the same failure a kill -9 would produce.
+			fmt.Fprintf(os.Stderr, "gfdfrag: dying after %d frames (-die-after)\n", *dieAfter)
+			os.Exit(3)
+		}
+	}
+
+	ready := make(chan net.Addr, 1)
+	go func() {
+		addr := <-ready
+		// The bound address is the first stdout line — coordinators and
+		// tests parse it, which is what makes -listen :0 usable.
+		fmt.Printf("listening %s\n", addr)
+	}()
+	if err := remote.ListenAndServe(*frag, *listen, opts, ready); err != nil {
+		fmt.Fprintf(os.Stderr, "gfdfrag: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	gfd "repro"
@@ -26,8 +27,8 @@ func main() {
 	fmt.Println("\n n   DisGFD      ParGFDnb    skew(DisGFD)  skew(nb)")
 	var base float64
 	for _, n := range []int{1, 2, 4, 8, 12, 16, 20} {
-		b := parallel.Mine(g, opts, cluster.New(cluster.Config{Workers: n}), parallel.Options{LoadBalance: true})
-		nb := parallel.Mine(g, opts, cluster.New(cluster.Config{Workers: n}), parallel.Options{LoadBalance: false})
+		b := parallel.Mine(context.Background(), g, opts, cluster.New(cluster.Config{Workers: n}), parallel.Options{LoadBalance: true})
+		nb := parallel.Mine(context.Background(), g, opts, cluster.New(cluster.Config{Workers: n}), parallel.Options{LoadBalance: false})
 		tb := b.Cluster.Total().Seconds()
 		if n == 1 {
 			base = tb

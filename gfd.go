@@ -39,6 +39,7 @@
 package gfd
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/cluster"
@@ -197,7 +198,7 @@ type ParallelResult struct {
 func DiscoverParallel(g *Graph, opts DiscoverOptions, workers int) *ParallelResult {
 	mineEng := cluster.New(cluster.Config{Workers: workers})
 	coverEng := cluster.New(cluster.Config{Workers: workers})
-	res := parallel.DisGFD(g, opts, mineEng, coverEng, parallel.Options{LoadBalance: true})
+	res := parallel.DisGFD(context.Background(), g, opts, mineEng, coverEng, parallel.Options{LoadBalance: true})
 	return &ParallelResult{
 		DiscoverResult: res.Mine.Result,
 		Sigma:          res.Sigma,

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -80,8 +81,8 @@ func Fig5Workers(c Config, key, id string) *Table {
 	var rules int
 	for _, n := range c.Workers {
 		c.logf("%s n=%d", id, n)
-		b := parallel.Mine(g, opts, newEngine(n), parallel.Options{LoadBalance: true})
-		nb := parallel.Mine(g, opts, newEngine(n), parallel.Options{LoadBalance: false})
+		b := parallel.Mine(context.Background(), g, opts, newEngine(n), parallel.Options{LoadBalance: true})
+		nb := parallel.Mine(context.Background(), g, opts, newEngine(n), parallel.Options{LoadBalance: false})
 		rules = len(b.Positives) + len(b.Negatives)
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(n),
@@ -108,7 +109,7 @@ func Fig5Compare(c Config) *Table {
 	}
 	for _, n := range c.Workers {
 		c.logf("fig5d n=%d", n)
-		gfdRun := parallel.Mine(g, opts, newEngine(n), parallel.Options{LoadBalance: true})
+		gfdRun := parallel.Mine(context.Background(), g, opts, newEngine(n), parallel.Options{LoadBalance: true})
 		gcfdEng := newEngine(n)
 		_, gcfdStats := gcfd.MineParallel(g, gcfd.Options{MaxPathLen: 2, Support: sigma}, gcfdEng)
 		amieEng := newEngine(n)
@@ -140,8 +141,8 @@ func Fig5GraphSize(c Config) *Table {
 		g := dataset.Synthetic(dataset.SyntheticConfig{Nodes: nodes, Edges: edges, Seed: c.Seed})
 		opts := mineOpts(3, sigma)
 		c.logf("fig5e |V|=%d", nodes)
-		b := parallel.Mine(g, opts, newEngine(n), parallel.Options{LoadBalance: true})
-		nb := parallel.Mine(g, opts, newEngine(n), parallel.Options{LoadBalance: false})
+		b := parallel.Mine(context.Background(), g, opts, newEngine(n), parallel.Options{LoadBalance: true})
+		nb := parallel.Mine(context.Background(), g, opts, newEngine(n), parallel.Options{LoadBalance: false})
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("(%dk,%dk)", nodes/1000, edges/1000),
 			secs(b.Cluster.Total()),
@@ -167,8 +168,8 @@ func Fig5K(c Config) *Table {
 	for _, k := range []int{2, 3, 4} {
 		c.logf("fig5f k=%d", k)
 		opts := mineOpts(k, sigma)
-		b := parallel.Mine(g, opts, newEngine(8), parallel.Options{LoadBalance: true})
-		nb := parallel.Mine(g, opts, newEngine(8), parallel.Options{LoadBalance: false})
+		b := parallel.Mine(context.Background(), g, opts, newEngine(8), parallel.Options{LoadBalance: true})
+		nb := parallel.Mine(context.Background(), g, opts, newEngine(8), parallel.Options{LoadBalance: false})
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(k), secs(b.Cluster.Total()), secs(nb.Cluster.Total()),
 		})
@@ -190,8 +191,8 @@ func Fig5Sigma(c Config) *Table {
 		sigma := base * m
 		c.logf("fig5g σ=%d", sigma)
 		opts := mineOpts(3, sigma)
-		b := parallel.Mine(g, opts, newEngine(8), parallel.Options{LoadBalance: true})
-		nb := parallel.Mine(g, opts, newEngine(8), parallel.Options{LoadBalance: false})
+		b := parallel.Mine(context.Background(), g, opts, newEngine(8), parallel.Options{LoadBalance: true})
+		nb := parallel.Mine(context.Background(), g, opts, newEngine(8), parallel.Options{LoadBalance: false})
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(sigma), secs(b.Cluster.Total()), secs(nb.Cluster.Total()),
 		})
@@ -217,8 +218,8 @@ func Fig5Gamma(c Config) *Table {
 		c.logf("fig5h |Γ|=%d", ng)
 		opts := mineOpts(3, sigma)
 		opts.ActiveAttrs = prof.Stats.TopAttributes(ng)
-		b := parallel.Mine(g, opts, newEngine(8), parallel.Options{LoadBalance: true})
-		nb := parallel.Mine(g, opts, newEngine(8), parallel.Options{LoadBalance: false})
+		b := parallel.Mine(context.Background(), g, opts, newEngine(8), parallel.Options{LoadBalance: true})
+		nb := parallel.Mine(context.Background(), g, opts, newEngine(8), parallel.Options{LoadBalance: false})
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(len(opts.ActiveAttrs)), secs(b.Cluster.Total()), secs(nb.Cluster.Total()),
 		})

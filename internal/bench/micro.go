@@ -67,6 +67,10 @@ type microEnv struct {
 	// (own fragment first, then the received ones).
 	part  *match.Table
 	views []graph.View
+	// the cut itself and the busiest worker's index, for the remote micros
+	// (they serve one received fragment over loopback TCP).
+	frags   []parallel.Fragment
+	busiest int
 	// largest fragment view for pivoted matching.
 	frag graph.View
 
@@ -143,6 +147,7 @@ func microWorkload() *microEnv {
 			}
 		}
 		e.part = parts[busiest]
+		e.frags, e.busiest = frags, busiest
 		e.views = append(e.views, frags[busiest].Sub)
 		for w := range frags {
 			if w != busiest {
@@ -221,9 +226,10 @@ func deriveMicroShapes(e *microEnv, st *graph.Stats) {
 	}
 }
 
-// MicroSpecs returns the micro-benchmark suite.
+// MicroSpecs returns the micro-benchmark suite, the distributed-runtime
+// micros (remote_micro.go) included.
 func MicroSpecs() []MicroSpec {
-	return []MicroSpec{
+	specs := []MicroSpec{
 		{"PivotNodes/full", func(b *testing.B) {
 			e := microWorkload()
 			b.ReportAllocs()
@@ -411,17 +417,20 @@ func MicroSpecs() []MicroSpec {
 			}
 		}},
 	}
+	return append(specs, remoteMicroSpecs()...)
 }
 
 // CleanupMicro removes the temp snapshot file the workload wrote for the
-// SnapshotOpen micro. Call it once after the last benchmark (gfdbench
-// does on every exit path; the root benchmark TestMain does for go test
-// -bench runs); it is safe to call when nothing ran.
+// SnapshotOpen micro and tears down the remote micros' loopback server.
+// Call it once after the last benchmark (gfdbench does on every exit
+// path; the root benchmark TestMain does for go test -bench runs); it is
+// safe to call when nothing ran.
 func CleanupMicro() {
 	if microE.snapPath != "" {
 		os.Remove(microE.snapPath)
 		microE.snapPath = ""
 	}
+	cleanupRemoteMicro()
 }
 
 // Micro runs the whole suite via testing.Benchmark and returns the

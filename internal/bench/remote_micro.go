@@ -1,0 +1,162 @@
+package bench
+
+// Remote-runtime micros: the same per-worker incremental join as
+// ExtendRows/worker-n4, but with one received fragment served by a
+// fragment server over loopback TCP instead of read from local memory.
+// The gap between the two numbers is the whole cost of the distributed
+// runtime on the hot path — encoding, framing, checksums, the TCP round
+// trip, and the order-preserving merge.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/parallel"
+	"repro/internal/remote"
+	"repro/internal/store"
+)
+
+// remoteMicroEnv serves the micro cut's first received fragment over
+// loopback and holds the dialed client plus the mixed view order.
+type remoteMicroEnv struct {
+	once sync.Once
+	err  error
+
+	dir    string
+	server *remote.Server
+	mapped *store.MappedGraph
+	client *remote.RemoteFragment
+	// views is e.views with the first received fragment replaced by the
+	// remote client — the worker's join inputs in the mixed-runtime run.
+	views []graph.View
+}
+
+var remoteMicroE remoteMicroEnv
+
+func remoteMicroWorkload(b *testing.B) (*microEnv, *remoteMicroEnv) {
+	e := microWorkload()
+	r := &remoteMicroE
+	r.once.Do(func() { r.err = r.build(e) })
+	if r.err != nil {
+		b.Fatalf("build remote micro workload: %v", r.err)
+	}
+	return e, r
+}
+
+func (r *remoteMicroEnv) build(e *microEnv) error {
+	src, ok := e.g.(store.Source)
+	if !ok {
+		return fmt.Errorf("bench: %T is not serialisable, remote micros need a snapshot", e.g)
+	}
+	dir, err := os.MkdirTemp("", "gfds-remote-micro-")
+	if err != nil {
+		return err
+	}
+	r.dir = dir
+	if err := parallel.Spill(dir, src, e.frags); err != nil {
+		return err
+	}
+	// Serve the first received fragment (the view the join probes right
+	// after the worker's own index).
+	recv := -1
+	for w := range e.frags {
+		if w != e.busiest {
+			recv = w
+			break
+		}
+	}
+	m, err := store.Open(filepath.Join(dir, parallel.FragmentSnapshotName(recv)))
+	if err != nil {
+		return err
+	}
+	r.mapped = m
+	s, err := remote.NewServer(m, remote.ServerOptions{})
+	if err != nil {
+		return err
+	}
+	r.server = s
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go s.Serve(l)
+	rf, err := remote.Dial(context.Background(), l.Addr().String(), e.g, remote.Options{})
+	if err != nil {
+		return err
+	}
+	r.client = rf
+	r.views = make([]graph.View, len(e.views))
+	copy(r.views, e.views)
+	for i, v := range e.views {
+		if v == e.frags[recv].Sub {
+			r.views[i] = rf
+		}
+	}
+	return nil
+}
+
+// remoteMicroSpecs returns the distributed-runtime micros, appended to
+// the main suite by MicroSpecs.
+func remoteMicroSpecs() []MicroSpec {
+	return []MicroSpec{
+		{"RemoteExtend/worker-n4-remote", func(b *testing.B) {
+			// ExtendRows/worker-n4 with one fragment behind the wire: same
+			// rows, same child, same result bytes — compare directly.
+			e, r := remoteMicroWorkload(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				match.ExtendRowsViews(r.views, e.part, e.child)
+			}
+		}},
+		{"RemoteExtend/rpc-share", func(b *testing.B) {
+			// One fragment's indexed share over the wire: encode, round-trip,
+			// decode — the RPC unit in isolation.
+			e, r := remoteMicroWorkload(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.client.ExtendIndexed(e.part, e.child)
+			}
+		}},
+		{"RemoteExtend/local-share", func(b *testing.B) {
+			// The same share computed against the local mmap of the same
+			// fragment: the denominator of the remote overhead ratio.
+			e, r := remoteMicroWorkload(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				match.ExtendIndexed(r.mapped, e.part, e.child)
+			}
+		}},
+	}
+}
+
+// cleanupRemoteMicro tears down the loopback server and the spilled cut;
+// called from CleanupMicro.
+func cleanupRemoteMicro() {
+	r := &remoteMicroE
+	if r.client != nil {
+		r.client.Close()
+		r.client = nil
+	}
+	if r.server != nil {
+		r.server.Close()
+		r.server = nil
+	}
+	if r.mapped != nil {
+		r.mapped.Close()
+		r.mapped = nil
+	}
+	if r.dir != "" {
+		os.RemoveAll(r.dir)
+		r.dir = ""
+	}
+}

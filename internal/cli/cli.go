@@ -3,6 +3,7 @@
 package cli
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -65,6 +66,9 @@ type Report struct {
 	// parallel run matched against (one fragment-local SubCSR index each);
 	// nil for sequential runs.
 	FragmentEdges []int
+	// MeasuredBytes is the wire traffic observed on remote fragment
+	// connections (zero unless the run used the distributed runtime).
+	MeasuredBytes int64
 }
 
 // Discover runs the pipeline (sequential when workers == 0, simulated
@@ -75,7 +79,7 @@ func Discover(v graph.View, opts discovery.Options, workers int) *Report {
 	var res *discovery.Result
 	if workers > 0 {
 		eng := cluster.New(cluster.Config{Workers: workers})
-		pr := parallel.Mine(v, opts, eng, parallel.Options{LoadBalance: true})
+		pr := parallel.Mine(context.Background(), v, opts, eng, parallel.Options{LoadBalance: true})
 		res = pr.Result
 		rep.SimulatedTime = pr.Cluster.Total()
 		rep.FragmentEdges = pr.FragmentEdges
@@ -109,7 +113,7 @@ func DiscoverSpilled(v graph.View, opts discovery.Options, workers int, dir stri
 		return nil, fmt.Errorf("cli: %s holds %d fragments, want %d", dir, att.Workers(), workers)
 	}
 	eng := cluster.New(cluster.Config{Workers: workers})
-	pr := parallel.MineFragments(att.Graph, att.Frags, opts, eng, parallel.Options{LoadBalance: true})
+	pr := parallel.MineFragments(context.Background(), att.Graph, att.Frags, opts, eng, parallel.Options{LoadBalance: true})
 	rep := &Report{SimulatedTime: pr.Cluster.Total(), FragmentEdges: pr.FragmentEdges}
 	rep.fill(pr.Result)
 	return rep, nil

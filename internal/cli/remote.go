@@ -1,0 +1,117 @@
+package cli
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"path/filepath"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/discovery"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+	"repro/internal/remote"
+	"repro/internal/store"
+)
+
+// DiscoverRemote runs the parallel pipeline with the workers split
+// across the distributed runtime: v is vertex-cut and spilled to dir
+// like DiscoverSpilled, then every worker except worker 0 is served by
+// a fragment server over loopback TCP and the coordinator dials it as a
+// remote view — worker 0 stays a local mmap view, so the run always
+// mixes both kinds. fault, when active, wraps every server connection
+// for chaos testing; each dialed fragment's FallbackPath points at its
+// own spill file, so even a fragment declared dead degrades to the
+// local re-attach and the mining output is unchanged.
+//
+// addrs, when non-empty, must hold one host:port per worker 1..n-1 of
+// externally started gfdfrag processes serving dir's frag-N.gfds files
+// (in worker order); no in-process servers are started and fault is
+// ignored — the external servers apply their own -fault flags.
+func DiscoverRemote(v graph.View, opts discovery.Options, workers int, dir string, fault remote.FaultSpec, addrs []string) (*Report, error) {
+	if workers < 2 {
+		return nil, fmt.Errorf("cli: remote mining needs -workers >= 2 (worker 0 stays local)")
+	}
+	src, ok := v.(store.Source)
+	if !ok {
+		return nil, fmt.Errorf("cli: %T is not serialisable as a snapshot", v)
+	}
+	if len(addrs) > 0 && len(addrs) != workers-1 {
+		return nil, fmt.Errorf("cli: %d server addresses for %d remote workers (workers 1..%d)", len(addrs), workers-1, workers-1)
+	}
+	if err := parallel.Spill(dir, src, parallel.VertexCut(v, workers)); err != nil {
+		return nil, err
+	}
+	att, err := parallel.Attach(dir)
+	if err != nil {
+		return nil, err
+	}
+	if att.Workers() != workers {
+		att.Close()
+		return nil, fmt.Errorf("cli: %s holds %d fragments, want %d", dir, att.Workers(), workers)
+	}
+
+	// One server per remote worker, unless external ones were supplied.
+	var servers []*remote.Server
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	frags := make([]parallel.Fragment, workers)
+	copy(frags, att.Frags)
+	for w := 1; w < workers; w++ {
+		fragPath := filepath.Join(dir, parallel.FragmentSnapshotName(w))
+		addr := ""
+		if len(addrs) > 0 {
+			addr = addrs[w-1]
+		} else {
+			m, err := store.Open(fragPath)
+			if err != nil {
+				att.Close()
+				return nil, err
+			}
+			s, err := remote.NewServer(m, remote.ServerOptions{Fault: fault})
+			if err != nil {
+				m.Close()
+				att.Close()
+				return nil, err
+			}
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				s.Close()
+				m.Close()
+				att.Close()
+				return nil, err
+			}
+			servers = append(servers, s)
+			go s.Serve(l)
+			addr = l.Addr().String()
+		}
+		copts := remote.Options{FallbackPath: fragPath, CallTimeout: time.Second}
+		if fault.Active() {
+			// Injected faults make dropped responses routine, and every drop
+			// costs one CallTimeout: keep the deadline tight and spend the
+			// saved time on more retry attempts instead.
+			copts.CallTimeout = 100 * time.Millisecond
+			copts.Backoff = remote.Backoff{Base: 2 * time.Millisecond, Max: 20 * time.Millisecond, Factor: 2, Jitter: 0.5, Attempts: 12}
+		}
+		rf, err := remote.Dial(context.Background(), addr, att.Graph, copts)
+		if err != nil {
+			att.Close()
+			return nil, fmt.Errorf("cli: worker %d: %w", w, err)
+		}
+		frags[w].Sub = rf
+	}
+
+	eng := cluster.New(cluster.Config{Workers: workers})
+	pr := parallel.MineFragments(context.Background(), att.Graph, frags, opts, eng, parallel.Options{LoadBalance: true})
+	rep := &Report{
+		SimulatedTime: pr.Cluster.Total(),
+		FragmentEdges: pr.FragmentEdges,
+		MeasuredBytes: pr.Cluster.MeasuredBytes,
+	}
+	rep.fill(pr.Result)
+	return rep, nil
+}

@@ -73,7 +73,11 @@ type Stats struct {
 	CommTime    time.Duration // Σ communication charges
 	MasterTime  time.Duration // master-side (sequential) work
 	Bytes       int64         // total bytes shipped
-	Messages    int64
+	// MeasuredBytes is the subset of Bytes observed on a real transport
+	// (remote fragment wire traffic) rather than declared by the cost
+	// model — nonzero only when remote workers participate.
+	MeasuredBytes int64
+	Messages      int64
 	// WorkerBusy is the total busy time per worker, for skew inspection.
 	WorkerBusy []time.Duration
 }
@@ -140,6 +144,25 @@ func (e *Engine) Ship(w int, nbytes int64) {
 	e.stepBytes[w] += nbytes
 	e.stepMsgs++
 	e.stats.Bytes += nbytes
+	e.stats.Messages++
+	e.mu.Unlock()
+}
+
+// ShipMeasured records a shipment whose size was measured on a real
+// transport (bytes counted on a remote fragment's connection) instead of
+// declared by the simulation's cost model. It charges the h-relation
+// exactly like Ship and additionally tallies Stats.MeasuredBytes, so a
+// mixed local/remote run reports how much of its communication volume
+// was real wire traffic.
+func (e *Engine) ShipMeasured(w int, nbytes int64) {
+	if nbytes <= 0 {
+		return
+	}
+	e.mu.Lock()
+	e.stepBytes[w] += nbytes
+	e.stepMsgs++
+	e.stats.Bytes += nbytes
+	e.stats.MeasuredBytes += nbytes
 	e.stats.Messages++
 	e.mu.Unlock()
 }

@@ -126,7 +126,11 @@ type Stats struct {
 	Aborted           int // extensions abandoned on MaxTableRows
 	PeakLiveRows      int // max simultaneously-materialised table rows (memory proxy)
 	BudgetExhausted   bool
-	Levels            int // vertical levels actually explored
+	// Cancelled reports that the run's context was cancelled: the backend
+	// stopped answering between supersteps and the result holds only what
+	// was mined before the cancellation.
+	Cancelled bool
+	Levels    int // vertical levels actually explored
 }
 
 // Mined is one discovered GFD with its measured support.

@@ -10,6 +10,7 @@
 package gcfd
 
 import (
+	"context"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/discovery"
@@ -63,7 +64,7 @@ func Mine(g *graph.Graph, o Options) *Result {
 // MineParallel is DisGCFD: the same mining distributed over the simulated
 // cluster (used by the Fig. 5(d) comparison).
 func MineParallel(g *graph.Graph, o Options, eng *cluster.Engine) (*Result, cluster.Stats) {
-	pr := parallel.Mine(g, options(o), eng, parallel.Options{LoadBalance: true})
+	pr := parallel.Mine(context.Background(), g, options(o), eng, parallel.Options{LoadBalance: true})
 	return &Result{Rules: pr.Positives, Stats: pr.Stats}, pr.Cluster
 }
 

@@ -1,0 +1,195 @@
+package match
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// This file is the distributed form of the incremental join: the per-view
+// work of ExtendRowsViews factored into an exchangeable value. A view's
+// share of the join Q(t) ⋈ e(F_v) is fully described by which parent rows
+// it extends (and, for a new variable, with which node) — so a remote
+// fragment server can compute its share against its own mmap'd snapshot
+// and ship back two flat uint32 columns, and the coordinator can merge
+// the shares of all views back into exactly the table the single-process
+// path builds. Row-table batches are the RPC unit; no per-edge lookup
+// ever crosses the wire.
+
+// FromCols builds a table over p directly from parallel columns, sharing
+// their storage: the wire decode path for a row-table batch received by a
+// fragment server. Column count must equal p.N() and all columns must
+// have equal length.
+func FromCols(p *pattern.Pattern, cols [][]graph.NodeID) (*Table, error) {
+	if len(cols) != p.N() {
+		return nil, fmt.Errorf("match: FromCols: %d columns for a %d-variable pattern", len(cols), p.N())
+	}
+	for v := 1; v < len(cols); v++ {
+		if len(cols[v]) != len(cols[0]) {
+			return nil, fmt.Errorf("match: FromCols: column %d has %d rows, column 0 has %d", v, len(cols[v]), len(cols[0]))
+		}
+	}
+	return &Table{P: p, cols: cols}, nil
+}
+
+// IndexedExt is one view's share of an indexed incremental join: the
+// parent rows it extends, in ascending order, and — for a new-variable
+// child — the parallel column of new-node bindings. For a closing-edge
+// child ParentRows lists the surviving rows (unique, ascending) and
+// NewCol is nil. Candidates for one parent row appear in the view's
+// enumeration order, so merging per-view shares in view order reproduces
+// the exact row order of the fused loop in extendRowsViews.
+type IndexedExt struct {
+	ParentRows []uint32
+	NewCol     []graph.NodeID
+}
+
+// BatchExtender is a view that computes its own share of the incremental
+// join — a remote fragment does it server-side against its snapshot and
+// ships the result back as flat columns. ExtendRowsViews detects it and
+// switches to the index-merge path, which is byte-identical to the fused
+// local loop (locked by TestIndexedMergeDifferential).
+type BatchExtender interface {
+	ExtendIndexed(t *Table, child *pattern.Pattern) IndexedExt
+}
+
+// ExtendIndexed computes one view's share of the indexed join locally:
+// the reference implementation behind BatchExtender. The fragment server
+// runs exactly this against its own snapshot; the merge path runs it for
+// local views standing next to remote ones. Its candidate enumeration
+// mirrors extendRowsViews clause for clause — any divergence would break
+// the byte-identical-merge contract.
+func ExtendIndexed(g graph.View, t *Table, child *pattern.Pattern) IndexedExt {
+	var ext IndexedExt
+	if t == nil {
+		return ext
+	}
+	parent := t.P
+	e := child.LastEdge()
+	elabel, eok := resolveLabel(g, e.Label)
+	if !eok {
+		return ext
+	}
+	pn := parent.N()
+	switch child.N() {
+	case pn:
+		srcCol, dstCol := t.cols[e.Src], t.cols[e.Dst]
+		for r := range srcCol {
+			if g.HasEdgeID(srcCol[r], dstCol[r], elabel) {
+				ext.ParentRows = append(ext.ParentRows, uint32(r))
+			}
+		}
+	case pn + 1:
+		nv := pn
+		newLabel, nok := resolveLabel(g, child.NodeLabels[nv])
+		if !nok {
+			return ext
+		}
+		outgoing := e.Src != nv
+		anchorVar := e.Src
+		if !outgoing {
+			anchorVar = e.Dst
+		}
+		extend := func(r int, cand graph.NodeID) {
+			if !nodeLabelOK(g, cand, newLabel) {
+				return
+			}
+			for v := 0; v < pn; v++ {
+				if t.cols[v][r] == cand {
+					return // injectivity
+				}
+			}
+			ext.ParentRows = append(ext.ParentRows, uint32(r))
+			ext.NewCol = append(ext.NewCol, cand)
+		}
+		anchorCol := t.cols[anchorVar]
+		for r := range anchorCol {
+			anchor := anchorCol[r]
+			if elabel != graph.NoLabel {
+				var cands []graph.NodeID
+				if outgoing {
+					cands = g.OutTo(anchor, elabel)
+				} else {
+					cands = g.InFrom(anchor, elabel)
+				}
+				for _, cand := range cands {
+					extend(r, cand)
+				}
+				continue
+			}
+			if outgoing {
+				lo, hi := g.OutRuns(anchor)
+				for rr := lo; rr < hi; rr++ {
+					for _, cand := range g.OutRunNodes(rr) {
+						extend(r, cand)
+					}
+				}
+			} else {
+				lo, hi := g.InRuns(anchor)
+				for rr := lo; rr < hi; rr++ {
+					for _, cand := range g.InRunNodes(rr) {
+						extend(r, cand)
+					}
+				}
+			}
+		}
+	default:
+		panic("match: ExtendIndexed: child must add exactly one edge")
+	}
+	return ext
+}
+
+// extendRowsMerge is the index-merge form of extendRowsViews, taken when
+// any view computes its own share (BatchExtender). Each view produces an
+// IndexedExt — remotely or via the local reference implementation — and
+// the shares are merged per parent row in view order, reproducing the
+// fused loop's row order exactly: for every parent row, view 0's
+// extensions precede view 1's, and a closing-edge row is kept once no
+// matter how many views witness the edge.
+func extendRowsMerge(views []graph.View, t *Table, child *pattern.Pattern) *Table {
+	out := NewTable(child)
+	if t == nil {
+		return out
+	}
+	exts := make([]IndexedExt, len(views))
+	for i, v := range views {
+		if be, ok := v.(BatchExtender); ok {
+			exts[i] = be.ExtendIndexed(t, child)
+		} else {
+			exts[i] = ExtendIndexed(v, t, child)
+		}
+	}
+	pn := t.P.N()
+	rows := t.Len()
+	cur := make([]int, len(exts))
+	if child.N() == pn {
+		// Closing edge: a row survives if any view's share lists it.
+		for r := 0; r < rows; r++ {
+			hit := false
+			for i := range exts {
+				pr := exts[i].ParentRows
+				for cur[i] < len(pr) && int(pr[cur[i]]) == r {
+					cur[i]++
+					hit = true
+				}
+			}
+			if hit {
+				out.appendRow(t, r)
+			}
+		}
+		return out
+	}
+	nv := pn
+	for r := 0; r < rows; r++ {
+		for i := range exts {
+			pr := exts[i].ParentRows
+			for cur[i] < len(pr) && int(pr[cur[i]]) == r {
+				out.appendRow(t, r)
+				out.cols[nv] = append(out.cols[nv], exts[i].NewCol[cur[i]])
+				cur[i]++
+			}
+		}
+	}
+	return out
+}

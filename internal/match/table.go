@@ -257,6 +257,15 @@ func ExtendRowsViews(views []graph.View, t *Table, child *pattern.Pattern) *Tabl
 }
 
 func extendRowsViews(views []graph.View, t *Table, child *pattern.Pattern) *Table {
+	// A view that computes its own share of the join (a remote fragment)
+	// switches the whole call to the index-merge path; local views in the
+	// same mix run the identical per-view computation in-process and the
+	// merge reproduces this function's row order exactly.
+	for _, v := range views {
+		if _, ok := v.(BatchExtender); ok {
+			return extendRowsMerge(views, t, child)
+		}
+	}
 	out := NewTable(child)
 	if t == nil {
 		return out

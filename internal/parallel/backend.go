@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -46,6 +47,19 @@ type Backend struct {
 	frags []Fragment
 	opts  Options
 	stats *discovery.Stats
+	// ctx, when cancelled, makes the batch entry points (the superstep
+	// boundaries) return failed PatOuts instead of doing work, so the
+	// mining driver's frontier drains and the run stops cleanly between
+	// supersteps.
+	ctx context.Context
+	// transferTrackers are the remote fragment views in frags (detected
+	// structurally — the remote package is not imported). Their wire-byte
+	// counters are drained after each worker's join and charged as
+	// measured communication, replacing the declared cost-model volume.
+	transferTrackers []transferTracker
+	// localOthers[w] counts the non-remote fragments t ≠ w whose
+	// single-edge matches worker w still receives at declared cost.
+	localOthers []int64
 	// workerViews[w] is the view order of worker w's incremental joins:
 	// its own fragment index first, then the other fragments' in worker
 	// order — the received e(F_t) of Section 6.2, which in the simulated
@@ -100,22 +114,60 @@ func newBackend(v graph.View, eng *cluster.Engine, frags []Fragment, opts Option
 		frags:          frags,
 		opts:           opts.withDefaults(),
 		stats:          stats,
+		ctx:            context.Background(),
 		edgeCountCache: make(map[graph.TripleKey]int64),
 		tripleCount:    gstats.TripleCount,
 	}
 	n := eng.Workers()
 	b.workerViews = make([][]graph.View, n)
+	remote := make([]bool, n)
+	for t := 0; t < n; t++ {
+		if tt, ok := b.frags[t].Sub.(transferTracker); ok {
+			remote[t] = true
+			b.transferTrackers = append(b.transferTrackers, tt)
+		}
+	}
+	b.localOthers = make([]int64, n)
 	for w := 0; w < n; w++ {
 		views := make([]graph.View, 0, n)
 		views = append(views, b.frags[w].Sub)
 		for t := 0; t < n; t++ {
 			if t != w {
 				views = append(views, b.frags[t].Sub)
+				if !remote[t] {
+					b.localOthers[w]++
+				}
 			}
 		}
 		b.workerViews[w] = views
 	}
 	return b
+}
+
+// transferTracker is how the backend recognises a remote fragment view
+// without importing the remote package: remote.RemoteFragment exposes a
+// drainable counter of bytes that actually crossed its connection.
+type transferTracker interface {
+	TakeTransferred() int64
+}
+
+// cancelled reports a dead context and, once per run, marks the stats.
+func (b *Backend) cancelled() bool {
+	if b.ctx.Err() == nil {
+		return false
+	}
+	if b.stats != nil {
+		b.stats.Cancelled = true
+	}
+	return true
+}
+
+// failAll is the batch result of a cancelled run: every pattern reports
+// !OK, so the driver treats the whole level as infrequent and the
+// generation tree stops growing — the run winds down between supersteps
+// instead of mid-join.
+func failAll(n int) []discovery.PatOut {
+	return make([]discovery.PatOut, n)
 }
 
 // parHandle holds a pattern's columnar match table partitioned across
@@ -170,6 +222,9 @@ func (b *Backend) bookkeep(rows int) {
 // no per-worker rescan and no row copies. Per-pattern pivot sets are then
 // shipped for master-side union.
 func (b *Backend) SeedBatch(ps []*pattern.Pattern) []discovery.PatOut {
+	if b.cancelled() {
+		return failAll(len(ps))
+	}
 	hs := make([]*parHandle, len(ps))
 	for i, p := range ps {
 		hs[i] = &parHandle{p: p}
@@ -213,6 +268,9 @@ func (b *Backend) splitByOwnership(t *match.Table) []*match.Table {
 // per-worker probe surface is the fragment views, never the full graph's
 // CSR, so the compute accounting reflects fragment-local work.
 func (b *Backend) ExtendBatch(parents []discovery.Handle, children []*pattern.Pattern) []discovery.PatOut {
+	if b.cancelled() {
+		return failAll(len(children))
+	}
 	hs := make([]*parHandle, len(children))
 	for i, child := range children {
 		hs[i] = &parHandle{p: child, parts: make([]*match.Table, b.n())}
@@ -221,12 +279,21 @@ func (b *Backend) ExtendBatch(parents []discovery.Handle, children []*pattern.Pa
 		for i, child := range children {
 			ph := parents[i].(*parHandle)
 			eBytes := b.edgeMatchBytes(child)
-			// Receive e(F_t) for t ≠ w: everything but the local share.
-			b.eng.Ship(w, eBytes-eBytes/int64(b.n()))
+			// Receive e(F_t) for the local fragments t ≠ w at the cost
+			// model's declared share; remote fragments are charged below
+			// from bytes measured on their connections.
+			b.eng.Ship(w, eBytes/int64(b.n())*b.localOthers[w])
 			if ph.parts == nil {
 				continue
 			}
 			hs[i].parts[w] = match.ExtendRowsViews(b.workerViews[w], ph.parts[w], child)
+		}
+		// Real comms replace declared volume for remote fragments: drain
+		// each remote view's wire-byte counter accrued by this worker's
+		// joins. (In Makespan mode workers run sequentially, so the drain
+		// attributes bytes to the worker that caused them.)
+		for _, tt := range b.transferTrackers {
+			b.eng.ShipMeasured(w, tt.TakeTransferred())
 		}
 	})
 	out := make([]discovery.PatOut, len(children))

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"sort"
 	"testing"
 	"time"
@@ -127,7 +128,7 @@ func TestParallelEqualsSequential(t *testing.T) {
 	seq := discovery.Mine(g, opts)
 	for _, n := range []int{1, 2, 3, 5, 8} {
 		eng := cluster.New(cluster.Config{Workers: n})
-		par := Mine(g, opts, eng, Options{LoadBalance: true})
+		par := Mine(context.Background(), g, opts, eng, Options{LoadBalance: true})
 		equalKeySets(t, "positives", keysOf(seq.Positives), keysOf(par.Positives))
 		equalKeySets(t, "negatives", keysOf(seq.Negatives), keysOf(par.Negatives))
 		// Supports must agree too.
@@ -149,7 +150,7 @@ func TestParallelNoBalanceStillCorrect(t *testing.T) {
 	opts := discovery.Options{K: 2, Support: 3}
 	seq := discovery.Mine(g, opts)
 	eng := cluster.New(cluster.Config{Workers: 4})
-	par := Mine(g, opts, eng, Options{LoadBalance: false})
+	par := Mine(context.Background(), g, opts, eng, Options{LoadBalance: false})
 	equalKeySets(t, "positives", keysOf(seq.Positives), keysOf(par.Positives))
 }
 
@@ -206,7 +207,7 @@ func TestLoadBalanceReducesSkew(t *testing.T) {
 func TestClusterStatsPopulated(t *testing.T) {
 	g := rulesGraph(5)
 	eng := cluster.New(cluster.Config{Workers: 3})
-	res := Mine(g, discovery.Options{K: 2, Support: 3}, eng, Options{LoadBalance: true})
+	res := Mine(context.Background(), g, discovery.Options{K: 2, Support: 3}, eng, Options{LoadBalance: true})
 	cs := res.Cluster
 	if cs.Supersteps == 0 || cs.ComputeTime == 0 || cs.Bytes == 0 {
 		t.Fatalf("cluster stats look empty: %+v", cs)
@@ -309,7 +310,7 @@ func TestDisGFDPipeline(t *testing.T) {
 	g := rulesGraph(8)
 	mineEng := cluster.New(cluster.Config{Workers: 4})
 	coverEng := cluster.New(cluster.Config{Workers: 4})
-	res := DisGFD(g, discovery.Options{K: 2, Support: 4}, mineEng, coverEng, Options{LoadBalance: true})
+	res := DisGFD(context.Background(), g, discovery.Options{K: 2, Support: 4}, mineEng, coverEng, Options{LoadBalance: true})
 	if len(res.Sigma) == 0 {
 		t.Fatal("pipeline produced empty cover")
 	}
@@ -334,7 +335,7 @@ func TestParallelScalability(t *testing.T) {
 	measure := func(workers int) time.Duration {
 		var best time.Duration
 		for i := 0; i < 3; i++ {
-			c := Mine(g, opts, cluster.New(cluster.Config{Workers: workers}), Options{LoadBalance: true}).Cluster
+			c := Mine(context.Background(), g, opts, cluster.New(cluster.Config{Workers: workers}), Options{LoadBalance: true}).Cluster
 			if i == 0 || c.ComputeTime < best {
 				best = c.ComputeTime
 			}
@@ -364,5 +365,54 @@ func TestEdgeMatchBytes(t *testing.T) {
 	all := pattern.SingleEdge(pattern.Wildcard, pattern.Wildcard, pattern.Wildcard)
 	if got := b.edgeMatchBytes(all); got != int64(g.NumEdges()*12) {
 		t.Fatalf("all-wildcard edgeMatchBytes = %d, want %d", got, g.NumEdges()*12)
+	}
+}
+
+// countdownCtx is a context whose Err flips to Canceled after its Err
+// method has been consulted n times — a deterministic mid-mine
+// cancellation point, independent of timing.
+type countdownCtx struct {
+	context.Context
+	remaining int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining <= 0 {
+		return context.Canceled
+	}
+	c.remaining--
+	return nil
+}
+
+func TestMineCancellation(t *testing.T) {
+	g := rulesGraph(20)
+	opts := discovery.Options{K: 3, Support: 2, WildcardNodes: true}
+
+	full := Mine(context.Background(), g, opts, cluster.New(cluster.Config{Workers: 4}), Options{LoadBalance: true})
+	if full.Stats.Cancelled {
+		t.Fatal("uncancelled run reported Cancelled")
+	}
+
+	// Cancelled before the first superstep: nothing is mined, and the run
+	// still terminates cleanly.
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := Mine(pre, g, opts, cluster.New(cluster.Config{Workers: 4}), Options{LoadBalance: true})
+	if !res.Stats.Cancelled {
+		t.Fatal("pre-cancelled run did not report Cancelled")
+	}
+	if n := len(res.All()); n != 0 {
+		t.Fatalf("pre-cancelled run mined %d GFDs", n)
+	}
+
+	// Cancelled mid-run: the backend stops at a superstep boundary, so the
+	// result is a prefix of the full run — never garbage, never a hang.
+	mid := Mine(&countdownCtx{Context: context.Background(), remaining: 2}, g, opts,
+		cluster.New(cluster.Config{Workers: 4}), Options{LoadBalance: true})
+	if !mid.Stats.Cancelled {
+		t.Fatal("mid-run cancellation did not report Cancelled")
+	}
+	if len(mid.All()) >= len(full.All()) && len(full.All()) > 0 {
+		t.Fatalf("cancelled run mined %d GFDs, full run %d — cancellation did nothing", len(mid.All()), len(full.All()))
 	}
 }

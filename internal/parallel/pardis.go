@@ -1,6 +1,8 @@
 package parallel
 
 import (
+	"context"
+
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/discovery"
@@ -23,18 +25,25 @@ type MineResult struct {
 // It is parallel scalable relative to discovery.Mine: simulated response
 // time decreases as eng.Workers() grows. v may be a heap graph or an
 // opened snapshot.
-func Mine(v graph.View, opts discovery.Options, eng *cluster.Engine, popts Options) *MineResult {
-	return mine(v, nil, opts, eng, popts)
+//
+// ctx bounds the run: a cancelled or expired context stops the workers
+// at the next superstep boundary — the result carries whatever was
+// mined so far with Stats.Cancelled set.
+func Mine(ctx context.Context, v graph.View, opts discovery.Options, eng *cluster.Engine, popts Options) *MineResult {
+	return mine(ctx, v, nil, opts, eng, popts)
 }
 
 // MineFragments is Mine over pre-built fragments (one per worker of eng) —
 // in particular fragments reattached from a spill directory, where every
 // worker's index is a zero-copy MappedGraph instead of a heap SubCSR.
-func MineFragments(v graph.View, frags []Fragment, opts discovery.Options, eng *cluster.Engine, popts Options) *MineResult {
-	return mine(v, frags, opts, eng, popts)
+func MineFragments(ctx context.Context, v graph.View, frags []Fragment, opts discovery.Options, eng *cluster.Engine, popts Options) *MineResult {
+	return mine(ctx, v, frags, opts, eng, popts)
 }
 
-func mine(v graph.View, frags []Fragment, opts discovery.Options, eng *cluster.Engine, popts Options) *MineResult {
+func mine(ctx context.Context, v graph.View, frags []Fragment, opts discovery.Options, eng *cluster.Engine, popts Options) *MineResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if popts.MaxTableRows == 0 {
 		popts.MaxTableRows = opts.MaxTableRows
 	}
@@ -47,10 +56,12 @@ func mine(v graph.View, frags []Fragment, opts discovery.Options, eng *cluster.E
 	}
 	var stats discovery.Stats
 	backend := newBackend(v, eng, frags, popts, &stats, prof.Stats)
+	backend.ctx = ctx
 	res := discovery.MineWithBackend(backend, prof, opts)
 	res.Stats.MaxTableRows = stats.MaxTableRows
 	res.Stats.TotalTableRows = stats.TotalTableRows
 	res.Stats.Aborted += stats.Aborted
+	res.Stats.Cancelled = stats.Cancelled
 	return &MineResult{Result: res, Cluster: eng.Stats(), FragmentEdges: backend.FragmentEdges()}
 }
 
@@ -68,8 +79,8 @@ type DisGFDResult struct {
 // reduce them to a cover. Mining and cover computation use separate
 // engines so their costs are reported independently (as the paper does in
 // Exp-1 vs Exp-4).
-func DisGFD(v graph.View, opts discovery.Options, mineEng, coverEng *cluster.Engine, popts Options) *DisGFDResult {
-	mr := Mine(v, opts, mineEng, popts)
+func DisGFD(ctx context.Context, v graph.View, opts discovery.Options, mineEng, coverEng *cluster.Engine, popts Options) *DisGFDResult {
+	mr := Mine(ctx, v, opts, mineEng, popts)
 	cr := Cover(mr.All(), mr.Tree, coverEng, CoverOptions{Grouping: true})
 	return &DisGFDResult{Mine: mr, Cover: cr, Sigma: cr.Cover}
 }

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"repro/internal/graph"
 	"repro/internal/store"
@@ -120,9 +121,65 @@ type Attached struct {
 	maps []*store.MappedGraph
 }
 
+// FragmentProblem is one defective file in a spill directory: the file's
+// base name (or the name a missing fragment should have had) and what is
+// wrong with it.
+type FragmentProblem struct {
+	File string
+	Err  error
+}
+
+// AttachError is the structured failure of Attach: every problem found in
+// the directory — missing fragments, unopenable or truncated snapshots,
+// metadata and cut-validation failures — not just the first. An operator
+// recovering a spill directory (or a coordinator deciding which workers
+// to fail over) needs the complete defect list in one shot; re-running
+// Attach once per problem against large mappings is not an option.
+type AttachError struct {
+	// Dir is the spill directory Attach was pointed at.
+	Dir string
+	// Problems lists every defective or missing fragment file, in file
+	// name order.
+	Problems []FragmentProblem
+	// Stale lists ".tmp-*" staging leftovers of a crashed Spill that were
+	// found (and skipped) while scanning. They are context, not errors: a
+	// crashed spill's temp files never shadow the committed set.
+	Stale []string
+}
+
+// Error lists every problem, one per line.
+func (e *AttachError) Error() string {
+	s := fmt.Sprintf("parallel: attach %s: %d problem(s):", e.Dir, len(e.Problems))
+	for _, p := range e.Problems {
+		s += fmt.Sprintf("\n  %s: %v", p.File, p.Err)
+	}
+	if len(e.Stale) > 0 {
+		s += fmt.Sprintf("\n  (ignored %d stale spill temp file(s): %v)", len(e.Stale), e.Stale)
+	}
+	return s
+}
+
+// Unwrap exposes the individual problems to errors.Is/As.
+func (e *AttachError) Unwrap() []error {
+	errs := make([]error, len(e.Problems))
+	for i, p := range e.Problems {
+		errs[i] = p.Err
+	}
+	return errs
+}
+
+// errMissing tags a fragment file that should exist but does not.
+var errMissing = fmt.Errorf("missing")
+
 // Attach maps a spill directory written by Spill: graph.gfds plus every
-// frag-*.gfds, validated to form a complete worker set 0..n-1. The caller
-// must Close the result when done.
+// frag-*.gfds, validated to form a complete worker set 0..n-1 whose owned
+// node ranges tile the graph. The caller must Close the result when done.
+//
+// Staging leftovers of a crashed Spill (".tmp-*" files) are skipped: only
+// files that completed Spill's rename phase are ever mapped, so a partial
+// write can not be attached. On failure the returned error is an
+// *AttachError naming every defective or missing fragment file, not just
+// the first one found.
 func Attach(dir string) (*Attached, error) {
 	a := &Attached{}
 	ok := false
@@ -139,54 +196,106 @@ func Attach(dir string) (*Attached, error) {
 	a.Graph = g
 	a.maps = append(a.maps, g)
 
-	paths, err := filepath.Glob(filepath.Join(dir, "frag-*.gfds"))
-	if err != nil {
-		return nil, err
+	attachErr := &AttachError{Dir: dir}
+	problem := func(file string, format string, args ...any) {
+		attachErr.Problems = append(attachErr.Problems, FragmentProblem{File: file, Err: fmt.Errorf(format, args...)})
 	}
-	if len(paths) == 0 {
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("parallel: attach %s: %w", dir, err)
+	}
+	var paths []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, ".tmp-") {
+			// Staging leftovers of a Spill that crashed between temp write
+			// and rename: possibly partial, never part of the committed
+			// set. Skip them — and report them alongside any failure so an
+			// operator can tell "crashed spill, old set intact" from a
+			// genuinely defective directory.
+			attachErr.Stale = append(attachErr.Stale, name)
+			continue
+		}
+		if match, _ := filepath.Match("frag-*.gfds", name); match {
+			paths = append(paths, filepath.Join(dir, name))
+		}
+	}
+	if len(paths) == 0 && len(attachErr.Problems) == 0 {
+		if len(attachErr.Stale) > 0 {
+			return nil, fmt.Errorf("parallel: attach %s: no fragment snapshots (only %d stale spill temp file(s) %v — crashed spill?)",
+				dir, len(attachErr.Stale), attachErr.Stale)
+		}
 		return nil, fmt.Errorf("parallel: attach %s: no fragment snapshots", dir)
 	}
+
+	byWorker := map[int]Fragment{}
+	maxWorker := -1
 	for _, p := range paths {
+		base := filepath.Base(p)
 		m, err := store.Open(p)
 		if err != nil {
-			return nil, fmt.Errorf("parallel: attach: %w", err)
+			problem(base, "%v", err)
+			continue
 		}
 		a.maps = append(a.maps, m)
 		fi, has := m.Fragment()
 		if !has {
-			return nil, fmt.Errorf("parallel: attach %s: snapshot carries no fragment metadata", p)
+			problem(base, "snapshot carries no fragment metadata")
+			continue
 		}
 		if m.NumNodes() != g.NumNodes() {
-			return nil, fmt.Errorf("parallel: attach %s: node store (%d nodes) disagrees with graph snapshot (%d)", p, m.NumNodes(), g.NumNodes())
+			problem(base, "node store (%d nodes) disagrees with graph snapshot (%d)", m.NumNodes(), g.NumNodes())
+			continue
 		}
-		a.Frags = append(a.Frags, Fragment{Worker: fi.Worker, Sub: m, NodeLo: fi.NodeLo, NodeHi: fi.NodeHi})
+		if prev, dup := byWorker[fi.Worker]; dup {
+			problem(base, "duplicate fragment for worker %d (also owned by range [%d,%d))", fi.Worker, prev.NodeLo, prev.NodeHi)
+			continue
+		}
+		byWorker[fi.Worker] = Fragment{Worker: fi.Worker, Sub: m, NodeLo: fi.NodeLo, NodeHi: fi.NodeHi}
+		if fi.Worker > maxWorker {
+			maxWorker = fi.Worker
+		}
 	}
-	sort.Slice(a.Frags, func(i, j int) bool { return a.Frags[i].Worker < a.Frags[j].Worker })
+
 	// The fragments must form one coherent cut of the attached graph:
-	// contiguous workers whose owned node ranges tile [0, NumNodes)
-	// exactly, and node stores / symbol pools sized like the master's
+	// contiguous workers 0..n-1 whose owned node ranges tile [0, NumNodes)
+	// exactly, and node stores / symbol pools identical to the master's
 	// (splitByOwnership routes seed rows by these boundaries and the
 	// master merges constant counts by ValueID, so a directory mixing
 	// files from two different cuts must be rejected, not mined wrong).
-	for w, f := range a.Frags {
-		if f.Worker != w {
-			return nil, fmt.Errorf("parallel: attach %s: fragment workers not contiguous (want %d, have %d)", dir, w, f.Worker)
+	// Every check runs even after a failure, so the error names the full
+	// defect set.
+	for w := 0; w <= maxWorker; w++ {
+		f, have := byWorker[w]
+		if !have {
+			problem(FragmentSnapshotName(w), "%w (workers 0..%d expected)", errMissing, maxWorker)
+			continue
 		}
-		prevHi := graph.NodeID(0)
 		if w > 0 {
-			prevHi = a.Frags[w-1].NodeHi
-		}
-		if f.NodeLo != prevHi {
-			return nil, fmt.Errorf("parallel: attach %s: worker %d owns [%d,%d) but the previous range ends at %d (mixed-cut directory?)",
-				dir, w, f.NodeLo, f.NodeHi, prevHi)
+			if prev, havePrev := byWorker[w-1]; havePrev && f.NodeLo != prev.NodeHi {
+				problem(FragmentSnapshotName(w), "owns [%d,%d) but worker %d's range ends at %d (mixed-cut directory?)",
+					f.NodeLo, f.NodeHi, w-1, prev.NodeHi)
+				continue
+			}
+		} else if f.NodeLo != 0 {
+			problem(FragmentSnapshotName(0), "owns [%d,%d), want a range starting at 0", f.NodeLo, f.NodeHi)
+			continue
 		}
 		if err := sameNodeStore(g, f.Sub.(*store.MappedGraph)); err != nil {
-			return nil, fmt.Errorf("parallel: attach %s: worker %d: %w", dir, w, err)
+			problem(FragmentSnapshotName(w), "%v", err)
+			continue
 		}
+		a.Frags = append(a.Frags, f)
 	}
-	if last := a.Frags[len(a.Frags)-1].NodeHi; int(last) != g.NumNodes() {
-		return nil, fmt.Errorf("parallel: attach %s: ownership ranges end at %d, graph has %d nodes", dir, last, g.NumNodes())
+	if last, have := byWorker[maxWorker]; have && len(attachErr.Problems) == 0 && int(last.NodeHi) != g.NumNodes() {
+		problem(FragmentSnapshotName(maxWorker), "ownership ranges end at %d, graph has %d nodes", last.NodeHi, g.NumNodes())
 	}
+	if len(attachErr.Problems) > 0 {
+		sort.Slice(attachErr.Problems, func(i, j int) bool { return attachErr.Problems[i].File < attachErr.Problems[j].File })
+		return nil, attachErr
+	}
+	sort.Slice(a.Frags, func(i, j int) bool { return a.Frags[i].Worker < a.Frags[j].Worker })
 	ok = true
 	return a, nil
 }

@@ -1,6 +1,8 @@
 package parallel
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -122,6 +124,123 @@ func TestAttachErrors(t *testing.T) {
 	}
 }
 
+// TestAttachStructuredError: a defective directory must be reported as an
+// *AttachError naming every problem — a missing fragment AND a truncated
+// one in the same directory both appear, not just whichever the scan hits
+// first.
+func TestAttachStructuredError(t *testing.T) {
+	g := dataset.YAGO2Sim(60, 3)
+	dir := t.TempDir()
+	if err := Spill(dir, g, VertexCut(g, 4)); err != nil {
+		t.Fatal(err)
+	}
+	// Two independent defects: worker 1's file is gone, worker 2's is
+	// truncated mid-section.
+	if err := os.Remove(filepath.Join(dir, FragmentSnapshotName(1))); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(filepath.Join(dir, FragmentSnapshotName(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, FragmentSnapshotName(2)), full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = Attach(dir)
+	if err == nil {
+		t.Fatal("defective directory attached")
+	}
+	var ae *AttachError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error is %T, want *AttachError: %v", err, err)
+	}
+	if ae.Dir != dir {
+		t.Fatalf("AttachError.Dir = %q, want %q", ae.Dir, dir)
+	}
+	byFile := map[string]error{}
+	for _, p := range ae.Problems {
+		byFile[p.File] = p.Err
+	}
+	if _, ok := byFile[FragmentSnapshotName(1)]; !ok {
+		t.Fatalf("missing %s not reported; problems: %v", FragmentSnapshotName(1), err)
+	}
+	if _, ok := byFile[FragmentSnapshotName(2)]; !ok {
+		t.Fatalf("truncated %s not reported; problems: %v", FragmentSnapshotName(2), err)
+	}
+	if !errors.Is(err, errMissing) {
+		t.Fatalf("errors.Is(err, errMissing) = false; err: %v", err)
+	}
+	if !strings.Contains(err.Error(), FragmentSnapshotName(1)) || !strings.Contains(err.Error(), FragmentSnapshotName(2)) {
+		t.Fatalf("Error() does not name both defective files:\n%v", err)
+	}
+}
+
+// TestAttachCrashMidSpill simulates a Spill killed between the temp-write
+// and rename phases: the directory holds the previous committed set plus
+// ".tmp-*" staging leftovers (one of them a partial write). Attach must
+// skip the temp files — never mapping a partial one — and recover the
+// committed set cleanly.
+func TestAttachCrashMidSpill(t *testing.T) {
+	g := dataset.DBpediaSim(80, 5)
+	dir := t.TempDir()
+	if err := Spill(dir, g, VertexCut(g, 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A wider re-spill crashed before its rename phase: full and partial
+	// staged files are left behind.
+	full, err := os.ReadFile(filepath.Join(dir, FragmentSnapshotName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ".tmp-"+FragmentSnapshotName(2)), full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ".tmp-"+FragmentSnapshotName(3)), full[:len(full)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	att, err := Attach(dir)
+	if err != nil {
+		t.Fatalf("Attach with stale temp files: %v", err)
+	}
+	defer att.Close()
+	if att.Workers() != 2 {
+		t.Fatalf("attached %d fragments, want the 2 committed ones", att.Workers())
+	}
+
+	// If the committed set is ALSO broken, the stale files show up in the
+	// error as context (crashed spill) next to the real problem.
+	if err := os.Remove(filepath.Join(dir, FragmentSnapshotName(1))); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Attach(dir)
+	var ae *AttachError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error is %T, want *AttachError: %v", err, err)
+	}
+	if len(ae.Stale) != 2 {
+		t.Fatalf("AttachError.Stale = %v, want the two .tmp- leftovers", ae.Stale)
+	}
+	if !strings.Contains(err.Error(), ".tmp-"+FragmentSnapshotName(3)) {
+		t.Fatalf("stale temp files not surfaced in error:\n%v", err)
+	}
+
+	// A directory holding nothing but staging leftovers (spill crashed on
+	// the very first cut) errors cleanly and says why.
+	onlyTmp := t.TempDir()
+	if err := store.WriteFile(filepath.Join(onlyTmp, GraphSnapshotName), g); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(onlyTmp, ".tmp-"+FragmentSnapshotName(0)), full[:100], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Attach(onlyTmp); err == nil || !strings.Contains(err.Error(), "crashed spill") {
+		t.Fatalf("tmp-only directory: err = %v, want a crashed-spill diagnosis", err)
+	}
+}
+
 // --- Golden mining over mmap-backed fragments ---
 
 const (
@@ -183,7 +302,7 @@ func TestGoldenMiningSpilled(t *testing.T) {
 			t.Fatalf("n=%d: Attach: %v", workers, err)
 		}
 		eng := cluster.New(cluster.Config{Workers: workers})
-		res := MineFragments(att.Graph, att.Frags, goldenSpillOptions(), eng, Options{LoadBalance: true})
+		res := MineFragments(context.Background(), att.Graph, att.Frags, goldenSpillOptions(), eng, Options{LoadBalance: true})
 		// Canonicalize before Close: rendering copies the literal strings
 		// out of the mapping.
 		got := canonicalizeResult(res.Result)

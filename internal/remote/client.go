@@ -1,0 +1,478 @@
+package remote
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/pattern"
+	"repro/internal/store"
+)
+
+// Options configures a RemoteFragment.
+type Options struct {
+	// DialTimeout bounds each connection attempt.
+	DialTimeout time.Duration
+	// CallTimeout is the per-RPC deadline: every call on the wire carries
+	// it, so a stalled server (or a dropped frame) turns into a timeout,
+	// a retry, and eventually a failover instead of a hung superstep.
+	CallTimeout time.Duration
+	// Backoff is the retry policy between attempts.
+	Backoff Backoff
+	// FallbackPath, when set, names this worker's spilled frag-N.gfds:
+	// the recovery unit. When the server is declared dead the fragment is
+	// re-attached from this file and every subsequent call runs locally —
+	// mining output is unchanged because the spill file holds exactly the
+	// section bytes the server was mapping.
+	FallbackPath string
+	// Seed makes the retry jitter deterministic (tests); 0 derives one.
+	Seed int64
+	// Clock abstracts backoff sleeps (tests inject a fake).
+	Clock Clock
+	// Dialer overrides the transport (tests inject fault wrappers or
+	// in-memory pipes). Defaults to a TCP dial with DialTimeout.
+	Dialer func(ctx context.Context, addr string) (net.Conn, error)
+	// Logf, if set, receives one line per retry/failover event.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 3 * time.Second
+	}
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 5 * time.Second
+	}
+	o.Backoff = o.Backoff.withDefaults()
+	if o.Clock == nil {
+		o.Clock = realClock{}
+	}
+	return o
+}
+
+// RemoteFragment is a fragment served by a remote process, dressed as a
+// graph.View. The node store and symbol surface delegate to the
+// coordinator's own base view (every fragment snapshot carries the same
+// node store — the handshake fingerprint enforces it), the hot
+// incremental join goes over the wire as a row-table batch
+// (match.BatchExtender), and per-edge CSR methods are served from a
+// lazily fetched local replica of the fragment's snapshot sections, so
+// they never turn into per-edge RPCs.
+//
+// A RemoteFragment is safe for concurrent use: concurrent supersteps
+// serialise on one connection.
+type RemoteFragment struct {
+	addr string
+	base graph.View
+	opts Options
+	ctx  context.Context
+
+	info           store.FragmentInfo
+	numEdges       int
+	edgeLabelCount []uint64
+
+	planCache sync.Map
+
+	mu   sync.Mutex // serialises conn use and redials
+	conn net.Conn
+	rng  *rand.Rand
+
+	localMu sync.Mutex
+	local   *store.MappedGraph // failover attach or fetched replica
+	replica bool               // local came from msgSections, not the spill file
+
+	transferred atomic.Int64
+	failedOver  atomic.Bool
+	dead        atomic.Bool
+}
+
+// Compile-time checks: the client is a full matching surface and computes
+// its own share of the incremental join.
+var (
+	_ graph.View          = (*RemoteFragment)(nil)
+	_ match.BatchExtender = (*RemoteFragment)(nil)
+)
+
+// Dial connects to a fragment server and validates the handshake: the
+// served fragment must carry the same node store as base (by count and
+// content fingerprint) — a coordinator must never join against a
+// fragment of a different graph. ctx governs the fragment's lifetime:
+// its deadline/cancellation applies to every call.
+func Dial(ctx context.Context, addr string, base graph.View, opts Options) (*RemoteFragment, error) {
+	if !store.WireSupported() {
+		return nil, fmt.Errorf("remote: wire format is little-endian; unsupported on this host")
+	}
+	opts = opts.withDefaults()
+	seed := opts.Seed
+	if seed == 0 {
+		seed = int64(frameSum(0, 0, []byte(addr))) + 1
+	}
+	f := &RemoteFragment{
+		addr: addr,
+		base: base,
+		opts: opts,
+		ctx:  ctx,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+	f.mu.Lock()
+	_, resp, err := f.call(msgHello, nil)
+	f.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
+	}
+	h, err := decodeHelloOK(resp)
+	if err != nil {
+		return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
+	}
+	if h.NumNodes != base.NumNodes() || h.NumLabels != base.NumLabels() ||
+		h.NumAttrs != base.NumAttrs() || h.NumValues != base.NumValues() {
+		return nil, fmt.Errorf("remote: dial %s: fragment node store (%d nodes, %d labels, %d attrs, %d values) disagrees with the coordinator's graph (%d, %d, %d, %d)",
+			addr, h.NumNodes, h.NumLabels, h.NumAttrs, h.NumValues,
+			base.NumNodes(), base.NumLabels(), base.NumAttrs(), base.NumValues())
+	}
+	if fp := Fingerprint(base); fp != h.Fingerprint {
+		return nil, fmt.Errorf("remote: dial %s: fragment node-store fingerprint %016x disagrees with the coordinator's %016x (different graph?)", addr, h.Fingerprint, fp)
+	}
+	if len(h.EdgeLabelCount) != h.NumLabels {
+		return nil, fmt.Errorf("remote: dial %s: malformed handshake: %d edge-label counts for %d labels", addr, len(h.EdgeLabelCount), h.NumLabels)
+	}
+	f.info = store.FragmentInfo{Worker: h.Worker, NodeLo: h.NodeLo, NodeHi: h.NodeHi}
+	f.numEdges = h.NumEdges
+	f.edgeLabelCount = h.EdgeLabelCount
+	return f, nil
+}
+
+// Info returns the fragment's identity from the handshake.
+func (f *RemoteFragment) Info() store.FragmentInfo { return f.info }
+
+// Addr returns the server address.
+func (f *RemoteFragment) Addr() string { return f.addr }
+
+// FailedOver reports whether the fragment has been declared dead and
+// re-attached from its local spill file.
+func (f *RemoteFragment) FailedOver() bool { return f.failedOver.Load() }
+
+// TakeTransferred drains the wire-byte counter: every frame sent or
+// received since the last call, headers included. The parallel backend
+// charges these real bytes to the cluster ledger in place of the
+// simulated Ship volume.
+func (f *RemoteFragment) TakeTransferred() int64 { return f.transferred.Swap(0) }
+
+// Healthy probes the server with one heartbeat round-trip under ctx (no
+// retries): the liveness check, not the recovery path.
+func (f *RemoteFragment) Healthy(ctx context.Context) error {
+	var w wbuf
+	w.u64(uint64(time.Now().UnixNano()))
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	typ, resp, err := f.attempt(ctx, msgPing, w.b)
+	if err != nil {
+		return err
+	}
+	if typ != msgPong || len(resp) != len(w.b) {
+		return fmt.Errorf("remote: %s: bad heartbeat echo", f.addr)
+	}
+	return nil
+}
+
+// Close releases the connection and any local mapping. The base view is
+// the caller's and is left alone.
+func (f *RemoteFragment) Close() error {
+	f.mu.Lock()
+	if f.conn != nil {
+		f.conn.Close()
+		f.conn = nil
+	}
+	f.mu.Unlock()
+	f.localMu.Lock()
+	defer f.localMu.Unlock()
+	if f.local != nil {
+		return f.local.Close()
+	}
+	return nil
+}
+
+// --- RPC core ---
+
+// dial opens a fresh transport connection.
+func (f *RemoteFragment) dial() (net.Conn, error) {
+	ctx, cancel := context.WithTimeout(f.ctx, f.opts.DialTimeout)
+	defer cancel()
+	if f.opts.Dialer != nil {
+		return f.opts.Dialer(ctx, f.addr)
+	}
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", f.addr)
+}
+
+// fatalError marks a server-reported application error: the transport is
+// healthy, retrying cannot help.
+type fatalError struct{ msg string }
+
+func (e *fatalError) Error() string { return e.msg }
+
+// attempt runs one request/response exchange under ctx's deadline (capped
+// by CallTimeout). Caller holds f.mu.
+func (f *RemoteFragment) attempt(ctx context.Context, typ uint32, payload []byte) (uint32, []byte, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+	if f.conn == nil {
+		c, err := f.dial()
+		if err != nil {
+			return 0, nil, err
+		}
+		f.conn = c
+	}
+	deadline := time.Now().Add(f.opts.CallTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	f.conn.SetDeadline(deadline)
+	sent, err := writeFrame(f.conn, typ, payload)
+	f.transferred.Add(int64(sent))
+	if err != nil {
+		return 0, nil, err
+	}
+	respType, resp, n, err := readFrame(f.conn)
+	f.transferred.Add(int64(n))
+	if err != nil {
+		return 0, nil, err
+	}
+	if respType == msgError {
+		r := rbuf{b: resp}
+		return 0, nil, &fatalError{msg: fmt.Sprintf("remote: %s: server error: %s", f.addr, r.str())}
+	}
+	return respType, resp, nil
+}
+
+// call is the retry loop: each transport failure closes the connection,
+// sleeps the capped jittered backoff, redials and tries again. A
+// server-reported error is fatal immediately; exhausting the attempts
+// returns the last transport error — at which point the caller declares
+// the fragment dead. Caller holds f.mu.
+func (f *RemoteFragment) call(typ uint32, payload []byte) (uint32, []byte, error) {
+	var lastErr error
+	for a := 0; a < f.opts.Backoff.Attempts; a++ {
+		if a > 0 {
+			delay := f.opts.Backoff.Delay(a-1, f.rng)
+			f.logf("remote: %s: attempt %d/%d failed (%v); retrying in %s", f.addr, a, f.opts.Backoff.Attempts, lastErr, delay)
+			if err := f.opts.Clock.Sleep(f.ctx, delay); err != nil {
+				return 0, nil, err
+			}
+		}
+		respType, resp, err := f.attempt(f.ctx, typ, payload)
+		if err == nil {
+			return respType, resp, nil
+		}
+		if _, fatal := err.(*fatalError); fatal {
+			return 0, nil, err
+		}
+		if f.ctx.Err() != nil {
+			return 0, nil, err
+		}
+		lastErr = err
+		if f.conn != nil {
+			f.conn.Close()
+			f.conn = nil
+		}
+	}
+	return 0, nil, fmt.Errorf("remote: %s: %d attempts exhausted: %w", f.addr, f.opts.Backoff.Attempts, lastErr)
+}
+
+func (f *RemoteFragment) logf(format string, args ...any) {
+	if f.opts.Logf != nil {
+		f.opts.Logf(format, args...)
+	}
+}
+
+// --- Failure escalation ---
+
+// localView returns the local serving view, if any (failover attach or
+// fetched replica).
+func (f *RemoteFragment) localView() *store.MappedGraph {
+	f.localMu.Lock()
+	defer f.localMu.Unlock()
+	return f.local
+}
+
+// declareDead escalates after exhausted retries: re-attach the worker's
+// spilled snapshot (the recovery unit) and serve everything locally from
+// here on. A previously fetched section replica is an acceptable
+// substitute when no spill file was configured. With neither, the
+// coordinator cannot preserve correctness and the run stops with a
+// descriptive panic — returning wrong mining output is not an option.
+func (f *RemoteFragment) declareDead(cause error) *store.MappedGraph {
+	f.localMu.Lock()
+	defer f.localMu.Unlock()
+	if f.local != nil {
+		f.failedOver.Store(true)
+		return f.local
+	}
+	if f.opts.FallbackPath == "" {
+		panic(fmt.Sprintf("remote: fragment %d at %s declared dead (%v) with no local fallback: set Options.FallbackPath to the worker's spilled frag-N.gfds to enable failover", f.info.Worker, f.addr, cause))
+	}
+	m, err := store.Open(f.opts.FallbackPath)
+	if err != nil {
+		panic(fmt.Sprintf("remote: fragment %d at %s declared dead (%v) and re-attaching %s failed: %v", f.info.Worker, f.addr, cause, f.opts.FallbackPath, err))
+	}
+	if fi, has := m.Fragment(); !has || fi != f.info || m.NumNodes() != f.base.NumNodes() {
+		m.Close()
+		panic(fmt.Sprintf("remote: fragment %d at %s declared dead (%v) but %s holds a different fragment", f.info.Worker, f.addr, cause, f.opts.FallbackPath))
+	}
+	f.logf("remote: fragment %d at %s declared dead (%v); failed over to %s", f.info.Worker, f.addr, cause, f.opts.FallbackPath)
+	f.local = m
+	f.replica = false
+	f.dead.Store(true)
+	f.failedOver.Store(true)
+	return m
+}
+
+// ExtendIndexed implements match.BatchExtender: the fragment's share of
+// the incremental join, computed server-side against its mmap. On a dead
+// server it degrades to the local fallback and computes the identical
+// share there — the superstep resumes, output unchanged.
+func (f *RemoteFragment) ExtendIndexed(t *match.Table, child *pattern.Pattern) match.IndexedExt {
+	if m := f.localView(); m != nil {
+		return match.ExtendIndexed(m, t, child)
+	}
+	if t == nil {
+		return match.IndexedExt{}
+	}
+	payload := encodeExtend(t, child)
+	f.mu.Lock()
+	respType, resp, err := f.call(msgExtend, payload)
+	f.mu.Unlock()
+	if err == nil && respType != msgExtendOK {
+		err = fmt.Errorf("remote: %s: unexpected response type %d to extend", f.addr, respType)
+	}
+	if err == nil {
+		ext, derr := decodeExtendOK(resp)
+		if derr == nil {
+			return ext
+		}
+		err = derr
+	}
+	return match.ExtendIndexed(f.declareDead(err), t, child)
+}
+
+// fetchLocal returns a local view of the fragment's CSR, fetching the
+// snapshot sections over the wire once if the spill file has not already
+// been attached. Per-edge View methods route here: one bulk section
+// transfer instead of per-edge RPCs.
+func (f *RemoteFragment) fetchLocal() *store.MappedGraph {
+	if m := f.localView(); m != nil {
+		return m
+	}
+	f.mu.Lock()
+	respType, resp, err := f.call(msgSections, nil)
+	f.mu.Unlock()
+	if err == nil && respType != msgSectionsOK {
+		err = fmt.Errorf("remote: %s: unexpected response type %d to sections", f.addr, respType)
+	}
+	var m *store.MappedGraph
+	if err == nil {
+		m, err = store.OpenBytes(resp)
+	}
+	if err != nil {
+		return f.declareDead(err)
+	}
+	f.localMu.Lock()
+	defer f.localMu.Unlock()
+	if f.local == nil {
+		f.local = m
+		f.replica = true
+	}
+	return f.local
+}
+
+// --- graph.View: node store and symbols (the coordinator's own base) ---
+
+func (f *RemoteFragment) NumNodes() int  { return f.base.NumNodes() }
+func (f *RemoteFragment) NumLabels() int { return f.base.NumLabels() }
+func (f *RemoteFragment) NumAttrs() int  { return f.base.NumAttrs() }
+func (f *RemoteFragment) NumValues() int { return f.base.NumValues() }
+
+func (f *RemoteFragment) NodeLabelID(v graph.NodeID) graph.LabelID { return f.base.NodeLabelID(v) }
+
+func (f *RemoteFragment) Attr(v graph.NodeID, a string) (string, bool) { return f.base.Attr(v, a) }
+
+func (f *RemoteFragment) LookupLabel(name string) (graph.LabelID, bool) {
+	return f.base.LookupLabel(name)
+}
+func (f *RemoteFragment) LabelName(id graph.LabelID) string { return f.base.LabelName(id) }
+func (f *RemoteFragment) LookupAttr(name string) (graph.AttrID, bool) {
+	return f.base.LookupAttr(name)
+}
+func (f *RemoteFragment) AttrName(id graph.AttrID) string { return f.base.AttrName(id) }
+func (f *RemoteFragment) LookupValue(val string) (graph.ValueID, bool) {
+	return f.base.LookupValue(val)
+}
+func (f *RemoteFragment) ValueName(id graph.ValueID) string { return f.base.ValueName(id) }
+
+func (f *RemoteFragment) AttrColumn(a graph.AttrID) graph.AttrColumn { return f.base.AttrColumn(a) }
+
+func (f *RemoteFragment) AttrValueID(v graph.NodeID, a graph.AttrID) graph.ValueID {
+	return f.base.AttrValueID(v, a)
+}
+
+func (f *RemoteFragment) NodesByLabelID(l graph.LabelID) []graph.NodeID {
+	return f.base.NodesByLabelID(l)
+}
+
+// --- graph.View: fragment-local counts (shipped in the handshake) ---
+
+func (f *RemoteFragment) NumEdges() int { return f.numEdges }
+
+func (f *RemoteFragment) EdgeLabelCount(l graph.LabelID) int {
+	if l == graph.NoLabel {
+		return f.numEdges
+	}
+	if int(l) >= len(f.edgeLabelCount) {
+		return 0
+	}
+	return int(f.edgeLabelCount[l])
+}
+
+// --- graph.View: per-edge CSR (served from the local replica) ---
+
+func (f *RemoteFragment) OutRuns(v graph.NodeID) (lo, hi int) { return f.fetchLocal().OutRuns(v) }
+func (f *RemoteFragment) InRuns(v graph.NodeID) (lo, hi int)  { return f.fetchLocal().InRuns(v) }
+func (f *RemoteFragment) OutRunLabel(r int) graph.LabelID     { return f.fetchLocal().OutRunLabel(r) }
+func (f *RemoteFragment) InRunLabel(r int) graph.LabelID      { return f.fetchLocal().InRunLabel(r) }
+func (f *RemoteFragment) OutRunNodes(r int) []graph.NodeID    { return f.fetchLocal().OutRunNodes(r) }
+func (f *RemoteFragment) InRunNodes(r int) []graph.NodeID     { return f.fetchLocal().InRunNodes(r) }
+
+func (f *RemoteFragment) OutTo(v graph.NodeID, l graph.LabelID) []graph.NodeID {
+	return f.fetchLocal().OutTo(v, l)
+}
+
+func (f *RemoteFragment) InFrom(v graph.NodeID, l graph.LabelID) []graph.NodeID {
+	return f.fetchLocal().InFrom(v, l)
+}
+
+func (f *RemoteFragment) HasEdgeID(src, dst graph.NodeID, l graph.LabelID) bool {
+	return f.fetchLocal().HasEdgeID(src, dst, l)
+}
+
+// PlanCache implements graph.View: the remote view's own compiled-plan
+// cache.
+func (f *RemoteFragment) PlanCache() *sync.Map { return &f.planCache }
+
+// String summarises the remote fragment.
+func (f *RemoteFragment) String() string {
+	state := "remote"
+	if f.FailedOver() {
+		state = "failed-over"
+	} else if f.localView() != nil {
+		state = "replicated"
+	}
+	return fmt.Sprintf("remote{worker %d @ %s, %d edges, owns [%d,%d), %s}",
+		f.info.Worker, f.addr, f.numEdges, f.info.NodeLo, f.info.NodeHi, state)
+}

@@ -1,0 +1,149 @@
+package remote
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FaultSpec configures deterministic fault injection on a transport.
+// Faults act on whole messages (each protocol frame is one Write call):
+// a dropped frame stalls the peer until its deadline fires, a corrupted
+// frame trips the checksum, and a closed connection forces a redial —
+// together they exercise every leg of the deadline → retry → failover
+// escalation. Randomness is drawn from a per-connection PRNG seeded with
+// Seed plus the connection's index, so a given spec replays the same
+// fault sequence run after run.
+type FaultSpec struct {
+	// Drop is the probability a written frame is silently swallowed.
+	Drop float64
+	// Corrupt is the probability a written frame has one byte flipped.
+	Corrupt float64
+	// Delay pauses every write (after Drop/Corrupt are decided).
+	Delay time.Duration
+	// CloseAfter closes the connection after this many written frames
+	// (0 = never).
+	CloseAfter int
+	// Seed is the base PRNG seed.
+	Seed int64
+}
+
+// Active reports whether the spec injects any fault at all.
+func (f FaultSpec) Active() bool {
+	return f.Drop > 0 || f.Corrupt > 0 || f.Delay > 0 || f.CloseAfter > 0
+}
+
+// String renders the spec in ParseFaultSpec syntax.
+func (f FaultSpec) String() string {
+	var parts []string
+	if f.Drop > 0 {
+		parts = append(parts, fmt.Sprintf("drop=%g", f.Drop))
+	}
+	if f.Corrupt > 0 {
+		parts = append(parts, fmt.Sprintf("corrupt=%g", f.Corrupt))
+	}
+	if f.Delay > 0 {
+		parts = append(parts, fmt.Sprintf("delay=%s", f.Delay))
+	}
+	if f.CloseAfter > 0 {
+		parts = append(parts, fmt.Sprintf("closeafter=%d", f.CloseAfter))
+	}
+	parts = append(parts, fmt.Sprintf("seed=%d", f.Seed))
+	return strings.Join(parts, ",")
+}
+
+// ParseFaultSpec parses the CLI syntax:
+// "drop=0.05,corrupt=0.01,delay=2ms,closeafter=20,seed=1".
+func ParseFaultSpec(s string) (FaultSpec, error) {
+	var f FaultSpec
+	if strings.TrimSpace(s) == "" {
+		return f, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return f, fmt.Errorf("remote: fault spec %q: want key=value", kv)
+		}
+		var err error
+		switch k {
+		case "drop":
+			f.Drop, err = strconv.ParseFloat(v, 64)
+		case "corrupt":
+			f.Corrupt, err = strconv.ParseFloat(v, 64)
+		case "delay":
+			f.Delay, err = time.ParseDuration(v)
+		case "closeafter":
+			f.CloseAfter, err = strconv.Atoi(v)
+		case "seed":
+			f.Seed, err = strconv.ParseInt(v, 10, 64)
+		default:
+			return f, fmt.Errorf("remote: fault spec: unknown key %q (want drop/corrupt/delay/closeafter/seed)", k)
+		}
+		if err != nil {
+			return f, fmt.Errorf("remote: fault spec %q: %v", kv, err)
+		}
+	}
+	if f.Drop < 0 || f.Drop > 1 || f.Corrupt < 0 || f.Corrupt > 1 {
+		return f, fmt.Errorf("remote: fault spec: probabilities must be in [0,1]")
+	}
+	return f, nil
+}
+
+// Wrap wraps c in a FaultConn when the spec is active. stream
+// distinguishes connections so each gets an independent, reproducible
+// fault sequence.
+func (f FaultSpec) Wrap(c net.Conn, stream int64) net.Conn {
+	if !f.Active() {
+		return c
+	}
+	return &FaultConn{Conn: c, spec: f, rng: rand.New(rand.NewSource(f.Seed ^ (stream * 0x5851f42d4c957f2d)))}
+}
+
+// FaultConn injects the spec's faults into every Write. Reads pass
+// through untouched: dropping a request and dropping its response are
+// indistinguishable to the peer's deadline, so write-side injection
+// covers both directions of the escalation path while keeping the fault
+// sequence a pure function of the write sequence.
+type FaultConn struct {
+	net.Conn
+	spec   FaultSpec
+	mu     sync.Mutex
+	rng    *rand.Rand
+	writes int
+}
+
+func (c *FaultConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	c.writes++
+	if c.spec.CloseAfter > 0 && c.writes > c.spec.CloseAfter {
+		c.mu.Unlock()
+		c.Conn.Close()
+		return 0, fmt.Errorf("remote: fault injection: connection closed after %d frames", c.spec.CloseAfter)
+	}
+	drop := c.spec.Drop > 0 && c.rng.Float64() < c.spec.Drop
+	corruptAt := -1
+	if c.spec.Corrupt > 0 && c.rng.Float64() < c.spec.Corrupt && len(b) > 0 {
+		corruptAt = c.rng.Intn(len(b))
+	}
+	c.mu.Unlock()
+
+	if c.spec.Delay > 0 {
+		time.Sleep(c.spec.Delay)
+	}
+	if drop {
+		// Swallow the frame but report success: the peer stalls until its
+		// deadline fires — the exact signature of a lost datagram.
+		return len(b), nil
+	}
+	if corruptAt >= 0 {
+		mangled := make([]byte, len(b))
+		copy(mangled, b)
+		mangled[corruptAt] ^= 0x40
+		return c.Conn.Write(mangled)
+	}
+	return c.Conn.Write(b)
+}

@@ -1,0 +1,452 @@
+// Package remote is the distributed ParDis runtime: fragment servers
+// (cmd/gfdfrag) mmap a spilled frag-N.gfds and serve its share of the
+// incremental join over a length-prefixed binary protocol, and the
+// coordinator dials each one as a RemoteFragment — a graph.View that
+// parallel.MineFragments mixes freely with local mmap views.
+//
+// The RPC unit is the row-table batch: one Extend call ships a parent
+// table (its columns framed exactly as snapshot sections — raw
+// little-endian u32 runs) plus the child pattern, and gets back the
+// fragment's indexed share of ExtendRowsViews. No per-edge lookup ever
+// crosses the wire; a per-edge View method on a RemoteFragment is served
+// from a lazily fetched local replica of the fragment's snapshot.
+//
+// Failure semantics, in escalation order: every call carries a deadline;
+// transport errors retry with capped exponential backoff + jitter against
+// a freshly dialed connection; a fragment that exhausts its retries is
+// declared dead and the coordinator fails over by re-attaching the
+// worker's spilled frag-N.gfds locally (the spill file is the recovery
+// unit), after which the superstep resumes with a local view and mining
+// output is unchanged.
+//
+// # Framing
+//
+// Every message is one frame:
+//
+//	offset 0  payload length uint32 (little-endian, < maxFrame)
+//	offset 4  message type   uint32
+//	offset 8  checksum       uint32 (FNV-1a over length, type and payload)
+//	offset 12 payload
+//
+// A frame is written with a single Write call, so the fault-injection
+// harness (FaultConn) drops, delays or corrupts whole messages. The
+// checksum turns a corrupted payload into a detected transport error —
+// the client closes the connection, redials and retries — rather than a
+// silently wrong join.
+//
+// Payload fields are little-endian u32/u64 scalars, length-prefixed
+// strings padded to 4 bytes, and length-prefixed u32 slices encoded with
+// the snapshot section codec (store.WireU32s / store.CastU32s, zero-copy
+// on both sides). Hosts that cannot use that codec (big-endian) are
+// refused at Dial/Serve time, exactly as the snapshot format refuses
+// them.
+package remote
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/pattern"
+	"repro/internal/store"
+)
+
+// Message types. The numeric values are part of the protocol.
+const (
+	msgHello      uint32 = 1 // client -> server: handshake request (empty)
+	msgHelloOK    uint32 = 2 // server -> client: fragment metadata + counts + edge-label section
+	msgPing       uint32 = 3 // client -> server: heartbeat, echo payload
+	msgPong       uint32 = 4 // server -> client: heartbeat echo
+	msgExtend     uint32 = 5 // client -> server: child pattern + parent row-table batch
+	msgExtendOK   uint32 = 6 // server -> client: indexed extension share
+	msgSections   uint32 = 7 // client -> server: request the fragment's snapshot (empty)
+	msgSectionsOK uint32 = 8 // server -> client: complete snapshot bytes (store format)
+	msgError      uint32 = 9 // server -> client: application error (fatal, not retried)
+)
+
+const (
+	frameHeader = 12
+	// maxFrame bounds a frame payload: a corrupted or adversarial length
+	// field must not drive a giant allocation. Snapshot shipping is the
+	// largest legitimate payload; 1 GiB is far above any test graph and
+	// still a sane allocation bound.
+	maxFrame = 1 << 30
+)
+
+// frameSum is the frame checksum: FNV-1a 32 over the length and type
+// words followed by the payload. Covering the header words matters: a
+// corrupted type would otherwise parse as a perfectly framed message of
+// the wrong kind, and a corrupted length would desynchronise the stream
+// — both must surface as transport errors, not protocol confusion.
+func frameSum(length, typ uint32, payload []byte) uint32 {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], length)
+	binary.LittleEndian.PutUint32(hdr[4:], typ)
+	h := fnv.New32a()
+	h.Write(hdr[:])
+	h.Write(payload)
+	return h.Sum32()
+}
+
+// writeFrame frames and writes one message with a single Write call (the
+// fault harness counts messages, not bytes). Returns bytes written on the
+// wire.
+func writeFrame(w io.Writer, typ uint32, payload []byte) (int, error) {
+	if len(payload) > maxFrame {
+		return 0, fmt.Errorf("remote: frame payload %d exceeds limit", len(payload))
+	}
+	buf := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], typ)
+	binary.LittleEndian.PutUint32(buf[8:], frameSum(uint32(len(payload)), typ, payload))
+	copy(buf[frameHeader:], payload)
+	n, err := w.Write(buf)
+	return n, err
+}
+
+// readFrame reads and verifies one frame. Any failure — short read, bad
+// length, checksum mismatch — is a transport-level error: the connection
+// state is unknown and the caller must close it (and, on the client,
+// retry against a fresh one).
+func readFrame(r io.Reader) (typ uint32, payload []byte, n int, err error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, 0, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:])
+	typ = binary.LittleEndian.Uint32(hdr[4:])
+	sum := binary.LittleEndian.Uint32(hdr[8:])
+	if length > maxFrame {
+		return 0, nil, 0, fmt.Errorf("remote: frame length %d exceeds limit (corrupt header?)", length)
+	}
+	payload = make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, 0, err
+	}
+	if got := frameSum(length, typ, payload); got != sum {
+		return 0, nil, 0, fmt.Errorf("remote: frame checksum mismatch (%08x != %08x): corrupted frame", got, sum)
+	}
+	return typ, payload, frameHeader + int(length), nil
+}
+
+// --- Payload encoding ---
+
+// wbuf builds a payload. Strings are padded to 4 bytes so every scalar
+// and slice field stays 4-aligned, keeping the receive-side slice casts
+// zero-copy.
+type wbuf struct{ b []byte }
+
+func (w *wbuf) u32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *wbuf) u64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+
+func (w *wbuf) str(s string) {
+	w.u32(uint32(len(s)))
+	w.b = append(w.b, s...)
+	for len(w.b)%4 != 0 {
+		w.b = append(w.b, 0)
+	}
+}
+
+// wU32s appends a length-prefixed u32 slice in section encoding.
+func wU32s[T ~uint32](w *wbuf, s []T) {
+	w.u32(uint32(len(s)))
+	w.b = append(w.b, store.WireU32s(s)...)
+}
+
+func wU64s(w *wbuf, s []uint64) {
+	w.u32(uint32(len(s)))
+	for _, v := range s {
+		w.u64(v)
+	}
+}
+
+// rbuf decodes a payload with sticky error handling: after any failure
+// every further read returns zero values and err() reports the first
+// problem, so decoders read straight through without per-field checks.
+type rbuf struct {
+	b    []byte
+	off  int
+	fail error
+}
+
+func (r *rbuf) errf(format string, args ...any) {
+	if r.fail == nil {
+		r.fail = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *rbuf) err() error {
+	if r.fail != nil {
+		return r.fail
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("remote: %d trailing payload bytes", len(r.b)-r.off)
+	}
+	return nil
+}
+
+func (r *rbuf) take(n int) []byte {
+	if r.fail != nil || r.off+n > len(r.b) || n < 0 {
+		r.errf("remote: truncated payload (want %d bytes at %d of %d)", n, r.off, len(r.b))
+		return nil
+	}
+	b := r.b[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *rbuf) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *rbuf) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *rbuf) str() string {
+	n := int(r.u32())
+	b := r.take(n)
+	pad := (4 - n%4) % 4
+	r.take(pad)
+	return string(b)
+}
+
+// rU32s reads a length-prefixed u32 slice, aliasing the payload where
+// alignment allows.
+func rU32s[T ~uint32](r *rbuf) []T {
+	n := int(r.u32())
+	b := r.take(4 * n)
+	if b == nil {
+		return nil
+	}
+	s, err := store.CastU32s[T](b)
+	if err != nil {
+		r.errf("remote: %v", err)
+		return nil
+	}
+	return s
+}
+
+func rU64s(r *rbuf) []uint64 {
+	n := int(r.u32())
+	out := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.u64())
+	}
+	return out
+}
+
+// --- Messages ---
+
+// helloInfo is the server's handshake payload: the fragment's identity
+// and the counts + edge-label-count section the coordinator needs to
+// serve NumEdges/EdgeLabelCount locally, plus a node-store fingerprint so
+// a coordinator never joins against a fragment of a different graph.
+type helloInfo struct {
+	Worker         int
+	NodeLo, NodeHi graph.NodeID
+	NumNodes       int
+	NumEdges       int
+	NumLabels      int
+	NumAttrs       int
+	NumValues      int
+	Fingerprint    uint64
+	EdgeLabelCount []uint64
+}
+
+func encodeHelloOK(h helloInfo) []byte {
+	var w wbuf
+	w.u32(uint32(h.Worker))
+	w.u32(uint32(h.NodeLo))
+	w.u32(uint32(h.NodeHi))
+	w.u64(uint64(h.NumNodes))
+	w.u64(uint64(h.NumEdges))
+	w.u64(uint64(h.NumLabels))
+	w.u64(uint64(h.NumAttrs))
+	w.u64(uint64(h.NumValues))
+	w.u64(h.Fingerprint)
+	wU64s(&w, h.EdgeLabelCount)
+	return w.b
+}
+
+func decodeHelloOK(b []byte) (helloInfo, error) {
+	r := rbuf{b: b}
+	h := helloInfo{
+		Worker: int(r.u32()),
+		NodeLo: graph.NodeID(r.u32()),
+		NodeHi: graph.NodeID(r.u32()),
+	}
+	h.NumNodes = int(r.u64())
+	h.NumEdges = int(r.u64())
+	h.NumLabels = int(r.u64())
+	h.NumAttrs = int(r.u64())
+	h.NumValues = int(r.u64())
+	h.Fingerprint = r.u64()
+	h.EdgeLabelCount = rU64s(&r)
+	return h, r.err()
+}
+
+// Fingerprint hashes a view's node store by content: node labels plus all
+// three symbol pools. The coordinator's base view and every fragment
+// (local or remote) must agree on it — it is the wire-level analogue of
+// Attach's sameNodeStore check, computed once per endpoint.
+func Fingerprint(v graph.View) uint64 {
+	h := fnv.New64a()
+	var num [8]byte
+	for n := 0; n < v.NumNodes(); n++ {
+		binary.LittleEndian.PutUint32(num[:4], uint32(v.NodeLabelID(graph.NodeID(n))))
+		h.Write(num[:4])
+	}
+	writePool := func(n int, name func(int) string) {
+		binary.LittleEndian.PutUint64(num[:], uint64(n))
+		h.Write(num[:])
+		for i := 0; i < n; i++ {
+			s := name(i)
+			binary.LittleEndian.PutUint64(num[:], uint64(len(s)))
+			h.Write(num[:])
+			io.WriteString(h, s)
+		}
+	}
+	writePool(v.NumLabels(), func(i int) string { return v.LabelName(graph.LabelID(i)) })
+	writePool(v.NumAttrs(), func(i int) string { return v.AttrName(graph.AttrID(i)) })
+	writePool(v.NumValues(), func(i int) string { return v.ValueName(graph.ValueID(i)) })
+	return h.Sum64()
+}
+
+// encodeExtend frames one incremental-join request: the child pattern and
+// the parent row-table batch (all columns — the new-node case needs every
+// bound variable for the injectivity check). The parent pattern is not
+// shipped: the server re-derives it as the child minus its last edge
+// (and last variable), which is all ExtendIndexed consults.
+func encodeExtend(t *match.Table, child *pattern.Pattern) []byte {
+	var w wbuf
+	w.u32(uint32(child.N()))
+	w.u32(uint32(child.Pivot))
+	for _, l := range child.NodeLabels {
+		w.str(l)
+	}
+	w.u32(uint32(len(child.Edges)))
+	for _, e := range child.Edges {
+		w.u32(uint32(e.Src))
+		w.u32(uint32(e.Dst))
+		w.str(e.Label)
+	}
+	w.u32(uint32(t.NumVars()))
+	w.u32(uint32(t.Len()))
+	for v := 0; v < t.NumVars(); v++ {
+		w.b = append(w.b, store.WireU32s(t.Col(v))...)
+	}
+	return w.b
+}
+
+// decodeExtend rebuilds the child pattern and parent table. The returned
+// table aliases the payload where alignment allows; it lives only for the
+// duration of the request.
+func decodeExtend(b []byte) (*match.Table, *pattern.Pattern, error) {
+	r := rbuf{b: b}
+	n := int(r.u32())
+	pivot := int(r.u32())
+	if r.fail == nil && (n <= 0 || n > 64) {
+		r.errf("remote: implausible pattern arity %d", n)
+	}
+	if r.fail != nil {
+		return nil, nil, r.fail
+	}
+	child := &pattern.Pattern{Pivot: pivot, NodeLabels: make([]string, n)}
+	for i := range child.NodeLabels {
+		child.NodeLabels[i] = r.str()
+	}
+	ne := int(r.u32())
+	if r.fail == nil && (ne < 0 || ne > 4096) {
+		r.errf("remote: implausible edge count %d", ne)
+	}
+	if r.fail != nil {
+		return nil, nil, r.fail
+	}
+	child.Edges = make([]pattern.Edge, ne)
+	for i := range child.Edges {
+		child.Edges[i].Src = int(r.u32())
+		child.Edges[i].Dst = int(r.u32())
+		child.Edges[i].Label = r.str()
+	}
+	nv := int(r.u32())
+	rows := int(r.u32())
+	if r.fail == nil && (ne == 0 || nv < n-1 || nv > n || pivot < 0 || pivot >= n) {
+		r.errf("remote: malformed extend request (n=%d nv=%d edges=%d pivot=%d)", n, nv, ne, pivot)
+	}
+	if r.fail != nil {
+		return nil, nil, r.fail
+	}
+	for _, e := range child.Edges {
+		if e.Src < 0 || e.Src >= n || e.Dst < 0 || e.Dst >= n {
+			return nil, nil, fmt.Errorf("remote: edge endpoint out of range")
+		}
+	}
+	cols := make([][]graph.NodeID, nv)
+	for v := range cols {
+		raw := r.take(4 * rows)
+		if r.fail != nil {
+			return nil, nil, r.fail
+		}
+		col, err := store.CastU32s[graph.NodeID](raw)
+		if err != nil {
+			return nil, nil, err
+		}
+		cols[v] = col
+	}
+	if err := r.err(); err != nil {
+		return nil, nil, err
+	}
+	// Re-derive the parent: child minus the last edge, minus the new
+	// variable if the child introduced one. ExtendIndexed consults the
+	// parent only through its arity.
+	parent := &pattern.Pattern{
+		NodeLabels: child.NodeLabels[:nv],
+		Edges:      child.Edges[:ne-1],
+		Pivot:      child.Pivot,
+	}
+	t, err := match.FromCols(parent, cols)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t, child, nil
+}
+
+func encodeExtendOK(ext match.IndexedExt) []byte {
+	var w wbuf
+	wU32s(&w, ext.ParentRows)
+	if ext.NewCol == nil {
+		w.u32(0)
+	} else {
+		w.u32(1)
+		wU32s(&w, ext.NewCol)
+	}
+	return w.b
+}
+
+func decodeExtendOK(b []byte) (match.IndexedExt, error) {
+	r := rbuf{b: b}
+	var ext match.IndexedExt
+	ext.ParentRows = rU32s[uint32](&r)
+	if r.u32() != 0 {
+		ext.NewCol = rU32s[graph.NodeID](&r)
+		if r.fail == nil && len(ext.NewCol) != len(ext.ParentRows) {
+			r.errf("remote: extension share columns disagree: %d rows, %d bindings", len(ext.ParentRows), len(ext.NewCol))
+		}
+		if ext.NewCol == nil {
+			ext.NewCol = []graph.NodeID{}
+		}
+	}
+	return ext, r.err()
+}

@@ -1,0 +1,97 @@
+package remote
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Backoff is the retry policy for transient transport failures: capped
+// exponential growth with deterministic per-seed jitter. Attempt i
+// (0-based) sleeps Base·Factor^i, capped at Max, then jittered down into
+// [(1-Jitter)·d, d] — the cap is applied before the jitter so no delay
+// ever exceeds Max.
+type Backoff struct {
+	// Base is the pre-jitter delay after the first failed attempt.
+	Base time.Duration
+	// Max caps the pre-jitter delay.
+	Max time.Duration
+	// Factor is the per-attempt growth multiplier.
+	Factor float64
+	// Jitter is the fraction of each delay that is randomised (0..1);
+	// jitter spreads the retry storms of many workers hitting one
+	// recovering server.
+	Jitter float64
+	// Attempts is the total number of tries per call (the first try plus
+	// Attempts-1 retries). After the last failure the fragment is declared
+	// dead and the caller fails over.
+	Attempts int
+}
+
+// DefaultBackoff is the policy used when Options leaves Backoff zero.
+func DefaultBackoff() Backoff {
+	return Backoff{Base: 25 * time.Millisecond, Max: 500 * time.Millisecond, Factor: 2, Jitter: 0.5, Attempts: 4}
+}
+
+func (b Backoff) withDefaults() Backoff {
+	d := DefaultBackoff()
+	if b.Base <= 0 {
+		b.Base = d.Base
+	}
+	if b.Max <= 0 {
+		b.Max = d.Max
+	}
+	if b.Factor < 1 {
+		b.Factor = d.Factor
+	}
+	if b.Jitter < 0 || b.Jitter > 1 {
+		b.Jitter = d.Jitter
+	}
+	if b.Attempts <= 0 {
+		b.Attempts = d.Attempts
+	}
+	return b
+}
+
+// Delay returns the jittered pause after failed attempt i (0-based). rng
+// supplies the jitter; a nil rng returns the deterministic upper bound.
+func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
+	b = b.withDefaults()
+	d := float64(b.Base)
+	for i := 0; i < attempt; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			break
+		}
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if rng != nil && b.Jitter > 0 {
+		d = d * (1 - b.Jitter*rng.Float64())
+	}
+	return time.Duration(d)
+}
+
+// Clock abstracts sleeping so the retry schedule is testable against a
+// fake clock. Sleep returns early with the context's error if it is
+// cancelled first — a cancelled coordinator must not sit out a backoff.
+type Clock interface {
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+type realClock struct{}
+
+func (realClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,156 @@
+package remote
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// TestBackoffDelayBounds: delays grow geometrically, cap at Max before
+// the jitter, and jitter only shrinks them — so no sleep ever exceeds
+// the deterministic upper bound min(Base·Factor^i, Max).
+func TestBackoffDelayBounds(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2, Jitter: 0.5, Attempts: 8}
+	rng := rand.New(rand.NewSource(1))
+	for attempt := 0; attempt < 8; attempt++ {
+		upper := time.Duration(float64(b.Base) * pow(b.Factor, attempt))
+		if upper > b.Max {
+			upper = b.Max
+		}
+		lower := time.Duration(float64(upper) * (1 - b.Jitter))
+		for trial := 0; trial < 50; trial++ {
+			d := b.Delay(attempt, rng)
+			if d < lower || d > upper {
+				t.Fatalf("attempt %d: delay %s outside [%s, %s]", attempt, d, lower, upper)
+			}
+		}
+		// nil rng: the deterministic upper bound, exactly.
+		if d := b.Delay(attempt, nil); d != upper {
+			t.Fatalf("attempt %d: nil-rng delay %s, want upper bound %s", attempt, d, upper)
+		}
+	}
+}
+
+// TestBackoffDeterministic: the same seed replays the same schedule.
+func TestBackoffDeterministic(t *testing.T) {
+	b := DefaultBackoff()
+	schedule := func(seed int64) []time.Duration {
+		rng := rand.New(rand.NewSource(seed))
+		var out []time.Duration
+		for i := 0; i < 6; i++ {
+			out = append(out, b.Delay(i, rng))
+		}
+		return out
+	}
+	a1, a2, b1 := schedule(7), schedule(7), schedule(8)
+	same, diff := true, false
+	for i := range a1 {
+		same = same && a1[i] == a2[i]
+		diff = diff || a1[i] != b1[i]
+	}
+	if !same {
+		t.Fatal("same seed produced different schedules")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical schedules (jitter dead?)")
+	}
+}
+
+func pow(f float64, n int) float64 {
+	out := 1.0
+	for i := 0; i < n; i++ {
+		out *= f
+	}
+	return out
+}
+
+// fakeClock records requested sleeps without sleeping.
+type fakeClock struct{ slept []time.Duration }
+
+func (c *fakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	c.slept = append(c.slept, d)
+	return ctx.Err()
+}
+
+// failDialer refuses every connection attempt.
+type failDialer struct{ calls int }
+
+func (d *failDialer) dial(ctx context.Context, addr string) (net.Conn, error) {
+	d.calls++
+	return nil, fmt.Errorf("refused (attempt %d)", d.calls)
+}
+
+// TestRetryScheduleFakeClock: a client whose every dial fails must make
+// exactly Attempts tries with sleeps drawn from the backoff schedule —
+// each within [(1-Jitter)·upper_i, upper_i] — and the whole sequence
+// must replay under the same seed.
+func TestRetryScheduleFakeClock(t *testing.T) {
+	g := dataset.DBpediaSim(40, 1)
+	b := Backoff{Base: 10 * time.Millisecond, Max: 40 * time.Millisecond, Factor: 2, Jitter: 0.5, Attempts: 5}
+
+	run := func(seed int64) (int, []time.Duration) {
+		clk := &fakeClock{}
+		dl := &failDialer{}
+		_, err := Dial(context.Background(), "198.51.100.1:1", g, Options{
+			Backoff: b,
+			Clock:   clk,
+			Seed:    seed,
+			Dialer:  dl.dial,
+		})
+		if err == nil {
+			t.Fatal("dial with a failing dialer succeeded")
+		}
+		return dl.calls, clk.slept
+	}
+
+	calls, slept := run(42)
+	if calls != b.Attempts {
+		t.Fatalf("made %d dial attempts, want %d", calls, b.Attempts)
+	}
+	if len(slept) != b.Attempts-1 {
+		t.Fatalf("recorded %d sleeps, want %d (one between each pair of attempts)", len(slept), b.Attempts-1)
+	}
+	for i, d := range slept {
+		upper := time.Duration(float64(b.Base) * pow(b.Factor, i))
+		if upper > b.Max {
+			upper = b.Max
+		}
+		lower := time.Duration(float64(upper) * (1 - b.Jitter))
+		if d < lower || d > upper {
+			t.Fatalf("sleep %d: %s outside backoff window [%s, %s]", i, d, lower, upper)
+		}
+	}
+
+	// Deterministic per seed: same seed, same schedule.
+	_, replay := run(42)
+	for i := range slept {
+		if slept[i] != replay[i] {
+			t.Fatalf("sleep %d not reproducible: %s then %s", i, slept[i], replay[i])
+		}
+	}
+}
+
+// TestRetryCancelledContext: a cancelled coordinator must abort the retry
+// loop at the next sleep instead of burning the remaining attempts.
+func TestRetryCancelledContext(t *testing.T) {
+	g := dataset.DBpediaSim(40, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dl := &failDialer{}
+	_, err := Dial(ctx, "198.51.100.1:1", g, Options{
+		Backoff: Backoff{Base: time.Millisecond, Max: time.Millisecond, Factor: 2, Jitter: 0, Attempts: 10},
+		Clock:   &fakeClock{},
+		Dialer:  dl.dial,
+	})
+	if err == nil {
+		t.Fatal("dial under a cancelled context succeeded")
+	}
+	if dl.calls > 1 {
+		t.Fatalf("cancelled context still made %d dial attempts", dl.calls)
+	}
+}

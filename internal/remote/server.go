@@ -1,0 +1,269 @@
+package remote
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/store"
+)
+
+// ServerOptions configures a fragment server.
+type ServerOptions struct {
+	// Fault wraps every accepted connection for chaos testing.
+	Fault FaultSpec
+	// DieAfter, when positive, makes the server die after serving that
+	// many frames: OnDeath runs if set (cmd/gfdfrag exits the process),
+	// otherwise the server closes its listener and connections — either
+	// way the coordinator sees a mid-mine worker loss at a deterministic
+	// point, which is what the failover tests replay.
+	DieAfter int
+	// OnDeath, if set, runs when DieAfter triggers.
+	OnDeath func()
+	// Logf, if set, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+// Server serves one fragment's share of the incremental join over the
+// frame protocol. The fragment snapshot is self-contained (full node
+// store and symbol pools), so the server answers Extend requests with no
+// state beyond its mmap — exactly the ParDis worker model, one process
+// per fragment.
+type Server struct {
+	m    *store.MappedGraph
+	opts ServerOptions
+	fp   uint64
+
+	served atomic.Int64 // frames handled, drives DieAfter
+	dead   atomic.Bool
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+
+	wg sync.WaitGroup
+}
+
+// NewServer wraps an opened fragment snapshot. The node-store fingerprint
+// is computed once, up front: it is part of every handshake.
+func NewServer(m *store.MappedGraph, opts ServerOptions) (*Server, error) {
+	if !store.WireSupported() {
+		return nil, fmt.Errorf("remote: wire format is little-endian; unsupported on this host")
+	}
+	return &Server{
+		m:         m,
+		opts:      opts,
+		fp:        Fingerprint(m),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections on l until Close (or DieAfter). It blocks;
+// the returned error is nil on clean shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("remote: server closed")
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+
+	var stream int64
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			delete(s.listeners, l)
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		stream++
+		wrapped := s.opts.Fault.Wrap(c, stream)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func(raw net.Conn, cc net.Conn) {
+			defer s.wg.Done()
+			s.handle(cc)
+			raw.Close()
+			s.mu.Lock()
+			delete(s.conns, raw)
+			s.mu.Unlock()
+		}(c, wrapped)
+	}
+}
+
+// Close shuts the server down: listeners and open connections are closed
+// and in-flight handlers drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// Served returns the number of frames handled so far.
+func (s *Server) Served() int64 { return s.served.Load() }
+
+// die implements DieAfter: an abrupt, deterministic worker loss.
+func (s *Server) die() {
+	if !s.dead.CompareAndSwap(false, true) {
+		return
+	}
+	s.logf("remote: server dying after %d frames (fault injection)", s.served.Load())
+	if s.opts.OnDeath != nil {
+		s.opts.OnDeath()
+		return
+	}
+	go s.Close()
+}
+
+// handle serves one connection until it errors or the server dies.
+func (s *Server) handle(c net.Conn) {
+	for {
+		typ, payload, _, err := readFrame(c)
+		if err != nil {
+			return
+		}
+		n := s.served.Add(1)
+		if s.opts.DieAfter > 0 && n >= int64(s.opts.DieAfter) {
+			s.die()
+			return
+		}
+		var respType uint32
+		var resp []byte
+		switch typ {
+		case msgHello:
+			respType, resp = msgHelloOK, s.hello()
+		case msgPing:
+			respType, resp = msgPong, payload
+		case msgExtend:
+			respType, resp, err = s.extend(payload)
+		case msgSections:
+			respType, resp, err = s.sections()
+		default:
+			err = fmt.Errorf("unknown message type %d", typ)
+		}
+		if err != nil {
+			var w wbuf
+			w.str(err.Error())
+			respType, resp = msgError, w.b
+		}
+		if _, err := writeFrame(c, respType, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) hello() []byte {
+	fi, _ := s.m.Fragment()
+	h := helloInfo{
+		Worker:      fi.Worker,
+		NodeLo:      fi.NodeLo,
+		NodeHi:      fi.NodeHi,
+		NumNodes:    s.m.NumNodes(),
+		NumEdges:    s.m.NumEdges(),
+		NumLabels:   s.m.NumLabels(),
+		NumAttrs:    s.m.NumAttrs(),
+		NumValues:   s.m.NumValues(),
+		Fingerprint: s.fp,
+	}
+	h.EdgeLabelCount = make([]uint64, s.m.NumLabels())
+	for l := 0; l < s.m.NumLabels(); l++ {
+		h.EdgeLabelCount[l] = uint64(s.m.EdgeLabelCount(graph.LabelID(l)))
+	}
+	return encodeHelloOK(h)
+}
+
+// extend is the hot handler: decode the row-table batch, run this
+// fragment's share of the join against the mmap, frame the share back.
+func (s *Server) extend(payload []byte) (uint32, []byte, error) {
+	t, child, err := decodeExtend(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	for v := 0; v < t.NumVars(); v++ {
+		for _, id := range t.Col(v) {
+			if int(id) >= s.m.NumNodes() {
+				return 0, nil, fmt.Errorf("row binding %d out of range (%d nodes)", id, s.m.NumNodes())
+			}
+		}
+	}
+	ext := match.ExtendIndexed(s.m, t, child)
+	return msgExtendOK, encodeExtendOK(ext), nil
+}
+
+// sections ships the fragment's snapshot — the same bytes Spill wrote,
+// re-serialised from the mapping — so the coordinator can serve per-edge
+// View calls from a local replica.
+func (s *Server) sections() (uint32, []byte, error) {
+	var buf bytes.Buffer
+	if err := store.Write(&buf, s.m); err != nil {
+		return 0, nil, err
+	}
+	return msgSectionsOK, buf.Bytes(), nil
+}
+
+// ListenAndServe opens a fragment snapshot, listens on addr and serves
+// it. ready, if non-nil, receives the bound address (useful with :0).
+func ListenAndServe(fragPath, addr string, opts ServerOptions, ready chan<- net.Addr) error {
+	m, err := store.Open(fragPath)
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	if _, has := m.Fragment(); !has {
+		return fmt.Errorf("remote: %s carries no fragment metadata (not a frag-N.gfds spill file?)", fragPath)
+	}
+	s, err := NewServer(m, opts)
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- l.Addr()
+	}
+	err = s.Serve(l)
+	if errors.Is(err, net.ErrClosed) {
+		err = nil
+	}
+	return err
+}

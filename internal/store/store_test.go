@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"repro/internal/dataset"
@@ -270,6 +271,57 @@ func TestRoundTripFile(t *testing.T) {
 	if err := m.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
+}
+
+// TestCloseIdempotent locks the Close contract: a mapping is released
+// exactly once no matter how many times — or from how many goroutines —
+// Close is called. Error-path cleanup (a failed Attach closing fragments
+// it opened, plus deferred closes) double-Closes routinely; before this
+// contract the second call could unmap an address range a later mapping
+// had already reused.
+func TestCloseIdempotent(t *testing.T) {
+	g := dataset.DBpediaSim(100, 7)
+	path := filepath.Join(t.TempDir(), "g.gfds")
+	if err := WriteFile(path, g); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+
+	t.Run("sequential", func(t *testing.T) {
+		m, err := Open(path)
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		if err := m.Close(); err != nil {
+			t.Fatalf("first Close: %v", err)
+		}
+		for i := 0; i < 3; i++ {
+			if err := m.Close(); err != nil {
+				t.Fatalf("Close #%d after Close: %v", i+2, err)
+			}
+		}
+	})
+
+	t.Run("concurrent", func(t *testing.T) {
+		m, err := Open(path)
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, 8)
+		for i := range errs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = m.Close()
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("concurrent Close #%d: %v", i, err)
+			}
+		}
+	})
 }
 
 // TestSubCSRRoundTrip writes a fragment view with metadata and checks the

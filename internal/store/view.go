@@ -58,6 +58,9 @@ type MappedGraph struct {
 	labelIDs   map[string]graph.LabelID
 	attrIDs    map[string]graph.AttrID
 	valIDs     map[string]graph.ValueID
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // Compile-time checks: a snapshot view is a full matching surface and can
@@ -69,24 +72,31 @@ var (
 
 // Close releases the file mapping. The MappedGraph, and every slice,
 // string or lookup table obtained from it, must not be used afterwards.
+// Close is idempotent and safe to call from multiple goroutines: the
+// mapping is released exactly once, and every call returns the error of
+// that single release. (Error-path cleanup — e.g. a failed Attach closing
+// everything it opened plus deferred closes — can therefore double-Close
+// without unmapping a region another mapping may since have reused.)
 func (m *MappedGraph) Close() error {
-	m.data = nil
-	m.nodeLabels = nil
-	m.outTo, m.inTo = nil, nil
-	m.outRunNode, m.inRunNode = nil, nil
-	m.outRunLabel, m.inRunLabel = nil, nil
-	m.outRunOff, m.inRunOff = nil, nil
-	m.byLabelOff, m.byLabelNodes, m.edgeLabelCount = nil, nil, nil
-	m.labelOff, m.attrOff, m.valOff = nil, nil, nil
-	m.labelBlob, m.attrBlob, m.valBlob = nil, nil, nil
-	m.cols = nil
-	m.labelIDs, m.attrIDs, m.valIDs = nil, nil, nil
-	if m.unmap != nil {
-		u := m.unmap
-		m.unmap = nil
-		return u()
-	}
-	return nil
+	m.closeOnce.Do(func() {
+		m.data = nil
+		m.nodeLabels = nil
+		m.outTo, m.inTo = nil, nil
+		m.outRunNode, m.inRunNode = nil, nil
+		m.outRunLabel, m.inRunLabel = nil, nil
+		m.outRunOff, m.inRunOff = nil, nil
+		m.byLabelOff, m.byLabelNodes, m.edgeLabelCount = nil, nil, nil
+		m.labelOff, m.attrOff, m.valOff = nil, nil, nil
+		m.labelBlob, m.attrBlob, m.valBlob = nil, nil, nil
+		m.cols = nil
+		m.labelIDs, m.attrIDs, m.valIDs = nil, nil, nil
+		if m.unmap != nil {
+			u := m.unmap
+			m.unmap = nil
+			m.closeErr = u()
+		}
+	})
+	return m.closeErr
 }
 
 // Fragment returns the ParDis fragment metadata carried by the snapshot,

@@ -1,0 +1,47 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"unsafe"
+)
+
+// Wire codec reuse: the remote fragment protocol ships row-table batches
+// and snapshot sections in exactly the encoding snapshot sections use —
+// raw little-endian 4-byte values. These two helpers expose the snapshot
+// reader/writer's zero-copy slice casts to the wire layer so the same
+// bytes that lie in a .gfds file can be framed onto a socket and aliased
+// back on the far side without a per-element encode loop.
+
+// WireSupported reports whether this host can use the snapshot/wire
+// encoding at all (it is fixed little-endian; Write and Open refuse
+// big-endian hosts, and a remote endpoint must refuse them too rather
+// than exchange byte-swapped payloads).
+func WireSupported() bool { return isLE }
+
+// WireU32s aliases a slice of 4-byte values as its wire encoding — raw
+// little-endian bytes, the exact layout of a snapshot section. Zero copy;
+// the result aliases s and must not be written to or retained past s.
+func WireU32s[T ~uint32](s []T) []byte { return u32bytes(s) }
+
+// CastU32s decodes a wire payload produced by WireU32s back into a slice
+// of a 4-byte value type: zero-copy (aliasing b) when the payload is
+// 4-byte aligned on a little-endian host, one decode pass otherwise. The
+// byte length must be a multiple of 4.
+func CastU32s[T ~uint32](b []byte) ([]T, error) {
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("store: wire u32 payload has %d bytes (not a multiple of 4)", len(b))
+	}
+	n := len(b) / 4
+	if n == 0 {
+		return nil, nil
+	}
+	if isLE && uintptr(unsafe.Pointer(unsafe.SliceData(b)))%4 == 0 {
+		return unsafe.Slice((*T)(unsafe.Pointer(unsafe.SliceData(b))), n), nil
+	}
+	out := make([]T, n)
+	for i := range out {
+		out[i] = T(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out, nil
+}

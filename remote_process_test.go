@@ -1,0 +1,215 @@
+package gfd
+
+// OS-process golden tests for the distributed runtime: real gfdfrag
+// server processes serve spilled fragments over loopback TCP while the
+// coordinator mines in this process — output must be byte-identical to
+// the committed golden file, including when a server is killed mid-mine
+// and the coordinator fails over to the worker's spill file.
+
+import (
+	"bufio"
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/parallel"
+	"repro/internal/remote"
+)
+
+func loadGoldenBytes(t *testing.T) []byte {
+	t.Helper()
+	want, err := os.ReadFile(goldenGFDsPath)
+	if err != nil {
+		t.Fatalf("read golden file: %v", err)
+	}
+	return want
+}
+
+var gfdfragBin struct {
+	once sync.Once
+	path string
+	err  error
+}
+
+// buildGfdfrag builds the fragment-server binary once per test process.
+func buildGfdfrag(t *testing.T) string {
+	t.Helper()
+	gfdfragBin.once.Do(func() {
+		// Not t.TempDir: the binary must outlive the first test that builds
+		// it. The directory is removed by whichever test runs last, via the
+		// process-exit cleanup go test performs on os.MkdirTemp children of
+		// its own work dir — or by the OS's tmp reaping.
+		dir, err := os.MkdirTemp("", "gfdfrag-test-")
+		if err != nil {
+			gfdfragBin.err = err
+			return
+		}
+		bin := filepath.Join(dir, "gfdfrag")
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/gfdfrag")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			gfdfragBin.err = err
+			t.Logf("go build ./cmd/gfdfrag: %s", out)
+			return
+		}
+		gfdfragBin.path = bin
+	})
+	if gfdfragBin.err != nil {
+		t.Fatalf("build gfdfrag: %v", gfdfragBin.err)
+	}
+	return gfdfragBin.path
+}
+
+// startFragProcess launches one gfdfrag OS process on a free port and
+// returns its bound address plus the command handle.
+func startFragProcess(t *testing.T, bin, fragPath string, extra ...string) (string, *exec.Cmd) {
+	t.Helper()
+	args := append([]string{"-frag", fragPath, "-listen", "127.0.0.1:0"}, extra...)
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start gfdfrag: %v", err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("gfdfrag produced no address line: %v", sc.Err())
+	}
+	line := sc.Text()
+	addr, ok := strings.CutPrefix(line, "listening ")
+	if !ok {
+		t.Fatalf("unexpected gfdfrag output %q", line)
+	}
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	return addr, cmd
+}
+
+// TestGoldenMiningRemoteProcess: ParDis with workers split across OS
+// processes mines the committed golden bytes exactly — worker 0 joins
+// against its local mmap, the rest against gfdfrag servers.
+func TestGoldenMiningRemoteProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	bin := buildGfdfrag(t)
+	g := loadGoldenGraph(t)
+	want := string(loadGoldenBytes(t))
+
+	for _, workers := range []int{2, 4} {
+		dir := t.TempDir()
+		if err := parallel.Spill(dir, g, parallel.VertexCut(g, workers)); err != nil {
+			t.Fatalf("n=%d: Spill: %v", workers, err)
+		}
+		att, err := parallel.Attach(dir)
+		if err != nil {
+			t.Fatalf("n=%d: Attach: %v", workers, err)
+		}
+		frags := make([]parallel.Fragment, workers)
+		copy(frags, att.Frags)
+		for w := 1; w < workers; w++ {
+			fragPath := filepath.Join(dir, parallel.FragmentSnapshotName(w))
+			addr, _ := startFragProcess(t, bin, fragPath)
+			rf, err := remote.Dial(context.Background(), addr, att.Graph, remote.Options{
+				FallbackPath: fragPath,
+			})
+			if err != nil {
+				t.Fatalf("n=%d: dial worker %d: %v", workers, w, err)
+			}
+			defer rf.Close()
+			frags[w].Sub = rf
+		}
+		eng := cluster.New(cluster.Config{Workers: workers})
+		pr := parallel.MineFragments(context.Background(), att.Graph, frags, goldenOptions(), eng, parallel.Options{LoadBalance: true})
+		got := canonicalize(pr.Result)
+		if stats := eng.Stats(); stats.MeasuredBytes == 0 {
+			t.Fatalf("n=%d: no wire traffic measured against the server processes", workers)
+		}
+		if err := att.Close(); err != nil {
+			t.Fatalf("n=%d: Close: %v", workers, err)
+		}
+		if got != want {
+			t.Fatalf("OS-process mining (n=%d) diverged from golden output.\n--- got ---\n%s--- want ---\n%s",
+				workers, got, want)
+		}
+	}
+}
+
+// TestGoldenMiningRemoteProcessKilled: one server process dies abruptly
+// mid-mine (-die-after → exit(3)); the coordinator fails over to that
+// worker's spill file and the output stays byte-identical.
+func TestGoldenMiningRemoteProcessKilled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	bin := buildGfdfrag(t)
+	g := loadGoldenGraph(t)
+	want := string(loadGoldenBytes(t))
+
+	const workers = 3
+	dir := t.TempDir()
+	if err := parallel.Spill(dir, g, parallel.VertexCut(g, workers)); err != nil {
+		t.Fatalf("Spill: %v", err)
+	}
+	att, err := parallel.Attach(dir)
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	defer att.Close()
+
+	frags := make([]parallel.Fragment, workers)
+	copy(frags, att.Frags)
+	var victim *remote.RemoteFragment
+	var victimCmd *exec.Cmd
+	for w := 1; w < workers; w++ {
+		fragPath := filepath.Join(dir, parallel.FragmentSnapshotName(w))
+		extra := []string{}
+		if w == 1 {
+			// The victim: drops dead partway through the Extend stream.
+			extra = []string{"-die-after", "30"}
+		}
+		addr, cmd := startFragProcess(t, bin, fragPath, extra...)
+		rf, err := remote.Dial(context.Background(), addr, att.Graph, remote.Options{
+			FallbackPath: fragPath,
+			CallTimeout:  500 * time.Millisecond,
+			Backoff:      remote.Backoff{Base: 2 * time.Millisecond, Max: 20 * time.Millisecond, Factor: 2, Jitter: 0.5, Attempts: 3},
+		})
+		if err != nil {
+			t.Fatalf("dial worker %d: %v", w, err)
+		}
+		defer rf.Close()
+		frags[w].Sub = rf
+		if w == 1 {
+			victim, victimCmd = rf, cmd
+		}
+	}
+
+	eng := cluster.New(cluster.Config{Workers: workers})
+	pr := parallel.MineFragments(context.Background(), att.Graph, frags, goldenOptions(), eng, parallel.Options{LoadBalance: true})
+	got := canonicalize(pr.Result)
+	if got != want {
+		t.Fatalf("mining with a killed server diverged from golden output.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if !victim.FailedOver() {
+		t.Fatal("victim server died but its fragment never failed over to the spill file")
+	}
+	// The server really did die abruptly: exit code 3, not a clean stop.
+	if err := victimCmd.Wait(); err == nil {
+		t.Fatal("victim process exited cleanly; -die-after should exit(3)")
+	} else if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 3 {
+		t.Fatalf("victim exit: %v, want exit status 3", err)
+	}
+}

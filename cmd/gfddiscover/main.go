@@ -48,6 +48,9 @@ func main() {
 	serve := flag.Bool("serve", false, "serve workers 1..n-1 as remote fragment servers over loopback TCP (needs -fragdir)")
 	faultSpec := flag.String("fault", "", "with -serve: inject transport faults, e.g. drop=0.05,corrupt=0.01,seed=1")
 	connect := flag.String("connect", "", "with -serve: comma-separated addresses of external gfdfrag servers for workers 1..n-1")
+	dieAfter := flag.Int("die-after", 0, "with -serve: kill every in-process fragment server after serving this many frames (forces failover)")
+	restartAfter := flag.Duration("restart-after", 0, "with -serve and -die-after: resurrect dead servers on their original address after this delay")
+	failback := flag.Duration("failback", 0, "with -serve: failed-over fragments probe their server at this interval and rejoin on recovery")
 	negatives := flag.Int("negatives", 50, "max negative GFDs to mine (-1 disables)")
 	showAll := flag.Bool("all", false, "print the full mined set, not just the cover")
 	flag.Parse()
@@ -75,17 +78,26 @@ func main() {
 			fmt.Fprintf(os.Stderr, "gfddiscover: %v\n", err)
 			os.Exit(2)
 		}
-		var addrs []string
-		if *connect != "" {
-			addrs = strings.Split(*connect, ",")
+		rt := gfdlib.RemoteRuntime{
+			Fault:            fault,
+			DieAfter:         *dieAfter,
+			RestartAfter:     *restartAfter,
+			FailbackInterval: *failback,
 		}
-		report, err = gfdlib.DiscoverRemote(g, opts, *workers, *fragDir, fault, addrs)
+		if *connect != "" {
+			rt.Addrs = strings.Split(*connect, ",")
+		}
+		report, err = gfdlib.DiscoverRemote(g, opts, *workers, *fragDir, rt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gfddiscover: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("distributed run: worker 0 local, workers 1..%d remote (%d wire bytes measured)\n",
 			*workers-1, report.MeasuredBytes)
+		if report.FailedOver > 0 || report.Rejoined > 0 {
+			fmt.Printf("recovery: %d fragments failed over, %d rejoined their server\n",
+				report.FailedOver, report.Rejoined)
+		}
 	} else if *fragDir != "" {
 		if *workers < 1 {
 			fmt.Fprintln(os.Stderr, "gfddiscover: -fragdir requires -workers >= 1")

@@ -15,6 +15,13 @@
 //	gfdfrag -frag frag-0.gfds -listen 127.0.0.1:0            # prints the bound port
 //	gfdfrag -frag frag-2.gfds -listen :7702 -fault drop=0.05,seed=1
 //	gfdfrag -frag frag-1.gfds -listen :7701 -die-after 100   # crash-test the coordinator
+//	gfdfrag -frag frag-1.gfds -listen :7701 -die-after 100 -resurrect-after 500ms
+//
+// With -resurrect-after the -die-after crash does not exit the process:
+// the server drops every connection and its listener (the coordinator
+// sees exactly a worker loss), then rebinds the same address after the
+// delay and serves again — this time without the death trap — so a
+// failback-enabled coordinator rejoins it mid-run.
 package main
 
 import (
@@ -22,8 +29,10 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"time"
 
 	"repro/internal/remote"
+	"repro/internal/store"
 )
 
 func main() {
@@ -31,6 +40,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "listen address (port 0 picks a free port, printed on stdout)")
 	fault := flag.String("fault", "", "fault injection spec: drop=P,corrupt=P,delay=D,closeafter=N,seed=S")
 	dieAfter := flag.Int("die-after", 0, "exit(3) abruptly after serving this many frames (simulates a worker crash)")
+	resurrectAfter := flag.Duration("resurrect-after", 0, "with -die-after: come back on the same address after this delay instead of exiting (dies once)")
 	flag.Parse()
 
 	if *frag == "" {
@@ -42,20 +52,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gfdfrag: %v\n", err)
 		os.Exit(2)
 	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "gfdfrag: "+format+"\n", args...)
+	}
 	opts := remote.ServerOptions{
 		Fault:    spec,
 		DieAfter: *dieAfter,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "gfdfrag: "+format+"\n", args...)
-		},
+		Logf:     logf,
 	}
-	if *dieAfter > 0 {
+	if *dieAfter > 0 && *resurrectAfter <= 0 {
 		opts.OnDeath = func() {
 			// An abrupt exit, not a graceful drain: the coordinator must see
 			// the same failure a kill -9 would produce.
 			fmt.Fprintf(os.Stderr, "gfdfrag: dying after %d frames (-die-after)\n", *dieAfter)
 			os.Exit(3)
 		}
+	}
+
+	if *resurrectAfter > 0 {
+		if err := serveResurrecting(*frag, *listen, opts, *resurrectAfter); err != nil {
+			fmt.Fprintf(os.Stderr, "gfdfrag: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	ready := make(chan net.Addr, 1)
@@ -69,4 +88,46 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gfdfrag: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// serveResurrecting runs the die-once-then-recover lifecycle in one
+// process: serve with the death trap armed, and when DieAfter fires
+// (Serve returns after the abrupt connection drop), rebind the same
+// bound address after the delay and serve the same mapping indefinitely.
+func serveResurrecting(fragPath, listen string, opts remote.ServerOptions, delay time.Duration) error {
+	m, err := store.Open(fragPath)
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	if _, has := m.Fragment(); !has {
+		return fmt.Errorf("%s carries no fragment metadata (not a frag-N.gfds spill file?)", fragPath)
+	}
+	s, err := remote.NewServer(m, opts)
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	addr := l.Addr().String()
+	fmt.Printf("listening %s\n", addr)
+	s.Serve(l)
+	if opts.DieAfter <= 0 {
+		return nil // external Close: a clean shutdown, nothing to resurrect
+	}
+	fmt.Fprintf(os.Stderr, "gfdfrag: died after %d frames; resurrecting on %s in %s\n", opts.DieAfter, addr, delay)
+	time.Sleep(delay)
+	opts.DieAfter = 0 // the recovered incarnation stays up
+	s2, err := remote.NewServer(m, opts)
+	if err != nil {
+		return err
+	}
+	l2, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("rebinding %s: %w", addr, err)
+	}
+	fmt.Printf("resurrected %s\n", addr)
+	return s2.Serve(l2)
 }

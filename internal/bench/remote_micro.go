@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/match"
@@ -33,10 +34,22 @@ type remoteMicroEnv struct {
 	server *remote.Server
 	mapped *store.MappedGraph
 	client *remote.RemoteFragment
+	// latServer/latClient serve the same fragment behind a simulated
+	// latency link (FaultSpec.Delay on every response frame) — the
+	// regime where pipelining vs lock-step is actually decided; on raw
+	// loopback the round trip is pure CPU and there is nothing to
+	// overlap.
+	latServer *remote.Server
+	latClient *remote.RemoteFragment
 	// views is e.views with the first received fragment replaced by the
 	// remote client — the worker's join inputs in the mixed-runtime run.
 	views []graph.View
 }
+
+// latencyOneWay is the simulated one-way delivery delay of the latency
+// link: in the LAN RTT ballpark, and ~10x the share's compute cost so
+// the serial-vs-pipelined gap measures wire waiting, not CPU.
+const latencyOneWay = 200 * time.Microsecond
 
 var remoteMicroE remoteMicroEnv
 
@@ -92,6 +105,23 @@ func (r *remoteMicroEnv) build(e *microEnv) error {
 		return err
 	}
 	r.client = rf
+
+	// Same fragment again behind the latency link.
+	ls, err := remote.NewServer(m, remote.ServerOptions{Fault: remote.FaultSpec{Delay: latencyOneWay, Seed: 1}})
+	if err != nil {
+		return err
+	}
+	r.latServer = ls
+	ll, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go ls.Serve(ll)
+	lrf, err := remote.Dial(context.Background(), ll.Addr().String(), e.g, remote.Options{})
+	if err != nil {
+		return err
+	}
+	r.latClient = lrf
 	r.views = make([]graph.View, len(e.views))
 	copy(r.views, e.views)
 	for i, v := range e.views {
@@ -126,6 +156,41 @@ func remoteMicroSpecs() []MicroSpec {
 				r.client.ExtendIndexed(e.part, e.child)
 			}
 		}},
+		{"RemoteExtend/rpc-share-x4-serial", func(b *testing.B) {
+			// Four shares issued back to back over the latency link: the
+			// lock-step lower bound (PR 6's client serialised concurrent
+			// callers into exactly this shape). One iteration waits out four
+			// full round trips end to end.
+			e, r := remoteMicroWorkload(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < 4; j++ {
+					r.latClient.ExtendIndexed(e.part, e.child)
+				}
+			}
+		}},
+		{"RemoteExtend/rpc-share-x4-pipelined", func(b *testing.B) {
+			// The same four shares issued concurrently: they pipeline over the
+			// multiplexed connection, ride out the link latency together, and
+			// complete out of order — one iteration costs roughly one round
+			// trip plus compute, not four. The gap to x4-serial is what
+			// multiplexing buys every concurrent superstep.
+			e, r := remoteMicroWorkload(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for j := 0; j < 4; j++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						r.latClient.ExtendIndexed(e.part, e.child)
+					}()
+				}
+				wg.Wait()
+			}
+		}},
 		{"RemoteExtend/local-share", func(b *testing.B) {
 			// The same share computed against the local mmap of the same
 			// fragment: the denominator of the remote overhead ratio.
@@ -147,9 +212,17 @@ func cleanupRemoteMicro() {
 		r.client.Close()
 		r.client = nil
 	}
+	if r.latClient != nil {
+		r.latClient.Close()
+		r.latClient = nil
+	}
 	if r.server != nil {
 		r.server.Close()
 		r.server = nil
+	}
+	if r.latServer != nil {
+		r.latServer.Close()
+		r.latServer = nil
 	}
 	if r.mapped != nil {
 		r.mapped.Close()

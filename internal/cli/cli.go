@@ -69,6 +69,10 @@ type Report struct {
 	// MeasuredBytes is the wire traffic observed on remote fragment
 	// connections (zero unless the run used the distributed runtime).
 	MeasuredBytes int64
+	// FailedOver and Rejoined count remote fragments that ended the run
+	// serving from their spill attach, and fragments that failed back to
+	// a recovered server at least once (distributed runs only).
+	FailedOver, Rejoined int
 }
 
 // Discover runs the pipeline (sequential when workers == 0, simulated

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
@@ -15,21 +16,124 @@ import (
 	"repro/internal/store"
 )
 
+// RemoteRuntime configures DiscoverRemote's distributed runtime beyond
+// the worker count: chaos testing, lifecycle injection, and recovery.
+type RemoteRuntime struct {
+	// Fault wraps every in-process server connection for chaos testing
+	// (ignored with Addrs — external servers apply their own -fault).
+	Fault remote.FaultSpec
+	// Addrs, when non-empty, must hold one host:port per worker 1..n-1 of
+	// externally started gfdfrag processes serving dir's frag-N.gfds
+	// files (in worker order); no in-process servers are started.
+	Addrs []string
+	// DieAfter, when positive, makes every in-process fragment server die
+	// abruptly after serving that many frames — the coordinator sees a
+	// mid-mine worker loss and fails over to the spill file.
+	DieAfter int
+	// RestartAfter, when positive alongside DieAfter, resurrects each
+	// dead in-process server on its original address after this delay
+	// (without the death trap — it dies once), so a failback-enabled
+	// client can rejoin it mid-run.
+	RestartAfter time.Duration
+	// FailbackInterval, when positive, enables client failback: declared-
+	// dead fragments probe their server at this interval and resume
+	// remote serving on a validated reconnect.
+	FailbackInterval time.Duration
+}
+
+// fragServer is one in-process fragment server plus the lifecycle the
+// runtime may impose on it: die abruptly after N frames, then (when
+// RestartAfter is set) come back on the same address for failback.
+type fragServer struct {
+	m     *store.MappedGraph
+	fault remote.FaultSpec
+	addr  string
+
+	mu      sync.Mutex
+	s       *remote.Server
+	stopped bool
+}
+
+// start opens the fragment, binds a loopback port and begins serving.
+func startFragServer(fragPath string, rt RemoteRuntime) (*fragServer, error) {
+	m, err := store.Open(fragPath)
+	if err != nil {
+		return nil, err
+	}
+	fs := &fragServer{m: m, fault: rt.Fault}
+	s, err := remote.NewServer(m, remote.ServerOptions{Fault: rt.Fault, DieAfter: rt.DieAfter})
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		s.Close()
+		m.Close()
+		return nil, err
+	}
+	fs.s = s
+	fs.addr = l.Addr().String()
+	go fs.run(s, l, rt.RestartAfter)
+	return fs, nil
+}
+
+// run serves until the server dies or stops. With a restart delay, a
+// death (DieAfter closing the listener) is followed by a rebind of the
+// same address and a fresh server over the same mapping — this time
+// without the death trap, so the recovered server stays up for the
+// failed-over client to rejoin.
+func (fs *fragServer) run(s *remote.Server, l net.Listener, restartAfter time.Duration) {
+	s.Serve(l)
+	if restartAfter <= 0 {
+		return
+	}
+	time.Sleep(restartAfter)
+	fs.mu.Lock()
+	if fs.stopped {
+		fs.mu.Unlock()
+		return
+	}
+	s2, err := remote.NewServer(fs.m, remote.ServerOptions{Fault: fs.fault})
+	if err != nil {
+		fs.mu.Unlock()
+		return
+	}
+	l2, err := net.Listen("tcp", fs.addr)
+	if err != nil {
+		// The freed port was taken in the gap; the fragment simply stays
+		// failed over — correctness is unaffected.
+		s2.Close()
+		fs.mu.Unlock()
+		return
+	}
+	fs.s = s2
+	fs.mu.Unlock()
+	go s2.Serve(l2)
+}
+
+// stop shuts the current incarnation down and releases the mapping.
+func (fs *fragServer) stop() {
+	fs.mu.Lock()
+	fs.stopped = true
+	s := fs.s
+	fs.mu.Unlock()
+	if s != nil {
+		s.Close()
+	}
+	fs.m.Close()
+}
+
 // DiscoverRemote runs the parallel pipeline with the workers split
 // across the distributed runtime: v is vertex-cut and spilled to dir
 // like DiscoverSpilled, then every worker except worker 0 is served by
 // a fragment server over loopback TCP and the coordinator dials it as a
 // remote view — worker 0 stays a local mmap view, so the run always
-// mixes both kinds. fault, when active, wraps every server connection
-// for chaos testing; each dialed fragment's FallbackPath points at its
+// mixes both kinds. Each dialed fragment's FallbackPath points at its
 // own spill file, so even a fragment declared dead degrades to the
-// local re-attach and the mining output is unchanged.
-//
-// addrs, when non-empty, must hold one host:port per worker 1..n-1 of
-// externally started gfdfrag processes serving dir's frag-N.gfds files
-// (in worker order); no in-process servers are started and fault is
-// ignored — the external servers apply their own -fault flags.
-func DiscoverRemote(v graph.View, opts discovery.Options, workers int, dir string, fault remote.FaultSpec, addrs []string) (*Report, error) {
+// local re-attach and the mining output is unchanged; with
+// rt.FailbackInterval the fragment rejoins a recovered server mid-run.
+func DiscoverRemote(v graph.View, opts discovery.Options, workers int, dir string, rt RemoteRuntime) (*Report, error) {
 	if workers < 2 {
 		return nil, fmt.Errorf("cli: remote mining needs -workers >= 2 (worker 0 stays local)")
 	}
@@ -37,8 +141,8 @@ func DiscoverRemote(v graph.View, opts discovery.Options, workers int, dir strin
 	if !ok {
 		return nil, fmt.Errorf("cli: %T is not serialisable as a snapshot", v)
 	}
-	if len(addrs) > 0 && len(addrs) != workers-1 {
-		return nil, fmt.Errorf("cli: %d server addresses for %d remote workers (workers 1..%d)", len(addrs), workers-1, workers-1)
+	if len(rt.Addrs) > 0 && len(rt.Addrs) != workers-1 {
+		return nil, fmt.Errorf("cli: %d server addresses for %d remote workers (workers 1..%d)", len(rt.Addrs), workers-1, workers-1)
 	}
 	if err := parallel.Spill(dir, src, parallel.VertexCut(v, workers)); err != nil {
 		return nil, err
@@ -53,47 +157,39 @@ func DiscoverRemote(v graph.View, opts discovery.Options, workers int, dir strin
 	}
 
 	// One server per remote worker, unless external ones were supplied.
-	var servers []*remote.Server
+	var servers []*fragServer
 	defer func() {
-		for _, s := range servers {
-			s.Close()
+		for _, fs := range servers {
+			fs.stop()
 		}
 	}()
 	frags := make([]parallel.Fragment, workers)
 	copy(frags, att.Frags)
+	remotes := make([]*remote.RemoteFragment, 0, workers-1)
 	for w := 1; w < workers; w++ {
 		fragPath := filepath.Join(dir, parallel.FragmentSnapshotName(w))
 		addr := ""
-		if len(addrs) > 0 {
-			addr = addrs[w-1]
+		if len(rt.Addrs) > 0 {
+			addr = rt.Addrs[w-1]
 		} else {
-			m, err := store.Open(fragPath)
+			fs, err := startFragServer(fragPath, rt)
 			if err != nil {
 				att.Close()
 				return nil, err
 			}
-			s, err := remote.NewServer(m, remote.ServerOptions{Fault: fault})
-			if err != nil {
-				m.Close()
-				att.Close()
-				return nil, err
-			}
-			l, err := net.Listen("tcp", "127.0.0.1:0")
-			if err != nil {
-				s.Close()
-				m.Close()
-				att.Close()
-				return nil, err
-			}
-			servers = append(servers, s)
-			go s.Serve(l)
-			addr = l.Addr().String()
+			servers = append(servers, fs)
+			addr = fs.addr
 		}
-		copts := remote.Options{FallbackPath: fragPath, CallTimeout: time.Second}
-		if fault.Active() {
-			// Injected faults make dropped responses routine, and every drop
-			// costs one CallTimeout: keep the deadline tight and spend the
-			// saved time on more retry attempts instead.
+		copts := remote.Options{
+			FallbackPath:     fragPath,
+			CallTimeout:      time.Second,
+			FailbackInterval: rt.FailbackInterval,
+		}
+		if rt.Fault.Active() || rt.DieAfter > 0 {
+			// Injected faults (and deliberate server deaths) make dropped
+			// responses routine, and every drop costs one CallTimeout: keep
+			// the deadline tight and spend the saved time on more retry
+			// attempts instead.
 			copts.CallTimeout = 100 * time.Millisecond
 			copts.Backoff = remote.Backoff{Base: 2 * time.Millisecond, Max: 20 * time.Millisecond, Factor: 2, Jitter: 0.5, Attempts: 12}
 		}
@@ -102,6 +198,7 @@ func DiscoverRemote(v graph.View, opts discovery.Options, workers int, dir strin
 			att.Close()
 			return nil, fmt.Errorf("cli: worker %d: %w", w, err)
 		}
+		remotes = append(remotes, rf)
 		frags[w].Sub = rf
 	}
 
@@ -111,6 +208,14 @@ func DiscoverRemote(v graph.View, opts discovery.Options, workers int, dir strin
 		SimulatedTime: pr.Cluster.Total(),
 		FragmentEdges: pr.FragmentEdges,
 		MeasuredBytes: pr.Cluster.MeasuredBytes,
+	}
+	for _, rf := range remotes {
+		if rf.FailedOver() {
+			rep.FailedOver++
+		}
+		if rf.Rejoined() {
+			rep.Rejoined++
+		}
 	}
 	rep.fill(pr.Result)
 	return rep, nil

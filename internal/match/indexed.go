@@ -2,6 +2,7 @@ package match
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/pattern"
@@ -153,13 +154,29 @@ func extendRowsMerge(views []graph.View, t *Table, child *pattern.Pattern) *Tabl
 		return out
 	}
 	exts := make([]IndexedExt, len(views))
+	// Self-computing views are network-bound (remote fragments): fan their
+	// shares out concurrently so the round trips pipeline over each
+	// fragment's multiplexed connection, and compute the local shares
+	// serially in the meantime — local compute stays sequential so the
+	// cluster engine's per-worker busy accounting is undistorted. The
+	// merge below is order-insensitive to completion: exts is indexed by
+	// view, so the output row order is identical however the shares land.
+	var pipelined sync.WaitGroup
 	for i, v := range views {
 		if be, ok := v.(BatchExtender); ok {
-			exts[i] = be.ExtendIndexed(t, child)
-		} else {
+			pipelined.Add(1)
+			go func(i int, be BatchExtender) {
+				defer pipelined.Done()
+				exts[i] = be.ExtendIndexed(t, child)
+			}(i, be)
+		}
+	}
+	for i, v := range views {
+		if _, ok := v.(BatchExtender); !ok {
 			exts[i] = ExtendIndexed(v, t, child)
 		}
 	}
+	pipelined.Wait()
 	pn := t.P.N()
 	rows := t.Len()
 	cur := make([]int, len(exts))

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
@@ -275,18 +276,47 @@ func (b *Backend) ExtendBatch(parents []discovery.Handle, children []*pattern.Pa
 	for i, child := range children {
 		hs[i] = &parHandle{p: child, parts: make([]*match.Table, b.n())}
 	}
+	// Pre-resolve each child's e(G) volume outside the superstep: the
+	// cache map is not goroutine-safe, and the pipelined path below runs
+	// children concurrently.
+	eBytes := make([]int64, len(children))
+	for i, child := range children {
+		eBytes[i] = b.edgeMatchBytes(child)
+	}
 	b.eng.Superstep("extend level", func(w int) {
-		for i, child := range children {
+		extendOne := func(i int, child *pattern.Pattern) {
 			ph := parents[i].(*parHandle)
-			eBytes := b.edgeMatchBytes(child)
 			// Receive e(F_t) for the local fragments t ≠ w at the cost
 			// model's declared share; remote fragments are charged below
 			// from bytes measured on their connections.
-			b.eng.Ship(w, eBytes/int64(b.n())*b.localOthers[w])
+			b.eng.Ship(w, eBytes[i]/int64(b.n())*b.localOthers[w])
 			if ph.parts == nil {
-				continue
+				return
 			}
 			hs[i].parts[w] = match.ExtendRowsViews(b.workerViews[w], ph.parts[w], child)
+		}
+		if len(b.transferTrackers) > 0 {
+			// Remote fragments present: the level's children are
+			// network-bound, so run them concurrently and let their RPCs
+			// pipeline over the fragments' multiplexed connections instead
+			// of queueing round trips child by child. Writes are disjoint
+			// (each child owns hs[i].parts[w]) and the engine's Ship
+			// accounting is mutex-guarded.
+			var wg sync.WaitGroup
+			for i, child := range children {
+				wg.Add(1)
+				go func(i int, child *pattern.Pattern) {
+					defer wg.Done()
+					extendOne(i, child)
+				}(i, child)
+			}
+			wg.Wait()
+		} else {
+			// Purely simulated cluster: keep the serial loop so per-worker
+			// busy-time measurement stays undistorted by local parallelism.
+			for i, child := range children {
+				extendOne(i, child)
+			}
 		}
 		// Real comms replace declared volume for remote fragments: drain
 		// each remote view's wire-byte counter accrued by this worker's

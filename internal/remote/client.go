@@ -31,6 +31,13 @@ type Options struct {
 	// mining output is unchanged because the spill file holds exactly the
 	// section bytes the server was mapping.
 	FallbackPath string
+	// FailbackInterval, when > 0, closes the recovery loop: a failed-over
+	// fragment probes its dead server at this interval and, when the
+	// handshake succeeds again with the same fragment identity and
+	// node-store fingerprint, resumes remote serving mid-run. Zero
+	// disables failback (a failed-over fragment stays local forever, the
+	// PR 6 behaviour).
+	FailbackInterval time.Duration
 	// Seed makes the retry jitter deterministic (tests); 0 derives one.
 	Seed int64
 	// Clock abstracts backoff sleeps (tests inject a fake).
@@ -65,23 +72,34 @@ func (o Options) withDefaults() Options {
 // lazily fetched local replica of the fragment's snapshot sections, so
 // they never turn into per-edge RPCs.
 //
-// A RemoteFragment is safe for concurrent use: concurrent supersteps
-// serialise on one connection.
+// A RemoteFragment is safe for concurrent use, and concurrent calls
+// pipeline: each request gets a fresh tag and flies over the shared
+// multiplexed connection without waiting for its siblings' responses
+// (see mux.go). Only redialing after a transport failure serialises.
 type RemoteFragment struct {
 	addr string
 	base graph.View
 	opts Options
-	ctx  context.Context
+
+	// ctx is the fragment's internal lifetime: derived from the caller's
+	// Dial context, cancelled by Close so retries, backoff sleeps and the
+	// failback prober all stop with the fragment.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	info           store.FragmentInfo
 	numEdges       int
 	edgeLabelCount []uint64
+	baseFP         uint64 // handshake fingerprint; failback revalidates it
 
 	planCache sync.Map
 
-	mu   sync.Mutex // serialises conn use and redials
-	conn net.Conn
-	rng  *rand.Rand
+	connMu sync.Mutex // guards mx replacement (dial/redial), not requests
+	mx     *mux
+	tags   atomic.Uint32
+
+	rngMu sync.Mutex // jitter rng; rand.Rand is not goroutine-safe
+	rng   *rand.Rand
 
 	localMu sync.Mutex
 	local   *store.MappedGraph // failover attach or fetched replica
@@ -89,7 +107,10 @@ type RemoteFragment struct {
 
 	transferred atomic.Int64
 	failedOver  atomic.Bool
-	dead        atomic.Bool
+	dead        atomic.Bool // declared dead: calls short-circuit to local
+	closed      atomic.Bool // Close latch: calls after Close are refused
+	probing     atomic.Bool // failback prober running
+	rejoined    atomic.Bool // sticky: failback succeeded at least once
 }
 
 // Compile-time checks: the client is a full matching surface and computes
@@ -111,40 +132,46 @@ func Dial(ctx context.Context, addr string, base graph.View, opts Options) (*Rem
 	opts = opts.withDefaults()
 	seed := opts.Seed
 	if seed == 0 {
-		seed = int64(frameSum(0, 0, []byte(addr))) + 1
+		seed = int64(frameSum(0, 0, 0, []byte(addr))) + 1
 	}
+	ictx, cancel := context.WithCancel(ctx)
 	f := &RemoteFragment{
-		addr: addr,
-		base: base,
-		opts: opts,
-		ctx:  ctx,
-		rng:  rand.New(rand.NewSource(seed)),
+		addr:   addr,
+		base:   base,
+		opts:   opts,
+		ctx:    ictx,
+		cancel: cancel,
+		rng:    rand.New(rand.NewSource(seed)),
 	}
-	f.mu.Lock()
 	_, resp, err := f.call(msgHello, nil)
-	f.mu.Unlock()
 	if err != nil {
+		f.Close()
 		return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
 	}
 	h, err := decodeHelloOK(resp)
 	if err != nil {
+		f.Close()
 		return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
 	}
 	if h.NumNodes != base.NumNodes() || h.NumLabels != base.NumLabels() ||
 		h.NumAttrs != base.NumAttrs() || h.NumValues != base.NumValues() {
+		f.Close()
 		return nil, fmt.Errorf("remote: dial %s: fragment node store (%d nodes, %d labels, %d attrs, %d values) disagrees with the coordinator's graph (%d, %d, %d, %d)",
 			addr, h.NumNodes, h.NumLabels, h.NumAttrs, h.NumValues,
 			base.NumNodes(), base.NumLabels(), base.NumAttrs(), base.NumValues())
 	}
 	if fp := Fingerprint(base); fp != h.Fingerprint {
+		f.Close()
 		return nil, fmt.Errorf("remote: dial %s: fragment node-store fingerprint %016x disagrees with the coordinator's %016x (different graph?)", addr, h.Fingerprint, fp)
 	}
 	if len(h.EdgeLabelCount) != h.NumLabels {
+		f.Close()
 		return nil, fmt.Errorf("remote: dial %s: malformed handshake: %d edge-label counts for %d labels", addr, len(h.EdgeLabelCount), h.NumLabels)
 	}
 	f.info = store.FragmentInfo{Worker: h.Worker, NodeLo: h.NodeLo, NodeHi: h.NodeHi}
 	f.numEdges = h.NumEdges
 	f.edgeLabelCount = h.EdgeLabelCount
+	f.baseFP = h.Fingerprint
 	return f, nil
 }
 
@@ -154,9 +181,13 @@ func (f *RemoteFragment) Info() store.FragmentInfo { return f.info }
 // Addr returns the server address.
 func (f *RemoteFragment) Addr() string { return f.addr }
 
-// FailedOver reports whether the fragment has been declared dead and
-// re-attached from its local spill file.
+// FailedOver reports whether the fragment is currently serving from its
+// local spill attach after being declared dead. Failback clears it.
 func (f *RemoteFragment) FailedOver() bool { return f.failedOver.Load() }
+
+// Rejoined reports whether the fragment has ever failed back: declared
+// dead, then resumed remote serving after a validated reconnect.
+func (f *RemoteFragment) Rejoined() bool { return f.rejoined.Load() }
 
 // TakeTransferred drains the wire-byte counter: every frame sent or
 // received since the last call, headers included. The parallel backend
@@ -165,12 +196,15 @@ func (f *RemoteFragment) FailedOver() bool { return f.failedOver.Load() }
 func (f *RemoteFragment) TakeTransferred() int64 { return f.transferred.Swap(0) }
 
 // Healthy probes the server with one heartbeat round-trip under ctx (no
-// retries): the liveness check, not the recovery path.
+// retries): the liveness check, not the recovery path. It deliberately
+// ignores the dead flag — the failback prober and external monitors use
+// it to observe the wire, local fallback or not.
 func (f *RemoteFragment) Healthy(ctx context.Context) error {
+	if f.closed.Load() {
+		return fmt.Errorf("remote: fragment %d (%s) is closed", f.info.Worker, f.addr)
+	}
 	var w wbuf
 	w.u64(uint64(time.Now().UnixNano()))
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	typ, resp, err := f.attempt(ctx, msgPing, w.b)
 	if err != nil {
 		return err
@@ -181,19 +215,28 @@ func (f *RemoteFragment) Healthy(ctx context.Context) error {
 	return nil
 }
 
-// Close releases the connection and any local mapping. The base view is
-// the caller's and is left alone.
+// Close releases the connection and any local mapping, and latches the
+// fragment closed: subsequent Healthy calls return a descriptive error
+// and subsequent extend/fetch calls panic instead of silently redialing
+// a server the caller already shut down. The base view is the caller's
+// and is left alone.
 func (f *RemoteFragment) Close() error {
-	f.mu.Lock()
-	if f.conn != nil {
-		f.conn.Close()
-		f.conn = nil
+	if !f.closed.CompareAndSwap(false, true) {
+		return fmt.Errorf("remote: fragment %d (%s) already closed", f.info.Worker, f.addr)
 	}
-	f.mu.Unlock()
+	f.cancel() // stops backoff sleeps and the failback prober
+	f.connMu.Lock()
+	if f.mx != nil {
+		f.mx.Close()
+		f.mx = nil
+	}
+	f.connMu.Unlock()
 	f.localMu.Lock()
 	defer f.localMu.Unlock()
 	if f.local != nil {
-		return f.local.Close()
+		err := f.local.Close()
+		f.local = nil
+		return err
 	}
 	return nil
 }
@@ -211,37 +254,48 @@ func (f *RemoteFragment) dial() (net.Conn, error) {
 	return d.DialContext(ctx, "tcp", f.addr)
 }
 
+// getMux returns the live multiplexed connection, dialing a fresh one if
+// there is none or the previous one was poisoned by a transport failure.
+// Only the replacement serialises on connMu; requests themselves pipeline
+// through the returned mux without holding any fragment-level lock.
+func (f *RemoteFragment) getMux() (*mux, error) {
+	f.connMu.Lock()
+	defer f.connMu.Unlock()
+	if f.closed.Load() {
+		return nil, fmt.Errorf("remote: fragment %d (%s) is closed", f.info.Worker, f.addr)
+	}
+	if f.mx != nil && f.mx.Err() == nil {
+		return f.mx, nil
+	}
+	c, err := f.dial()
+	if err != nil {
+		return nil, err
+	}
+	f.mx = newMux(c, &f.transferred)
+	return f.mx, nil
+}
+
 // fatalError marks a server-reported application error: the transport is
 // healthy, retrying cannot help.
 type fatalError struct{ msg string }
 
 func (e *fatalError) Error() string { return e.msg }
 
-// attempt runs one request/response exchange under ctx's deadline (capped
-// by CallTimeout). Caller holds f.mu.
+// attempt runs one tagged request/response exchange under ctx's deadline
+// (capped by CallTimeout), pipelined over the shared mux.
 func (f *RemoteFragment) attempt(ctx context.Context, typ uint32, payload []byte) (uint32, []byte, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, nil, err
 	}
-	if f.conn == nil {
-		c, err := f.dial()
-		if err != nil {
-			return 0, nil, err
-		}
-		f.conn = c
+	m, err := f.getMux()
+	if err != nil {
+		return 0, nil, err
 	}
 	deadline := time.Now().Add(f.opts.CallTimeout)
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
-	f.conn.SetDeadline(deadline)
-	sent, err := writeFrame(f.conn, typ, payload)
-	f.transferred.Add(int64(sent))
-	if err != nil {
-		return 0, nil, err
-	}
-	respType, resp, n, err := readFrame(f.conn)
-	f.transferred.Add(int64(n))
+	respType, resp, err := m.roundTrip(typ, f.tags.Add(1), payload, deadline)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -252,16 +306,19 @@ func (f *RemoteFragment) attempt(ctx context.Context, typ uint32, payload []byte
 	return respType, resp, nil
 }
 
-// call is the retry loop: each transport failure closes the connection,
-// sleeps the capped jittered backoff, redials and tries again. A
+// call is the retry loop: each transport failure poisons the shared mux
+// (closing the connection for every pipelined sibling), sleeps the capped
+// jittered backoff, and retries against a freshly dialed one. A
 // server-reported error is fatal immediately; exhausting the attempts
 // returns the last transport error — at which point the caller declares
-// the fragment dead. Caller holds f.mu.
+// the fragment dead.
 func (f *RemoteFragment) call(typ uint32, payload []byte) (uint32, []byte, error) {
 	var lastErr error
 	for a := 0; a < f.opts.Backoff.Attempts; a++ {
 		if a > 0 {
+			f.rngMu.Lock()
 			delay := f.opts.Backoff.Delay(a-1, f.rng)
+			f.rngMu.Unlock()
 			f.logf("remote: %s: attempt %d/%d failed (%v); retrying in %s", f.addr, a, f.opts.Backoff.Attempts, lastErr, delay)
 			if err := f.opts.Clock.Sleep(f.ctx, delay); err != nil {
 				return 0, nil, err
@@ -278,10 +335,6 @@ func (f *RemoteFragment) call(typ uint32, payload []byte) (uint32, []byte, error
 			return 0, nil, err
 		}
 		lastErr = err
-		if f.conn != nil {
-			f.conn.Close()
-			f.conn = nil
-		}
 	}
 	return 0, nil, fmt.Errorf("remote: %s: %d attempts exhausted: %w", f.addr, f.opts.Backoff.Attempts, lastErr)
 }
@@ -294,12 +347,31 @@ func (f *RemoteFragment) logf(format string, args ...any) {
 
 // --- Failure escalation ---
 
-// localView returns the local serving view, if any (failover attach or
-// fetched replica).
+// localView returns the local mapping, if any (failover attach or
+// fetched replica). Suitable for per-edge reads regardless of liveness:
+// the bytes are the fragment's snapshot either way.
 func (f *RemoteFragment) localView() *store.MappedGraph {
 	f.localMu.Lock()
 	defer f.localMu.Unlock()
 	return f.local
+}
+
+// servingLocal returns the view that should compute join shares locally,
+// or nil when the share belongs on the wire. Local serving applies when
+// the fragment is declared dead (failover) or when a full replica has
+// already been fetched (no reason to pay a round trip for data already
+// resident). A spill attach whose server has failed back returns nil —
+// the fragment is remote again.
+func (f *RemoteFragment) servingLocal() *store.MappedGraph {
+	f.localMu.Lock()
+	defer f.localMu.Unlock()
+	if f.local == nil {
+		return nil
+	}
+	if f.replica || f.dead.Load() {
+		return f.local
+	}
+	return nil
 }
 
 // declareDead escalates after exhausted retries: re-attach the worker's
@@ -308,47 +380,120 @@ func (f *RemoteFragment) localView() *store.MappedGraph {
 // substitute when no spill file was configured. With neither, the
 // coordinator cannot preserve correctness and the run stops with a
 // descriptive panic — returning wrong mining output is not an option.
+// Both branches latch the dead flag (so calls short-circuit straight to
+// the local view instead of re-entering the dial/retry ladder) and start
+// the failback prober when one is configured.
 func (f *RemoteFragment) declareDead(cause error) *store.MappedGraph {
 	f.localMu.Lock()
-	defer f.localMu.Unlock()
-	if f.local != nil {
-		f.failedOver.Store(true)
-		return f.local
+	m := f.local
+	if m == nil {
+		if f.opts.FallbackPath == "" {
+			f.localMu.Unlock()
+			panic(fmt.Sprintf("remote: fragment %d at %s declared dead (%v) with no local fallback: set Options.FallbackPath to the worker's spilled frag-N.gfds to enable failover", f.info.Worker, f.addr, cause))
+		}
+		var err error
+		m, err = store.Open(f.opts.FallbackPath)
+		if err != nil {
+			f.localMu.Unlock()
+			panic(fmt.Sprintf("remote: fragment %d at %s declared dead (%v) and re-attaching %s failed: %v", f.info.Worker, f.addr, cause, f.opts.FallbackPath, err))
+		}
+		if fi, has := m.Fragment(); !has || fi != f.info || m.NumNodes() != f.base.NumNodes() {
+			m.Close()
+			f.localMu.Unlock()
+			panic(fmt.Sprintf("remote: fragment %d at %s declared dead (%v) but %s holds a different fragment", f.info.Worker, f.addr, cause, f.opts.FallbackPath))
+		}
+		f.logf("remote: fragment %d at %s declared dead (%v); failed over to %s", f.info.Worker, f.addr, cause, f.opts.FallbackPath)
+		f.local = m
+		f.replica = false
+	} else {
+		f.logf("remote: fragment %d at %s declared dead (%v); serving from the local mapping", f.info.Worker, f.addr, cause)
 	}
-	if f.opts.FallbackPath == "" {
-		panic(fmt.Sprintf("remote: fragment %d at %s declared dead (%v) with no local fallback: set Options.FallbackPath to the worker's spilled frag-N.gfds to enable failover", f.info.Worker, f.addr, cause))
-	}
-	m, err := store.Open(f.opts.FallbackPath)
-	if err != nil {
-		panic(fmt.Sprintf("remote: fragment %d at %s declared dead (%v) and re-attaching %s failed: %v", f.info.Worker, f.addr, cause, f.opts.FallbackPath, err))
-	}
-	if fi, has := m.Fragment(); !has || fi != f.info || m.NumNodes() != f.base.NumNodes() {
-		m.Close()
-		panic(fmt.Sprintf("remote: fragment %d at %s declared dead (%v) but %s holds a different fragment", f.info.Worker, f.addr, cause, f.opts.FallbackPath))
-	}
-	f.logf("remote: fragment %d at %s declared dead (%v); failed over to %s", f.info.Worker, f.addr, cause, f.opts.FallbackPath)
-	f.local = m
-	f.replica = false
 	f.dead.Store(true)
 	f.failedOver.Store(true)
+	f.localMu.Unlock()
+	f.startFailback()
 	return m
+}
+
+// --- Failback ---
+
+// startFailback launches the recovery prober if failback is enabled and
+// one is not already running. Called from declareDead on both branches.
+func (f *RemoteFragment) startFailback() {
+	if f.opts.FailbackInterval <= 0 || f.closed.Load() {
+		return
+	}
+	if !f.probing.CompareAndSwap(false, true) {
+		return
+	}
+	go f.failbackLoop()
+}
+
+// failbackLoop probes the dead server at FailbackInterval until the
+// fragment rejoins, the fragment closes, or its context ends. Sleeps go
+// through Options.Clock so tests drive the cadence deterministically.
+func (f *RemoteFragment) failbackLoop() {
+	defer f.probing.Store(false)
+	for {
+		if err := f.opts.Clock.Sleep(f.ctx, f.opts.FailbackInterval); err != nil {
+			return
+		}
+		if f.closed.Load() {
+			return
+		}
+		if f.tryFailback() {
+			return
+		}
+	}
+}
+
+// tryFailback re-runs the handshake against the (possibly recovered)
+// server and resumes remote serving only when it proves to be the same
+// fragment of the same graph: identical worker identity, node range,
+// edge count and node-store fingerprint. A server that answers with
+// anything else — a different spill generation, a different graph —
+// leaves the fragment failed over; serving from the validated local
+// attach beats trusting an imposter.
+func (f *RemoteFragment) tryFailback() bool {
+	ctx, cancel := context.WithTimeout(f.ctx, f.opts.CallTimeout)
+	defer cancel()
+	typ, resp, err := f.attempt(ctx, msgHello, nil)
+	if err != nil || typ != msgHelloOK {
+		return false
+	}
+	h, err := decodeHelloOK(resp)
+	if err != nil {
+		return false
+	}
+	got := store.FragmentInfo{Worker: h.Worker, NodeLo: h.NodeLo, NodeHi: h.NodeHi}
+	if h.Fingerprint != f.baseFP || got != f.info || h.NumEdges != f.numEdges {
+		f.logf("remote: %s: failback probe reached a server holding a different fragment; staying failed over", f.addr)
+		return false
+	}
+	f.dead.Store(false)
+	f.failedOver.Store(false)
+	f.rejoined.Store(true)
+	f.logf("remote: fragment %d at %s recovered; failing back to remote serving", f.info.Worker, f.addr)
+	return true
 }
 
 // ExtendIndexed implements match.BatchExtender: the fragment's share of
 // the incremental join, computed server-side against its mmap. On a dead
 // server it degrades to the local fallback and computes the identical
-// share there — the superstep resumes, output unchanged.
+// share there — the superstep resumes, output unchanged. Concurrent
+// calls pipeline over the shared connection.
 func (f *RemoteFragment) ExtendIndexed(t *match.Table, child *pattern.Pattern) match.IndexedExt {
-	if m := f.localView(); m != nil {
+	if f.closed.Load() {
+		panic(fmt.Sprintf("remote: ExtendIndexed on closed fragment %d (%s): calls after Close are a lifecycle bug", f.info.Worker, f.addr))
+	}
+	if m := f.servingLocal(); m != nil {
 		return match.ExtendIndexed(m, t, child)
 	}
 	if t == nil {
 		return match.IndexedExt{}
 	}
 	payload := encodeExtend(t, child)
-	f.mu.Lock()
 	respType, resp, err := f.call(msgExtend, payload)
-	f.mu.Unlock()
 	if err == nil && respType != msgExtendOK {
 		err = fmt.Errorf("remote: %s: unexpected response type %d to extend", f.addr, respType)
 	}
@@ -364,21 +509,32 @@ func (f *RemoteFragment) ExtendIndexed(t *match.Table, child *pattern.Pattern) m
 
 // fetchLocal returns a local view of the fragment's CSR, fetching the
 // snapshot sections over the wire once if the spill file has not already
-// been attached. Per-edge View methods route here: one bulk section
-// transfer instead of per-edge RPCs.
+// been attached. Per-edge View methods route here: one bulk transfer of
+// flate-compressed sections instead of per-edge RPCs.
 func (f *RemoteFragment) fetchLocal() *store.MappedGraph {
+	if f.closed.Load() {
+		panic(fmt.Sprintf("remote: view access on closed fragment %d (%s): calls after Close are a lifecycle bug", f.info.Worker, f.addr))
+	}
 	if m := f.localView(); m != nil {
 		return m
 	}
-	f.mu.Lock()
-	respType, resp, err := f.call(msgSections, nil)
-	f.mu.Unlock()
-	if err == nil && respType != msgSectionsOK {
-		err = fmt.Errorf("remote: %s: unexpected response type %d to sections", f.addr, respType)
+	var w wbuf
+	w.u32(sectionsAcceptFlate)
+	respType, resp, err := f.call(msgSections, w.b)
+	var snap []byte
+	if err == nil {
+		switch respType {
+		case msgSectionsZ:
+			snap, err = decodeSectionsZ(resp)
+		case msgSectionsOK:
+			snap = resp
+		default:
+			err = fmt.Errorf("remote: %s: unexpected response type %d to sections", f.addr, respType)
+		}
 	}
 	var m *store.MappedGraph
 	if err == nil {
-		m, err = store.OpenBytes(resp)
+		m, err = store.OpenBytes(snap)
 	}
 	if err != nil {
 		return f.declareDead(err)
@@ -468,9 +624,14 @@ func (f *RemoteFragment) PlanCache() *sync.Map { return &f.planCache }
 // String summarises the remote fragment.
 func (f *RemoteFragment) String() string {
 	state := "remote"
-	if f.FailedOver() {
+	switch {
+	case f.closed.Load():
+		state = "closed"
+	case f.FailedOver():
 		state = "failed-over"
-	} else if f.localView() != nil {
+	case f.Rejoined():
+		state = "rejoined"
+	case f.localView() != nil:
 		state = "replicated"
 	}
 	return fmt.Sprintf("remote{worker %d @ %s, %d edges, owns [%d,%d), %s}",

@@ -23,7 +23,10 @@ type FaultSpec struct {
 	Drop float64
 	// Corrupt is the probability a written frame has one byte flipped.
 	Corrupt float64
-	// Delay pauses every write (after Drop/Corrupt are decided).
+	// Delay postpones delivery of every written frame by this much
+	// without blocking the writer — a latency link, not a throttled
+	// one, so frames in flight overlap exactly as they would on a real
+	// network. Delivery order is preserved.
 	Delay time.Duration
 	// CloseAfter closes the connection after this many written frames
 	// (0 = never).
@@ -100,7 +103,13 @@ func (f FaultSpec) Wrap(c net.Conn, stream int64) net.Conn {
 	if !f.Active() {
 		return c
 	}
-	return &FaultConn{Conn: c, spec: f, rng: rand.New(rand.NewSource(f.Seed ^ (stream * 0x5851f42d4c957f2d)))}
+	fc := &FaultConn{Conn: c, spec: f, rng: rand.New(rand.NewSource(f.Seed ^ (stream * 0x5851f42d4c957f2d)))}
+	if f.Delay > 0 {
+		fc.delayCh = make(chan delayedFrame, 1024)
+		fc.done = make(chan struct{})
+		go fc.deliverLoop()
+	}
+	return fc
 }
 
 // FaultConn injects the spec's faults into every Write. Reads pass
@@ -114,6 +123,19 @@ type FaultConn struct {
 	mu     sync.Mutex
 	rng    *rand.Rand
 	writes int
+
+	// Delay > 0 only: frames queue here and a background writer
+	// delivers each when its latency elapses, so the sender never
+	// blocks and in-flight frames overlap.
+	delayCh   chan delayedFrame
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// delayedFrame is one written frame waiting out its simulated latency.
+type delayedFrame struct {
+	b   []byte
+	due time.Time
 }
 
 func (c *FaultConn) Write(b []byte) (int, error) {
@@ -121,7 +143,7 @@ func (c *FaultConn) Write(b []byte) (int, error) {
 	c.writes++
 	if c.spec.CloseAfter > 0 && c.writes > c.spec.CloseAfter {
 		c.mu.Unlock()
-		c.Conn.Close()
+		c.Close()
 		return 0, fmt.Errorf("remote: fault injection: connection closed after %d frames", c.spec.CloseAfter)
 	}
 	drop := c.spec.Drop > 0 && c.rng.Float64() < c.spec.Drop
@@ -131,19 +153,65 @@ func (c *FaultConn) Write(b []byte) (int, error) {
 	}
 	c.mu.Unlock()
 
-	if c.spec.Delay > 0 {
-		time.Sleep(c.spec.Delay)
-	}
 	if drop {
 		// Swallow the frame but report success: the peer stalls until its
 		// deadline fires — the exact signature of a lost datagram.
 		return len(b), nil
 	}
+	out := b
 	if corruptAt >= 0 {
 		mangled := make([]byte, len(b))
 		copy(mangled, b)
 		mangled[corruptAt] ^= 0x40
-		return c.Conn.Write(mangled)
+		out = mangled
 	}
-	return c.Conn.Write(b)
+	if c.spec.Delay > 0 {
+		// The caller may reuse b the moment we return; the frame rides
+		// out its latency on a private copy.
+		buf := out
+		if corruptAt < 0 {
+			buf = make([]byte, len(b))
+			copy(buf, b)
+		}
+		select {
+		case c.delayCh <- delayedFrame{b: buf, due: time.Now().Add(c.spec.Delay)}:
+			return len(b), nil
+		case <-c.done:
+			return 0, net.ErrClosed
+		}
+	}
+	return c.Conn.Write(out)
+}
+
+// deliverLoop drains the latency queue in order, writing each frame to
+// the real connection once its delay elapses. A write error closes the
+// connection — the peer sees a dead link, the standard recovery path.
+func (c *FaultConn) deliverLoop() {
+	for {
+		select {
+		case f := <-c.delayCh:
+			if d := time.Until(f.due); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-c.done:
+					return
+				}
+			}
+			if _, err := c.Conn.Write(f.b); err != nil {
+				c.Conn.Close()
+				return
+			}
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// Close stops the delayed-delivery writer (frames still in flight are
+// lost, as on a cut link) and closes the underlying connection.
+func (c *FaultConn) Close() error {
+	if c.done != nil {
+		c.closeOnce.Do(func() { close(c.done) })
+	}
+	return c.Conn.Close()
 }

@@ -3,6 +3,7 @@ package remote
 import (
 	"context"
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
 	"sort"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/discovery"
 	"repro/internal/graph"
 	"repro/internal/parallel"
+	"repro/internal/store"
 )
 
 const (
@@ -191,5 +193,88 @@ func TestGoldenMiningFailover(t *testing.T) {
 	}
 	if !clients[0].FailedOver() {
 		t.Fatal("server died mid-mine but the fragment never failed over")
+	}
+}
+
+// TestGoldenMiningFailback: the full recovery loop around the golden
+// run. A server killed mid-mine forces failover (run 1 stays golden on
+// the spill attach); the server then restarts on the same address, the
+// failback prober rejoins it, and a second mine goes back over the wire
+// — byte-identical both times.
+func TestGoldenMiningFailback(t *testing.T) {
+	g, want := loadGolden(t)
+	dir := t.TempDir()
+	if err := parallel.Spill(dir, g, parallel.VertexCut(g, 3)); err != nil {
+		t.Fatal(err)
+	}
+	att, err := parallel.Attach(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer att.Close()
+	fragPath := filepath.Join(dir, parallel.FragmentSnapshotName(1))
+	frags, clients := mixFragments(t, dir, att, map[int]bool{1: true},
+		ServerOptions{DieAfter: 25},
+		Options{
+			CallTimeout:      200 * time.Millisecond,
+			Backoff:          Backoff{Base: time.Millisecond, Max: 5 * time.Millisecond, Factor: 2, Jitter: 0.5, Attempts: 3},
+			FallbackPath:     fragPath,
+			FailbackInterval: 10 * time.Millisecond,
+		})
+	rf := clients[0]
+	addr := rf.Addr()
+
+	eng := cluster.New(cluster.Config{Workers: 3})
+	res := parallel.MineFragments(context.Background(), att.Graph, frags, goldenOptions(), eng, parallel.Options{LoadBalance: true})
+	if got := canonicalizeResult(res.Result); got != want {
+		t.Fatalf("failover mining diverged from golden output.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if !rf.FailedOver() && !rf.Rejoined() {
+		t.Fatal("server died mid-mine but the fragment never failed over")
+	}
+
+	// The worker recovers: restart its server on the original address.
+	m2, err := store.Open(fragPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewServer(m2, ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var l2 net.Listener
+	for i := 0; i < 50; i++ {
+		l2, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	go s2.Serve(l2)
+	t.Cleanup(func() {
+		s2.Close()
+		m2.Close()
+	})
+
+	deadline := time.Now().Add(10 * time.Second)
+	for !rf.Rejoined() {
+		if time.Now().After(deadline) {
+			t.Fatal("fragment never failed back to the restarted server")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Mine again, now through the rejoined fragment: still golden, and
+	// the restarted server actually carried join traffic.
+	eng2 := cluster.New(cluster.Config{Workers: 3})
+	res2 := parallel.MineFragments(context.Background(), att.Graph, frags, goldenOptions(), eng2, parallel.Options{LoadBalance: true})
+	if got := canonicalizeResult(res2.Result); got != want {
+		t.Fatalf("post-failback mining diverged from golden output.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if s2.Served() == 0 {
+		t.Fatal("post-failback mine never reached the restarted server")
 	}
 }

@@ -1,0 +1,184 @@
+package remote
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// mux multiplexes concurrent requests over one connection: writers
+// serialise only on the frame write (a mutex held for one Write call),
+// tags identify in-flight requests, and a single reader goroutine
+// demultiplexes responses to their waiters — so N concurrent supersteps
+// pipeline N round trips instead of queueing N×RTT behind a
+// per-connection lock.
+//
+// A mux is failure-atomic: the first transport error (read failure,
+// checksum mismatch, write failure, a caller's deadline firing) closes
+// the connection and fails every in-flight and future request with that
+// error. Callers treat a failed mux exactly like PR 6 treated a failed
+// connection — drop it, redial, retry under backoff — except that one
+// wedged request now takes the whole pipeline to the retry ladder
+// together instead of stalling it serially.
+type mux struct {
+	conn net.Conn
+	// wired is the owning RemoteFragment's transferred ledger: every byte
+	// written to or read from the connection lands there immediately, so
+	// the ledger survives the mux being poisoned and replaced.
+	wired *atomic.Int64
+
+	writeMu sync.Mutex // held for exactly one writeFrame call
+
+	mu      sync.Mutex
+	pending map[uint32]chan muxResp
+	err     error // sticky first transport error; nil while healthy
+
+	readerDone chan struct{}
+}
+
+// muxResp is one demultiplexed response.
+type muxResp struct {
+	typ     uint32
+	payload []byte
+}
+
+// newMux wraps an established connection and starts its reader.
+func newMux(conn net.Conn, wired *atomic.Int64) *mux {
+	m := &mux{
+		conn:       conn,
+		wired:      wired,
+		pending:    make(map[uint32]chan muxResp),
+		readerDone: make(chan struct{}),
+	}
+	go m.readLoop()
+	return m
+}
+
+// readLoop is the demultiplexer: one goroutine per connection reads
+// frames and hands each to the waiter registered under its tag. Any read
+// failure — including a checksum mismatch or a response to a tag nobody
+// is waiting for (impossible without protocol confusion, since a timed
+// out request fails the whole mux) — poisons the mux.
+func (m *mux) readLoop() {
+	defer close(m.readerDone)
+	for {
+		typ, tag, payload, n, err := readFrame(m.conn)
+		if err != nil {
+			m.fail(err)
+			return
+		}
+		m.wired.Add(int64(n))
+		m.mu.Lock()
+		ch, ok := m.pending[tag]
+		delete(m.pending, tag)
+		m.mu.Unlock()
+		if !ok {
+			m.fail(fmt.Errorf("remote: response for unknown request tag %d", tag))
+			return
+		}
+		ch <- muxResp{typ: typ, payload: payload}
+	}
+}
+
+// fail poisons the mux with its first transport error: the connection is
+// closed (unblocking the reader) and every pending waiter receives err.
+func (m *mux) fail(err error) {
+	m.mu.Lock()
+	if m.err != nil {
+		m.mu.Unlock()
+		return
+	}
+	m.err = err
+	pending := m.pending
+	m.pending = nil
+	m.mu.Unlock()
+	m.conn.Close()
+	for _, ch := range pending {
+		close(ch) // a closed channel delivers the zero muxResp; waiters read m.Err()
+	}
+}
+
+// Err returns the sticky transport error, or nil while the mux is
+// healthy.
+func (m *mux) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err
+}
+
+// Close poisons the mux with a deliberate shutdown error and waits for
+// the reader to drain.
+func (m *mux) Close() {
+	m.fail(fmt.Errorf("remote: connection closed"))
+	<-m.readerDone
+}
+
+// register parks a waiter under tag. It fails if the mux is already
+// poisoned, so no request can enqueue behind a dead connection.
+func (m *mux) register(tag uint32) (chan muxResp, error) {
+	ch := make(chan muxResp, 1)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return nil, m.err
+	}
+	m.pending[tag] = ch
+	return ch, nil
+}
+
+// roundTrip sends one tagged request and waits for its response until
+// deadline. Every failure mode — a write that cannot even arm its
+// deadline (a wedged conn must not block past CallTimeout), a failed
+// write, the deadline firing before the response — poisons the whole
+// mux: the connection's state is unknown, and every pipelined sibling
+// retries against a fresh one rather than waiting on a dead wire.
+func (m *mux) roundTrip(typ, tag uint32, payload []byte, deadline time.Time) (uint32, []byte, error) {
+	ch, err := m.register(tag)
+	if err != nil {
+		return 0, nil, err
+	}
+
+	// The write deadline is the transport-level guard: a peer that has
+	// stopped draining its socket fails the write at the deadline instead
+	// of blocking forever. A failed SetWriteDeadline means the conn is
+	// already unusable — treat it exactly like a failed write.
+	m.writeMu.Lock()
+	err = m.conn.SetWriteDeadline(deadline)
+	if err == nil {
+		var sent int
+		sent, err = writeFrame(m.conn, typ, tag, payload)
+		m.wired.Add(int64(sent))
+	} else {
+		err = fmt.Errorf("remote: arming write deadline: %w", err)
+	}
+	m.writeMu.Unlock()
+	if err != nil {
+		m.fail(err)
+		return 0, nil, err
+	}
+
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return 0, nil, m.Err()
+		}
+		return resp.typ, resp.payload, nil
+	case <-timer.C:
+		err := fmt.Errorf("remote: request %d timed out awaiting response", tag)
+		m.fail(err)
+		// Drain the race where the response landed between the timer and
+		// fail claiming the pending map.
+		select {
+		case resp, ok := <-ch:
+			if ok {
+				return resp.typ, resp.payload, nil
+			}
+		default:
+		}
+		return 0, nil, err
+	}
+}

@@ -9,7 +9,16 @@
 // little-endian u32 runs) plus the child pattern, and gets back the
 // fragment's indexed share of ExtendRowsViews. No per-edge lookup ever
 // crosses the wire; a per-edge View method on a RemoteFragment is served
-// from a lazily fetched local replica of the fragment's snapshot.
+// from a lazily fetched local replica of the fragment's snapshot, whose
+// section payloads cross the wire flate-compressed (the cold-dial
+// transfer — see msgSections).
+//
+// The wire is multiplexed: every frame carries a request tag, the client
+// pipelines concurrent requests over one connection (a writer mutex plus
+// a demultiplexing reader goroutine — see mux.go), and the server
+// executes tagged requests concurrently per connection, so responses may
+// complete out of order. Concurrent supersteps therefore overlap their
+// round trips instead of queueing behind a per-connection lock.
 //
 // Failure semantics, in escalation order: every call carries a deadline;
 // transport errors retry with capped exponential backoff + jitter against
@@ -17,7 +26,9 @@
 // declared dead and the coordinator fails over by re-attaching the
 // worker's spilled frag-N.gfds locally (the spill file is the recovery
 // unit), after which the superstep resumes with a local view and mining
-// output is unchanged.
+// output is unchanged. Failover closes the loop with failback: a
+// failed-over fragment keeps probing its server and, on a
+// fingerprint-validated reconnect, resumes remote serving (client.go).
 //
 // # Framing
 //
@@ -25,14 +36,18 @@
 //
 //	offset 0  payload length uint32 (little-endian, < maxFrame)
 //	offset 4  message type   uint32
-//	offset 8  checksum       uint32 (FNV-1a over length, type and payload)
-//	offset 12 payload
+//	offset 8  request tag    uint32 (echoed verbatim in the response)
+//	offset 12 checksum       uint32 (FNV-1a over length, type, tag and payload)
+//	offset 16 payload
 //
-// A frame is written with a single Write call, so the fault-injection
-// harness (FaultConn) drops, delays or corrupts whole messages. The
-// checksum turns a corrupted payload into a detected transport error —
-// the client closes the connection, redials and retries — rather than a
-// silently wrong join.
+// The tag is the multiplexing key: the client allocates a fresh tag per
+// request and matches responses by it, so any number of requests can be
+// in flight on one connection and complete in any order. A frame is
+// written with a single Write call, so the fault-injection harness
+// (FaultConn) drops, delays or corrupts whole messages. The checksum
+// turns a corrupted payload into a detected transport error — the client
+// closes the connection, redials and retries — rather than a silently
+// wrong join.
 //
 // Payload fields are little-endian u32/u64 scalars, length-prefixed
 // strings padded to 4 bytes, and length-prefixed u32 slices encoded with
@@ -43,6 +58,8 @@
 package remote
 
 import (
+	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
@@ -56,19 +73,25 @@ import (
 
 // Message types. The numeric values are part of the protocol.
 const (
-	msgHello      uint32 = 1 // client -> server: handshake request (empty)
-	msgHelloOK    uint32 = 2 // server -> client: fragment metadata + counts + edge-label section
-	msgPing       uint32 = 3 // client -> server: heartbeat, echo payload
-	msgPong       uint32 = 4 // server -> client: heartbeat echo
-	msgExtend     uint32 = 5 // client -> server: child pattern + parent row-table batch
-	msgExtendOK   uint32 = 6 // server -> client: indexed extension share
-	msgSections   uint32 = 7 // client -> server: request the fragment's snapshot (empty)
-	msgSectionsOK uint32 = 8 // server -> client: complete snapshot bytes (store format)
-	msgError      uint32 = 9 // server -> client: application error (fatal, not retried)
+	msgHello      uint32 = 1  // client -> server: handshake request (empty)
+	msgHelloOK    uint32 = 2  // server -> client: fragment metadata + counts + edge-label section
+	msgPing       uint32 = 3  // client -> server: heartbeat, echo payload
+	msgPong       uint32 = 4  // server -> client: heartbeat echo
+	msgExtend     uint32 = 5  // client -> server: child pattern + parent row-table batch
+	msgExtendOK   uint32 = 6  // server -> client: indexed extension share
+	msgSections   uint32 = 7  // client -> server: request the fragment's snapshot (u32 flags)
+	msgSectionsOK uint32 = 8  // server -> client: complete snapshot bytes (store format)
+	msgError      uint32 = 9  // server -> client: application error (fatal, not retried)
+	msgSectionsZ  uint32 = 10 // server -> client: snapshot with per-section flate compression
 )
 
+// sectionsAcceptFlate is the msgSections request flag announcing the
+// client decodes msgSectionsZ. A server always honours a flagless (or
+// empty, pre-compression) request with raw msgSectionsOK bytes.
+const sectionsAcceptFlate uint32 = 1
+
 const (
-	frameHeader = 12
+	frameHeader = 16
 	// maxFrame bounds a frame payload: a corrupted or adversarial length
 	// field must not drive a giant allocation. Snapshot shipping is the
 	// largest legitimate payload; 1 GiB is far above any test graph and
@@ -76,15 +99,17 @@ const (
 	maxFrame = 1 << 30
 )
 
-// frameSum is the frame checksum: FNV-1a 32 over the length and type
-// words followed by the payload. Covering the header words matters: a
-// corrupted type would otherwise parse as a perfectly framed message of
-// the wrong kind, and a corrupted length would desynchronise the stream
-// — both must surface as transport errors, not protocol confusion.
-func frameSum(length, typ uint32, payload []byte) uint32 {
-	var hdr [8]byte
+// frameSum is the frame checksum: FNV-1a 32 over the length, type and
+// tag words followed by the payload. Covering the header words matters:
+// a corrupted type would otherwise parse as a perfectly framed message of
+// the wrong kind, a corrupted length would desynchronise the stream, and
+// a corrupted tag would deliver a valid response to the wrong in-flight
+// request — all must surface as transport errors, not protocol confusion.
+func frameSum(length, typ, tag uint32, payload []byte) uint32 {
+	var hdr [12]byte
 	binary.LittleEndian.PutUint32(hdr[0:], length)
 	binary.LittleEndian.PutUint32(hdr[4:], typ)
+	binary.LittleEndian.PutUint32(hdr[8:], tag)
 	h := fnv.New32a()
 	h.Write(hdr[:])
 	h.Write(payload)
@@ -94,14 +119,15 @@ func frameSum(length, typ uint32, payload []byte) uint32 {
 // writeFrame frames and writes one message with a single Write call (the
 // fault harness counts messages, not bytes). Returns bytes written on the
 // wire.
-func writeFrame(w io.Writer, typ uint32, payload []byte) (int, error) {
+func writeFrame(w io.Writer, typ, tag uint32, payload []byte) (int, error) {
 	if len(payload) > maxFrame {
 		return 0, fmt.Errorf("remote: frame payload %d exceeds limit", len(payload))
 	}
 	buf := make([]byte, frameHeader+len(payload))
 	binary.LittleEndian.PutUint32(buf[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(buf[4:], typ)
-	binary.LittleEndian.PutUint32(buf[8:], frameSum(uint32(len(payload)), typ, payload))
+	binary.LittleEndian.PutUint32(buf[8:], tag)
+	binary.LittleEndian.PutUint32(buf[12:], frameSum(uint32(len(payload)), typ, tag, payload))
 	copy(buf[frameHeader:], payload)
 	n, err := w.Write(buf)
 	return n, err
@@ -111,25 +137,26 @@ func writeFrame(w io.Writer, typ uint32, payload []byte) (int, error) {
 // length, checksum mismatch — is a transport-level error: the connection
 // state is unknown and the caller must close it (and, on the client,
 // retry against a fresh one).
-func readFrame(r io.Reader) (typ uint32, payload []byte, n int, err error) {
+func readFrame(r io.Reader) (typ, tag uint32, payload []byte, n int, err error) {
 	var hdr [frameHeader]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, 0, err
+		return 0, 0, nil, 0, err
 	}
 	length := binary.LittleEndian.Uint32(hdr[0:])
 	typ = binary.LittleEndian.Uint32(hdr[4:])
-	sum := binary.LittleEndian.Uint32(hdr[8:])
+	tag = binary.LittleEndian.Uint32(hdr[8:])
+	sum := binary.LittleEndian.Uint32(hdr[12:])
 	if length > maxFrame {
-		return 0, nil, 0, fmt.Errorf("remote: frame length %d exceeds limit (corrupt header?)", length)
+		return 0, 0, nil, 0, fmt.Errorf("remote: frame length %d exceeds limit (corrupt header?)", length)
 	}
 	payload = make([]byte, length)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, 0, err
+		return 0, 0, nil, 0, err
 	}
-	if got := frameSum(length, typ, payload); got != sum {
-		return 0, nil, 0, fmt.Errorf("remote: frame checksum mismatch (%08x != %08x): corrupted frame", got, sum)
+	if got := frameSum(length, typ, tag, payload); got != sum {
+		return 0, 0, nil, 0, fmt.Errorf("remote: frame checksum mismatch (%08x != %08x): corrupted frame", got, sum)
 	}
-	return typ, payload, frameHeader + int(length), nil
+	return typ, tag, payload, frameHeader + int(length), nil
 }
 
 // --- Payload encoding ---
@@ -449,4 +476,110 @@ func decodeExtendOK(b []byte) (match.IndexedExt, error) {
 		}
 	}
 	return ext, r.err()
+}
+
+// --- Compressed snapshot transfer (msgSectionsZ) ---
+
+// encodeSectionsZ compresses a serialised snapshot per section for the
+// cold-dial transfer. The snapshot format already frames its payloads
+// (store.SectionSpans), so compression never looks inside a section and
+// the receiver reassembles the byte-identical stream — store stays
+// oblivious. Layout:
+//
+//	u64 raw snapshot length
+//	u32 prefix length (header + section table + alignment pad, raw)
+//	prefix bytes
+//	per section, in table order: u32 compressed length + flate stream
+//	  (length 0 marks an empty section)
+//
+// Inter-section padding is zero by the writer's contract, so it is not
+// shipped: the receiver decompresses into a zeroed buffer.
+func encodeSectionsZ(snap []byte) ([]byte, error) {
+	prefix, spans, err := store.SectionSpans(snap)
+	if err != nil {
+		return nil, err
+	}
+	var w wbuf
+	w.u64(uint64(len(snap)))
+	w.u32(uint32(prefix))
+	w.b = append(w.b, snap[:prefix]...)
+	var comp bytes.Buffer
+	var fw *flate.Writer
+	for _, s := range spans {
+		if s.Len == 0 {
+			w.u32(0)
+			continue
+		}
+		comp.Reset()
+		if fw == nil {
+			if fw, err = flate.NewWriter(&comp, flate.BestSpeed); err != nil {
+				return nil, err
+			}
+		} else {
+			fw.Reset(&comp)
+		}
+		if _, err := fw.Write(snap[s.Off : s.Off+s.Len]); err != nil {
+			return nil, err
+		}
+		if err := fw.Close(); err != nil {
+			return nil, err
+		}
+		w.u32(uint32(comp.Len()))
+		w.b = append(w.b, comp.Bytes()...)
+	}
+	return w.b, nil
+}
+
+// decodeSectionsZ reverses encodeSectionsZ, reconstructing the exact
+// byte stream store.Write produced: prefix copied raw, each section
+// decompressed into its span, padding left zero. The prefix is
+// re-validated with SectionSpans so a corrupt table surfaces here as a
+// transport error instead of a misdecoded snapshot.
+func decodeSectionsZ(b []byte) ([]byte, error) {
+	r := rbuf{b: b}
+	rawLen := r.u64()
+	prefixLen := int64(r.u32())
+	if r.fail == nil && rawLen > maxFrame {
+		r.errf("remote: implausible snapshot length %d", rawLen)
+	}
+	prefix := r.take(int(prefixLen))
+	if r.fail != nil {
+		return nil, r.fail
+	}
+	out := make([]byte, rawLen)
+	copy(out, prefix)
+	wantPrefix, spans, err := store.SectionSpans(out)
+	if err != nil {
+		return nil, err
+	}
+	if wantPrefix != prefixLen {
+		return nil, fmt.Errorf("remote: snapshot prefix length %d disagrees with its section table (%d)", prefixLen, wantPrefix)
+	}
+	for _, s := range spans {
+		n := int(r.u32())
+		comp := r.take(n)
+		if r.fail != nil {
+			return nil, r.fail
+		}
+		if s.Len == 0 {
+			if n != 0 {
+				return nil, fmt.Errorf("remote: %d compressed bytes for empty section %d", n, s.ID)
+			}
+			continue
+		}
+		fr := flate.NewReader(bytes.NewReader(comp))
+		dst := out[s.Off : s.Off+s.Len]
+		if _, err := io.ReadFull(fr, dst); err != nil {
+			return nil, fmt.Errorf("remote: section %d decompress: %v", s.ID, err)
+		}
+		var overrun [1]byte
+		if m, _ := fr.Read(overrun[:]); m != 0 {
+			return nil, fmt.Errorf("remote: section %d decompresses past its %d-byte span", s.ID, s.Len)
+		}
+		fr.Close()
+	}
+	if err := r.err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

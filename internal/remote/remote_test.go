@@ -468,8 +468,9 @@ func TestServerDieAfter(t *testing.T) {
 	}
 }
 
-// TestConcurrentExtends: concurrent supersteps share one fragment client;
-// the connection must serialise cleanly under the race detector.
+// TestConcurrentExtends: concurrent supersteps share one fragment client
+// and pipeline over its multiplexed connection; out-of-order completions
+// must stay correct under the race detector.
 func TestConcurrentExtends(t *testing.T) {
 	g := dataset.DBpediaSim(120, 9)
 	dir := spillGraph(t, g, 2)

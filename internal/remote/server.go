@@ -154,9 +154,19 @@ func (s *Server) die() {
 }
 
 // handle serves one connection until it errors or the server dies.
+// Tagged requests dispatch concurrently: each frame's handler runs in
+// its own goroutine (the fragment mmap is read-only, so shared access is
+// safe) and writes its response — carrying the request's tag — under a
+// per-connection write mutex. Responses therefore interleave in
+// completion order, not request order; the client's demultiplexer
+// matches them by tag. A slow sections transfer no longer blocks the
+// extend shares pipelined behind it.
 func (s *Server) handle(c net.Conn) {
+	var writeMu sync.Mutex
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
 	for {
-		typ, payload, _, err := readFrame(c)
+		typ, tag, payload, _, err := readFrame(c)
 		if err != nil {
 			return
 		}
@@ -165,29 +175,48 @@ func (s *Server) handle(c net.Conn) {
 			s.die()
 			return
 		}
-		var respType uint32
-		var resp []byte
-		switch typ {
-		case msgHello:
-			respType, resp = msgHelloOK, s.hello()
-		case msgPing:
-			respType, resp = msgPong, payload
-		case msgExtend:
-			respType, resp, err = s.extend(payload)
-		case msgSections:
-			respType, resp, err = s.sections()
-		default:
-			err = fmt.Errorf("unknown message type %d", typ)
-		}
-		if err != nil {
-			var w wbuf
-			w.str(err.Error())
-			respType, resp = msgError, w.b
-		}
-		if _, err := writeFrame(c, respType, resp); err != nil {
-			return
-		}
+		handlers.Add(1)
+		go func(typ, tag uint32, payload []byte) {
+			defer handlers.Done()
+			respType, resp := s.dispatch(typ, payload)
+			writeMu.Lock()
+			_, werr := writeFrame(c, respType, tag, resp)
+			writeMu.Unlock()
+			if werr != nil {
+				// The write path is dead; close the conn so the read loop
+				// (and every sibling handler) unwinds instead of queueing
+				// responses nobody will receive.
+				c.Close()
+			}
+		}(typ, tag, payload)
 	}
+}
+
+// dispatch routes one request to its handler. Handler errors come back
+// as msgError payloads: application-level failures the client treats as
+// fatal rather than retriable transport faults.
+func (s *Server) dispatch(typ uint32, payload []byte) (uint32, []byte) {
+	var respType uint32
+	var resp []byte
+	var err error
+	switch typ {
+	case msgHello:
+		respType, resp = msgHelloOK, s.hello()
+	case msgPing:
+		respType, resp = msgPong, payload
+	case msgExtend:
+		respType, resp, err = s.extend(payload)
+	case msgSections:
+		respType, resp, err = s.sections(payload)
+	default:
+		err = fmt.Errorf("unknown message type %d", typ)
+	}
+	if err != nil {
+		var w wbuf
+		w.str(err.Error())
+		respType, resp = msgError, w.b
+	}
+	return respType, resp
 }
 
 func (s *Server) hello() []byte {
@@ -230,11 +259,29 @@ func (s *Server) extend(payload []byte) (uint32, []byte, error) {
 
 // sections ships the fragment's snapshot — the same bytes Spill wrote,
 // re-serialised from the mapping — so the coordinator can serve per-edge
-// View calls from a local replica.
-func (s *Server) sections() (uint32, []byte, error) {
+// View calls from a local replica. A client that announced
+// sectionsAcceptFlate gets the per-section compressed form
+// (msgSectionsZ); a flagless or empty (pre-compression) request gets the
+// raw stream, so old clients keep working.
+func (s *Server) sections(payload []byte) (uint32, []byte, error) {
+	var flags uint32
+	if len(payload) > 0 {
+		r := rbuf{b: payload}
+		flags = r.u32()
+		if err := r.err(); err != nil {
+			return 0, nil, err
+		}
+	}
 	var buf bytes.Buffer
 	if err := store.Write(&buf, s.m); err != nil {
 		return 0, nil, err
+	}
+	if flags&sectionsAcceptFlate != 0 {
+		z, err := encodeSectionsZ(buf.Bytes())
+		if err != nil {
+			return 0, nil, err
+		}
+		return msgSectionsZ, z, nil
 	}
 	return msgSectionsOK, buf.Bytes(), nil
 }

@@ -1,0 +1,59 @@
+package store
+
+import "fmt"
+
+// SectionSpan locates one section's payload inside a serialised snapshot:
+// [Off, Off+Len) in the snapshot's byte stream. Spans are returned in
+// section-table order, which Write lays out monotonically with 8-aligned
+// starts and zero padding between payloads — so a snapshot is exactly its
+// prefix (header + table + alignment pad), its section payloads, and
+// zeroed padding. That decomposition is what lets a transport compress
+// section payloads independently and reassemble the byte-identical
+// snapshot on the far side without this package decoding anything.
+type SectionSpan struct {
+	ID       uint32
+	Off, Len int64
+}
+
+// SectionSpans parses the header and section table of a serialised
+// snapshot and returns the prefix length (header + table, rounded up to
+// the first payload's 8-aligned start) plus every section's span. Only
+// the framing is validated — magic, version, table bounds, offset
+// monotonicity — not the section contents; OpenBytes performs the full
+// structural validation when the stream is actually decoded.
+func SectionSpans(data []byte) (prefix int64, spans []SectionSpan, err error) {
+	if len(data) < headerSize {
+		return 0, nil, fmt.Errorf("store: truncated header: %d bytes", len(data))
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return 0, nil, fmt.Errorf("store: bad magic")
+	}
+	if v := uint16(data[6]) | uint16(data[7])<<8; v != Version {
+		return 0, nil, fmt.Errorf("store: unsupported snapshot version %d (want %d)", v, Version)
+	}
+	nsec := int(getU32(data, 8))
+	if nsec > maxSections {
+		return 0, nil, fmt.Errorf("store: implausible section count %d", nsec)
+	}
+	prefix = align8(headerSize + int64(nsec)*sectionEntry)
+	if prefix > int64(len(data)) {
+		return 0, nil, fmt.Errorf("store: truncated section table: %d bytes for %d sections", len(data), nsec)
+	}
+	spans = make([]SectionSpan, nsec)
+	next := prefix
+	for i := 0; i < nsec; i++ {
+		e := headerSize + i*sectionEntry
+		off := int64(getU64(data, e+8))
+		length := int64(getU64(data, e+16))
+		if off != next || length < 0 || off+length > int64(len(data)) {
+			return 0, nil, fmt.Errorf("store: section %d spans [%d,%d) outside the writer's layout (stream is %d bytes)",
+				i, off, off+length, len(data))
+		}
+		spans[i] = SectionSpan{ID: getU32(data, e), Off: off, Len: length}
+		next = align8(off + length)
+	}
+	if next != int64(len(data)) {
+		return 0, nil, fmt.Errorf("store: %d trailing bytes after the last section", int64(len(data))-next)
+	}
+	return prefix, spans, nil
+}

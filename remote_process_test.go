@@ -213,3 +213,84 @@ func TestGoldenMiningRemoteProcessKilled(t *testing.T) {
 		t.Fatalf("victim exit: %v, want exit status 3", err)
 	}
 }
+
+// TestGoldenMiningRemoteProcessFailback: the full recovery loop across OS
+// processes. A gfdfrag with -die-after and -resurrect-after drops dead
+// mid-mine (failover to the spill file, run 1 golden), then rebinds its
+// original port; the failback-enabled coordinator rejoins it and a second
+// mine goes back over the wire — golden again.
+func TestGoldenMiningRemoteProcessFailback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	bin := buildGfdfrag(t)
+	g := loadGoldenGraph(t)
+	want := string(loadGoldenBytes(t))
+
+	const workers = 3
+	dir := t.TempDir()
+	if err := parallel.Spill(dir, g, parallel.VertexCut(g, workers)); err != nil {
+		t.Fatalf("Spill: %v", err)
+	}
+	att, err := parallel.Attach(dir)
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	defer att.Close()
+
+	frags := make([]parallel.Fragment, workers)
+	copy(frags, att.Frags)
+	var victim *remote.RemoteFragment
+	for w := 1; w < workers; w++ {
+		fragPath := filepath.Join(dir, parallel.FragmentSnapshotName(w))
+		extra := []string{}
+		if w == 1 {
+			// The victim dies partway through the Extend stream, then
+			// resurrects in-process on the same port.
+			extra = []string{"-die-after", "30", "-resurrect-after", "100ms"}
+		}
+		addr, _ := startFragProcess(t, bin, fragPath, extra...)
+		rf, err := remote.Dial(context.Background(), addr, att.Graph, remote.Options{
+			FallbackPath:     fragPath,
+			CallTimeout:      500 * time.Millisecond,
+			Backoff:          remote.Backoff{Base: 2 * time.Millisecond, Max: 20 * time.Millisecond, Factor: 2, Jitter: 0.5, Attempts: 3},
+			FailbackInterval: 20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("dial worker %d: %v", w, err)
+		}
+		defer rf.Close()
+		frags[w].Sub = rf
+		if w == 1 {
+			victim = rf
+		}
+	}
+
+	eng := cluster.New(cluster.Config{Workers: workers})
+	pr := parallel.MineFragments(context.Background(), att.Graph, frags, goldenOptions(), eng, parallel.Options{LoadBalance: true})
+	if got := canonicalize(pr.Result); got != want {
+		t.Fatalf("mining with a dying server diverged from golden output.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if !victim.FailedOver() && !victim.Rejoined() {
+		t.Fatal("victim server died but its fragment never failed over")
+	}
+
+	// The resurrected process is back on its port; wait for the prober to
+	// validate and rejoin it.
+	deadline := time.Now().Add(15 * time.Second)
+	for !victim.Rejoined() {
+		if time.Now().After(deadline) {
+			t.Fatal("fragment never failed back to the resurrected gfdfrag")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	eng2 := cluster.New(cluster.Config{Workers: workers})
+	pr2 := parallel.MineFragments(context.Background(), att.Graph, frags, goldenOptions(), eng2, parallel.Options{LoadBalance: true})
+	if got := canonicalize(pr2.Result); got != want {
+		t.Fatalf("post-failback mining diverged from golden output.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if stats := eng2.Stats(); stats.MeasuredBytes == 0 {
+		t.Fatal("post-failback mine measured no wire traffic; the rejoined server saw no shares")
+	}
+}

@@ -8,11 +8,16 @@
 //	gfdbench -list
 //	gfdbench all
 //	gfdbench -json results.json micro fig5a
+//	gfdbench -compare BENCH_pr7.json micro
+//	gfdbench -compare BENCH_pr7.json BENCH_pr8.json
 //
 // Experiments: fig5a..fig5l, fig6, fig7, fig8, infeas, plus the
 // pseudo-experiment "micro" (the core micro-benchmark suite, including
 // the fragment-view per-worker cost benches and the snapshot-vs-TSV load
-// micros). With -in the micro suite runs over a user-supplied graph —
+// micros). With -compare old.json, micro results — freshly measured, or
+// from a second .json given as the sole positional argument — are diffed
+// against the baseline file with >10% slowdowns flagged (report-only).
+// With -in the micro suite runs over a user-supplied graph —
 // TSV or binary snapshot, auto-detected by magic bytes — instead of the
 // built-in DBpediaSim workload. With -json, every measurement taken
 // during the run — micro ns/op, B/op, allocs/op and experiment wall
@@ -57,6 +62,67 @@ func noteFor(in string) string {
 	return "micro input: " + in
 }
 
+func loadResults(path string) (*jsonOutput, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r jsonOutput
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// compareMicro prints a per-micro delta table between a baseline result
+// file and fresher measurements (a second file, or the micros of the run
+// just completed). Entries more than 10% slower are flagged REGRESSION;
+// the report never changes the exit status — micro timings on shared CI
+// runners are too noisy to gate on, the flag is for a human eyeball.
+func compareMicro(oldName string, oldMicro []bench.MicroResult, newName string, newMicro []bench.MicroResult) {
+	fmt.Printf("== compare: %s vs %s ==\n", oldName, newName)
+	if len(newMicro) == 0 {
+		fmt.Println("(no micro results in the newer run)")
+		return
+	}
+	old := make(map[string]bench.MicroResult, len(oldMicro))
+	for _, m := range oldMicro {
+		old[m.Name] = m
+	}
+	regressions := 0
+	for _, m := range newMicro {
+		o, ok := old[m.Name]
+		if !ok || o.NsPerOp == 0 {
+			fmt.Printf("%-32s %12.1f ns/op   (new: no baseline)\n", m.Name, m.NsPerOp)
+			continue
+		}
+		delta := (m.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		flag := ""
+		if delta > 10 {
+			flag = "  REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-32s %12.1f -> %12.1f ns/op  %+7.1f%%%s\n", m.Name, o.NsPerOp, m.NsPerOp, delta, flag)
+	}
+	for _, m := range oldMicro {
+		found := false
+		for _, n := range newMicro {
+			if n.Name == m.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("%-32s %12.1f ns/op   (dropped: baseline only)\n", m.Name, m.NsPerOp)
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("%d micro(s) regressed >10%% (report-only)\n", regressions)
+	} else {
+		fmt.Println("no micro regressed >10%")
+	}
+}
+
 func main() {
 	// run + deferred cleanup, so the micro suite's temp snapshot is
 	// removed on every exit path (os.Exit skips defers).
@@ -73,6 +139,7 @@ func run() int {
 	verbose := flag.Bool("v", false, "print progress while running")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	jsonPath := flag.String("json", "", "write machine-readable results (micro ns/op, B/op, allocs/op and experiment wall times) to this file")
+	compare := flag.String("compare", "", "diff micro results against this baseline .json; entries >10% slower are flagged REGRESSION (report-only, exit status unchanged)")
 	flag.Parse()
 
 	if *list {
@@ -83,7 +150,23 @@ func run() int {
 		return 0
 	}
 	args := flag.Args()
-	if len(args) == 0 && *jsonPath != "" {
+	if *compare != "" && len(args) == 1 && strings.HasSuffix(args[0], ".json") {
+		// File-vs-file mode: diff two committed result files without
+		// running anything (gfdbench -compare old.json new.json).
+		oldR, err := loadResults(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gfdbench: %v\n", err)
+			return 1
+		}
+		newR, err := loadResults(args[0])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gfdbench: %v\n", err)
+			return 1
+		}
+		compareMicro(*compare, oldR.Micro, args[0], newR.Micro)
+		return 0
+	}
+	if len(args) == 0 && (*jsonPath != "" || *compare != "") {
 		args = []string{"micro"}
 	}
 	if len(args) == 0 {
@@ -146,6 +229,15 @@ func run() int {
 		results.Experiments = append(results.Experiments, experimentResult{ID: id, WallNs: wall.Nanoseconds()})
 		t.Fprint(os.Stdout)
 		fmt.Printf("(%s completed in %v)\n\n", id, wall.Round(time.Millisecond))
+	}
+
+	if *compare != "" {
+		oldR, err := loadResults(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gfdbench: %v\n", err)
+			return 1
+		}
+		compareMicro(*compare, oldR.Micro, "this run", results.Micro)
 	}
 
 	if *jsonPath != "" {

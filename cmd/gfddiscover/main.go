@@ -35,7 +35,12 @@ import (
 	"repro/internal/remote"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is the real main: it returns the exit status instead of calling
+// os.Exit so deferred cleanup — notably flushing the pprof profiles —
+// always runs.
+func run() int {
 	in := flag.String("in", "", "input graph, TSV or snapshot (.gfds), auto-detected (overrides -dataset)")
 	ds := flag.String("dataset", "yago2", "built-in dataset: yago2 | dbpedia | imdb | synthetic")
 	scale := flag.Int("scale", 500, "dataset generator scale")
@@ -53,12 +58,21 @@ func main() {
 	failback := flag.Duration("failback", 0, "with -serve: failed-over fragments probe their server at this interval and rejoin on recovery")
 	negatives := flag.Int("negatives", 50, "max negative GFDs to mine (-1 disables)")
 	showAll := flag.Bool("all", false, "print the full mined set, not just the cover")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	prof, err := gfdlib.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gfddiscover: %v\n", err)
+		return 1
+	}
+	defer prof.Stop()
 
 	g, err := gfdlib.LoadOrGenerate(*in, *ds, *scale, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gfddiscover: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("graph: %v\n", g)
 
@@ -71,12 +85,12 @@ func main() {
 	if *serve {
 		if *fragDir == "" || *workers < 2 {
 			fmt.Fprintln(os.Stderr, "gfddiscover: -serve requires -fragdir and -workers >= 2")
-			os.Exit(2)
+			return 2
 		}
 		fault, err := remote.ParseFaultSpec(*faultSpec)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gfddiscover: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 		rt := gfdlib.RemoteRuntime{
 			Fault:            fault,
@@ -90,7 +104,7 @@ func main() {
 		report, err = gfdlib.DiscoverRemote(g, opts, *workers, *fragDir, rt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gfddiscover: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("distributed run: worker 0 local, workers 1..%d remote (%d wire bytes measured)\n",
 			*workers-1, report.MeasuredBytes)
@@ -101,12 +115,12 @@ func main() {
 	} else if *fragDir != "" {
 		if *workers < 1 {
 			fmt.Fprintln(os.Stderr, "gfddiscover: -fragdir requires -workers >= 1")
-			os.Exit(2)
+			return 2
 		}
 		report, err = gfdlib.DiscoverSpilled(g, opts, *workers, *fragDir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gfddiscover: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("fragments spilled to and re-attached from %s (mmap-backed views)\n", *fragDir)
 	} else {
@@ -129,4 +143,5 @@ func main() {
 			fmt.Println(" ", m.Describe())
 		}
 	}
+	return 0
 }

@@ -31,27 +31,41 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/remote"
 	"repro/internal/store"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is the real main: it returns the exit status so the deferred
+// profile flush always runs; the -die-after crash path flushes
+// explicitly before its abrupt exit.
+func run() int {
 	frag := flag.String("frag", "", "fragment snapshot to serve (a frag-N.gfds written by Spill)")
 	listen := flag.String("listen", "127.0.0.1:0", "listen address (port 0 picks a free port, printed on stdout)")
 	fault := flag.String("fault", "", "fault injection spec: drop=P,corrupt=P,delay=D,closeafter=N,seed=S")
 	dieAfter := flag.Int("die-after", 0, "exit(3) abruptly after serving this many frames (simulates a worker crash)")
 	resurrectAfter := flag.Duration("resurrect-after", 0, "with -die-after: come back on the same address after this delay instead of exiting (dies once)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (flushed even on -die-after)")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
 	if *frag == "" {
 		fmt.Fprintln(os.Stderr, "gfdfrag: -frag is required")
-		os.Exit(2)
+		return 2
 	}
 	spec, err := remote.ParseFaultSpec(*fault)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gfdfrag: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
+	prof, err := cli.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gfdfrag: %v\n", err)
+		return 1
+	}
+	defer prof.Stop()
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "gfdfrag: "+format+"\n", args...)
 	}
@@ -63,8 +77,10 @@ func main() {
 	if *dieAfter > 0 && *resurrectAfter <= 0 {
 		opts.OnDeath = func() {
 			// An abrupt exit, not a graceful drain: the coordinator must see
-			// the same failure a kill -9 would produce.
+			// the same failure a kill -9 would produce. The profiles are
+			// flushed first — a crash-test run is exactly when they matter.
 			fmt.Fprintf(os.Stderr, "gfdfrag: dying after %d frames (-die-after)\n", *dieAfter)
+			prof.Stop()
 			os.Exit(3)
 		}
 	}
@@ -72,9 +88,9 @@ func main() {
 	if *resurrectAfter > 0 {
 		if err := serveResurrecting(*frag, *listen, opts, *resurrectAfter); err != nil {
 			fmt.Fprintf(os.Stderr, "gfdfrag: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	ready := make(chan net.Addr, 1)
@@ -86,8 +102,9 @@ func main() {
 	}()
 	if err := remote.ListenAndServe(*frag, *listen, opts, ready); err != nil {
 		fmt.Fprintf(os.Stderr, "gfdfrag: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // serveResurrecting runs the die-once-then-recover lifecycle in one

@@ -27,12 +27,17 @@ func main() {
 	scale := flag.Int("scale", 1000, "generator scale (entities)")
 	nodes := flag.Int("nodes", 0, "synthetic only: node count (overrides -scale)")
 	edges := flag.Int("edges", 0, "synthetic only: edge count (default 2×nodes)")
+	skew := flag.Float64("skew", 0, "synthetic only: power-law endpoint exponent > 1 (hub-heavy degree distribution; 0 = default mild hubs)")
 	seed := flag.Int64("seed", 42, "generator seed")
 	noise := flag.Float64("noise", 0, "inject noise into this percentage of nodes (α); β is 50%")
 	out := flag.String("out", "", "TSV output path (default stdout unless -snapshot is given)")
 	snap := flag.String("snapshot", "", "also write a binary snapshot (.gfds) to this path")
 	flag.Parse()
 
+	if *skew != 0 && *ds != "synthetic" {
+		fmt.Fprintln(os.Stderr, "graphgen: -skew applies to the synthetic dataset only")
+		os.Exit(2)
+	}
 	var g *graph.Graph
 	switch *ds {
 	case "synthetic":
@@ -44,7 +49,7 @@ func main() {
 		if e == 0 {
 			e = 2 * n
 		}
-		g = dataset.Synthetic(dataset.SyntheticConfig{Nodes: n, Edges: e, Seed: *seed})
+		g = dataset.Synthetic(dataset.SyntheticConfig{Nodes: n, Edges: e, Seed: *seed, Skew: *skew})
 	case "yago2":
 		g = dataset.YAGO2Sim(*scale, *seed)
 	case "dbpedia":

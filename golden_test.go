@@ -7,6 +7,7 @@ package gfd
 // regenerate deliberately with `go test -run TestGoldenMining -update .`.
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -14,6 +15,10 @@ import (
 	"sort"
 	"strings"
 	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/parallel"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
@@ -142,6 +147,46 @@ func TestGoldenMiningParallel(t *testing.T) {
 		res := DiscoverParallel(g, goldenOptions(), workers)
 		if got := canonicalize(res.DiscoverResult); got != string(want) {
 			t.Fatalf("parallel mining (n=%d) diverged from golden output.\n--- got ---\n%s--- want ---\n%s",
+				workers, got, want)
+		}
+	}
+}
+
+// TestGoldenMiningSkewed locks parallel mining on the workload the
+// work-stealing path was built for: a power-law graph whose hub runs make
+// static per-worker chunks unbalanced. The sequential run is the in-test
+// reference; every worker count must reproduce it byte-for-byte through
+// both the default (Makespan, static-chunk) pipeline and the concurrent
+// engine with work stealing enabled. The CI race job runs this under
+// -race, checking the steal cursor and chunk-order merge as well.
+func TestGoldenMiningSkewed(t *testing.T) {
+	g := dataset.Synthetic(dataset.SyntheticConfig{Nodes: 300, Edges: 1500, Seed: 8, Skew: 1.2})
+	opts := DiscoverOptions{
+		K:                2,
+		Support:          5,
+		MaxX:             1,
+		ConstantsPerAttr: 3,
+		WildcardNodes:    true,
+		MaxNegatives:     150,
+	}
+	ref := Discover(g, opts)
+	if len(ref.Positives) == 0 || len(ref.Negatives) == 0 {
+		t.Fatalf("skewed reference run looks degenerate: %d positives, %d negatives",
+			len(ref.Positives), len(ref.Negatives))
+	}
+	want := canonicalize(ref)
+
+	for _, workers := range []int{1, 2, 3, 4, 5, 7} {
+		res := DiscoverParallel(g, opts, workers)
+		if got := canonicalize(res.DiscoverResult); got != want {
+			t.Fatalf("parallel mining (n=%d) diverged from sequential on skewed graph.\n--- got ---\n%s--- want ---\n%s",
+				workers, got, want)
+		}
+		eng := cluster.New(cluster.Config{Workers: workers, Mode: cluster.Concurrent})
+		stolen := parallel.Mine(context.Background(), g, opts, eng,
+			parallel.Options{LoadBalance: true, WorkSteal: true})
+		if got := canonicalize(stolen.Result); got != want {
+			t.Fatalf("work-stealing mining (n=%d) diverged from sequential on skewed graph.\n--- got ---\n%s--- want ---\n%s",
 				workers, got, want)
 		}
 	}

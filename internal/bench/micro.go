@@ -90,6 +90,34 @@ var (
 	microInStats *graph.Stats
 )
 
+// Skewed workload for the batched-kernel micros: a power-law synthetic
+// graph (hub-heavy degree distribution) whose parent table is extended at
+// the *source* variable, so the kernel's anchor column is the grouped
+// pivot column and the equal-anchor runs mirror the hub sizes — the shape
+// the run-batched extend kernel is built for. Built lazily, like microEnv.
+var (
+	skewOnce  sync.Once
+	skewG     graph.View
+	skewT1    *match.Table
+	skewChild *pattern.Pattern
+)
+
+func skewWorkload() (graph.View, *match.Table, *pattern.Pattern) {
+	skewOnce.Do(func() {
+		g := dataset.Synthetic(dataset.SyntheticConfig{Nodes: 3000, Edges: 12000, Seed: 42, Skew: 1.1})
+		st := graph.NewStats(g)
+		t0 := st.FrequentTriples(1)[0]
+		// Wildcard endpoints keep the hub runs intact (node-label
+		// constraints would shred them); the concrete new-node label is the
+		// filter the batching amortises across each run.
+		parent := pattern.SingleEdge(pattern.Wildcard, t0.EdgeLabel, pattern.Wildcard)
+		skewG = g
+		skewT1 = match.EdgeMatches(g, parent, nil)
+		skewChild = parent.ExtendNewNode(0, t0.EdgeLabel, t0.DstLabel, true)
+	})
+	return skewG, skewT1, skewChild
+}
+
 // SetMicroInput points the micro suite at a graph file (TSV or snapshot,
 // sniffed by magic bytes) instead of the built-in DBpediaSim workload —
 // the gfdbench -in plumbing. It loads and validates the input eagerly so
@@ -271,6 +299,30 @@ func MicroSpecs() []MicroSpec {
 				match.ExtendRowsViews(e.views, e.part, e.child)
 			}
 		}},
+		{"ExtendRows/skew-batched", func(b *testing.B) {
+			// The run-batched kernel on its target shape: long equal-anchor
+			// runs from power-law hubs, candidates gathered once per run.
+			g, t1, child := skewWorkload()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if match.ExtendRows(g, t1, child).Len() == 0 {
+					b.Fatal("empty skew extension")
+				}
+			}
+		}},
+		{"ExtendRows/skew-ref", func(b *testing.B) {
+			// The pre-batching row-at-a-time reference on the same shape —
+			// the ablation baseline the batched kernel is measured against.
+			g, t1, child := skewWorkload()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if match.ExtendRowsRef(g, t1, child).Len() == 0 {
+					b.Fatal("empty skew extension")
+				}
+			}
+		}},
 		{"TableSupport", func(b *testing.B) {
 			e := microWorkload()
 			t2 := e.t2
@@ -329,6 +381,23 @@ func MicroSpecs() []MicroSpec {
 			g := dataset.DBpediaSim(500, 42)
 			opts := discovery.Options{
 				K: 2, Support: 12, ConstantsPerAttr: 5, MaxX: 1,
+				MaxLevels: 1, MaxNegatives: 200,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if len(discovery.Mine(g, opts).Positives) == 0 {
+					b.Fatal("no GFDs mined")
+				}
+			}
+		}},
+		{"HSpawn/mine-level1-skew", func(b *testing.B) {
+			// The same end-to-end mine over a hub-heavy power-law graph:
+			// level extensions are dominated by a few huge parent tables,
+			// the shape where the work-stealing level pool pays off.
+			g := dataset.Synthetic(dataset.SyntheticConfig{Nodes: 500, Edges: 4000, Seed: 42, Skew: 1.3})
+			opts := discovery.Options{
+				K: 2, Support: 8, ConstantsPerAttr: 5, MaxX: 1,
 				MaxLevels: 1, MaxNegatives: 200,
 			}
 			b.ReportAllocs()

@@ -1,0 +1,66 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiler drives the -cpuprofile/-memprofile flags of the CLIs: CPU
+// profiling starts on StartProfiles and both profiles are written by
+// Stop. Stop is safe to call multiple times (only the first writes), so
+// commands can both defer it and flush it explicitly on abrupt exit paths
+// (a fragment server's simulated crash still yields a usable profile).
+type Profiler struct {
+	cpuFile *os.File
+	memPath string
+	done    bool
+}
+
+// StartProfiles begins CPU profiling to cpuPath (when non-empty) and
+// records memPath for a heap profile at Stop. Empty paths disable the
+// respective profile; both empty returns a no-op Profiler.
+func StartProfiles(cpuPath, memPath string) (*Profiler, error) {
+	p := &Profiler{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		p.cpuFile = f
+	}
+	return p, nil
+}
+
+// Stop stops the CPU profile and writes the heap profile, reporting any
+// write error to stderr (profiling failures must not change the command's
+// exit status). Idempotent.
+func (p *Profiler) Stop() {
+	if p == nil || p.done {
+		return
+	}
+	p.done = true
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+		}
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			return
+		}
+		runtime.GC() // up-to-date heap statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		}
+		f.Close()
+	}
+}

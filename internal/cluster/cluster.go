@@ -130,6 +130,13 @@ func New(cfg Config) *Engine {
 // Workers returns n.
 func (e *Engine) Workers() int { return e.cfg.Workers }
 
+// IsConcurrent reports whether supersteps run their worker functions as
+// real goroutines (Concurrent mode) rather than sequentially with
+// simulated makespan accounting. Cross-worker schemes like work stealing
+// are only sound in Concurrent mode: under Makespan the workers run one
+// after another and stealing would corrupt per-worker busy attribution.
+func (e *Engine) IsConcurrent() bool { return e.cfg.Mode == Concurrent }
+
 // Stats returns a copy of the accumulated statistics.
 func (e *Engine) Stats() Stats {
 	s := e.stats

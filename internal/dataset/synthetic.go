@@ -35,6 +35,13 @@ type SyntheticConfig struct {
 	// label-determined rules rather than uniform draws; it controls how
 	// many dependencies hold on the data (0.8 default).
 	Regularity float64
+	// Skew, when > 1, replaces the default mild hub mix with power-law
+	// endpoint sampling: both edge endpoints are drawn from a Zipf
+	// distribution with exponent Skew over the node IDs, so low-ID nodes
+	// become heavy hubs. Smaller exponents (closer to 1) give heavier
+	// tails. 0 (or ≤ 1) keeps the default 20%-to-1%-hubs mix. This is the
+	// workload that exposes degree-aware planning and work stealing.
+	Skew float64
 }
 
 func (c SyntheticConfig) withDefaults() SyntheticConfig {
@@ -88,16 +95,23 @@ func Synthetic(cfg SyntheticConfig) *graph.Graph {
 	}
 
 	// Skewed endpoints: ~20% of edges attach to the hub set (first 1% of
-	// nodes), the rest are uniform.
+	// nodes), the rest are uniform. With Skew > 1, endpoints are instead
+	// power-law draws over node IDs — a hub-heavy degree distribution.
 	hubCount := cfg.Nodes / 100
 	if hubCount < 1 {
 		hubCount = 1
 	}
-	pick := func() graph.NodeID {
-		if r.Float64() < 0.2 {
-			return graph.NodeID(r.Intn(hubCount))
+	var pick func() graph.NodeID
+	if cfg.Skew > 1 {
+		z := rand.NewZipf(r, cfg.Skew, 1, uint64(cfg.Nodes-1))
+		pick = func() graph.NodeID { return graph.NodeID(z.Uint64()) }
+	} else {
+		pick = func() graph.NodeID {
+			if r.Float64() < 0.2 {
+				return graph.NodeID(r.Intn(hubCount))
+			}
+			return graph.NodeID(r.Intn(cfg.Nodes))
 		}
-		return graph.NodeID(r.Intn(cfg.Nodes))
 	}
 	for i := 0; i < cfg.Edges; i++ {
 		s, d := pick(), pick()

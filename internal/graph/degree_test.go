@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// degreeGraph builds a random multi-label graph with a few heavy hubs, the
+// shape the histograms are meant to summarise.
+func degreeGraph(t *testing.T, seed int64) *Graph {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	g := New(200, 1200)
+	for v := 0; v < 200; v++ {
+		g.AddNode(fmt.Sprintf("L%d", v%5), nil)
+	}
+	for i := 0; i < 1200; i++ {
+		s := NodeID(r.Intn(200))
+		if r.Float64() < 0.3 {
+			s = NodeID(r.Intn(4)) // hubs
+		}
+		d := NodeID(r.Intn(200))
+		g.AddEdge(s, d, fmt.Sprintf("e%d", r.Intn(7)))
+	}
+	g.Finalize()
+	return g
+}
+
+// TestDegreeStatsDifferential checks every LabelDegree field against a
+// brute-force per-node degree count over the raw edge runs.
+func TestDegreeStatsDifferential(t *testing.T) {
+	g := degreeGraph(t, 1)
+	ds := NewDegreeStats(g)
+	numLabels := len(ds.Out)
+	if numLabels != len(ds.In) {
+		t.Fatalf("Out/In label count mismatch: %d vs %d", numLabels, len(ds.In))
+	}
+
+	// Brute force: per (direction, label) the per-node degree, from scratch.
+	outDeg := make([]map[NodeID]int, numLabels)
+	inDeg := make([]map[NodeID]int, numLabels)
+	outAll := map[NodeID]int{}
+	inAll := map[NodeID]int{}
+	for l := 0; l < numLabels; l++ {
+		outDeg[l], inDeg[l] = map[NodeID]int{}, map[NodeID]int{}
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		n := NodeID(v)
+		lo, hi := g.OutRuns(n)
+		for r := lo; r < hi; r++ {
+			l := g.OutRunLabel(r)
+			w := len(g.OutRunNodes(r))
+			outDeg[l][n] += w
+			outAll[n] += w
+		}
+		lo, hi = g.InRuns(n)
+		for r := lo; r < hi; r++ {
+			l := g.InRunLabel(r)
+			w := len(g.InRunNodes(r))
+			inDeg[l][n] += w
+			inAll[n] += w
+		}
+	}
+
+	check := func(name string, got LabelDegree, want map[NodeID]int) {
+		t.Helper()
+		var carriers, max uint32
+		var edges, sumSq uint64
+		var hist [DegreeBuckets]uint32
+		for _, d := range want {
+			if d <= 0 {
+				continue
+			}
+			carriers++
+			if uint32(d) > max {
+				max = uint32(d)
+			}
+			edges += uint64(d)
+			sumSq += uint64(d) * uint64(d)
+			hist[degreeBucket(d)]++
+		}
+		if got.Carriers != carriers || got.Max != max || got.Edges != edges || got.SumSq != sumSq {
+			t.Fatalf("%s: got {carriers:%d max:%d edges:%d sumSq:%d}, want {%d %d %d %d}",
+				name, got.Carriers, got.Max, got.Edges, got.SumSq, carriers, max, edges, sumSq)
+		}
+		if got.Hist != hist {
+			t.Fatalf("%s: histogram mismatch: got %v want %v", name, got.Hist, hist)
+		}
+		if s := got.Skew(); s < 1 {
+			t.Fatalf("%s: Skew() = %v < 1", name, s)
+		}
+		if q := got.Quantile(1.0); carriers > 0 && q < int(max) {
+			t.Fatalf("%s: Quantile(1.0) = %d does not bound Max %d", name, q, max)
+		}
+		if q50, q90 := got.Quantile(0.5), got.Quantile(0.9); q50 > q90 {
+			t.Fatalf("%s: Quantile(0.5)=%d > Quantile(0.9)=%d", name, q50, q90)
+		}
+	}
+	for l := 0; l < numLabels; l++ {
+		check(fmt.Sprintf("out[%d]", l), ds.Out[l], outDeg[l])
+		check(fmt.Sprintf("in[%d]", l), ds.In[l], inDeg[l])
+	}
+	check("outAll", ds.OutAll, outAll)
+	check("inAll", ds.InAll, inAll)
+}
+
+// TestDegreeStatsEdgeTotals cross-checks Edges against the graph's own
+// per-label edge counts: every edge is counted exactly once per direction.
+func TestDegreeStatsEdgeTotals(t *testing.T) {
+	g := degreeGraph(t, 2)
+	ds := NewDegreeStats(g)
+	for l := range ds.Out {
+		want := g.EdgeLabelCount(LabelID(l))
+		if ds.Out[l].Edges != uint64(want) || ds.In[l].Edges != uint64(want) {
+			t.Fatalf("label %d: Out.Edges=%d In.Edges=%d, want %d",
+				l, ds.Out[l].Edges, ds.In[l].Edges, want)
+		}
+	}
+	if ds.OutAll.Edges != uint64(g.NumEdges()) || ds.InAll.Edges != uint64(g.NumEdges()) {
+		t.Fatalf("All.Edges = %d/%d, want %d", ds.OutAll.Edges, ds.InAll.Edges, g.NumEdges())
+	}
+}
+
+// TestDegreeStatsCached checks the PlanCache path: the same *DegreeStats is
+// returned on repeat calls, and a hub-heavy graph reports Skew > 1.
+func TestDegreeStatsCached(t *testing.T) {
+	g := degreeGraph(t, 3)
+	a := DegreeStatsFor(g)
+	b := DegreeStatsFor(g)
+	if a != b {
+		t.Fatal("DegreeStatsFor did not cache")
+	}
+	if s := a.OutAll.Skew(); s <= 1 {
+		t.Fatalf("hub-heavy graph reports OutAll skew %v, want > 1", s)
+	}
+}

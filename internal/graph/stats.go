@@ -23,6 +23,9 @@ type Stats struct {
 	TripleCount map[TripleKey]int
 	// AttrCount maps each attribute name to the number of nodes carrying it.
 	AttrCount map[string]int
+	// Degrees holds the per-label degree distribution summaries the
+	// planner's cost model reads (shared with DegreeStatsFor's cache).
+	Degrees *DegreeStats
 	// attrValues maps attribute -> value -> occurrence count.
 	attrValues map[string]map[string]int
 }
@@ -83,6 +86,7 @@ func NewStats(v View) *Stats {
 		}]++
 		return true
 	})
+	s.Degrees = DegreeStatsFor(v)
 	return s
 }
 

@@ -1,0 +1,154 @@
+package match
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// The batched kernel's contract is byte-identity with the row-at-a-time
+// reference, not just set equality: ParDis merges per-fragment shares by
+// row order, and the golden mining outputs are locked byte-for-byte. These
+// tests therefore compare column slices exactly.
+
+func tablesIdentical(a, b *Table) bool {
+	if len(a.cols) != len(b.cols) {
+		return false
+	}
+	for i := range a.cols {
+		if len(a.cols[i]) != len(b.cols[i]) {
+			return false
+		}
+		for j := range a.cols[i] {
+			if a.cols[i][j] != b.cols[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// randomChild draws a random one-edge extension of a random single-edge
+// parent: new-variable at either endpoint, either direction, or a closing
+// edge, with wildcard and concrete labels mixed — every clause of the
+// kernel.
+func randomChild(r *rand.Rand) (*pattern.Pattern, *pattern.Pattern) {
+	labels := []string{"a", "b", "c", pattern.Wildcard}
+	p1 := pattern.SingleEdge(labels[r.Intn(4)], labels[r.Intn(4)], labels[r.Intn(4)])
+	var child *pattern.Pattern
+	if r.Intn(3) < 2 {
+		child = p1.ExtendNewNode(r.Intn(2), labels[r.Intn(4)], labels[r.Intn(4)], r.Intn(2) == 0)
+	} else {
+		child = p1.ExtendClosingEdge(1, 0, labels[r.Intn(4)])
+	}
+	return p1, child
+}
+
+// TestBatchedExtendDifferential: ExtendRows (batched) vs ExtendRowsRef
+// (row-at-a-time) must agree byte-for-byte on random graphs and patterns.
+func TestBatchedExtendDifferential(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 4+r.Intn(10))
+		p1, child := randomChild(r)
+		t1 := EdgeMatches(g, p1, nil)
+		return tablesIdentical(ExtendRows(g, t1, child), ExtendRowsRef(g, t1, child))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchedExtendSkewed runs the same differential on a power-law graph
+// whose hub runs actually take the batched (non-singleton) path, including
+// the collision-free bulk emission.
+func TestBatchedExtendSkewed(t *testing.T) {
+	g := dataset.Synthetic(dataset.SyntheticConfig{Nodes: 800, Edges: 4000, Seed: 5, Skew: 1.1})
+	st := graph.NewStats(g)
+	extended := 0
+	for _, tr := range st.FrequentTriples(3) {
+		for _, newLabel := range []string{tr.DstLabel, pattern.Wildcard} {
+			for _, at := range []int{0, 1} {
+				parent := pattern.SingleEdge(pattern.Wildcard, tr.EdgeLabel, pattern.Wildcard)
+				child := parent.ExtendNewNode(at, tr.EdgeLabel, newLabel, true)
+				t1 := EdgeMatches(g, parent, nil)
+				got, want := ExtendRows(g, t1, child), ExtendRowsRef(g, t1, child)
+				if !tablesIdentical(got, want) {
+					t.Fatalf("batched diverges on skewed graph (triple %+v, newLabel %q, at %d): %d vs %d rows",
+						tr, newLabel, at, got.Len(), want.Len())
+				}
+				extended += got.Len()
+			}
+			// Closing edge over the 2-edge child, concrete and wildcard.
+			parent := pattern.SingleEdge(pattern.Wildcard, tr.EdgeLabel, pattern.Wildcard)
+			child := parent.ExtendNewNode(0, tr.EdgeLabel, newLabel, true)
+			t2 := ExtendRows(g, ExtendRows(g, EdgeMatches(g, parent, nil), child), child)
+			closing := child.ExtendClosingEdge(1, 2, tr.EdgeLabel)
+			if !tablesIdentical(ExtendRows(g, t2, closing), ExtendRowsRef(g, t2, closing)) {
+				t.Fatalf("batched closing edge diverges on skewed graph (triple %+v)", tr)
+			}
+		}
+	}
+	if extended == 0 {
+		t.Fatal("degenerate skewed workload: no case extended any rows")
+	}
+}
+
+// TestBatchedExtendViewsDifferential: the multi-view form over a fragment
+// partition must agree with the reference multi-view form, row for row.
+func TestBatchedExtendViewsDifferential(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 6+r.Intn(10))
+		p1, child := randomChild(r)
+		t1 := EdgeMatches(g, p1, nil)
+		// Edge-parity partition: two overlapping-node SubCSR views whose
+		// union is the graph — the ParDis worker shape.
+		var even, odd []graph.IEdge
+		i := 0
+		for u := 0; u < g.NumNodes(); u++ {
+			lo, hi := g.OutRuns(graph.NodeID(u))
+			for rr := lo; rr < hi; rr++ {
+				l := g.OutRunLabel(rr)
+				for _, d := range g.OutRunNodes(rr) {
+					e := graph.IEdge{Src: graph.NodeID(u), Dst: d, Label: l}
+					if i%2 == 0 {
+						even = append(even, e)
+					} else {
+						odd = append(odd, e)
+					}
+					i++
+				}
+			}
+		}
+		views := []graph.View{graph.NewSubCSR(g, even), graph.NewSubCSR(g, odd)}
+		return tablesIdentical(extendRowsViews(views, t1, child), extendRowsViewsRef(views, t1, child))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchedExtendIndexedDifferential: the single-view indexed share must
+// agree with its reference, element for element — the merge path depends
+// on identical ParentRows/NewCol.
+func TestBatchedExtendIndexedDifferential(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 4+r.Intn(10))
+		p1, child := randomChild(r)
+		t1 := EdgeMatches(g, p1, nil)
+		got := ExtendIndexed(g, t1, child)
+		want := extendIndexedRef(g, t1, child)
+		return reflect.DeepEqual(got.ParentRows, want.ParentRows) &&
+			reflect.DeepEqual(got.NewCol, want.NewCol)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -55,92 +55,6 @@ type BatchExtender interface {
 	ExtendIndexed(t *Table, child *pattern.Pattern) IndexedExt
 }
 
-// ExtendIndexed computes one view's share of the indexed join locally:
-// the reference implementation behind BatchExtender. The fragment server
-// runs exactly this against its own snapshot; the merge path runs it for
-// local views standing next to remote ones. Its candidate enumeration
-// mirrors extendRowsViews clause for clause — any divergence would break
-// the byte-identical-merge contract.
-func ExtendIndexed(g graph.View, t *Table, child *pattern.Pattern) IndexedExt {
-	var ext IndexedExt
-	if t == nil {
-		return ext
-	}
-	parent := t.P
-	e := child.LastEdge()
-	elabel, eok := resolveLabel(g, e.Label)
-	if !eok {
-		return ext
-	}
-	pn := parent.N()
-	switch child.N() {
-	case pn:
-		srcCol, dstCol := t.cols[e.Src], t.cols[e.Dst]
-		for r := range srcCol {
-			if g.HasEdgeID(srcCol[r], dstCol[r], elabel) {
-				ext.ParentRows = append(ext.ParentRows, uint32(r))
-			}
-		}
-	case pn + 1:
-		nv := pn
-		newLabel, nok := resolveLabel(g, child.NodeLabels[nv])
-		if !nok {
-			return ext
-		}
-		outgoing := e.Src != nv
-		anchorVar := e.Src
-		if !outgoing {
-			anchorVar = e.Dst
-		}
-		extend := func(r int, cand graph.NodeID) {
-			if !nodeLabelOK(g, cand, newLabel) {
-				return
-			}
-			for v := 0; v < pn; v++ {
-				if t.cols[v][r] == cand {
-					return // injectivity
-				}
-			}
-			ext.ParentRows = append(ext.ParentRows, uint32(r))
-			ext.NewCol = append(ext.NewCol, cand)
-		}
-		anchorCol := t.cols[anchorVar]
-		for r := range anchorCol {
-			anchor := anchorCol[r]
-			if elabel != graph.NoLabel {
-				var cands []graph.NodeID
-				if outgoing {
-					cands = g.OutTo(anchor, elabel)
-				} else {
-					cands = g.InFrom(anchor, elabel)
-				}
-				for _, cand := range cands {
-					extend(r, cand)
-				}
-				continue
-			}
-			if outgoing {
-				lo, hi := g.OutRuns(anchor)
-				for rr := lo; rr < hi; rr++ {
-					for _, cand := range g.OutRunNodes(rr) {
-						extend(r, cand)
-					}
-				}
-			} else {
-				lo, hi := g.InRuns(anchor)
-				for rr := lo; rr < hi; rr++ {
-					for _, cand := range g.InRunNodes(rr) {
-						extend(r, cand)
-					}
-				}
-			}
-		}
-	default:
-		panic("match: ExtendIndexed: child must add exactly one edge")
-	}
-	return ext
-}
-
 // extendRowsMerge is the index-merge form of extendRowsViews, taken when
 // any view computes its own share (BatchExtender). Each view produces an
 // IndexedExt — remotely or via the local reference implementation — and

@@ -88,11 +88,38 @@ func PlanFor(v graph.View, p *pattern.Pattern) *Plan {
 	return pl
 }
 
-// Compile builds a fresh selectivity-ordered plan of p against v,
-// bypassing the cache. Use it for throwaway patterns (e.g. edge
-// reductions) that would only bloat the per-view cache.
+// PlannerMode selects the cost model compile orders steps with.
+type PlannerMode int
+
+const (
+	// PlanStatic ignores the view entirely: the next variable is the one
+	// with the most pattern edges into the bound prefix (the pre-statistics
+	// heuristic of the pre-View matcher).
+	PlanStatic PlannerMode = iota
+	// PlanGlobal scores each candidate step by global per-label
+	// selectivity: mean edges per node times the node-label filter (the
+	// planner-v1 estimator, kept as an ablation reference).
+	PlanGlobal
+	// PlanDegree is planner v2: PlanGlobal's estimate corrected by the
+	// per-label degree distribution (DegreeStats) — a step anchored at a
+	// variable that was itself reached through an edge sees the
+	// size-biased degree, so hub concentration multiplies its estimated
+	// fan-out by the label's Skew factor and the planner defers scans
+	// through hub labels on skewed graphs.
+	PlanDegree
+)
+
+// DefaultPlanner is the mode Compile (and therefore PlanFor) uses. It is
+// an ablation knob, not a runtime switch: set it before any plans are
+// compiled, because cached plans are not invalidated by changing it.
+var DefaultPlanner = PlanDegree
+
+// Compile builds a fresh selectivity-ordered plan of p against v with the
+// DefaultPlanner cost model, bypassing the cache. Use it for throwaway
+// patterns (e.g. edge reductions) that would only bloat the per-view
+// cache.
 func Compile(v graph.View, p *pattern.Pattern) *Plan {
-	return compile(v, p, true)
+	return compile(v, p, DefaultPlanner)
 }
 
 // CompileStatic builds a plan with the pre-statistics step order (most
@@ -100,17 +127,23 @@ func Compile(v graph.View, p *pattern.Pattern) *Plan {
 // frequencies). It is retained as the reference point for the
 // selectivity-ordering differential tests and ablation benchmarks.
 func CompileStatic(v graph.View, p *pattern.Pattern) *Plan {
-	return compile(v, p, false)
+	return compile(v, p, PlanStatic)
 }
 
-// compile builds the step order. With useStats, the next variable is the
-// candidate with the smallest estimated fan-out — expected candidates per
-// anchored scan, from the view's per-label edge counts, times the node
-// label's selectivity — so tight labels are bound before promiscuous
-// ones. Without it, the order prefers the variable with the most edges
-// into the bound prefix (the static heuristic of the pre-View matcher).
-// Both orders are deterministic for a given (view, pattern).
-func compile(v graph.View, p *pattern.Pattern, useStats bool) *Plan {
+// CompileGlobal builds a plan with the planner-v1 estimator (global
+// per-label selectivity, no degree correction) — the second ablation
+// reference, isolating what the degree-aware correction changes.
+func CompileGlobal(v graph.View, p *pattern.Pattern) *Plan {
+	return compile(v, p, PlanGlobal)
+}
+
+// compile builds the step order. With a statistics mode, the next
+// variable is the candidate with the smallest estimated fan-out —
+// expected candidates per anchored scan, times the node label's
+// selectivity, optionally corrected for degree skew — so tight labels
+// are bound before promiscuous ones. Every mode is deterministic for a
+// given (view, pattern): all estimates are ratios of integer statistics.
+func compile(v graph.View, p *pattern.Pattern, mode PlannerMode) *Plan {
 	pl := &Plan{v: v, p: p}
 	resolve := func(lbl string) graph.LabelID {
 		if lbl == pattern.Wildcard {
@@ -130,19 +163,45 @@ func compile(v graph.View, p *pattern.Pattern, useStats bool) *Plan {
 
 	// fanout estimates the number of candidate bindings an anchored scan
 	// for edge label el produces, discounted by the node-label filter of
-	// the variable being bound. Dead labels estimate to 0.
+	// the variable being bound. Dead labels estimate to 0. In PlanDegree
+	// mode the base estimate is the per-label mean degree corrected by the
+	// label's Skew when the anchor is "hot" (itself bound through an edge,
+	// hence size-biased toward hubs).
 	nn := float64(v.NumNodes())
-	fanout := func(el string, vl graph.LabelID) float64 {
+	useStats := mode != PlanStatic
+	var ds *graph.DegreeStats
+	if mode == PlanDegree {
+		ds = graph.DegreeStatsFor(v)
+	}
+	fanout := func(el string, vl graph.LabelID, outgoing, anchorHot bool) float64 {
 		if nn == 0 {
 			return 0
 		}
 		var perNode float64
+		var ld *graph.LabelDegree
 		if el == pattern.Wildcard {
 			perNode = float64(v.NumEdges()) / nn
+			if ds != nil {
+				if outgoing {
+					ld = &ds.OutAll
+				} else {
+					ld = &ds.InAll
+				}
+			}
 		} else if id, ok := v.LookupLabel(el); ok {
 			perNode = float64(v.EdgeLabelCount(id)) / nn
+			if ds != nil {
+				if outgoing {
+					ld = &ds.Out[id]
+				} else {
+					ld = &ds.In[id]
+				}
+			}
 		} else {
 			return 0
+		}
+		if ld != nil && anchorHot {
+			perNode *= ld.Skew()
 		}
 		if vl != graph.NoLabel {
 			perNode *= float64(len(v.NodesByLabelID(vl))) / nn
@@ -152,6 +211,11 @@ func compile(v graph.View, p *pattern.Pattern, useStats bool) *Plan {
 
 	n := p.N()
 	bound := make([]bool, n)
+	// hot marks variables bound through an edge scan: their binding is
+	// edge-weighted (hubs over-represented), so scans anchored at them see
+	// size-biased degrees. The pivot and label-scanned variables are
+	// uniformly bound, hence not hot.
+	hot := make([]bool, n)
 	bound[p.Pivot] = true
 	pl.steps = append(pl.steps, planStep{vr: int32(p.Pivot), anchor: -1, elabel: graph.NoLabel, vlabel: varLabel[p.Pivot]})
 
@@ -179,7 +243,7 @@ func compile(v graph.View, p *pattern.Pattern, useStats bool) *Plan {
 				}
 				better := false
 				if useStats {
-					score := fanout(e.Label, varLabel[s.v])
+					score := fanout(e.Label, varLabel[s.v], s.out, hot[s.anchor])
 					switch {
 					case bestVar < 0 || score < bestScore:
 						better = true
@@ -223,6 +287,7 @@ func compile(v graph.View, p *pattern.Pattern, useStats bool) *Plan {
 			}
 		}
 		bound[bestVar] = true
+		hot[bestVar] = bestEdge >= 0
 		pl.steps = append(pl.steps, st)
 	}
 	pl.order = make([]int32, len(pl.steps))

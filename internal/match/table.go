@@ -234,8 +234,9 @@ func EdgeMatches(g graph.View, p *pattern.Pattern, edges []graph.Edge) *Table {
 //
 // The input table is never mutated. Extension is a column builder: output
 // rows are appended cell-by-cell to flat columns, so no per-row slice is
-// ever allocated. Labels are resolved to interned IDs once per call, so
-// the per-row work runs on the CSR fast path.
+// ever allocated. Labels are resolved to interned IDs once per call and
+// the inner loop is the batched run kernel of extend.go, which amortises
+// CSR lookups and label filters over runs of equal-anchor rows.
 func ExtendRows(g graph.View, t *Table, child *pattern.Pattern) *Table {
 	return extendRowsViews([]graph.View{g}, t, child)
 }
@@ -254,108 +255,6 @@ func ExtendRowsViews(views []graph.View, t *Table, child *pattern.Pattern) *Tabl
 		panic("match: ExtendRowsViews: no views")
 	}
 	return extendRowsViews(views, t, child)
-}
-
-func extendRowsViews(views []graph.View, t *Table, child *pattern.Pattern) *Table {
-	// A view that computes its own share of the join (a remote fragment)
-	// switches the whole call to the index-merge path; local views in the
-	// same mix run the identical per-view computation in-process and the
-	// merge reproduces this function's row order exactly.
-	for _, v := range views {
-		if _, ok := v.(BatchExtender); ok {
-			return extendRowsMerge(views, t, child)
-		}
-	}
-	out := NewTable(child)
-	if t == nil {
-		return out
-	}
-	// Labels and node structure are shared by every view (one node store,
-	// one symbol table), so the new edge's label resolves once against the
-	// first view and holds for all of them.
-	store := views[0]
-	parent := t.P
-	e := child.LastEdge()
-	elabel, eok := resolveLabel(store, e.Label)
-	if !eok {
-		return out
-	}
-	pn := parent.N()
-	switch child.N() {
-	case pn:
-		// Closing edge between two bound variables: filter rows. A row
-		// survives if any view holds the edge (each concrete edge lives in
-		// exactly one view; a wildcard label may be witnessed by several,
-		// hence the boolean any-view test rather than a per-view append).
-		srcCol, dstCol := t.cols[e.Src], t.cols[e.Dst]
-		for r := range srcCol {
-			for _, v := range views {
-				if v.HasEdgeID(srcCol[r], dstCol[r], elabel) {
-					out.appendRow(t, r)
-					break
-				}
-			}
-		}
-	case pn + 1:
-		nv := pn
-		newLabel, nok := resolveLabel(store, child.NodeLabels[nv])
-		if !nok {
-			return out
-		}
-		outgoing := e.Src != nv // true: bound -> new
-		anchorVar := e.Src
-		if !outgoing {
-			anchorVar = e.Dst
-		}
-		extend := func(r int, cand graph.NodeID) {
-			if !nodeLabelOK(store, cand, newLabel) {
-				return
-			}
-			for v := 0; v < pn; v++ {
-				if t.cols[v][r] == cand {
-					return // injectivity
-				}
-			}
-			out.appendRow(t, r)
-			out.cols[nv] = append(out.cols[nv], cand)
-		}
-		anchorCol := t.cols[anchorVar]
-		for r := range anchorCol {
-			anchor := anchorCol[r]
-			for _, v := range views {
-				if elabel != graph.NoLabel {
-					var cands []graph.NodeID
-					if outgoing {
-						cands = v.OutTo(anchor, elabel)
-					} else {
-						cands = v.InFrom(anchor, elabel)
-					}
-					for _, cand := range cands {
-						extend(r, cand)
-					}
-					continue
-				}
-				if outgoing {
-					lo, hi := v.OutRuns(anchor)
-					for rr := lo; rr < hi; rr++ {
-						for _, cand := range v.OutRunNodes(rr) {
-							extend(r, cand)
-						}
-					}
-				} else {
-					lo, hi := v.InRuns(anchor)
-					for rr := lo; rr < hi; rr++ {
-						for _, cand := range v.InRunNodes(rr) {
-							extend(r, cand)
-						}
-					}
-				}
-			}
-		}
-	default:
-		panic(fmt.Sprintf("match: ExtendRows: child has %d vars, parent %d", child.N(), pn))
-	}
-	return out
 }
 
 // RelabelRows filters a table down to a node-label variant of the same

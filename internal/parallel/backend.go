@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -27,6 +28,14 @@ type Options struct {
 	// MaxTableRows aborts extensions whose global table would exceed this
 	// many rows. 0 = unlimited.
 	MaxTableRows int
+	// WorkSteal lets idle workers steal parent-row chunks of other
+	// workers' incremental-join work during the extend superstep, so a
+	// hub-heavy fragment cannot serialise a level behind one worker. It
+	// only engages in cluster Concurrent mode with no remote fragments
+	// (under Makespan the workers run sequentially and stealing would
+	// corrupt busy-time attribution; remote wire-byte draining attributes
+	// per worker). The mined output is identical either way.
+	WorkSteal bool
 }
 
 func (o Options) withDefaults() Options {
@@ -283,6 +292,10 @@ func (b *Backend) ExtendBatch(parents []discovery.Handle, children []*pattern.Pa
 	for i, child := range children {
 		eBytes[i] = b.edgeMatchBytes(child)
 	}
+	if b.opts.WorkSteal && b.eng.IsConcurrent() && len(b.transferTrackers) == 0 {
+		b.extendBatchStealing(parents, children, hs, eBytes)
+		return b.extendBatchFinish(hs)
+	}
 	b.eng.Superstep("extend level", func(w int) {
 		extendOne := func(i int, child *pattern.Pattern) {
 			ph := parents[i].(*parHandle)
@@ -326,8 +339,15 @@ func (b *Backend) ExtendBatch(parents []discovery.Handle, children []*pattern.Pa
 			b.eng.ShipMeasured(w, tt.TakeTransferred())
 		}
 	})
-	out := make([]discovery.PatOut, len(children))
-	aborted := make([]bool, len(children))
+	return b.extendBatchFinish(hs)
+}
+
+// extendBatchFinish is the driver-serial tail of ExtendBatch, shared by
+// the static and work-stealing supersteps: row recount, abort on the row
+// cap, optional rebalance, and master-side support aggregation.
+func (b *Backend) extendBatchFinish(hs []*parHandle) []discovery.PatOut {
+	out := make([]discovery.PatOut, len(hs))
+	aborted := make([]bool, len(hs))
 	for i, h := range hs {
 		h.recount()
 		if b.opts.MaxTableRows > 0 && h.rows > b.opts.MaxTableRows {
@@ -350,6 +370,92 @@ func (b *Backend) ExtendBatch(parents []discovery.Handle, children []*pattern.Pa
 		out[i] = discovery.PatOut{H: h, Support: supports[i], Rows: h.rows, OK: true}
 	}
 	return out
+}
+
+// stealMinChunk is the smallest parent-row range worth carving into a
+// separate stealable unit; smaller parts stay whole (mirrors the
+// sequential backend's chunk policy).
+const stealMinChunk = 4096
+
+// extendBatchStealing runs the extend superstep with a shared atomic work
+// cursor: the level's (child, owner-part) joins are pre-split into
+// parent-row chunk units, and every worker — after charging its own
+// declared communication share — pulls units off the cursor regardless of
+// owner, so workers finishing their own fragment's share early steal the
+// remaining chunks of a skewed one. Each unit joins the owner's rows
+// against the owner's view order (b.workerViews[owner]), and the last
+// worker to finish an (i, owner) slot concatenates its chunks in chunk
+// order, so hs[i].parts[owner] is byte-identical to what the static
+// superstep produces.
+func (b *Backend) extendBatchStealing(parents []discovery.Handle, children []*pattern.Pattern, hs []*parHandle, eBytes []int64) {
+	n := b.n()
+	type unit struct {
+		child, owner, chunkIdx, lo, hi int
+		whole                          bool
+	}
+	var units []unit
+	chunkTabs := make([][]*match.Table, len(children)*n)
+	remaining := make([]atomic.Int32, len(children)*n)
+	for i := range children {
+		ph := parents[i].(*parHandle)
+		if ph.parts == nil {
+			continue
+		}
+		for o := 0; o < n; o++ {
+			rows := ph.parts[o].Len()
+			k := 1
+			if rows >= 2*stealMinChunk {
+				k = min(2*n, rows/stealMinChunk)
+			}
+			slot := i*n + o
+			if k == 1 {
+				units = append(units, unit{child: i, owner: o, whole: true})
+			} else {
+				size := (rows + k - 1) / k
+				c := 0
+				for lo := 0; lo < rows; lo += size {
+					units = append(units, unit{child: i, owner: o, chunkIdx: c, lo: lo, hi: min(lo+size, rows)})
+					c++
+				}
+				k = c
+			}
+			chunkTabs[slot] = make([]*match.Table, k)
+			remaining[slot].Store(int32(k))
+		}
+	}
+	var cursor atomic.Int64
+	b.eng.Superstep("extend level", func(w int) {
+		for i := range children {
+			b.eng.Ship(w, eBytes[i]/int64(n)*b.localOthers[w])
+		}
+		for {
+			u := int(cursor.Add(1)) - 1
+			if u >= len(units) {
+				return
+			}
+			ut := units[u]
+			pt := parents[ut.child].(*parHandle).parts[ut.owner]
+			if !ut.whole {
+				pt = pt.Slice(ut.lo, ut.hi)
+			}
+			slot := ut.child*n + ut.owner
+			chunkTabs[slot][ut.chunkIdx] = match.ExtendRowsViews(b.workerViews[ut.owner], pt, children[ut.child])
+			if remaining[slot].Add(-1) != 0 {
+				continue
+			}
+			// Last chunk of this slot: every other chunk's write
+			// happens-before its decrement, so the merge sees them all.
+			tabs := chunkTabs[slot]
+			full := tabs[0]
+			if len(tabs) > 1 {
+				full = match.NewTable(children[ut.child])
+				for _, ct := range tabs {
+					full.AppendRows(ct, 0, ct.Len())
+				}
+			}
+			hs[ut.child].parts[ut.owner] = full
+		}
+	})
 }
 
 // edgeMatchBytes estimates the byte volume of e(G): the matches of the

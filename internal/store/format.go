@@ -78,6 +78,16 @@ const (
 	secAttrSparseNode = 23 // concatenated sparse carrying-node arrays, each ascending
 	secAttrSparseVal  = 24 // parallel values for secAttrSparseNode
 	secFragment       = 25 // optional, 4×uint32: worker, nodeLo, nodeHi, reserved
+	// secDegree persists the planner's per-label degree statistics so
+	// opening a snapshot skips the run-table scan. With M = numLabels+1
+	// records per direction (record numLabels = the all-labels aggregate):
+	// [outCarriers u32×M][outMax u32×M][inCarriers u32×M][inMax u32×M]
+	// [outSumSq u64×M][inSumSq u64×M]
+	// [outHist u32×16M][inHist u32×16M]
+	// Per-label edge totals are not stored: they equal secEdgeLabelCount
+	// (and numEdges for the aggregate). Optional — readers of older
+	// snapshots recompute lazily.
+	secDegree = 26
 )
 
 // Attribute column layout tags of secAttrKind.

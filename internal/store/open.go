@@ -280,7 +280,60 @@ func OpenBytes(data []byte) (*MappedGraph, error) {
 		}
 		m.frag = &fi
 	}
+	if db, ok := secs[secDegree]; ok {
+		ds, err := decodeDegree(db, m.numLabels, m.edgeLabelCount, uint64(m.numEdges))
+		if err != nil {
+			return nil, err
+		}
+		m.degrees = ds
+	}
 	return m, nil
+}
+
+// decodeDegree unpacks the secDegree payload (layout in format.go) into
+// heap DegreeStats, restoring the omitted Edges fields from the per-label
+// edge counts. The section is copy-decoded rather than aliased: it is
+// tiny (160 bytes per label) and the struct form keeps the planner free
+// of offset arithmetic.
+func decodeDegree(b []byte, numLabels int, edgeLabelCount []uint64, numEdges uint64) (*graph.DegreeStats, error) {
+	m := numLabels + 1
+	if len(b) != degreeSectionSize(numLabels) {
+		return nil, fmt.Errorf("store: degree section has %d bytes, want %d", len(b), degreeSectionSize(numLabels))
+	}
+	ds := &graph.DegreeStats{
+		Out: make([]graph.LabelDegree, numLabels),
+		In:  make([]graph.LabelDegree, numLabels),
+	}
+	for d := 0; d < 2; d++ {
+		carrierBase := d * 8 * m
+		sumSqBase := 16*m + d*8*m
+		histBase := 32*m + d*4*graph.DegreeBuckets*m
+		for i := 0; i < m; i++ {
+			var ld graph.LabelDegree
+			ld.Carriers = getU32(b, carrierBase+4*i)
+			ld.Max = getU32(b, carrierBase+4*m+4*i)
+			ld.SumSq = getU64(b, sumSqBase+8*i)
+			for h := 0; h < graph.DegreeBuckets; h++ {
+				ld.Hist[h] = getU32(b, histBase+(i*graph.DegreeBuckets+h)*4)
+			}
+			if i < numLabels {
+				ld.Edges = edgeLabelCount[i]
+			} else {
+				ld.Edges = numEdges
+			}
+			switch {
+			case i < numLabels && d == 0:
+				ds.Out[i] = ld
+			case i < numLabels:
+				ds.In[i] = ld
+			case d == 0:
+				ds.OutAll = ld
+			default:
+				ds.InAll = ld
+			}
+		}
+	}
+	return ds, nil
 }
 
 // decodeAttrColumns validates and aliases the attribute plane: one kind

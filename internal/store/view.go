@@ -49,6 +49,12 @@ type MappedGraph struct {
 	cols []graph.AttrColumn
 	frag *FragmentInfo
 
+	// degrees is the planner's degree statistics, decoded from secDegree
+	// when the snapshot carries it; for older snapshots it is computed
+	// lazily on first DegreeStats call (degOnce).
+	degrees *graph.DegreeStats
+	degOnce sync.Once
+
 	planCache sync.Map
 
 	// Reverse lookups are the one surface with no flat on-disk form; they
@@ -300,6 +306,20 @@ func (m *MappedGraph) EdgeLabelCount(l graph.LabelID) int {
 // PlanCache implements graph.View: the snapshot view's own compiled-plan
 // cache (plans never outlive the mapping they were compiled against).
 func (m *MappedGraph) PlanCache() *sync.Map { return &m.planCache }
+
+// DegreeStats implements graph.DegreeStatser: the degree statistics
+// decoded from the snapshot's degree section, or — for snapshots written
+// before the section existed — computed once from the mapped run tables.
+// The returned struct is heap-allocated either way and stays valid after
+// Close.
+func (m *MappedGraph) DegreeStats() *graph.DegreeStats {
+	m.degOnce.Do(func() {
+		if m.degrees == nil {
+			m.degrees = graph.NewDegreeStats(m)
+		}
+	})
+	return m.degrees
+}
 
 // FlatCSR implements Source. Read-only shared storage.
 func (m *MappedGraph) FlatCSR() graph.FlatCSR {

@@ -109,6 +109,46 @@ func WriteFile(path string, src Source) error {
 	return f.Close()
 }
 
+// encodeDegree packs ds into the secDegree layout documented in format.go:
+// M = numLabels+1 records per direction, record numLabels being the
+// all-labels aggregate; Edges fields omitted (recoverable from
+// secEdgeLabelCount / numEdges).
+func encodeDegree(ds *graph.DegreeStats, numLabels int) []byte {
+	m := numLabels + 1
+	b := make([]byte, degreeSectionSize(numLabels))
+	rec := func(dir []graph.LabelDegree, all graph.LabelDegree, i int) graph.LabelDegree {
+		if i < numLabels {
+			return dir[i]
+		}
+		return all
+	}
+	carrierBase := func(d int) int { return d * 8 * m }    // u32 pair block per direction
+	sumSqBase := 16 * m                                    // after both carrier/max blocks
+	histBase := func(d int) int { return 32*m + d*4*16*m } // after both sumSq blocks
+	for d := 0; d < 2; d++ {
+		dir, all := ds.Out, ds.OutAll
+		if d == 1 {
+			dir, all = ds.In, ds.InAll
+		}
+		for i := 0; i < m; i++ {
+			ld := rec(dir, all, i)
+			putU32(b, carrierBase(d)+4*i, ld.Carriers)
+			putU32(b, carrierBase(d)+4*m+4*i, ld.Max)
+			putU64(b, sumSqBase+d*8*m+8*i, ld.SumSq)
+			for h := 0; h < graph.DegreeBuckets; h++ {
+				putU32(b, histBase(d)+(i*graph.DegreeBuckets+h)*4, ld.Hist[h])
+			}
+		}
+	}
+	return b
+}
+
+// degreeSectionSize is the exact secDegree payload length for a label
+// count: 2 directions × M × (4+4 carriers/max + 8 sumSq + 4×16 hist).
+func degreeSectionSize(numLabels int) int {
+	return 2 * (numLabels + 1) * (4 + 4 + 8 + 4*graph.DegreeBuckets)
+}
+
 func write(w io.Writer, src Source, fi *FragmentInfo) error {
 	if !isLE {
 		return fmt.Errorf("store: snapshot format is little-endian; unsupported on this host")
@@ -234,6 +274,10 @@ func write(w io.Writer, src Source, fi *FragmentInfo) error {
 		putU32(fb, 8, uint32(fi.NodeHi))
 		secs = append(secs, section{secFragment, [][]byte{fb}})
 	}
+	// Degree statistics are always emitted (and always recomputed — or
+	// fetched from the source's own cache — via DegreeStatsFor, which is
+	// deterministic, so re-serialising a snapshot stays byte-identical).
+	secs = append(secs, section{secDegree, [][]byte{encodeDegree(graph.DegreeStatsFor(src), numLabels)}})
 
 	// Lay out the section table: payloads start 8-aligned after it.
 	table := make([]byte, len(secs)*sectionEntry)

@@ -14,21 +14,30 @@
 //	gfddiscover -in graph.gfds -workers 4 -fragdir /tmp/frags
 //
 // With -serve the parallel run becomes distributed: every worker except
-// worker 0 is a fragment server dialed over loopback TCP (or external
-// gfdfrag processes named by -connect), and -fault injects deterministic
-// transport faults — the mining output must stay identical, absorbed by
-// the deadline/retry/failover machinery.
+// worker 0 is an in-process fragment server dialed over loopback TCP,
+// and -fault injects deterministic transport faults — the mining output
+// must stay identical, absorbed by the deadline/retry/failover
+// machinery.
 //
 //	gfddiscover -in graph.gfds -workers 4 -fragdir /tmp/frags -serve
 //	gfddiscover -in graph.gfds -workers 4 -fragdir /tmp/frags -serve -fault drop=0.05,seed=1
-//	gfddiscover -in graph.gfds -workers 2 -fragdir /tmp/frags -serve -connect 127.0.0.1:7701
+//
+// With -cluster the coordinator serves a membership registry instead of
+// being handed addresses: external gfdfrag -announce servers register
+// themselves, get health-checked (healthy → suspect → dead), and worker
+// slots route to whoever legitimately holds their fragment — adopted at
+// superstep boundaries when members join or are replaced mid-run, failed
+// over to the spill file when they die. -hedge-after additionally races
+// slow remote join shares against the local spill replica.
+//
+//	gfddiscover -in graph.gfds -workers 3 -fragdir /tmp/frags -cluster 127.0.0.1:7700
+//	gfddiscover -in graph.gfds -workers 3 -fragdir /tmp/frags -cluster :7700 -hedge-after 50ms -health-interval 200ms
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	gfdlib "repro/internal/cli"
@@ -52,10 +61,13 @@ func run() int {
 	fragDir := flag.String("fragdir", "", "spill fragments as snapshots to this dir and mine over the mmap-backed views (needs -workers)")
 	serve := flag.Bool("serve", false, "serve workers 1..n-1 as remote fragment servers over loopback TCP (needs -fragdir)")
 	faultSpec := flag.String("fault", "", "with -serve: inject transport faults, e.g. drop=0.05,corrupt=0.01,seed=1")
-	connect := flag.String("connect", "", "with -serve: comma-separated addresses of external gfdfrag servers for workers 1..n-1")
+	clusterAddr := flag.String("cluster", "", "serve a membership registry on this address and mine against announced gfdfrag servers (needs -fragdir, -workers >= 2)")
+	clusterWait := flag.Duration("cluster-wait", 30*time.Second, "with -cluster: how long to wait for workers 1..n-1 to announce before mining starts")
+	hedgeAfter := flag.Duration("hedge-after", 0, "with -cluster: race remote join shares outstanding past this delay against the local spill replica")
+	healthInterval := flag.Duration("health-interval", time.Second, "with -cluster: heartbeat cadence of the member health monitor")
 	dieAfter := flag.Int("die-after", 0, "with -serve: kill every in-process fragment server after serving this many frames (forces failover)")
 	restartAfter := flag.Duration("restart-after", 0, "with -serve and -die-after: resurrect dead servers on their original address after this delay")
-	failback := flag.Duration("failback", 0, "with -serve: failed-over fragments probe their server at this interval and rejoin on recovery")
+	failback := flag.Duration("failback", 0, "with -serve/-cluster: failed-over fragments probe their server at this interval and rejoin on recovery")
 	negatives := flag.Int("negatives", 50, "max negative GFDs to mine (-1 disables)")
 	showAll := flag.Bool("all", false, "print the full mined set, not just the cover")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -82,7 +94,37 @@ func run() int {
 
 	start := time.Now()
 	var report *gfdlib.Report
-	if *serve {
+	if *clusterAddr != "" {
+		if *fragDir == "" || *workers < 2 {
+			fmt.Fprintln(os.Stderr, "gfddiscover: -cluster requires -fragdir and -workers >= 2")
+			return 2
+		}
+		crt := gfdlib.ClusterRuntime{
+			Addr:             *clusterAddr,
+			WaitTimeout:      *clusterWait,
+			HedgeAfter:       *hedgeAfter,
+			HealthInterval:   *healthInterval,
+			FailbackInterval: *failback,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "gfddiscover: "+format+"\n", args...)
+			},
+		}
+		report, err = gfdlib.DiscoverCluster(g, opts, *workers, *fragDir, crt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gfddiscover: %v\n", err)
+			return 1
+		}
+		fmt.Printf("cluster run: %d/%d members at epoch %d, %d adoptions (%d wire bytes measured)\n",
+			report.Members, *workers-1, report.Epoch, report.Adoptions, report.MeasuredBytes)
+		if report.HedgesFired > 0 {
+			fmt.Printf("hedged reads: %d fired, %d won by the local replica\n",
+				report.HedgesFired, report.HedgesWon)
+		}
+		if report.FailedOver > 0 || report.Rejoined > 0 {
+			fmt.Printf("recovery: %d fragments failed over, %d rejoined their server\n",
+				report.FailedOver, report.Rejoined)
+		}
+	} else if *serve {
 		if *fragDir == "" || *workers < 2 {
 			fmt.Fprintln(os.Stderr, "gfddiscover: -serve requires -fragdir and -workers >= 2")
 			return 2
@@ -97,9 +139,6 @@ func run() int {
 			DieAfter:         *dieAfter,
 			RestartAfter:     *restartAfter,
 			FailbackInterval: *failback,
-		}
-		if *connect != "" {
-			rt.Addrs = strings.Split(*connect, ",")
 		}
 		report, err = gfdlib.DiscoverRemote(g, opts, *workers, *fragDir, rt)
 		if err != nil {

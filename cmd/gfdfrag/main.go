@@ -16,6 +16,17 @@
 //	gfdfrag -frag frag-2.gfds -listen :7702 -fault drop=0.05,seed=1
 //	gfdfrag -frag frag-1.gfds -listen :7701 -die-after 100   # crash-test the coordinator
 //	gfdfrag -frag frag-1.gfds -listen :7701 -die-after 100 -resurrect-after 500ms
+//	gfdfrag -frag frag-1.gfds -listen :7701 -announce 127.0.0.1:7700
+//
+// With -announce the server registers itself with a coordinator's
+// membership registry (gfddiscover -cluster) once it is listening: the
+// coordinator learns the worker slot, address, node range, edge count
+// and node-store fingerprint, validates them against its own cut, and
+// routes that slot's join shares to this server — including mid-run,
+// if the coordinator was already mining the slot from its spill file.
+// The announce retries with backoff, so starting servers before the
+// coordinator is fine. With -resurrect-after, the recovered incarnation
+// re-announces.
 //
 // With -resurrect-after the -die-after crash does not exit the process:
 // the server drops every connection and its listener (the coordinator
@@ -25,6 +36,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -47,6 +59,7 @@ func run() int {
 	fault := flag.String("fault", "", "fault injection spec: drop=P,corrupt=P,delay=D,closeafter=N,seed=S")
 	dieAfter := flag.Int("die-after", 0, "exit(3) abruptly after serving this many frames (simulates a worker crash)")
 	resurrectAfter := flag.Duration("resurrect-after", 0, "with -die-after: come back on the same address after this delay instead of exiting (dies once)")
+	announce := flag.String("announce", "", "coordinator registry address (gfddiscover -cluster) to announce this fragment server to")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (flushed even on -die-after)")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -86,7 +99,7 @@ func run() int {
 	}
 
 	if *resurrectAfter > 0 {
-		if err := serveResurrecting(*frag, *listen, opts, *resurrectAfter); err != nil {
+		if err := serveResurrecting(*frag, *listen, opts, *resurrectAfter, *announce); err != nil {
 			fmt.Fprintf(os.Stderr, "gfdfrag: %v\n", err)
 			return 1
 		}
@@ -99,6 +112,11 @@ func run() int {
 		// The bound address is the first stdout line — coordinators and
 		// tests parse it, which is what makes -listen :0 usable.
 		fmt.Printf("listening %s\n", addr)
+		if *announce != "" {
+			if err := announceTo(*announce, *frag, addr.String()); err != nil {
+				fmt.Fprintf(os.Stderr, "gfdfrag: announce: %v\n", err)
+			}
+		}
 	}()
 	if err := remote.ListenAndServe(*frag, *listen, opts, ready); err != nil {
 		fmt.Fprintf(os.Stderr, "gfdfrag: %v\n", err)
@@ -107,11 +125,44 @@ func run() int {
 	return 0
 }
 
+// announceTo registers the served fragment with a coordinator's
+// membership registry. The fragment file is mapped a second time just
+// to read its identity — cheap (mmap, no copy) and independent of the
+// serving mapping's lifecycle. Retries cover the usual race of fragment
+// servers starting before the coordinator's registry is up.
+func announceTo(registry, fragPath, addr string) error {
+	m, err := store.Open(fragPath)
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	fi, has := m.Fragment()
+	if !has {
+		return fmt.Errorf("%s carries no fragment metadata (not a frag-N.gfds spill file?)", fragPath)
+	}
+	info := remote.AnnounceInfo{
+		Worker:      fi.Worker,
+		Addr:        addr,
+		NodeLo:      fi.NodeLo,
+		NodeHi:      fi.NodeHi,
+		NumEdges:    m.NumEdges(),
+		Fingerprint: remote.Fingerprint(m),
+	}
+	epoch, err := remote.Announce(context.Background(), registry, info, remote.Options{
+		Backoff: remote.Backoff{Base: 50 * time.Millisecond, Max: 2 * time.Second, Factor: 2, Jitter: 0.5, Attempts: 30},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "gfdfrag: announced worker %d at %s to %s (epoch %d)\n", fi.Worker, addr, registry, epoch)
+	return nil
+}
+
 // serveResurrecting runs the die-once-then-recover lifecycle in one
 // process: serve with the death trap armed, and when DieAfter fires
 // (Serve returns after the abrupt connection drop), rebind the same
 // bound address after the delay and serve the same mapping indefinitely.
-func serveResurrecting(fragPath, listen string, opts remote.ServerOptions, delay time.Duration) error {
+func serveResurrecting(fragPath, listen string, opts remote.ServerOptions, delay time.Duration, announce string) error {
 	m, err := store.Open(fragPath)
 	if err != nil {
 		return err
@@ -130,6 +181,13 @@ func serveResurrecting(fragPath, listen string, opts remote.ServerOptions, delay
 	}
 	addr := l.Addr().String()
 	fmt.Printf("listening %s\n", addr)
+	if announce != "" {
+		go func() {
+			if err := announceTo(announce, fragPath, addr); err != nil {
+				fmt.Fprintf(os.Stderr, "gfdfrag: announce: %v\n", err)
+			}
+		}()
+	}
 	s.Serve(l)
 	if opts.DieAfter <= 0 {
 		return nil // external Close: a clean shutdown, nothing to resurrect
@@ -146,5 +204,16 @@ func serveResurrecting(fragPath, listen string, opts remote.ServerOptions, delay
 		return fmt.Errorf("rebinding %s: %w", addr, err)
 	}
 	fmt.Printf("resurrected %s\n", addr)
+	if announce != "" {
+		// Re-announce: the coordinator's monitor has likely declared this
+		// worker dead and dropped it from the map; a fresh announcement
+		// lets the balancer adopt the recovered server at the next
+		// superstep boundary even without client-side failback probing.
+		go func() {
+			if err := announceTo(announce, fragPath, addr); err != nil {
+				fmt.Fprintf(os.Stderr, "gfdfrag: announce: %v\n", err)
+			}
+		}()
+	}
 	return s2.Serve(l2)
 }

@@ -41,6 +41,15 @@ type remoteMicroEnv struct {
 	// overlap.
 	latServer *remote.Server
 	latClient *remote.RemoteFragment
+	// slowServer serves the fragment behind a degraded link
+	// (hedgeLinkOneWay each way) — the straggling-member regime hedged
+	// reads exist for. slowClient waits the link out unhedged;
+	// hedClient dials the same link with hedged replica reads enabled
+	// (HedgeAfter + FallbackPath), so every share races a local
+	// recompute from the spill replica.
+	slowServer *remote.Server
+	slowClient *remote.RemoteFragment
+	hedClient  *remote.RemoteFragment
 	// views is e.views with the first received fragment replaced by the
 	// remote client — the worker's join inputs in the mixed-runtime run.
 	views []graph.View
@@ -50,6 +59,13 @@ type remoteMicroEnv struct {
 // link: in the LAN RTT ballpark, and ~10x the share's compute cost so
 // the serial-vs-pipelined gap measures wire waiting, not CPU.
 const latencyOneWay = 200 * time.Microsecond
+
+// hedgeLinkOneWay is the one-way delay of the degraded link behind the
+// hedged-read micros: a straggling member an order of magnitude slower
+// than the healthy LAN link, and comfortably above coarse-kernel timer
+// slack so the slow-vs-hedged gap measures hedging rather than timer
+// resolution.
+const hedgeLinkOneWay = 5 * time.Millisecond
 
 var remoteMicroE remoteMicroEnv
 
@@ -122,6 +138,32 @@ func (r *remoteMicroEnv) build(e *microEnv) error {
 		return err
 	}
 	r.latClient = lrf
+
+	// The same fragment once more behind the degraded link, dialed twice:
+	// once waiting the link out, once hedging against the spill replica.
+	ss, err := remote.NewServer(m, remote.ServerOptions{Fault: remote.FaultSpec{Delay: hedgeLinkOneWay, Seed: 1}})
+	if err != nil {
+		return err
+	}
+	r.slowServer = ss
+	sl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go ss.Serve(sl)
+	srf, err := remote.Dial(context.Background(), sl.Addr().String(), e.g, remote.Options{})
+	if err != nil {
+		return err
+	}
+	r.slowClient = srf
+	hrf, err := remote.Dial(context.Background(), sl.Addr().String(), e.g, remote.Options{
+		HedgeAfter:   hedgeLinkOneWay / 10,
+		FallbackPath: filepath.Join(dir, parallel.FragmentSnapshotName(recv)),
+	})
+	if err != nil {
+		return err
+	}
+	r.hedClient = hrf
 	r.views = make([]graph.View, len(e.views))
 	copy(r.views, e.views)
 	for i, v := range e.views {
@@ -191,6 +233,31 @@ func remoteMicroSpecs() []MicroSpec {
 				wg.Wait()
 			}
 		}},
+		{"RemoteExtend/rpc-share-slow", func(b *testing.B) {
+			// One share over the degraded link, unhedged: the deterministic
+			// delay makes every call a tail call — each op waits out the full
+			// round trip. This is the latency a straggling member inflicts on
+			// its superstep.
+			e, r := remoteMicroWorkload(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.slowClient.ExtendIndexed(e.part, e.child)
+			}
+		}},
+		{"RemoteExtend/rpc-share-hedged", func(b *testing.B) {
+			// The same share over the same link with hedged replica reads:
+			// past the hedge delay the local spill replica recomputes the
+			// share and wins, so the op completes at replica speed while the
+			// late wire result is discarded in the background. The gap to
+			// rpc-share-slow is the tail latency hedging removes.
+			e, r := remoteMicroWorkload(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.hedClient.ExtendIndexed(e.part, e.child)
+			}
+		}},
 		{"RemoteExtend/local-share", func(b *testing.B) {
 			// The same share computed against the local mmap of the same
 			// fragment: the denominator of the remote overhead ratio.
@@ -215,6 +282,18 @@ func cleanupRemoteMicro() {
 	if r.latClient != nil {
 		r.latClient.Close()
 		r.latClient = nil
+	}
+	if r.slowClient != nil {
+		r.slowClient.Close()
+		r.slowClient = nil
+	}
+	if r.hedClient != nil {
+		r.hedClient.Close()
+		r.hedClient = nil
+	}
+	if r.slowServer != nil {
+		r.slowServer.Close()
+		r.slowServer = nil
 	}
 	if r.server != nil {
 		r.server.Close()

@@ -73,6 +73,18 @@ type Report struct {
 	// serving from their spill attach, and fragments that failed back to
 	// a recovered server at least once (distributed runs only).
 	FailedOver, Rejoined int
+	// HedgesFired and HedgesWon count hedged replica reads: join shares
+	// recomputed locally when the wire ran past the hedge delay, and how
+	// many of those the local recompute won (cluster runs only).
+	HedgesFired, HedgesWon int64
+	// Members is the cluster-map size at the end of a cluster run and
+	// Epoch its final epoch (zero for non-cluster runs).
+	Members int
+	Epoch   uint64
+	// Adoptions counts mid-run re-routings of a worker slot to an
+	// announced member (joins and replacements applied at superstep
+	// boundaries).
+	Adoptions int
 }
 
 // Discover runs the pipeline (sequential when workers == 0, simulated

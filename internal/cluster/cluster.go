@@ -78,6 +78,18 @@ type Stats struct {
 	// model — nonzero only when remote workers participate.
 	MeasuredBytes int64
 	Messages      int64
+	// HedgesFired counts remote join shares whose wait exceeded the hedge
+	// delay and were concurrently recomputed from the local replica;
+	// HedgesWon counts those where the local recompute finished first.
+	// The shares are byte-identical either way — hedging trades duplicate
+	// work for tail latency, never output.
+	HedgesFired, HedgesWon int64
+	// Pings counts health-probe heartbeats whose round trip was measured;
+	// PingRTTTotal and PingRTTMax aggregate those round trips (the health
+	// layer's rolling quantile sees each sample individually).
+	Pings        int64
+	PingRTTTotal time.Duration
+	PingRTTMax   time.Duration
 	// WorkerBusy is the total busy time per worker, for skew inspection.
 	WorkerBusy []time.Duration
 }
@@ -137,8 +149,12 @@ func (e *Engine) Workers() int { return e.cfg.Workers }
 // after another and stealing would corrupt per-worker busy attribution.
 func (e *Engine) IsConcurrent() bool { return e.cfg.Mode == Concurrent }
 
-// Stats returns a copy of the accumulated statistics.
+// Stats returns a copy of the accumulated statistics. Guarded by the
+// engine mutex: the health monitor records pings from its own goroutine
+// while the orchestrator may be reading.
 func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	s := e.stats
 	s.WorkerBusy = append([]time.Duration(nil), e.stats.WorkerBusy...)
 	return s
@@ -171,6 +187,30 @@ func (e *Engine) ShipMeasured(w int, nbytes int64) {
 	e.stats.Bytes += nbytes
 	e.stats.MeasuredBytes += nbytes
 	e.stats.Messages++
+	e.mu.Unlock()
+}
+
+// RecordHedges tallies hedged replica reads drained from a remote
+// fragment's counters: fired = hedges launched, won = hedges whose local
+// recompute beat the wire.
+func (e *Engine) RecordHedges(fired, won int64) {
+	if fired == 0 && won == 0 {
+		return
+	}
+	e.mu.Lock()
+	e.stats.HedgesFired += fired
+	e.stats.HedgesWon += won
+	e.mu.Unlock()
+}
+
+// RecordPing tallies one measured heartbeat round trip.
+func (e *Engine) RecordPing(rtt time.Duration) {
+	e.mu.Lock()
+	e.stats.Pings++
+	e.stats.PingRTTTotal += rtt
+	if rtt > e.stats.PingRTTMax {
+		e.stats.PingRTTMax = rtt
+	}
 	e.mu.Unlock()
 }
 

@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrStaleEpoch rejects a registry mutation made against an out-of-date
+// cluster map: the caller observed epoch e, the map has since moved on,
+// and its decision (typically a leave verdict from the health monitor)
+// may be about a member that has already been replaced. The caller must
+// re-read the map and decide again.
+var ErrStaleEpoch = errors.New("cluster: stale epoch")
+
+// Member is one entry of the cluster map: a fragment server that
+// announced itself for a worker slot.
+type Member struct {
+	// Worker is the fragment/worker index the member serves.
+	Worker int
+	// Addr is the member's listen address, as announced.
+	Addr string
+	// Joined is the epoch at which this member (re-)announced.
+	Joined uint64
+}
+
+// Registry is the coordinator's epoch-numbered cluster map: fragment
+// servers announce themselves into it (via the remote package's Announce
+// frame), the health monitor removes members it has declared dead, and
+// every mutation bumps the epoch. Consumers snapshot the map together
+// with its epoch and apply changes at superstep boundaries; a mutation
+// carrying an epoch other than the current one is refused with
+// ErrStaleEpoch.
+type Registry struct {
+	mu      sync.Mutex
+	epoch   uint64
+	members map[int]Member
+	waiters []chan struct{}
+}
+
+// NewRegistry returns an empty cluster map at epoch 0.
+func NewRegistry() *Registry {
+	return &Registry{members: make(map[int]Member)}
+}
+
+// Epoch returns the current epoch. 0 means no member has ever announced.
+func (r *Registry) Epoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epoch
+}
+
+// Size returns the number of registered members.
+func (r *Registry) Size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.members)
+}
+
+// Member returns the registered member for a worker slot, if any.
+func (r *Registry) Member(worker int) (Member, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.members[worker]
+	return m, ok
+}
+
+// Snapshot returns a copy of the cluster map and the epoch it belongs
+// to. Decisions derived from it (adoptions, leaves) should carry the
+// epoch back so the registry can refuse them once the map has moved on.
+func (r *Registry) Snapshot() (map[int]Member, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := make(map[int]Member, len(r.members))
+	for w, m := range r.members {
+		snap[w] = m
+	}
+	return snap, r.epoch
+}
+
+// Announce registers (or replaces) the member serving a worker slot and
+// bumps the epoch. seen is the announcer's last observed epoch: a fresh
+// server announces 0; a value beyond the current epoch means the
+// announcer talked to a different registry incarnation and is refused —
+// admitting it would let a stale deployment overwrite the live map.
+func (r *Registry) Announce(worker int, addr string, seen uint64) (uint64, error) {
+	if worker < 0 {
+		return 0, fmt.Errorf("cluster: negative worker %d", worker)
+	}
+	if addr == "" {
+		return 0, fmt.Errorf("cluster: empty member address")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if seen > r.epoch {
+		return 0, fmt.Errorf("%w: announce claims epoch %d, registry is at %d", ErrStaleEpoch, seen, r.epoch)
+	}
+	r.epoch++
+	r.members[worker] = Member{Worker: worker, Addr: addr, Joined: r.epoch}
+	r.notifyLocked()
+	return r.epoch, nil
+}
+
+// Leave removes a worker slot's member and bumps the epoch. epoch must
+// be the current one — a leave decided from a stale snapshot (the member
+// may have re-announced since) is refused with ErrStaleEpoch so the
+// caller re-evaluates against the live map.
+func (r *Registry) Leave(worker int, epoch uint64) (uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if epoch != r.epoch {
+		return 0, fmt.Errorf("%w: leave decided at epoch %d, registry is at %d", ErrStaleEpoch, epoch, r.epoch)
+	}
+	if _, ok := r.members[worker]; !ok {
+		return 0, fmt.Errorf("cluster: worker %d is not a member", worker)
+	}
+	r.epoch++
+	delete(r.members, worker)
+	r.notifyLocked()
+	return r.epoch, nil
+}
+
+// Wait blocks until at least n members are registered or ctx ends.
+func (r *Registry) Wait(ctx context.Context, n int) error {
+	for {
+		r.mu.Lock()
+		if len(r.members) >= n {
+			r.mu.Unlock()
+			return nil
+		}
+		ch := make(chan struct{})
+		r.waiters = append(r.waiters, ch)
+		r.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// notifyLocked wakes every Wait caller after a map change.
+func (r *Registry) notifyLocked() {
+	for _, ch := range r.waiters {
+		close(ch)
+	}
+	r.waiters = nil
+}

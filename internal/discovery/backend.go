@@ -188,10 +188,17 @@ func (b *SeqBackend) ExtendBatch(parents []Handle, children []*pattern.Pattern) 
 		chunkTabs := make([][]*match.Table, len(children))
 		remaining := make([]atomic.Int32, len(children))
 		for i := range children {
-			rows := parents[i].(*seqHandle).table.Len()
+			pt := parents[i].(*seqHandle).table
+			rows := pt.Len()
+			// Chunk on estimated output, not input: a hub parent with few
+			// rows but huge fan-out is exactly the child that serialises a
+			// level when it stays whole. Never chunk less than the row rule
+			// would — the estimate only adds parallelism.
+			cost := max(rows, match.EstimateExtendRows(b.v, pt, children[i]))
 			n := 1
-			if rows >= 2*stealMinChunk {
-				n = min(2*workers, rows/stealMinChunk)
+			if cost >= 2*stealMinChunk {
+				n = min(min(2*workers, cost/stealMinChunk), rows)
+				n = max(n, 1)
 			}
 			if n == 1 {
 				units = append(units, stealUnit{child: i, whole: true})

@@ -1,0 +1,62 @@
+package match
+
+import (
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// EstimateExtendRows predicts how many output rows extending t by
+// child's last edge will produce, using the view's per-label degree
+// statistics. The work of an extend step is proportional to its output,
+// not its input: a hub-anchored parent table with a handful of rows can
+// fan out into hundreds of thousands of children, and chunking
+// decisions keyed on input rows alone leave that work on one goroutine.
+//
+// The model is one step of the planner-v2 cost layer: output ≈ rows ×
+// the size-biased mean degree of the scanned (direction, label) pair —
+// the expected fan-out at a node that was itself reached by an edge,
+// which is exactly what an extend's anchor variable is. A closing edge
+// (both endpoints already bound) filters rather than fans out, so its
+// estimate is the input row count. The estimate is a planning signal,
+// not a bound; callers should treat it as "at least this order of
+// work".
+func EstimateExtendRows(v graph.View, t *Table, child *pattern.Pattern) int {
+	if t == nil {
+		return 0
+	}
+	rows := t.Len()
+	if rows == 0 || child.Size() == 0 {
+		return rows
+	}
+	if child.N() == t.NumVars() {
+		// Closing edge: no new variable, output ⊆ input.
+		return rows
+	}
+	e := child.LastEdge()
+	newVar := child.N() - 1
+	out := e.Src != newVar // scan direction: anchored at the bound endpoint
+	ds := graph.DegreeStatsFor(v)
+	var ld graph.LabelDegree
+	if e.Label == pattern.Wildcard {
+		if out {
+			ld = ds.OutAll
+		} else {
+			ld = ds.InAll
+		}
+	} else {
+		l, ok := v.LookupLabel(e.Label)
+		if !ok {
+			return 0
+		}
+		if out {
+			if int(l) < len(ds.Out) {
+				ld = ds.Out[l]
+			}
+		} else {
+			if int(l) < len(ds.In) {
+				ld = ds.In[l]
+			}
+		}
+	}
+	return int(float64(rows)*ld.SizeBiasedMean() + 0.5)
+}

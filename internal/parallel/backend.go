@@ -36,6 +36,12 @@ type Options struct {
 	// corrupt busy-time attribution; remote wire-byte draining attributes
 	// per worker). The mined output is identical either way.
 	WorkSteal bool
+	// Membership, if set, is consulted at every superstep boundary —
+	// before each seed and extend batch — so cluster-map changes (a
+	// member joining or replacing a dead one) are applied between
+	// supersteps, never inside one. The remote package's Balancer
+	// satisfies it.
+	Membership interface{ ApplyAtBoundary() }
 }
 
 func (o Options) withDefaults() Options {
@@ -67,6 +73,10 @@ type Backend struct {
 	// counters are drained after each worker's join and charged as
 	// measured communication, replacing the declared cost-model volume.
 	transferTrackers []transferTracker
+	// hedgeTrackers are the fragment views exposing drainable hedged-read
+	// counters (remote fragments with hedging enabled); drained at each
+	// batch tail into the engine's Stats.
+	hedgeTrackers []hedgeTracker
 	// localOthers[w] counts the non-remote fragments t ≠ w whose
 	// single-edge matches worker w still receives at declared cost.
 	localOthers []int64
@@ -136,6 +146,9 @@ func newBackend(v graph.View, eng *cluster.Engine, frags []Fragment, opts Option
 			remote[t] = true
 			b.transferTrackers = append(b.transferTrackers, tt)
 		}
+		if ht, ok := b.frags[t].Sub.(hedgeTracker); ok {
+			b.hedgeTrackers = append(b.hedgeTrackers, ht)
+		}
 	}
 	b.localOthers = make([]int64, n)
 	for w := 0; w < n; w++ {
@@ -159,6 +172,20 @@ func newBackend(v graph.View, eng *cluster.Engine, frags []Fragment, opts Option
 // drainable counter of bytes that actually crossed its connection.
 type transferTracker interface {
 	TakeTransferred() int64
+}
+
+// hedgeTracker is the same structural trick for hedged replica reads:
+// remote.RemoteFragment exposes drainable counters of hedges fired and
+// hedges won by the local recompute.
+type hedgeTracker interface {
+	TakeHedges() (fired, won int64)
+}
+
+// applyMembership runs the membership hook at a superstep boundary.
+func (b *Backend) applyMembership() {
+	if b.opts.Membership != nil {
+		b.opts.Membership.ApplyAtBoundary()
+	}
 }
 
 // cancelled reports a dead context and, once per run, marks the stats.
@@ -235,6 +262,7 @@ func (b *Backend) SeedBatch(ps []*pattern.Pattern) []discovery.PatOut {
 	if b.cancelled() {
 		return failAll(len(ps))
 	}
+	b.applyMembership()
 	hs := make([]*parHandle, len(ps))
 	for i, p := range ps {
 		hs[i] = &parHandle{p: p}
@@ -281,6 +309,7 @@ func (b *Backend) ExtendBatch(parents []discovery.Handle, children []*pattern.Pa
 	if b.cancelled() {
 		return failAll(len(children))
 	}
+	b.applyMembership()
 	hs := make([]*parHandle, len(children))
 	for i, child := range children {
 		hs[i] = &parHandle{p: child, parts: make([]*match.Table, b.n())}
@@ -346,6 +375,9 @@ func (b *Backend) ExtendBatch(parents []discovery.Handle, children []*pattern.Pa
 // the static and work-stealing supersteps: row recount, abort on the row
 // cap, optional rebalance, and master-side support aggregation.
 func (b *Backend) extendBatchFinish(hs []*parHandle) []discovery.PatOut {
+	for _, ht := range b.hedgeTrackers {
+		b.eng.RecordHedges(ht.TakeHedges())
+	}
 	out := make([]discovery.PatOut, len(hs))
 	aborted := make([]bool, len(hs))
 	for i, h := range hs {
@@ -403,9 +435,14 @@ func (b *Backend) extendBatchStealing(parents []discovery.Handle, children []*pa
 		}
 		for o := 0; o < n; o++ {
 			rows := ph.parts[o].Len()
+			// Chunk on estimated output, not input (see the sequential
+			// backend): a hub-heavy part with few rows and huge fan-out
+			// must not stay whole. The estimate never reduces chunking.
+			cost := max(rows, match.EstimateExtendRows(b.g, ph.parts[o], children[i]))
 			k := 1
-			if rows >= 2*stealMinChunk {
-				k = min(2*n, rows/stealMinChunk)
+			if cost >= 2*stealMinChunk {
+				k = min(min(2*n, cost/stealMinChunk), rows)
+				k = max(k, 1)
 			}
 			slot := i*n + o
 			if k == 1 {

@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"math/rand"
@@ -38,6 +39,14 @@ type Options struct {
 	// disables failback (a failed-over fragment stays local forever, the
 	// PR 6 behaviour).
 	FailbackInterval time.Duration
+	// HedgeAfter, when > 0, enables hedged replica reads: an extend share
+	// still outstanding on the wire after this long is concurrently
+	// recomputed from the local spill replica (FallbackPath) and the first
+	// result wins. The share is byte-identical either way — hedging trades
+	// duplicate work for tail latency, never output. When the health
+	// monitor has marked the member suspect the delay tightens to a
+	// quarter. Zero disables hedging.
+	HedgeAfter time.Duration
 	// Seed makes the retry jitter deterministic (tests); 0 derives one.
 	Seed int64
 	// Clock abstracts backoff sleeps (tests inject a fake).
@@ -77,7 +86,9 @@ func (o Options) withDefaults() Options {
 // multiplexed connection without waiting for its siblings' responses
 // (see mux.go). Only redialing after a transport failure serialises.
 type RemoteFragment struct {
-	addr string
+	addrMu sync.Mutex // addr can move when the balancer adopts a replacement
+	addr   string
+
 	base graph.View
 	opts Options
 
@@ -111,6 +122,10 @@ type RemoteFragment struct {
 	closed      atomic.Bool // Close latch: calls after Close are refused
 	probing     atomic.Bool // failback prober running
 	rejoined    atomic.Bool // sticky: failback succeeded at least once
+
+	suspect     atomic.Bool  // health monitor verdict: hedge sooner
+	hedgesFired atomic.Int64 // hedges launched since the last drain
+	hedgesWon   atomic.Int64 // hedges where the local recompute won
 }
 
 // Compile-time checks: the client is a full matching surface and computes
@@ -178,8 +193,30 @@ func Dial(ctx context.Context, addr string, base graph.View, opts Options) (*Rem
 // Info returns the fragment's identity from the handshake.
 func (f *RemoteFragment) Info() store.FragmentInfo { return f.info }
 
-// Addr returns the server address.
-func (f *RemoteFragment) Addr() string { return f.addr }
+// Addr returns the server address the fragment currently targets. It
+// can change mid-run: Adopt points the fragment at a replacement member.
+func (f *RemoteFragment) Addr() string {
+	f.addrMu.Lock()
+	defer f.addrMu.Unlock()
+	return f.addr
+}
+
+// Closed reports whether Close has latched the fragment.
+func (f *RemoteFragment) Closed() bool { return f.closed.Load() }
+
+// Suspect reports the health monitor's current verdict for this member.
+func (f *RemoteFragment) Suspect() bool { return f.suspect.Load() }
+
+// SetSuspect records the health monitor's verdict: a suspect member's
+// hedge delay tightens to a quarter of Options.HedgeAfter.
+func (f *RemoteFragment) SetSuspect(v bool) { f.suspect.Store(v) }
+
+// TakeHedges drains the hedge counters: hedges fired and hedges won by
+// the local recompute since the last call. The parallel backend rolls
+// these into cluster.Stats.
+func (f *RemoteFragment) TakeHedges() (fired, won int64) {
+	return f.hedgesFired.Swap(0), f.hedgesWon.Swap(0)
+}
 
 // FailedOver reports whether the fragment is currently serving from its
 // local spill attach after being declared dead. Failback clears it.
@@ -200,19 +237,29 @@ func (f *RemoteFragment) TakeTransferred() int64 { return f.transferred.Swap(0) 
 // ignores the dead flag — the failback prober and external monitors use
 // it to observe the wire, local fallback or not.
 func (f *RemoteFragment) Healthy(ctx context.Context) error {
+	_, err := f.PingRTT(ctx)
+	return err
+}
+
+// PingRTT is Healthy with a stopwatch: one heartbeat round trip, no
+// retries, returning how long the echo took. The health monitor feeds
+// these samples into the per-member rolling-quantile spike detector and
+// cluster.Stats.
+func (f *RemoteFragment) PingRTT(ctx context.Context) (time.Duration, error) {
 	if f.closed.Load() {
-		return fmt.Errorf("remote: fragment %d (%s) is closed", f.info.Worker, f.addr)
+		return 0, fmt.Errorf("remote: fragment %d (%s) is closed", f.info.Worker, f.Addr())
 	}
 	var w wbuf
 	w.u64(uint64(time.Now().UnixNano()))
+	start := time.Now()
 	typ, resp, err := f.attempt(ctx, msgPing, w.b)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	if typ != msgPong || len(resp) != len(w.b) {
-		return fmt.Errorf("remote: %s: bad heartbeat echo", f.addr)
+	if typ != msgPong || !bytes.Equal(resp, w.b) {
+		return 0, fmt.Errorf("remote: %s: bad heartbeat echo", f.Addr())
 	}
-	return nil
+	return time.Since(start), nil
 }
 
 // Close releases the connection and any local mapping, and latches the
@@ -222,7 +269,7 @@ func (f *RemoteFragment) Healthy(ctx context.Context) error {
 // and is left alone.
 func (f *RemoteFragment) Close() error {
 	if !f.closed.CompareAndSwap(false, true) {
-		return fmt.Errorf("remote: fragment %d (%s) already closed", f.info.Worker, f.addr)
+		return fmt.Errorf("remote: fragment %d (%s) already closed", f.info.Worker, f.Addr())
 	}
 	f.cancel() // stops backoff sleeps and the failback prober
 	f.connMu.Lock()
@@ -248,10 +295,10 @@ func (f *RemoteFragment) dial() (net.Conn, error) {
 	ctx, cancel := context.WithTimeout(f.ctx, f.opts.DialTimeout)
 	defer cancel()
 	if f.opts.Dialer != nil {
-		return f.opts.Dialer(ctx, f.addr)
+		return f.opts.Dialer(ctx, f.Addr())
 	}
 	var d net.Dialer
-	return d.DialContext(ctx, "tcp", f.addr)
+	return d.DialContext(ctx, "tcp", f.Addr())
 }
 
 // getMux returns the live multiplexed connection, dialing a fresh one if
@@ -262,7 +309,7 @@ func (f *RemoteFragment) getMux() (*mux, error) {
 	f.connMu.Lock()
 	defer f.connMu.Unlock()
 	if f.closed.Load() {
-		return nil, fmt.Errorf("remote: fragment %d (%s) is closed", f.info.Worker, f.addr)
+		return nil, fmt.Errorf("remote: fragment %d (%s) is closed", f.info.Worker, f.Addr())
 	}
 	if f.mx != nil && f.mx.Err() == nil {
 		return f.mx, nil
@@ -301,7 +348,7 @@ func (f *RemoteFragment) attempt(ctx context.Context, typ uint32, payload []byte
 	}
 	if respType == msgError {
 		r := rbuf{b: resp}
-		return 0, nil, &fatalError{msg: fmt.Sprintf("remote: %s: server error: %s", f.addr, r.str())}
+		return 0, nil, &fatalError{msg: fmt.Sprintf("remote: %s: server error: %s", f.Addr(), r.str())}
 	}
 	return respType, resp, nil
 }
@@ -319,7 +366,7 @@ func (f *RemoteFragment) call(typ uint32, payload []byte) (uint32, []byte, error
 			f.rngMu.Lock()
 			delay := f.opts.Backoff.Delay(a-1, f.rng)
 			f.rngMu.Unlock()
-			f.logf("remote: %s: attempt %d/%d failed (%v); retrying in %s", f.addr, a, f.opts.Backoff.Attempts, lastErr, delay)
+			f.logf("remote: %s: attempt %d/%d failed (%v); retrying in %s", f.Addr(), a, f.opts.Backoff.Attempts, lastErr, delay)
 			if err := f.opts.Clock.Sleep(f.ctx, delay); err != nil {
 				return 0, nil, err
 			}
@@ -336,7 +383,7 @@ func (f *RemoteFragment) call(typ uint32, payload []byte) (uint32, []byte, error
 		}
 		lastErr = err
 	}
-	return 0, nil, fmt.Errorf("remote: %s: %d attempts exhausted: %w", f.addr, f.opts.Backoff.Attempts, lastErr)
+	return 0, nil, fmt.Errorf("remote: %s: %d attempts exhausted: %w", f.Addr(), f.opts.Backoff.Attempts, lastErr)
 }
 
 func (f *RemoteFragment) logf(format string, args ...any) {
@@ -389,24 +436,24 @@ func (f *RemoteFragment) declareDead(cause error) *store.MappedGraph {
 	if m == nil {
 		if f.opts.FallbackPath == "" {
 			f.localMu.Unlock()
-			panic(fmt.Sprintf("remote: fragment %d at %s declared dead (%v) with no local fallback: set Options.FallbackPath to the worker's spilled frag-N.gfds to enable failover", f.info.Worker, f.addr, cause))
+			panic(fmt.Sprintf("remote: fragment %d at %s declared dead (%v) with no local fallback: set Options.FallbackPath to the worker's spilled frag-N.gfds to enable failover", f.info.Worker, f.Addr(), cause))
 		}
 		var err error
 		m, err = store.Open(f.opts.FallbackPath)
 		if err != nil {
 			f.localMu.Unlock()
-			panic(fmt.Sprintf("remote: fragment %d at %s declared dead (%v) and re-attaching %s failed: %v", f.info.Worker, f.addr, cause, f.opts.FallbackPath, err))
+			panic(fmt.Sprintf("remote: fragment %d at %s declared dead (%v) and re-attaching %s failed: %v", f.info.Worker, f.Addr(), cause, f.opts.FallbackPath, err))
 		}
 		if fi, has := m.Fragment(); !has || fi != f.info || m.NumNodes() != f.base.NumNodes() {
 			m.Close()
 			f.localMu.Unlock()
-			panic(fmt.Sprintf("remote: fragment %d at %s declared dead (%v) but %s holds a different fragment", f.info.Worker, f.addr, cause, f.opts.FallbackPath))
+			panic(fmt.Sprintf("remote: fragment %d at %s declared dead (%v) but %s holds a different fragment", f.info.Worker, f.Addr(), cause, f.opts.FallbackPath))
 		}
-		f.logf("remote: fragment %d at %s declared dead (%v); failed over to %s", f.info.Worker, f.addr, cause, f.opts.FallbackPath)
+		f.logf("remote: fragment %d at %s declared dead (%v); failed over to %s", f.info.Worker, f.Addr(), cause, f.opts.FallbackPath)
 		f.local = m
 		f.replica = false
 	} else {
-		f.logf("remote: fragment %d at %s declared dead (%v); serving from the local mapping", f.info.Worker, f.addr, cause)
+		f.logf("remote: fragment %d at %s declared dead (%v); serving from the local mapping", f.info.Worker, f.Addr(), cause)
 	}
 	f.dead.Store(true)
 	f.failedOver.Store(true)
@@ -467,24 +514,26 @@ func (f *RemoteFragment) tryFailback() bool {
 	}
 	got := store.FragmentInfo{Worker: h.Worker, NodeLo: h.NodeLo, NodeHi: h.NodeHi}
 	if h.Fingerprint != f.baseFP || got != f.info || h.NumEdges != f.numEdges {
-		f.logf("remote: %s: failback probe reached a server holding a different fragment; staying failed over", f.addr)
+		f.logf("remote: %s: failback probe reached a server holding a different fragment; staying failed over", f.Addr())
 		return false
 	}
 	f.dead.Store(false)
 	f.failedOver.Store(false)
 	f.rejoined.Store(true)
-	f.logf("remote: fragment %d at %s recovered; failing back to remote serving", f.info.Worker, f.addr)
+	f.logf("remote: fragment %d at %s recovered; failing back to remote serving", f.info.Worker, f.Addr())
 	return true
 }
 
 // ExtendIndexed implements match.BatchExtender: the fragment's share of
 // the incremental join, computed server-side against its mmap. On a dead
 // server it degrades to the local fallback and computes the identical
-// share there — the superstep resumes, output unchanged. Concurrent
-// calls pipeline over the shared connection.
+// share there — the superstep resumes, output unchanged. With
+// Options.HedgeAfter set, a share outstanding past the hedge delay is
+// concurrently recomputed from the local spill replica and the first
+// result wins. Concurrent calls pipeline over the shared connection.
 func (f *RemoteFragment) ExtendIndexed(t *match.Table, child *pattern.Pattern) match.IndexedExt {
 	if f.closed.Load() {
-		panic(fmt.Sprintf("remote: ExtendIndexed on closed fragment %d (%s): calls after Close are a lifecycle bug", f.info.Worker, f.addr))
+		panic(fmt.Sprintf("remote: ExtendIndexed on closed fragment %d (%s): calls after Close are a lifecycle bug", f.info.Worker, f.Addr()))
 	}
 	if m := f.servingLocal(); m != nil {
 		return match.ExtendIndexed(m, t, child)
@@ -493,18 +542,245 @@ func (f *RemoteFragment) ExtendIndexed(t *match.Table, child *pattern.Pattern) m
 		return match.IndexedExt{}
 	}
 	payload := encodeExtend(t, child)
+	if delay := f.hedgeDelay(); delay > 0 {
+		return f.extendHedged(t, child, payload, delay)
+	}
+	ext, err := f.extendRemote(payload)
+	if err != nil {
+		return match.ExtendIndexed(f.declareDead(err), t, child)
+	}
+	return ext
+}
+
+// extendRemote runs the fragment's share on the wire: the retried RPC
+// plus response decode, with no failover escalation — callers decide
+// what an exhausted wire means (declareDead for the solo path, "the
+// local hedge already won" for the hedged one).
+func (f *RemoteFragment) extendRemote(payload []byte) (match.IndexedExt, error) {
 	respType, resp, err := f.call(msgExtend, payload)
 	if err == nil && respType != msgExtendOK {
-		err = fmt.Errorf("remote: %s: unexpected response type %d to extend", f.addr, respType)
+		err = fmt.Errorf("remote: %s: unexpected response type %d to extend", f.Addr(), respType)
 	}
-	if err == nil {
-		ext, derr := decodeExtendOK(resp)
-		if derr == nil {
-			return ext
+	if err != nil {
+		return match.IndexedExt{}, err
+	}
+	return decodeExtendOK(resp)
+}
+
+// hedgeDelay returns the effective hedge delay for the next share: 0
+// when hedging is disabled or there is nothing local to hedge against;
+// a quarter of Options.HedgeAfter when the health monitor has marked
+// the member suspect.
+func (f *RemoteFragment) hedgeDelay() time.Duration {
+	d := f.opts.HedgeAfter
+	if d <= 0 {
+		return 0
+	}
+	if f.opts.FallbackPath == "" && f.localView() == nil {
+		return 0
+	}
+	if f.suspect.Load() {
+		if d /= 4; d <= 0 {
+			d = 1
 		}
-		err = derr
 	}
-	return match.ExtendIndexed(f.declareDead(err), t, child)
+	return d
+}
+
+// extendHedged races the wire against the local replica. The RPC flies
+// first; if it lands within the hedge delay the hedge never fires. Past
+// the delay the share is recomputed from the local spill attach while
+// the RPC keeps flying, and the first result wins — the loser is
+// discarded (an abandoned RPC is bounded by CallTimeout, and its
+// eventual failure still escalates through declareDead so a genuinely
+// dead server does not hide behind winning hedges). Both computations
+// produce byte-identical rows, so the winner's identity never shows in
+// mining output — only in the hedge counters.
+func (f *RemoteFragment) extendHedged(t *match.Table, child *pattern.Pattern, payload []byte, delay time.Duration) match.IndexedExt {
+	type result struct {
+		ext match.IndexedExt
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		ext, err := f.extendRemote(payload)
+		ch <- result{ext, err}
+	}()
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return match.ExtendIndexed(f.declareDead(r.err), t, child)
+		}
+		return r.ext
+	case <-timer.C:
+	}
+	m, err := f.ensureLocal()
+	if err != nil {
+		// No replica after all (attach raced Close, file vanished): wait
+		// out the wire like an unhedged call.
+		f.logf("remote: %s: hedge wanted but local attach failed (%v); waiting for the wire", f.Addr(), err)
+		r := <-ch
+		if r.err != nil {
+			return match.ExtendIndexed(f.declareDead(r.err), t, child)
+		}
+		return r.ext
+	}
+	f.hedgesFired.Add(1)
+	local := match.ExtendIndexed(m, t, child)
+	select {
+	case r := <-ch:
+		// The wire landed while the local share was computing: prefer the
+		// remote result when it is clean (both are identical — this just
+		// keeps the accounting honest about who finished first).
+		if r.err == nil {
+			return r.ext
+		}
+		f.hedgesWon.Add(1)
+		f.declareDead(r.err)
+		return local
+	default:
+	}
+	f.hedgesWon.Add(1)
+	go func() {
+		if r := <-ch; r.err != nil && !f.closed.Load() {
+			f.declareDead(r.err)
+		}
+	}()
+	return local
+}
+
+// ensureLocal returns a local mapping suitable for hedged recomputes:
+// the already-resident mapping if one exists, else a fresh validated
+// attach of FallbackPath. Unlike declareDead it neither latches the
+// dead flag nor starts the failback prober — remote serving continues
+// (servingLocal only serves a spill attach once the fragment is dead),
+// the mapping just sits ready to race slow shares.
+func (f *RemoteFragment) ensureLocal() (*store.MappedGraph, error) {
+	f.localMu.Lock()
+	defer f.localMu.Unlock()
+	if f.local != nil {
+		return f.local, nil
+	}
+	if f.opts.FallbackPath == "" {
+		return nil, fmt.Errorf("remote: fragment %d has no FallbackPath to hedge against", f.info.Worker)
+	}
+	m, err := store.Open(f.opts.FallbackPath)
+	if err != nil {
+		return nil, err
+	}
+	if fi, has := m.Fragment(); !has || fi != f.info || m.NumNodes() != f.base.NumNodes() {
+		m.Close()
+		return nil, fmt.Errorf("remote: %s holds a different fragment", f.opts.FallbackPath)
+	}
+	f.local = m
+	f.replica = false
+	return m, nil
+}
+
+// FailOver applies the health monitor's Dead verdict: re-attach the
+// spill (or keep the resident replica) and serve locally until
+// failback. The in-line escalation panics without a local source —
+// mid-superstep there is no other way to preserve correctness — but a
+// monitor verdict arrives between calls, so here the degenerate case
+// reports an error and leaves the fragment remote instead.
+func (f *RemoteFragment) FailOver(cause error) error {
+	if f.closed.Load() {
+		return fmt.Errorf("remote: fragment %d (%s) is closed", f.info.Worker, f.Addr())
+	}
+	if f.dead.Load() {
+		return nil
+	}
+	if f.opts.FallbackPath == "" && f.localView() == nil {
+		return fmt.Errorf("remote: fragment %d (%s) cannot fail over: no FallbackPath and no replica", f.info.Worker, f.Addr())
+	}
+	f.declareDead(cause)
+	return nil
+}
+
+// Adopt points the fragment at a member address decided by the balancer
+// at a superstep boundary. The live mux is torn down when the address
+// actually changes, so the next call dials the replacement. A fragment
+// currently serving locally (failed over, or deferred via
+// NewLocalFragment) additionally revalidates the handshake right away
+// and on success resumes remote serving — the member-join path. A
+// validation failure leaves it serving locally and returns the error.
+func (f *RemoteFragment) Adopt(addr string) error {
+	if f.closed.Load() {
+		return fmt.Errorf("remote: fragment %d is closed", f.info.Worker)
+	}
+	f.addrMu.Lock()
+	same := f.addr == addr
+	f.addr = addr
+	f.addrMu.Unlock()
+	if !same {
+		f.connMu.Lock()
+		if f.mx != nil {
+			f.mx.Close()
+			f.mx = nil
+		}
+		f.connMu.Unlock()
+	}
+	if !f.dead.Load() {
+		return nil
+	}
+	if f.tryFailback() {
+		return nil
+	}
+	return fmt.Errorf("remote: fragment %d: adopting %s failed handshake validation; staying local", f.info.Worker, addr)
+}
+
+// NewLocalFragment builds a fragment that starts life failed over: every
+// call serves from the spilled fragment file, no server required. It is
+// the coordinator's placeholder for a worker slot with no registered
+// member yet — when one announces, Adopt validates it and the fragment
+// goes remote mid-run (the join path). base must be the coordinator's
+// graph, fallbackPath the slot's frag-N.gfds.
+func NewLocalFragment(ctx context.Context, base graph.View, fallbackPath string, opts Options) (*RemoteFragment, error) {
+	if !store.WireSupported() {
+		return nil, fmt.Errorf("remote: wire format is little-endian; unsupported on this host")
+	}
+	opts = opts.withDefaults()
+	opts.FallbackPath = fallbackPath
+	m, err := store.Open(fallbackPath)
+	if err != nil {
+		return nil, fmt.Errorf("remote: local fragment: %w", err)
+	}
+	fi, has := m.Fragment()
+	if !has {
+		m.Close()
+		return nil, fmt.Errorf("remote: local fragment: %s is not a spilled fragment", fallbackPath)
+	}
+	if m.NumNodes() != base.NumNodes() {
+		m.Close()
+		return nil, fmt.Errorf("remote: local fragment: %s has %d nodes, the coordinator's graph %d", fallbackPath, m.NumNodes(), base.NumNodes())
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = int64(frameSum(0, 0, 0, []byte(fallbackPath))) + 1
+	}
+	ictx, cancel := context.WithCancel(ctx)
+	f := &RemoteFragment{
+		base:   base,
+		opts:   opts,
+		ctx:    ictx,
+		cancel: cancel,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+	f.info = fi
+	f.numEdges = m.NumEdges()
+	elc := make([]uint64, base.NumLabels())
+	for l := range elc {
+		elc[l] = uint64(m.EdgeLabelCount(graph.LabelID(l)))
+	}
+	f.edgeLabelCount = elc
+	f.baseFP = Fingerprint(base)
+	f.local = m
+	f.replica = false
+	f.dead.Store(true)
+	f.failedOver.Store(true)
+	return f, nil
 }
 
 // fetchLocal returns a local view of the fragment's CSR, fetching the
@@ -513,7 +789,7 @@ func (f *RemoteFragment) ExtendIndexed(t *match.Table, child *pattern.Pattern) m
 // flate-compressed sections instead of per-edge RPCs.
 func (f *RemoteFragment) fetchLocal() *store.MappedGraph {
 	if f.closed.Load() {
-		panic(fmt.Sprintf("remote: view access on closed fragment %d (%s): calls after Close are a lifecycle bug", f.info.Worker, f.addr))
+		panic(fmt.Sprintf("remote: view access on closed fragment %d (%s): calls after Close are a lifecycle bug", f.info.Worker, f.Addr()))
 	}
 	if m := f.localView(); m != nil {
 		return m
@@ -529,7 +805,7 @@ func (f *RemoteFragment) fetchLocal() *store.MappedGraph {
 		case msgSectionsOK:
 			snap = resp
 		default:
-			err = fmt.Errorf("remote: %s: unexpected response type %d to sections", f.addr, respType)
+			err = fmt.Errorf("remote: %s: unexpected response type %d to sections", f.Addr(), respType)
 		}
 	}
 	var m *store.MappedGraph
@@ -635,5 +911,5 @@ func (f *RemoteFragment) String() string {
 		state = "replicated"
 	}
 	return fmt.Sprintf("remote{worker %d @ %s, %d edges, owns [%d,%d), %s}",
-		f.info.Worker, f.addr, f.numEdges, f.info.NodeLo, f.info.NodeHi, state)
+		f.info.Worker, f.Addr(), f.numEdges, f.info.NodeLo, f.info.NodeHi, state)
 }

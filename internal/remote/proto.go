@@ -83,6 +83,8 @@ const (
 	msgSectionsOK uint32 = 8  // server -> client: complete snapshot bytes (store format)
 	msgError      uint32 = 9  // server -> client: application error (fatal, not retried)
 	msgSectionsZ  uint32 = 10 // server -> client: snapshot with per-section flate compression
+	msgAnnounce   uint32 = 11 // fragment server -> registry: membership announcement
+	msgAnnounceOK uint32 = 12 // registry -> fragment server: admitted; carries the new epoch
 )
 
 // sectionsAcceptFlate is the msgSections request flag announcing the
@@ -322,6 +324,60 @@ func decodeHelloOK(b []byte) (helloInfo, error) {
 	h.Fingerprint = r.u64()
 	h.EdgeLabelCount = rU64s(&r)
 	return h, r.err()
+}
+
+// AnnounceInfo is a fragment server's membership announcement: which
+// worker slot it serves, where it listens, and enough identity (node
+// range, edge count, node-store fingerprint) for the registry to refuse
+// a server holding the wrong fragment or a different graph before it
+// ever enters the cluster map. Epoch is the announcer's last observed
+// registry epoch — 0 for a fresh server; a claim beyond the registry's
+// current epoch is refused as stale (a different registry incarnation).
+type AnnounceInfo struct {
+	Worker         int
+	Addr           string
+	NodeLo, NodeHi graph.NodeID
+	NumEdges       int
+	Fingerprint    uint64
+	Epoch          uint64
+}
+
+func encodeAnnounce(a AnnounceInfo) []byte {
+	var w wbuf
+	w.u32(uint32(a.Worker))
+	w.u32(uint32(a.NodeLo))
+	w.u32(uint32(a.NodeHi))
+	w.u64(uint64(a.NumEdges))
+	w.u64(a.Fingerprint)
+	w.u64(a.Epoch)
+	w.str(a.Addr)
+	return w.b
+}
+
+func decodeAnnounce(b []byte) (AnnounceInfo, error) {
+	r := rbuf{b: b}
+	a := AnnounceInfo{
+		Worker: int(r.u32()),
+		NodeLo: graph.NodeID(r.u32()),
+		NodeHi: graph.NodeID(r.u32()),
+	}
+	a.NumEdges = int(r.u64())
+	a.Fingerprint = r.u64()
+	a.Epoch = r.u64()
+	a.Addr = r.str()
+	return a, r.err()
+}
+
+func encodeAnnounceOK(epoch uint64) []byte {
+	var w wbuf
+	w.u64(epoch)
+	return w.b
+}
+
+func decodeAnnounceOK(b []byte) (uint64, error) {
+	r := rbuf{b: b}
+	epoch := r.u64()
+	return epoch, r.err()
 }
 
 // Fingerprint hashes a view's node store by content: node labels plus all

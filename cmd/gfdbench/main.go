@@ -10,11 +10,14 @@
 //	gfdbench -json results.json micro fig5a
 //	gfdbench -compare BENCH_pr7.json micro
 //	gfdbench -compare BENCH_pr7.json BENCH_pr8.json
+//	gfdbench -trace-report run.jsonl
 //
 // Experiments: fig5a..fig5l, fig6, fig7, fig8, infeas, plus the
 // pseudo-experiment "micro" (the core micro-benchmark suite, including
 // the fragment-view per-worker cost benches and the snapshot-vs-TSV load
-// micros). With -compare old.json, micro results — freshly measured, or
+// micros). With -trace-report the only work done is summarizing a span
+// trace written by gfddiscover -trace: a per-phase time breakdown and
+// share-latency quantiles. With -compare old.json, micro results — freshly measured, or
 // from a second .json given as the sole positional argument — are diffed
 // against the baseline file with >10% slowdowns flagged (report-only).
 // With -in the micro suite runs over a user-supplied graph —
@@ -30,11 +33,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 // jsonOutput is the machine-readable result file schema (BENCH_baseline.json).
@@ -46,11 +51,39 @@ type jsonOutput struct {
 	Workers     []int               `json:"workers"`
 	Micro       []bench.MicroResult `json:"micro,omitempty"`
 	Experiments []experimentResult  `json:"experiments,omitempty"`
+	// ShareLatency summarises the remote join-share latency histogram
+	// (gfd_remote_share_seconds) accumulated across the run's remote
+	// micros; omitted when the run made no remote share calls.
+	ShareLatency *shareLatency `json:"share_latency,omitempty"`
 }
 
 type experimentResult struct {
 	ID     string `json:"id"`
 	WallNs int64  `json:"wall_ns"`
+}
+
+// shareLatency reports remote share-call latency quantiles in
+// nanoseconds (log2-bucket upper bounds from the metrics registry).
+type shareLatency struct {
+	Count int64 `json:"count"`
+	P50Ns int64 `json:"p50_ns"`
+	P95Ns int64 `json:"p95_ns"`
+	P99Ns int64 `json:"p99_ns"`
+}
+
+// shareLatencySnapshot reads the process-wide share histogram; nil when
+// no remote share calls happened.
+func shareLatencySnapshot() *shareLatency {
+	h := obs.Default.Histogram("gfd_remote_share_seconds")
+	if h.Count() == 0 {
+		return nil
+	}
+	return &shareLatency{
+		Count: h.Count(),
+		P50Ns: h.Quantile(0.50),
+		P95Ns: h.Quantile(0.95),
+		P99Ns: h.Quantile(0.99),
+	}
 }
 
 // noteFor records a non-default micro input in the result file, so a
@@ -123,6 +156,74 @@ func compareMicro(oldName string, oldMicro []bench.MicroResult, newName string, 
 	}
 }
 
+// traceReport summarizes a JSONL span trace (gfddiscover -trace): a
+// per-name time breakdown plus share-span latency quantiles computed
+// from the actual recorded durations (exact, unlike the log2-bucket
+// registry quantiles).
+func traceReport(path string) int {
+	spans, err := obs.ReadSpansFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gfdbench: %v\n", err)
+		return 1
+	}
+	if len(spans) == 0 {
+		fmt.Printf("== trace report: %s ==\n(no spans)\n", path)
+		return 0
+	}
+
+	type agg struct {
+		name    string
+		count   int
+		totalNs int64
+	}
+	byName := map[string]*agg{}
+	var order []string
+	var shares []int64
+	lo, hi := spans[0].StartNs, spans[0].StartNs
+	for _, s := range spans {
+		a := byName[s.Name]
+		if a == nil {
+			a = &agg{name: s.Name}
+			byName[s.Name] = a
+			order = append(order, s.Name)
+		}
+		a.count++
+		a.totalNs += s.DurNs
+		if s.Name == "share" {
+			shares = append(shares, s.DurNs)
+		}
+		if s.StartNs < lo {
+			lo = s.StartNs
+		}
+		if end := s.StartNs + s.DurNs; end > hi {
+			hi = end
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return byName[order[i]].totalNs > byName[order[j]].totalNs })
+
+	fmt.Printf("== trace report: %s ==\n", path)
+	fmt.Printf("%d spans over %v\n\n", len(spans), time.Duration(hi-lo).Round(time.Microsecond))
+	fmt.Printf("%-16s %8s %14s %14s\n", "name", "count", "total", "mean")
+	for _, name := range order {
+		a := byName[name]
+		mean := time.Duration(0)
+		if a.count > 0 {
+			mean = time.Duration(a.totalNs / int64(a.count))
+		}
+		fmt.Printf("%-16s %8d %14v %14v\n", a.name, a.count,
+			time.Duration(a.totalNs).Round(time.Microsecond), mean.Round(time.Microsecond))
+	}
+	if len(shares) > 0 {
+		sort.Slice(shares, func(i, j int) bool { return shares[i] < shares[j] })
+		q := func(p float64) time.Duration {
+			return time.Duration(shares[int(p*float64(len(shares)-1))])
+		}
+		fmt.Printf("\nshare latency (%d spans): p50 %v  p95 %v  p99 %v\n",
+			len(shares), q(0.50).Round(time.Microsecond), q(0.95).Round(time.Microsecond), q(0.99).Round(time.Microsecond))
+	}
+	return 0
+}
+
 func main() {
 	// run + deferred cleanup, so the micro suite's temp snapshot is
 	// removed on every exit path (os.Exit skips defers).
@@ -140,8 +241,12 @@ func run() int {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	jsonPath := flag.String("json", "", "write machine-readable results (micro ns/op, B/op, allocs/op and experiment wall times) to this file")
 	compare := flag.String("compare", "", "diff micro results against this baseline .json; entries >10% slower are flagged REGRESSION (report-only, exit status unchanged)")
+	traceReportPath := flag.String("trace-report", "", "summarize a span trace written with -trace (per-phase time breakdown, share latency quantiles) and exit")
 	flag.Parse()
 
+	if *traceReportPath != "" {
+		return traceReport(*traceReportPath)
+	}
 	if *list {
 		fmt.Println("micro")
 		for _, id := range bench.IDs() {
@@ -239,6 +344,8 @@ func run() int {
 		}
 		compareMicro(*compare, oldR.Micro, "this run", results.Micro)
 	}
+
+	results.ShareLatency = shareLatencySnapshot()
 
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(results, "", "  ")

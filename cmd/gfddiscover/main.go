@@ -32,6 +32,15 @@
 //
 //	gfddiscover -in graph.gfds -workers 3 -fragdir /tmp/frags -cluster 127.0.0.1:7700
 //	gfddiscover -in graph.gfds -workers 3 -fragdir /tmp/frags -cluster :7700 -hedge-after 50ms -health-interval 200ms
+//
+// Observability: -trace writes a structured JSONL span log of the run
+// (levels, supersteps, shares, hedge races, failovers — summarize with
+// gfdbench -trace-report), and -debug-addr serves /metrics (Prometheus
+// text), /cluster (membership + RTT quantiles, cluster runs) and
+// /debug/pprof live while the run executes. Neither changes the mined
+// output.
+//
+//	gfddiscover -in graph.gfds -workers 4 -trace run.jsonl -debug-addr 127.0.0.1:6060
 package main
 
 import (
@@ -41,6 +50,7 @@ import (
 	"time"
 
 	gfdlib "repro/internal/cli"
+	"repro/internal/obs"
 	"repro/internal/remote"
 )
 
@@ -72,6 +82,8 @@ func run() int {
 	showAll := flag.Bool("all", false, "print the full mined set, not just the cover")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
+	tracePath := flag.String("trace", "", "write a structured span trace of the run to this JSONL file (summarize with gfdbench -trace-report)")
+	debugAddr := flag.String("debug-addr", "", "serve live introspection (/metrics, /cluster, /debug/pprof) on this address for the run")
 	flag.Parse()
 
 	prof, err := gfdlib.StartProfiles(*cpuProfile, *memProfile)
@@ -80,6 +92,16 @@ func run() int {
 		return 1
 	}
 	defer prof.Stop()
+
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer, err = obs.StartTrace(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gfddiscover: %v\n", err)
+			return 1
+		}
+		defer tracer.Close()
+	}
 
 	g, err := gfdlib.LoadOrGenerate(*in, *ds, *scale, *seed)
 	if err != nil {
@@ -91,6 +113,19 @@ func run() int {
 	opts := gfdlib.DiscoverOptions(*k, *sigma)
 	opts.MaxX = *maxX
 	opts.MaxNegatives = *negatives
+	opts.Trace = tracer
+
+	// The cluster path owns the debug endpoint itself (it serves /cluster
+	// from the live registry); every other path gets metrics and pprof.
+	if *debugAddr != "" && *clusterAddr == "" {
+		ds, err := obs.ServeDebug(*debugAddr, obs.Default, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gfddiscover: debug listen %s: %v\n", *debugAddr, err)
+			return 1
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "gfddiscover: debug endpoint on http://%s\n", ds.Addr())
+	}
 
 	start := time.Now()
 	var report *gfdlib.Report
@@ -105,6 +140,7 @@ func run() int {
 			HedgeAfter:       *hedgeAfter,
 			HealthInterval:   *healthInterval,
 			FailbackInterval: *failback,
+			DebugAddr:        *debugAddr,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "gfddiscover: "+format+"\n", args...)
 			},
@@ -116,10 +152,6 @@ func run() int {
 		}
 		fmt.Printf("cluster run: %d/%d members at epoch %d, %d adoptions (%d wire bytes measured)\n",
 			report.Members, *workers-1, report.Epoch, report.Adoptions, report.MeasuredBytes)
-		if report.HedgesFired > 0 {
-			fmt.Printf("hedged reads: %d fired, %d won by the local replica\n",
-				report.HedgesFired, report.HedgesWon)
-		}
 		if report.FailedOver > 0 || report.Rejoined > 0 {
 			fmt.Printf("recovery: %d fragments failed over, %d rejoined their server\n",
 				report.FailedOver, report.Rejoined)
@@ -171,6 +203,10 @@ func run() int {
 	if report.SimulatedTime > 0 {
 		fmt.Printf("simulated parallel response time (n=%d): %v\n", *workers, report.SimulatedTime.Round(time.Microsecond))
 		fmt.Printf("fragment-local CSR views (edges per worker): %v\n", report.FragmentEdges)
+	}
+	if report.StealChunks > 0 || report.HedgesFired > 0 {
+		fmt.Printf("work: %d steal chunks, %d hedged reads fired (%d won by the local replica)\n",
+			report.StealChunks, report.HedgesFired, report.HedgesWon)
 	}
 	fmt.Printf("cover: %d GFDs\n\n", len(report.Cover))
 	for _, m := range report.Cover {

@@ -44,11 +44,16 @@ import (
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/obs"
 	"repro/internal/remote"
 	"repro/internal/store"
 )
 
 func main() { os.Exit(run()) }
+
+// tracer records the server lifecycle (serve, announce, die, resurrect)
+// when -trace is set; the nil zero value makes every call a no-op.
+var tracer *obs.Tracer
 
 // run is the real main: it returns the exit status so the deferred
 // profile flush always runs; the -die-after crash path flushes
@@ -62,6 +67,8 @@ func run() int {
 	announce := flag.String("announce", "", "coordinator registry address (gfddiscover -cluster) to announce this fragment server to")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (flushed even on -die-after)")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
+	tracePath := flag.String("trace", "", "write lifecycle events (serve, announce, die, resurrect) to this JSONL file (flushed even on -die-after)")
+	debugAddr := flag.String("debug-addr", "", "serve live introspection (/metrics, /debug/pprof) on this address")
 	flag.Parse()
 
 	if *frag == "" {
@@ -79,6 +86,23 @@ func run() int {
 		return 1
 	}
 	defer prof.Stop()
+	if *tracePath != "" {
+		tracer, err = obs.StartTrace(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gfdfrag: %v\n", err)
+			return 1
+		}
+		defer tracer.Close()
+	}
+	if *debugAddr != "" {
+		ds, err := obs.ServeDebug(*debugAddr, obs.Default, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gfdfrag: debug listen %s: %v\n", *debugAddr, err)
+			return 1
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "gfdfrag: debug endpoint on http://%s\n", ds.Addr())
+	}
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "gfdfrag: "+format+"\n", args...)
 	}
@@ -90,9 +114,12 @@ func run() int {
 	if *dieAfter > 0 && *resurrectAfter <= 0 {
 		opts.OnDeath = func() {
 			// An abrupt exit, not a graceful drain: the coordinator must see
-			// the same failure a kill -9 would produce. The profiles are
-			// flushed first — a crash-test run is exactly when they matter.
+			// the same failure a kill -9 would produce. The profiles and the
+			// span log are flushed first — a crash-test run is exactly when
+			// they matter.
 			fmt.Fprintf(os.Stderr, "gfdfrag: dying after %d frames (-die-after)\n", *dieAfter)
+			tracer.Event("die", "frames", fmt.Sprint(*dieAfter))
+			tracer.Close()
 			prof.Stop()
 			os.Exit(3)
 		}
@@ -112,6 +139,8 @@ func run() int {
 		// The bound address is the first stdout line — coordinators and
 		// tests parse it, which is what makes -listen :0 usable.
 		fmt.Printf("listening %s\n", addr)
+		tracer.Event("serve", "addr", addr.String())
+		tracer.Flush()
 		if *announce != "" {
 			if err := announceTo(*announce, *frag, addr.String()); err != nil {
 				fmt.Fprintf(os.Stderr, "gfdfrag: announce: %v\n", err)
@@ -155,6 +184,8 @@ func announceTo(registry, fragPath, addr string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "gfdfrag: announced worker %d at %s to %s (epoch %d)\n", fi.Worker, addr, registry, epoch)
+	tracer.Event("announce", "worker", fmt.Sprint(fi.Worker), "addr", addr, "epoch", fmt.Sprint(epoch))
+	tracer.Flush()
 	return nil
 }
 
@@ -181,6 +212,8 @@ func serveResurrecting(fragPath, listen string, opts remote.ServerOptions, delay
 	}
 	addr := l.Addr().String()
 	fmt.Printf("listening %s\n", addr)
+	tracer.Event("serve", "addr", addr)
+	tracer.Flush()
 	if announce != "" {
 		go func() {
 			if err := announceTo(announce, fragPath, addr); err != nil {
@@ -193,6 +226,8 @@ func serveResurrecting(fragPath, listen string, opts remote.ServerOptions, delay
 		return nil // external Close: a clean shutdown, nothing to resurrect
 	}
 	fmt.Fprintf(os.Stderr, "gfdfrag: died after %d frames; resurrecting on %s in %s\n", opts.DieAfter, addr, delay)
+	tracer.Event("die", "frames", fmt.Sprint(opts.DieAfter))
+	tracer.Flush()
 	time.Sleep(delay)
 	opts.DieAfter = 0 // the recovered incarnation stays up
 	s2, err := remote.NewServer(m, opts)
@@ -204,6 +239,8 @@ func serveResurrecting(fragPath, listen string, opts remote.ServerOptions, delay
 		return fmt.Errorf("rebinding %s: %w", addr, err)
 	}
 	fmt.Printf("resurrected %s\n", addr)
+	tracer.Event("resurrect", "addr", addr)
+	tracer.Flush()
 	if announce != "" {
 		// Re-announce: the coordinator's monitor has likely declared this
 		// worker dead and dropped it from the map; a fresh announcement

@@ -1,0 +1,137 @@
+package gfd
+
+// Trace-enabled golden mining tests: enabling Options.Trace must leave
+// the mined output byte-identical on every execution path — sequential,
+// parallel Makespan, and the concurrent engine with work stealing — and
+// the span log itself must be structurally sound: unique IDs, every
+// parent referring to an earlier span, and the expected phase spans
+// present. The CI race job runs these under -race, which additionally
+// checks that concurrent span writes from stealing workers and comm
+// goroutines never tear.
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+)
+
+// collectSpans parses the tracer's JSONL buffer and verifies the
+// structural invariants every well-formed trace must satisfy.
+func collectSpans(t *testing.T, buf *strings.Builder, wantNames ...string) []obs.SpanRecord {
+	t.Helper()
+	spans, err := obs.ReadSpans(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("parse trace: %v", err)
+	}
+	ids := make(map[uint64]bool, len(spans))
+	for _, s := range spans {
+		if s.ID == 0 {
+			t.Fatalf("span %q has id 0 (reserved for the root)", s.Name)
+		}
+		if ids[s.ID] {
+			t.Fatalf("duplicate span id %d (%q)", s.ID, s.Name)
+		}
+		ids[s.ID] = true
+	}
+	names := make(map[string]int, len(spans))
+	for _, s := range spans {
+		names[s.Name]++
+		if s.Parent == 0 {
+			continue
+		}
+		if !ids[s.Parent] {
+			t.Fatalf("span %d (%q) parented to unknown span %d", s.ID, s.Name, s.Parent)
+		}
+		if s.Parent >= s.ID {
+			t.Fatalf("span %d (%q) parented to later span %d", s.ID, s.Name, s.Parent)
+		}
+	}
+	for _, want := range wantNames {
+		if names[want] == 0 {
+			t.Fatalf("trace has no %q spans (got %v)", want, names)
+		}
+	}
+	return spans
+}
+
+func TestGoldenMiningTraced(t *testing.T) {
+	g := loadGoldenGraph(t)
+	want, err := os.ReadFile(goldenGFDsPath)
+	if err != nil {
+		t.Fatalf("read golden file (regenerate with -update): %v", err)
+	}
+
+	var buf strings.Builder
+	tr := obs.NewTracer(&buf)
+	opts := goldenOptions()
+	opts.Trace = tr
+	res := Discover(g, opts)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := canonicalize(res); got != string(want) {
+		t.Fatalf("traced sequential mining diverged from golden output.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	collectSpans(t, &buf, "level")
+}
+
+func TestGoldenMiningTracedParallel(t *testing.T) {
+	g := loadGoldenGraph(t)
+	want, err := os.ReadFile(goldenGFDsPath)
+	if err != nil {
+		t.Fatalf("read golden file (regenerate with -update): %v", err)
+	}
+	for _, workers := range []int{1, 2, 3, 4, 5, 7} {
+		var buf strings.Builder
+		tr := obs.NewTracer(&buf)
+		opts := goldenOptions()
+		opts.Trace = tr
+		eng := cluster.New(cluster.Config{Workers: workers, Trace: tr})
+		pr := parallel.Mine(context.Background(), g, opts, eng, parallel.Options{LoadBalance: true})
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got := canonicalize(pr.Result); got != string(want) {
+			t.Fatalf("traced parallel mining (n=%d) diverged from golden output.\n--- got ---\n%s--- want ---\n%s",
+				workers, got, want)
+		}
+		// Makespan runs account supersteps as events; levels come from
+		// the shared discovery driver.
+		collectSpans(t, &buf, "level", "account")
+	}
+}
+
+// TestGoldenMiningTracedSteal runs the concurrent engine with work
+// stealing and tracing on together: stealing workers race to extend
+// parent-row chunks while the tracer's scope register is live, and the
+// output must still match the untraced sequential reference.
+func TestGoldenMiningTracedSteal(t *testing.T) {
+	g := loadGoldenGraph(t)
+	want, err := os.ReadFile(goldenGFDsPath)
+	if err != nil {
+		t.Fatalf("read golden file (regenerate with -update): %v", err)
+	}
+	for _, workers := range []int{1, 2, 3, 4, 5, 7} {
+		var buf strings.Builder
+		tr := obs.NewTracer(&buf)
+		opts := goldenOptions()
+		opts.Trace = tr
+		eng := cluster.New(cluster.Config{Workers: workers, Mode: cluster.Concurrent, Trace: tr})
+		pr := parallel.Mine(context.Background(), g, opts, eng,
+			parallel.Options{LoadBalance: true, WorkSteal: true})
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got := canonicalize(pr.Result); got != string(want) {
+			t.Fatalf("traced work-stealing mining (n=%d) diverged from golden output.\n--- got ---\n%s--- want ---\n%s",
+				workers, got, want)
+		}
+		// Concurrent mode runs real supersteps as scoped spans.
+		collectSpans(t, &buf, "level", "superstep")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/discovery"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/store"
 )
@@ -85,6 +86,17 @@ type Report struct {
 	// announced member (joins and replacements applied at superstep
 	// boundaries).
 	Adoptions int
+	// StealChunks counts the parent-row chunks processed by the stealing
+	// extend paths (concurrent SeqDis and ParDis) during this run, read
+	// as a delta of the process-wide registry counters.
+	StealChunks int64
+}
+
+// stealChunkTotal reads the process-wide steal-chunk counters (both
+// backends); runs report the delta across their own execution.
+func stealChunkTotal() int64 {
+	return obs.Default.Counter("gfd_steal_chunks_total", "backend", "seqdis").Value() +
+		obs.Default.Counter("gfd_steal_chunks_total", "backend", "pardis").Value()
 }
 
 // Discover runs the pipeline (sequential when workers == 0, simulated
@@ -92,16 +104,19 @@ type Report struct {
 // snapshot view — the miner only reads the View surface.
 func Discover(v graph.View, opts discovery.Options, workers int) *Report {
 	rep := &Report{}
+	steal0 := stealChunkTotal()
 	var res *discovery.Result
 	if workers > 0 {
-		eng := cluster.New(cluster.Config{Workers: workers})
+		eng := cluster.New(cluster.Config{Workers: workers, Obs: obs.Default, Trace: opts.Trace})
 		pr := parallel.Mine(context.Background(), v, opts, eng, parallel.Options{LoadBalance: true})
 		res = pr.Result
 		rep.SimulatedTime = pr.Cluster.Total()
 		rep.FragmentEdges = pr.FragmentEdges
+		rep.HedgesFired, rep.HedgesWon = pr.Cluster.HedgesFired, pr.Cluster.HedgesWon
 	} else {
 		res = discovery.MineView(v, opts)
 	}
+	rep.StealChunks = stealChunkTotal() - steal0
 	rep.fill(res)
 	return rep
 }
@@ -128,9 +143,12 @@ func DiscoverSpilled(v graph.View, opts discovery.Options, workers int, dir stri
 		att.Close()
 		return nil, fmt.Errorf("cli: %s holds %d fragments, want %d", dir, att.Workers(), workers)
 	}
-	eng := cluster.New(cluster.Config{Workers: workers})
+	steal0 := stealChunkTotal()
+	eng := cluster.New(cluster.Config{Workers: workers, Obs: obs.Default, Trace: opts.Trace})
 	pr := parallel.MineFragments(context.Background(), att.Graph, att.Frags, opts, eng, parallel.Options{LoadBalance: true})
 	rep := &Report{SimulatedTime: pr.Cluster.Total(), FragmentEdges: pr.FragmentEdges}
+	rep.HedgesFired, rep.HedgesWon = pr.Cluster.HedgesFired, pr.Cluster.HedgesWon
+	rep.StealChunks = stealChunkTotal() - steal0
 	rep.fill(pr.Result)
 	return rep, nil
 }

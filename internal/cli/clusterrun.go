@@ -10,6 +10,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/discovery"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/remote"
 	"repro/internal/store"
@@ -42,6 +43,11 @@ type ClusterRuntime struct {
 	// FailbackInterval, when positive, lets failed-over fragments probe
 	// their server and rejoin it mid-run.
 	FailbackInterval time.Duration
+	// DebugAddr, when non-empty, serves the live introspection endpoint
+	// (/metrics, /cluster, /debug/pprof) on this address for the whole
+	// run — it comes up before the member wait so the cluster is
+	// observable while it assembles.
+	DebugAddr string
 	// Logf, if set, receives membership/health/balancer event lines.
 	Logf func(format string, args ...any)
 }
@@ -145,17 +151,12 @@ func DiscoverCluster(v graph.View, opts discovery.Options, workers int, dir stri
 		logf("cluster: registry listening on %s; waiting for %d member(s)", l.Addr(), rt.WaitMembers)
 	}
 
-	wctx, wcancel := context.WithTimeout(context.Background(), rt.WaitTimeout)
-	if err := reg.Wait(wctx, rt.WaitMembers); err != nil && logf != nil {
-		logf("cluster: proceeding with %d/%d members after %s", reg.Size(), rt.WaitMembers, rt.WaitTimeout)
-	}
-	wcancel()
-
-	eng := cluster.New(cluster.Config{Workers: workers})
+	eng := cluster.New(cluster.Config{Workers: workers, Obs: obs.Default, Trace: opts.Trace})
 	mon := remote.NewMonitor(context.Background(), remote.MonitorOptions{
 		Interval:  rt.HealthInterval,
 		Health:    rt.Health,
 		Logf:      logf,
+		Trace:     opts.Trace,
 		RecordRTT: func(_ int, rtt time.Duration) { eng.RecordPing(rtt) },
 		OnDead: func(w int, _ *remote.RemoteFragment) {
 			// A dead member leaves the map so a replacement can claim the
@@ -168,6 +169,44 @@ func DiscoverCluster(v graph.View, opts discovery.Options, workers int, dir stri
 	})
 	defer mon.Close()
 	bal := remote.NewBalancer(reg, mon, logf)
+
+	// Live introspection comes up before the member wait so the cluster
+	// is observable while it assembles (and for the whole mining run).
+	if rt.DebugAddr != "" {
+		ds, err := obs.ServeDebug(rt.DebugAddr, obs.Default, func() obs.ClusterInfo {
+			members, epoch := reg.Snapshot()
+			info := obs.ClusterInfo{Epoch: epoch}
+			for w := 1; w < workers; w++ {
+				m, ok := members[w]
+				if !ok {
+					continue
+				}
+				info.Members = append(info.Members, obs.MemberInfo{
+					Worker:   w,
+					Addr:     m.Addr,
+					State:    mon.State(w).String(),
+					RTTp50Ms: float64(mon.RTTQuantile(w, 0.50)) / 1e6,
+					RTTp95Ms: float64(mon.RTTQuantile(w, 0.95)) / 1e6,
+					RTTp99Ms: float64(mon.RTTQuantile(w, 0.99)) / 1e6,
+				})
+			}
+			return info
+		})
+		if err != nil {
+			att.Close()
+			return nil, fmt.Errorf("cli: debug listen %s: %w", rt.DebugAddr, err)
+		}
+		defer ds.Close()
+		if logf != nil {
+			logf("cluster: debug endpoint on http://%s (/metrics /cluster /debug/pprof)", ds.Addr())
+		}
+	}
+
+	wctx, wcancel := context.WithTimeout(context.Background(), rt.WaitTimeout)
+	if err := reg.Wait(wctx, rt.WaitMembers); err != nil && logf != nil {
+		logf("cluster: proceeding with %d/%d members after %s", reg.Size(), rt.WaitMembers, rt.WaitTimeout)
+	}
+	wcancel()
 
 	frags := make([]parallel.Fragment, workers)
 	copy(frags, att.Frags)
@@ -213,6 +252,7 @@ func DiscoverCluster(v graph.View, opts discovery.Options, workers int, dir stri
 		frags[w].Sub = rf
 	}
 
+	steal0 := stealChunkTotal()
 	pr := parallel.MineFragments(context.Background(), att.Graph, frags, opts, eng,
 		parallel.Options{LoadBalance: true, Membership: bal})
 	mon.Close()
@@ -227,6 +267,7 @@ func DiscoverCluster(v graph.View, opts discovery.Options, workers int, dir stri
 		Members:       reg.Size(),
 		Epoch:         reg.Epoch(),
 		Adoptions:     bal.Adoptions(),
+		StealChunks:   stealChunkTotal() - steal0,
 	}
 	for _, rf := range remotes {
 		if rf.FailedOver() {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/discovery"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/remote"
 	"repro/internal/store"
@@ -184,6 +185,7 @@ func DiscoverRemote(v graph.View, opts discovery.Options, workers int, dir strin
 			FallbackPath:     fragPath,
 			CallTimeout:      time.Second,
 			FailbackInterval: rt.FailbackInterval,
+			Trace:            opts.Trace,
 		}
 		if rt.Fault.Active() || rt.DieAfter > 0 {
 			// Injected faults (and deliberate server deaths) make dropped
@@ -202,12 +204,16 @@ func DiscoverRemote(v graph.View, opts discovery.Options, workers int, dir strin
 		frags[w].Sub = rf
 	}
 
-	eng := cluster.New(cluster.Config{Workers: workers})
+	steal0 := stealChunkTotal()
+	eng := cluster.New(cluster.Config{Workers: workers, Obs: obs.Default, Trace: opts.Trace})
 	pr := parallel.MineFragments(context.Background(), att.Graph, frags, opts, eng, parallel.Options{LoadBalance: true})
 	rep := &Report{
 		SimulatedTime: pr.Cluster.Total(),
 		FragmentEdges: pr.FragmentEdges,
 		MeasuredBytes: pr.Cluster.MeasuredBytes,
+		HedgesFired:   pr.Cluster.HedgesFired,
+		HedgesWon:     pr.Cluster.HedgesWon,
+		StealChunks:   stealChunkTotal() - steal0,
 	}
 	for _, rf := range remotes {
 		if rf.FailedOver() {

@@ -25,7 +25,10 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Mode selects the execution/accounting strategy.
@@ -51,6 +54,15 @@ type Config struct {
 	// RoundLatency is the modelled latency of one communication round
 	// (default 200µs, typical intra-datacenter RTT).
 	RoundLatency time.Duration
+	// Obs is the metrics registry the engine accounts into. nil means a
+	// fresh private registry, keeping engines isolated from each other
+	// (tests); the CLIs pass obs.Default so /metrics sees the run. The
+	// registry must be enabled: hedge and ping statistics live only in
+	// it (Stats reconstructs them from the registry counters).
+	Obs *obs.Registry
+	// Trace, when non-nil, receives superstep/master spans for the run's
+	// JSONL span log.
+	Trace *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -127,16 +139,54 @@ type Engine struct {
 	mu        sync.Mutex
 	stepBytes []int64 // per-worker bytes in the open accounting scope
 	stepMsgs  int64
+
+	// Hedge and ping accounting live in the metrics registry — one
+	// accounting plane shared with /metrics — with Stats() reconstructing
+	// the legacy fields from these handles.
+	trace        *obs.Tracer
+	mSupersteps  *obs.Counter
+	hSuperstep   *obs.Histogram
+	hMaster      *obs.Histogram
+	mBytes       *obs.Counter
+	mMessages    *obs.Counter
+	mHedgesFired *obs.Counter
+	mHedgesWon   *obs.Counter
+	hPing        *obs.Histogram
+	pingMax      atomic.Int64
+
+	// Registry handles are shared process-wide when Config.Obs is a
+	// common registry (obs.Default), so per-run Stats are reported as
+	// deltas against the values at engine creation.
+	baseHedgesFired, baseHedgesWon int64
+	basePings, basePingSum         int64
 }
 
 // New returns an engine with the given configuration.
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
-	return &Engine{
-		cfg:       cfg,
-		stats:     Stats{WorkerBusy: make([]time.Duration, cfg.Workers)},
-		stepBytes: make([]int64, cfg.Workers),
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
 	}
+	e := &Engine{
+		cfg:          cfg,
+		stats:        Stats{WorkerBusy: make([]time.Duration, cfg.Workers)},
+		stepBytes:    make([]int64, cfg.Workers),
+		trace:        cfg.Trace,
+		mSupersteps:  reg.Counter("gfd_cluster_supersteps_total"),
+		hSuperstep:   reg.Histogram("gfd_cluster_superstep_seconds"),
+		hMaster:      reg.Histogram("gfd_cluster_master_seconds"),
+		mBytes:       reg.Counter("gfd_cluster_bytes_shipped_total"),
+		mMessages:    reg.Counter("gfd_cluster_messages_total"),
+		mHedgesFired: reg.Counter("gfd_cluster_hedges_fired_total"),
+		mHedgesWon:   reg.Counter("gfd_cluster_hedges_won_total"),
+		hPing:        reg.Histogram("gfd_cluster_ping_rtt_seconds"),
+	}
+	e.baseHedgesFired = e.mHedgesFired.Value()
+	e.baseHedgesWon = e.mHedgesWon.Value()
+	e.basePings = e.hPing.Count()
+	e.basePingSum = e.hPing.Sum()
+	return e
 }
 
 // Workers returns n.
@@ -149,15 +199,28 @@ func (e *Engine) Workers() int { return e.cfg.Workers }
 // after another and stealing would corrupt per-worker busy attribution.
 func (e *Engine) IsConcurrent() bool { return e.cfg.Mode == Concurrent }
 
-// Stats returns a copy of the accumulated statistics. Guarded by the
-// engine mutex: the health monitor records pings from its own goroutine
-// while the orchestrator may be reading.
+// Stats returns a copy of the accumulated statistics. Hedge and ping
+// fields are reconstructed from the metrics registry (as deltas against
+// engine creation, since the registry may be shared process-wide); the
+// rest is guarded by the engine mutex.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	s := e.stats
 	s.WorkerBusy = append([]time.Duration(nil), e.stats.WorkerBusy...)
+	e.mu.Unlock()
+	s.HedgesFired = e.mHedgesFired.Value() - e.baseHedgesFired
+	s.HedgesWon = e.mHedgesWon.Value() - e.baseHedgesWon
+	s.Pings = e.hPing.Count() - e.basePings
+	s.PingRTTTotal = time.Duration(e.hPing.Sum() - e.basePingSum)
+	s.PingRTTMax = time.Duration(e.pingMax.Load())
 	return s
+}
+
+// PingRTTQuantile returns an upper bound on the q-quantile of all
+// heartbeat round trips recorded into this engine's registry, at the
+// histogram's log2 bucket resolution. Serves the /cluster endpoint.
+func (e *Engine) PingRTTQuantile(q float64) time.Duration {
+	return time.Duration(e.hPing.Quantile(q))
 }
 
 // Ship records a shipment of nbytes received by worker w (use the receiver
@@ -169,6 +232,8 @@ func (e *Engine) Ship(w int, nbytes int64) {
 	e.stats.Bytes += nbytes
 	e.stats.Messages++
 	e.mu.Unlock()
+	e.mBytes.Add(nbytes)
+	e.mMessages.Inc()
 }
 
 // ShipMeasured records a shipment whose size was measured on a real
@@ -188,30 +253,33 @@ func (e *Engine) ShipMeasured(w int, nbytes int64) {
 	e.stats.MeasuredBytes += nbytes
 	e.stats.Messages++
 	e.mu.Unlock()
+	e.mBytes.Add(nbytes)
+	e.mMessages.Inc()
 }
 
 // RecordHedges tallies hedged replica reads drained from a remote
 // fragment's counters: fired = hedges launched, won = hedges whose local
-// recompute beat the wire.
+// recompute beat the wire. Stored only in the metrics registry — one
+// accounting plane — and reconstructed by Stats.
 func (e *Engine) RecordHedges(fired, won int64) {
 	if fired == 0 && won == 0 {
 		return
 	}
-	e.mu.Lock()
-	e.stats.HedgesFired += fired
-	e.stats.HedgesWon += won
-	e.mu.Unlock()
+	e.mHedgesFired.Add(fired)
+	e.mHedgesWon.Add(won)
 }
 
-// RecordPing tallies one measured heartbeat round trip.
+// RecordPing tallies one measured heartbeat round trip into the
+// registry's RTT histogram (the health layer's rolling quantile sees
+// each sample individually).
 func (e *Engine) RecordPing(rtt time.Duration) {
-	e.mu.Lock()
-	e.stats.Pings++
-	e.stats.PingRTTTotal += rtt
-	if rtt > e.stats.PingRTTMax {
-		e.stats.PingRTTMax = rtt
+	e.hPing.Observe(int64(rtt))
+	for {
+		cur := e.pingMax.Load()
+		if int64(rtt) <= cur || e.pingMax.CompareAndSwap(cur, int64(rtt)) {
+			return
+		}
 	}
-	e.mu.Unlock()
 }
 
 // ShipAll records a broadcast of nbytes to every worker.
@@ -241,6 +309,8 @@ func (e *Engine) drainComm(rounds int) time.Duration {
 // clock: max busy time (Makespan) or elapsed time (Concurrent), plus the
 // communication charge of everything Shipped during the step (one round).
 func (e *Engine) Superstep(name string, fn func(w int)) {
+	sp := e.trace.StartScope("superstep", "step", name)
+	wall := time.Now()
 	e.stats.Supersteps++
 	switch e.cfg.Mode {
 	case Concurrent:
@@ -273,6 +343,9 @@ func (e *Engine) Superstep(name string, fn func(w int)) {
 		e.stats.ComputeTime += max
 	}
 	e.stats.CommTime += e.drainComm(1)
+	e.mSupersteps.Inc()
+	e.hSuperstep.ObserveSince(wall)
+	sp.End()
 }
 
 // Account advances the simulated clock directly from externally measured
@@ -293,11 +366,17 @@ func (e *Engine) Account(name string, busy []time.Duration, rounds int) {
 	}
 	e.stats.ComputeTime += max
 	e.stats.CommTime += e.drainComm(rounds)
+	e.mSupersteps.Add(int64(rounds))
+	e.hSuperstep.Observe(int64(max))
+	e.trace.Event("account", "step", name)
 }
 
 // Master measures fn as sequential master-side work.
 func (e *Engine) Master(name string, fn func()) {
+	sp := e.trace.Start("master", "step", name)
 	start := time.Now()
 	fn()
 	e.stats.MasterTime += time.Since(start)
+	e.hMaster.ObserveSince(start)
+	sp.End()
 }

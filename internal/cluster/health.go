@@ -171,6 +171,28 @@ func (h *Health) ObserveRejoin() {
 	h.next = 0
 }
 
+// RTTQuantile returns the q-quantile (q in [0,1]) of the member's
+// rolling round-trip window, or 0 with no samples yet. Serves the
+// /cluster introspection endpoint; the state machine itself uses the
+// configured RTTQuantile internally.
+func (h *Health) RTTQuantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := h.filled
+	if n == 0 {
+		return 0
+	}
+	s := make([]time.Duration, n)
+	copy(s, h.window[:n])
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	return s[int(q*float64(n-1))]
+}
+
 // quantileLocked returns the RTTQuantile of the filled window.
 func (h *Health) quantileLocked() time.Duration {
 	n := h.filled

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/eval"
@@ -227,10 +228,16 @@ func (b *SeqBackend) ExtendBatch(parents []Handle, children []*pattern.Pattern) 
 					}
 					unit := units[u]
 					pt := parents[unit.child].(*seqHandle).table
+					var start time.Time
 					if !unit.whole {
 						pt = pt.Slice(unit.lo, unit.hi)
+						start = time.Now()
 					}
 					chunkTabs[unit.child][unit.chunkIdx] = match.ExtendRows(b.v, pt, children[unit.child])
+					if !unit.whole {
+						mStealChunks.Inc()
+						hStealChunk.ObserveSince(start)
+					}
 					if remaining[unit.child].Add(-1) != 0 {
 						continue
 					}

@@ -14,6 +14,7 @@ package discovery
 import (
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Options configures GFD discovery. The zero value is not useful; call
@@ -85,6 +86,11 @@ type Options struct {
 	// x0 → x1 → … → xl — the GCFD special case (CFDs with path patterns
 	// for RDF, He et al. 2014) the paper compares against in Fig. 5(d).
 	PathOnly bool
+	// Trace, when non-nil, receives the run's structured span log:
+	// per-level and per-superstep scopes with share/steal/hedge children
+	// and failover/adoption events, written as JSONL. Tracing never
+	// changes mining output — golden runs are byte-identical with it on.
+	Trace *obs.Tracer
 }
 
 // Defaults returns the options used throughout the benchmarks: k-bounded

@@ -3,6 +3,7 @@ package discovery
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -97,6 +98,7 @@ func (m *miner) run() {
 		maxLevels = m.opts.MaxLevels
 	}
 	for i := 1; i <= maxLevels && len(level) > 0 && !m.res.Stats.BudgetExhausted; i++ {
+		sp := m.opts.Trace.StartScope("level", "level", strconv.Itoa(i))
 		m.res.Stats.Levels = i
 		next := m.vspawn(level, i)
 		if !m.opts.Decoupled {
@@ -111,6 +113,7 @@ func (m *miner) run() {
 			deferred = append(deferred, next...)
 		}
 		level = next
+		sp.End()
 	}
 	if m.opts.Decoupled {
 		// Phase 2 of the ParArab baseline: attach literals to all frequent

@@ -84,6 +84,13 @@ func appendRepeat[T any](dst []T, v T, n int) []T {
 }
 
 func extendRowsViews(views []graph.View, t *Table, child *pattern.Pattern) *Table {
+	out := extendRowsViewsKernel(views, t, child)
+	mExtendCalls.Inc()
+	mExtendRows.Add(int64(out.Len()))
+	return out
+}
+
+func extendRowsViewsKernel(views []graph.View, t *Table, child *pattern.Pattern) *Table {
 	// A view that computes its own share of the join (a remote fragment)
 	// switches the whole call to the index-merge path; local views in the
 	// same mix run the identical per-view computation in-process and the
@@ -283,6 +290,7 @@ func extendRowsViews(views []graph.View, t *Table, child *pattern.Pattern) *Tabl
 // extendRowsViews clause for clause — any divergence would break the
 // byte-identical-merge contract.
 func ExtendIndexed(g graph.View, t *Table, child *pattern.Pattern) IndexedExt {
+	mExtendIndexed.Inc()
 	var ext IndexedExt
 	if t == nil {
 		return ext

@@ -26,6 +26,7 @@ package match
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/pattern"
@@ -144,6 +145,11 @@ func CompileGlobal(v graph.View, p *pattern.Pattern) *Plan {
 // are bound before promiscuous ones. Every mode is deterministic for a
 // given (view, pattern): all estimates are ratios of integer statistics.
 func compile(v graph.View, p *pattern.Pattern, mode PlannerMode) *Plan {
+	start := time.Now()
+	defer func() {
+		mPlanCompiles.Inc()
+		hPlanCompile.ObserveSince(start)
+	}()
 	pl := &Plan{v: v, p: p}
 	resolve := func(lbl string) graph.LabelID {
 		if lbl == pattern.Wildcard {

@@ -1,0 +1,15 @@
+package match
+
+import "repro/internal/obs"
+
+// Kernel-grade instrumentation on the default registry. The extend
+// kernels are hot (µs-scale per call at bench), so they get counters
+// only — two atomic adds — never timing; the plan compiler is a
+// cache-miss cold path and can afford a latency histogram.
+var (
+	mPlanCompiles  = obs.Default.Counter("gfd_match_plan_compiles_total")
+	hPlanCompile   = obs.Default.Histogram("gfd_match_plan_compile_seconds")
+	mExtendCalls   = obs.Default.Counter("gfd_match_extend_calls_total")
+	mExtendRows    = obs.Default.Counter("gfd_match_extend_rows_total")
+	mExtendIndexed = obs.Default.Counter("gfd_match_extend_indexed_total")
+)

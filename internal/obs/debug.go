@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// MemberInfo is one cluster member's live state as served on /cluster.
+type MemberInfo struct {
+	Worker   int     `json:"worker"`
+	Addr     string  `json:"addr"`
+	State    string  `json:"state"`
+	RTTp50Ms float64 `json:"rtt_p50_ms"`
+	RTTp95Ms float64 `json:"rtt_p95_ms"`
+	RTTp99Ms float64 `json:"rtt_p99_ms"`
+}
+
+// ClusterInfo is the /cluster payload: registry epoch plus per-member
+// health and RTT quantiles.
+type ClusterInfo struct {
+	Epoch   uint64       `json:"epoch"`
+	Members []MemberInfo `json:"members"`
+}
+
+// DebugServer is the opt-in -debug-addr introspection endpoint: GET
+// /metrics (Prometheus text format), /cluster (JSON membership/health),
+// and the stdlib pprof profiles under /debug/pprof/.
+type DebugServer struct {
+	l   net.Listener
+	srv *http.Server
+}
+
+// ServeDebug starts the debug HTTP server on addr. cluster supplies the
+// /cluster payload and may be nil (an empty payload is served). The
+// server runs until Close.
+func ServeDebug(addr string, reg *Registry, cluster func() ClusterInfo) (*DebugServer, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/cluster", func(w http.ResponseWriter, _ *http.Request) {
+		info := ClusterInfo{}
+		if cluster != nil {
+			info = cluster()
+		}
+		if info.Members == nil {
+			info.Members = []MemberInfo{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(info)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(l)
+	return &DebugServer{l: l, srv: srv}, nil
+}
+
+// Addr returns the listener's address (useful with ":0").
+func (d *DebugServer) Addr() string {
+	if d == nil {
+		return ""
+	}
+	return d.l.Addr().String()
+}
+
+// Close shuts the debug server down.
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	return d.srv.Close()
+}

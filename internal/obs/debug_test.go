@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+}
+
+func TestDebugServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("gfd_test_total", "path", "a").Add(42)
+	info := ClusterInfo{
+		Epoch: 7,
+		Members: []MemberInfo{
+			{Worker: 1, Addr: "127.0.0.1:7701", State: "healthy", RTTp50Ms: 0.5},
+		},
+	}
+	ds, err := ServeDebug("127.0.0.1:0", reg, func() ClusterInfo { return info })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	base := "http://" + ds.Addr()
+
+	code, body, ct := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	if !strings.Contains(body, `gfd_test_total{path="a"} 42`) {
+		t.Errorf("/metrics missing series:\n%s", body)
+	}
+
+	code, body, ct = get(t, base+"/cluster")
+	if code != http.StatusOK || ct != "application/json" {
+		t.Fatalf("/cluster status %d content type %q", code, ct)
+	}
+	var got ClusterInfo
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("/cluster not JSON: %v\n%s", err, body)
+	}
+	if got.Epoch != 7 || len(got.Members) != 1 || got.Members[0].State != "healthy" {
+		t.Fatalf("/cluster payload = %+v", got)
+	}
+
+	code, _, _ = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+}
+
+func TestDebugServerNilClusterFn(t *testing.T) {
+	ds, err := ServeDebug("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	_, body, _ := get(t, "http://"+ds.Addr()+"/cluster")
+	var got ClusterInfo
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Members == nil || len(got.Members) != 0 {
+		t.Fatalf("nil cluster fn payload = %q", body)
+	}
+}

@@ -1,0 +1,397 @@
+// Package obs is the observability plane of the mining runtime: an
+// allocation-conscious metrics registry (atomic counters, gauges and
+// fixed-bucket log2 latency histograms), a JSONL span tracer for per-run
+// structured traces, and an opt-in debug HTTP endpoint serving Prometheus
+// text metrics, cluster membership state and pprof profiles.
+//
+// Handles are nil-safe and gated on the owning registry's enabled flag,
+// so instrumented hot paths cost one atomic load and a branch when
+// metrics are off and a handful of atomic adds when they are on — never
+// an allocation, never a lock. Package-level instrumentation throughout
+// the repo registers against Default.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Default is the process-wide registry package-level instrumentation
+// (match kernels, remote RPCs, steal chunks) registers against. Enabled
+// by default; SetEnabled(false) turns every registered handle into a
+// near-free no-op.
+var Default = NewRegistry()
+
+// Registry holds named metrics. Handle constructors are idempotent: the
+// same (name, labels) returns the same handle, so package-level vars and
+// late lookups (a CLI reading a counter the kernel bumped) share state.
+type Registry struct {
+	enabled atomic.Bool
+
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	r := &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+	r.enabled.Store(true)
+	return r
+}
+
+// SetEnabled flips metric collection. Disabled handles drop updates at
+// the first branch; values already accumulated are retained.
+func (r *Registry) SetEnabled(on bool) { r.enabled.Store(on) }
+
+// Enabled reports whether the registry is collecting.
+func (r *Registry) Enabled() bool { return r.enabled.Load() }
+
+// series renders a full series key: name{k1="v1",k2="v2"} with label
+// keys sorted, or the bare name without labels. labels are alternating
+// key, value pairs.
+func series(name string, labels []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: series %q: odd label list %v", name, labels))
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		kvs = append(kvs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, p := range kvs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`=`)
+		b.WriteString(strconv.Quote(p.v))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// baseName returns the metric name of a series key (everything before
+// the label block).
+func baseName(key string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// Counter is a monotonically increasing atomic counter. A nil Counter
+// is a valid no-op handle.
+type Counter struct {
+	on *atomic.Bool
+	v  atomic.Int64
+}
+
+// Counter returns (creating if needed) the named counter. Safe on a nil
+// registry (returns a nil no-op handle).
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := series(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[key]
+	if !ok {
+		c = &Counter{on: &r.enabled}
+		r.counters[key] = c
+	}
+	return c
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil || !c.on.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the accumulated count (0 on a nil handle).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic last-value metric. A nil Gauge is a valid no-op
+// handle.
+type Gauge struct {
+	on *atomic.Bool
+	v  atomic.Int64
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key := series(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[key]
+	if !ok {
+		g = &Gauge{on: &r.enabled}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+// Set records the gauge's current value.
+func (g *Gauge) Set(v int64) {
+	if g == nil || !g.on.Load() {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the last recorded value (0 on a nil handle).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// HistBuckets is the number of log2 histogram buckets: bucket b counts
+// observations in [2^b, 2^(b+1)) with the last bucket absorbing the
+// tail — the graph.LabelDegree idiom applied to nanoseconds, spanning
+// 1ns to ~18min at ×2 resolution.
+const HistBuckets = 40
+
+// Histogram is a fixed-bucket log2 histogram of int64 observations —
+// by convention durations in nanoseconds (name the metric *_seconds;
+// the Prometheus exposition converts). A nil Histogram is a valid
+// no-op handle.
+type Histogram struct {
+	on      *atomic.Bool
+	buckets [HistBuckets]atomic.Int64
+	sum     atomic.Int64
+	count   atomic.Int64
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := series(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[key]
+	if !ok {
+		h = &Histogram{on: &r.enabled}
+		r.histograms[key] = h
+	}
+	return h
+}
+
+// histBucket maps an observation to its bucket (values < 1 land in
+// bucket 0).
+func histBucket(v int64) int {
+	if v < 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(v)) - 1
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v int64) {
+	if h == nil || !h.on.Load() {
+		return
+	}
+	h.buckets[histBucket(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveSince records the nanoseconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil || !h.on.Load() {
+		return
+	}
+	h.Observe(int64(time.Since(start)))
+}
+
+// Count returns the number of observations (0 on a nil handle).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations (0 on a nil handle).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Quantile returns an upper bound on the q-quantile (q in [0,1]) of the
+// observations, resolved to bucket granularity: the upper edge of the
+// first bucket whose cumulative count reaches q×Count — the same
+// bucket-edge contract as graph.LabelDegree.Quantile.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	want := q * float64(total)
+	cum := 0.0
+	for b := 0; b < HistBuckets; b++ {
+		cum += float64(h.buckets[b].Load())
+		if cum >= want {
+			return bucketUpper(b)
+		}
+	}
+	return bucketUpper(HistBuckets - 1)
+}
+
+// bucketUpper is bucket b's inclusive upper edge.
+func bucketUpper(b int) int64 {
+	if b >= 62 {
+		return 1<<63 - 1
+	}
+	return (1 << (b + 1)) - 1
+}
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format, sorted by series key so output is deterministic.
+// Histograms are emitted with cumulative _bucket series (le rendered in
+// seconds — observations are nanoseconds by convention), _sum and
+// _count; trailing empty buckets collapse into +Inf.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	counters := make(map[string]int64, len(r.counters))
+	for k, c := range r.counters {
+		counters[k] = c.Value()
+	}
+	gauges := make(map[string]int64, len(r.gauges))
+	for k, g := range r.gauges {
+		gauges[k] = g.Value()
+	}
+	type histSnap struct {
+		buckets [HistBuckets]int64
+		sum     int64
+		count   int64
+	}
+	hists := make(map[string]histSnap, len(r.histograms))
+	for k, h := range r.histograms {
+		var s histSnap
+		for b := range s.buckets {
+			s.buckets[b] = h.buckets[b].Load()
+		}
+		s.sum, s.count = h.Sum(), h.Count()
+		hists[k] = s
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	typed := make(map[string]bool)
+	writeType := func(key, typ string) {
+		base := baseName(key)
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(&b, "# TYPE %s %s\n", base, typ)
+		}
+	}
+	for _, key := range sortedKeys(counters) {
+		writeType(key, "counter")
+		fmt.Fprintf(&b, "%s %d\n", key, counters[key])
+	}
+	for _, key := range sortedKeys(gauges) {
+		writeType(key, "gauge")
+		fmt.Fprintf(&b, "%s %d\n", key, gauges[key])
+	}
+	hkeys := make([]string, 0, len(hists))
+	for k := range hists {
+		hkeys = append(hkeys, k)
+	}
+	sort.Strings(hkeys)
+	for _, key := range hkeys {
+		writeType(key, "histogram")
+		s := hists[key]
+		last := 0
+		for i, c := range s.buckets {
+			if c > 0 {
+				last = i
+			}
+		}
+		cum := int64(0)
+		for i := 0; i <= last; i++ {
+			cum += s.buckets[i]
+			le := strconv.FormatFloat(float64(int64(1)<<(i+1))/1e9, 'g', -1, 64)
+			fmt.Fprintf(&b, "%s %d\n", withLabel(key, "_bucket", "le", le), cum)
+		}
+		fmt.Fprintf(&b, "%s %d\n", withLabel(key, "_bucket", "le", "+Inf"), s.count)
+		fmt.Fprintf(&b, "%s %s\n", suffixed(key, "_sum"), strconv.FormatFloat(float64(s.sum)/1e9, 'g', -1, 64))
+		fmt.Fprintf(&b, "%s %d\n", suffixed(key, "_count"), s.count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// suffixed appends a suffix to a series key's name, preserving labels:
+// name{a="b"} + _sum -> name_sum{a="b"}.
+func suffixed(key, suffix string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i] + suffix + key[i:]
+	}
+	return key + suffix
+}
+
+// withLabel appends a suffix and merges one more label into the series
+// key: name{a="b"} + _bucket + le=x -> name_bucket{a="b",le="x"}.
+func withLabel(key, suffix, k, v string) string {
+	label := k + "=" + strconv.Quote(v)
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i] + suffix + key[i:len(key)-1] + "," + label + "}"
+	}
+	return key + suffix + "{" + label + "}"
+}

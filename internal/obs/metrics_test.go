@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value() = %d, want 5", got)
+	}
+	if c2 := r.Counter("requests_total"); c2 != c {
+		t.Fatalf("same name returned a different handle")
+	}
+}
+
+func TestLabeledSeriesAreDistinctAndOrderInsensitive(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "backend", "seq", "mode", "fast")
+	b := r.Counter("x_total", "mode", "fast", "backend", "seq")
+	if a != b {
+		t.Fatalf("label order changed handle identity")
+	}
+	c := r.Counter("x_total", "backend", "par", "mode", "fast")
+	if a == c {
+		t.Fatalf("different label values shared a handle")
+	}
+	a.Add(2)
+	c.Add(7)
+	if a.Value() != 2 || c.Value() != 7 {
+		t.Fatalf("labelled series values crossed: %d, %d", a.Value(), c.Value())
+	}
+}
+
+func TestOddLabelsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("odd label list did not panic")
+		}
+	}()
+	NewRegistry().Counter("x_total", "keyonly")
+}
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	c.Inc()
+	g.Set(3)
+	h.Observe(10)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("nil handles accumulated state")
+	}
+}
+
+func TestDisabledRegistryDropsUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total")
+	h := r.Histogram("y_seconds")
+	c.Inc()
+	h.Observe(100)
+	r.SetEnabled(false)
+	c.Add(100)
+	h.Observe(100)
+	if c.Value() != 1 {
+		t.Fatalf("disabled counter advanced: %d", c.Value())
+	}
+	if h.Count() != 1 {
+		t.Fatalf("disabled histogram advanced: %d", h.Count())
+	}
+	r.SetEnabled(true)
+	c.Inc()
+	if c.Value() != 2 {
+		t.Fatalf("re-enabled counter stuck: %d", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Set(3)
+	if g.Value() != 3 {
+		t.Fatalf("gauge = %d, want last-set 3", g.Value())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds")
+	// 100 observations of 1000ns (bucket 9: [512,1024)) and one of
+	// 1<<20 ns (bucket 20).
+	for i := 0; i < 100; i++ {
+		h.Observe(1000)
+	}
+	h.Observe(1 << 20)
+	if h.Count() != 101 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if want := int64(100*1000 + 1<<20); h.Sum() != want {
+		t.Fatalf("Sum = %d, want %d", h.Sum(), want)
+	}
+	// p50 resolves to the upper edge of the 1000ns bucket.
+	if got := h.Quantile(0.5); got != (1<<10)-1 {
+		t.Fatalf("p50 = %d, want %d", got, (1<<10)-1)
+	}
+	// p100 lands in the tail observation's bucket.
+	if got := h.Quantile(1.0); got != (1<<21)-1 {
+		t.Fatalf("p100 = %d, want %d", got, (1<<21)-1)
+	}
+	if got := NewRegistry().Histogram("empty").Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram p50 = %d, want 0", got)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{0, 0}, {-5, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2},
+		{1023, 9}, {1024, 10}, {1 << 50, HistBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := histBucket(c.v); got != c.bucket {
+			t.Errorf("histBucket(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total")
+	h := r.Histogram("y_seconds")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(int64(i + 1))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("req_total", "code", "200").Add(3)
+	r.Counter("req_total", "code", "500").Add(1)
+	r.Gauge("depth").Set(5)
+	h := r.Histogram("lat_seconds")
+	h.Observe(1000) // bucket 9: le 1024ns = 1.024e-06s
+	h.Observe(1500) // bucket 10: le 2048ns
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE req_total counter\n",
+		"req_total{code=\"200\"} 3\n",
+		"req_total{code=\"500\"} 1\n",
+		"# TYPE depth gauge\n",
+		"depth 5\n",
+		"# TYPE lat_seconds histogram\n",
+		"lat_seconds_bucket{le=\"1.024e-06\"} 1\n",
+		"lat_seconds_bucket{le=\"2.048e-06\"} 2\n",
+		"lat_seconds_bucket{le=\"+Inf\"} 2\n",
+		"lat_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic: a second render is byte-identical.
+	var b2 strings.Builder
+	r.WritePrometheus(&b2)
+	if b2.String() != out {
+		t.Fatalf("render not deterministic")
+	}
+	// TYPE comments precede their series exactly once.
+	if strings.Count(out, "# TYPE req_total") != 1 {
+		t.Fatalf("duplicated TYPE line:\n%s", out)
+	}
+}
+
+func TestWithLabelAndSuffixed(t *testing.T) {
+	if got := suffixed(`lat{a="b"}`, "_sum"); got != `lat_sum{a="b"}` {
+		t.Errorf("suffixed = %q", got)
+	}
+	if got := suffixed("lat", "_sum"); got != "lat_sum" {
+		t.Errorf("suffixed bare = %q", got)
+	}
+	if got := withLabel(`lat{a="b"}`, "_bucket", "le", "+Inf"); got != `lat_bucket{a="b",le="+Inf"}` {
+		t.Errorf("withLabel = %q", got)
+	}
+	if got := withLabel("lat", "_bucket", "le", "2"); got != `lat_bucket{le="2"}` {
+		t.Errorf("withLabel bare = %q", got)
+	}
+}

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer writes a structured run trace as one JSON object per line:
+// spans with monotonic start offsets, durations and parent IDs, plus
+// zero-duration events. All methods are safe on a nil *Tracer (no-op),
+// so call sites thread an optional tracer without branching.
+//
+// Parenting uses a current-scope register: StartScope pushes the new
+// span as the scope and End restores the previous one. The mining
+// driver opens scopes serially (level → superstep), so spans started
+// by worker goroutines inside a superstep parent to that superstep.
+// Span IDs are allocated at Start, before any child can observe them,
+// so every parent ID in the log refers to a span that precedes it.
+type Tracer struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	f      *os.File // nil when writing to a caller-supplied writer
+	closed bool
+
+	base  time.Time
+	ids   atomic.Uint64
+	scope atomic.Uint64
+}
+
+// Span is one open span. End writes it to the log; a nil or
+// already-ended Span is a no-op.
+type Span struct {
+	t         *Tracer
+	id        uint64
+	parent    uint64
+	prevScope uint64
+	scoped    bool
+	name      string
+	attrs     []string
+	start     time.Duration
+	done      bool
+}
+
+// SpanRecord is the parsed form of one trace line, shared by the
+// gfdbench trace report and the integrity tests.
+type SpanRecord struct {
+	ID      uint64            `json:"id"`
+	Parent  uint64            `json:"parent"`
+	Name    string            `json:"name"`
+	StartNs int64             `json:"start_ns"`
+	DurNs   int64             `json:"dur_ns"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// StartTrace opens path for writing and returns a tracer over it. A
+// failed open is reported as an error — callers must treat it as a
+// startup failure, not a silent no-op.
+func StartTrace(path string) (*Tracer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	t := NewTracer(f)
+	t.f = f
+	return t, nil
+}
+
+// NewTracer returns a tracer writing JSONL to w. The caller owns w's
+// lifetime; Close flushes but only syncs/closes files opened by
+// StartTrace.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: bufio.NewWriter(w), base: time.Now()}
+}
+
+// Flush pushes buffered spans to the underlying writer without closing
+// the log. Long-running servers call it after sparse lifecycle events,
+// so even an abrupt kill loses nothing already recorded.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	return t.w.Flush()
+}
+
+// Close flushes the span log and, for file-backed tracers, fsyncs and
+// closes the file — the crash path (gfdfrag -die-after) relies on this
+// running before os.Exit. Idempotent; later spans are dropped.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	err := t.w.Flush()
+	if t.f != nil {
+		if serr := t.f.Sync(); err == nil {
+			err = serr
+		}
+		if cerr := t.f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Start opens a span parented to the current scope. attrs are
+// alternating key, value string pairs recorded on the span.
+func (t *Tracer) Start(name string, attrs ...string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{
+		t:      t,
+		id:     t.ids.Add(1),
+		parent: t.scope.Load(),
+		name:   name,
+		attrs:  attrs,
+		start:  time.Since(t.base),
+	}
+}
+
+// StartScope opens a span like Start and additionally makes it the
+// current scope: spans started before its End (including from worker
+// goroutines) parent to it. Scopes must be opened and ended serially
+// by the driver; End restores the previous scope.
+func (t *Tracer) StartScope(name string, attrs ...string) *Span {
+	s := t.Start(name, attrs...)
+	if s == nil {
+		return nil
+	}
+	s.scoped = true
+	s.prevScope = t.scope.Swap(s.id)
+	return s
+}
+
+// Event records a zero-duration span parented to the current scope —
+// failovers, adoptions, health transitions and other point-in-time
+// occurrences, safe to call from any goroutine.
+func (t *Tracer) Event(name string, attrs ...string) {
+	if t == nil {
+		return
+	}
+	now := time.Since(t.base)
+	t.write(t.ids.Add(1), t.scope.Load(), name, now, 0, attrs)
+}
+
+// End closes the span, writing it to the log. For scoped spans the
+// previous scope is restored.
+func (s *Span) End() {
+	if s == nil || s.done {
+		return
+	}
+	s.done = true
+	if s.scoped {
+		// Restore only if we are still the innermost scope; a stale
+		// store here would resurrect an already-ended scope.
+		s.t.scope.CompareAndSwap(s.id, s.prevScope)
+	}
+	s.t.write(s.id, s.parent, s.name, s.start, time.Since(s.t.base)-s.start, s.attrs)
+}
+
+// write renders one JSONL record under the tracer lock. Hand-formatted
+// (strconv appends into a scratch buffer) so tracing a span costs one
+// buffered write and no reflection.
+func (t *Tracer) write(id, parent uint64, name string, start, dur time.Duration, attrs []string) {
+	buf := make([]byte, 0, 128)
+	buf = append(buf, `{"id":`...)
+	buf = strconv.AppendUint(buf, id, 10)
+	buf = append(buf, `,"parent":`...)
+	buf = strconv.AppendUint(buf, parent, 10)
+	buf = append(buf, `,"name":`...)
+	buf = strconv.AppendQuote(buf, name)
+	buf = append(buf, `,"start_ns":`...)
+	buf = strconv.AppendInt(buf, int64(start), 10)
+	buf = append(buf, `,"dur_ns":`...)
+	buf = strconv.AppendInt(buf, int64(dur), 10)
+	if len(attrs) >= 2 {
+		buf = append(buf, `,"attrs":{`...)
+		for i := 0; i+1 < len(attrs); i += 2 {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = strconv.AppendQuote(buf, attrs[i])
+			buf = append(buf, ':')
+			buf = strconv.AppendQuote(buf, attrs[i+1])
+		}
+		buf = append(buf, '}')
+	}
+	buf = append(buf, '}', '\n')
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	t.w.Write(buf)
+}
+
+// ReadSpans parses a JSONL span log back into records, preserving file
+// order.
+func ReadSpans(r io.Reader) ([]SpanRecord, error) {
+	var spans []SpanRecord
+	dec := json.NewDecoder(r)
+	for {
+		var s SpanRecord
+		if err := dec.Decode(&s); err == io.EOF {
+			return spans, nil
+		} else if err != nil {
+			return spans, fmt.Errorf("trace: parse span %d: %w", len(spans)+1, err)
+		}
+		spans = append(spans, s)
+	}
+}
+
+// ReadSpansFile parses the span log at path.
+func ReadSpansFile(path string) ([]SpanRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSpans(f)
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerRoundTrip(t *testing.T) {
+	var b strings.Builder
+	tr := NewTracer(&b)
+	lvl := tr.StartScope("level", "level", "1")
+	step := tr.StartScope("superstep", "step", "extend")
+	tr.Event("hedge-race", "winner", "local")
+	s := tr.Start("share", "worker", "2")
+	s.End()
+	step.End()
+	lvl.End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	spans, err := ReadSpans(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	ids := map[uint64]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+		if _, dup := ids[s.ID]; dup {
+			t.Fatalf("duplicate span id %d", s.ID)
+		}
+		ids[s.ID] = s
+	}
+	if byName["level"].Parent != 0 {
+		t.Errorf("level parent = %d, want 0 (root)", byName["level"].Parent)
+	}
+	if byName["superstep"].Parent != byName["level"].ID {
+		t.Errorf("superstep parent = %d, want level %d", byName["superstep"].Parent, byName["level"].ID)
+	}
+	for _, name := range []string{"hedge-race", "share"} {
+		if byName[name].Parent != byName["superstep"].ID {
+			t.Errorf("%s parent = %d, want superstep %d", name, byName[name].Parent, byName["superstep"].ID)
+		}
+	}
+	if byName["hedge-race"].DurNs != 0 {
+		t.Errorf("event has nonzero duration %d", byName["hedge-race"].DurNs)
+	}
+	if got := byName["share"].Attrs["worker"]; got != "2" {
+		t.Errorf("share attrs = %v", byName["share"].Attrs)
+	}
+}
+
+func TestTracerScopeRestore(t *testing.T) {
+	var b strings.Builder
+	tr := NewTracer(&b)
+	outer := tr.StartScope("outer")
+	inner := tr.StartScope("inner")
+	inner.End()
+	// After the inner scope ends, new spans parent to outer again.
+	s := tr.Start("after")
+	s.End()
+	outer.End()
+	tr.Close()
+
+	spans, err := ReadSpans(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]SpanRecord{}
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+	}
+	if byName["after"].Parent != byName["outer"].ID {
+		t.Fatalf("after parent = %d, want outer %d", byName["after"].Parent, byName["outer"].ID)
+	}
+}
+
+func TestTracerNilAndDoubleEnd(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x")
+	sp.End()
+	tr.StartScope("y").End()
+	tr.Event("z")
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	tr2 := NewTracer(&b)
+	s := tr2.Start("once")
+	s.End()
+	s.End() // second End must not write a duplicate record
+	tr2.Close()
+	if n := strings.Count(b.String(), "\n"); n != 1 {
+		t.Fatalf("double End wrote %d records, want 1", n)
+	}
+}
+
+func TestTracerConcurrentEvents(t *testing.T) {
+	var b strings.Builder
+	tr := NewTracer(&b)
+	scope := tr.StartScope("superstep")
+	var wg sync.WaitGroup
+	const events = 200
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < events/8; i++ {
+				tr.Event("steal")
+				tr.Start("share").End()
+			}
+		}()
+	}
+	wg.Wait()
+	scope.End()
+	tr.Close()
+
+	spans, err := ReadSpans(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2*events+1 {
+		t.Fatalf("got %d spans, want %d (no lost or duplicated writes)", len(spans), 2*events+1)
+	}
+	ids := map[uint64]bool{}
+	var scopeID uint64
+	for _, s := range spans {
+		if ids[s.ID] {
+			t.Fatalf("duplicate id %d", s.ID)
+		}
+		ids[s.ID] = true
+		if s.Name == "superstep" {
+			scopeID = s.ID
+		}
+	}
+	for _, s := range spans {
+		if s.Name != "superstep" && s.Parent != scopeID {
+			t.Fatalf("%s span parented to %d, want scope %d", s.Name, s.Parent, scopeID)
+		}
+	}
+}
+
+func TestStartTraceFileLifecycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	tr, err := StartTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Start("phase").End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("second Close errored: %v", err)
+	}
+	// Writes after Close are dropped, not panics.
+	tr.Event("late")
+
+	spans, err := ReadSpansFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Name != "phase" {
+		t.Fatalf("spans = %+v", spans)
+	}
+}
+
+func TestStartTraceBadPathIsError(t *testing.T) {
+	if _, err := StartTrace(filepath.Join(t.TempDir(), "no", "such", "dir", "x.jsonl")); err == nil {
+		t.Fatal("StartTrace on an unwritable path returned nil error")
+	}
+	if _, err := os.Stat("x.jsonl"); err == nil {
+		t.Fatal("stray trace file created")
+	}
+}

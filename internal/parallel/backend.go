@@ -472,11 +472,17 @@ func (b *Backend) extendBatchStealing(parents []discovery.Handle, children []*pa
 			}
 			ut := units[u]
 			pt := parents[ut.child].(*parHandle).parts[ut.owner]
+			var start time.Time
 			if !ut.whole {
 				pt = pt.Slice(ut.lo, ut.hi)
+				start = time.Now()
 			}
 			slot := ut.child*n + ut.owner
 			chunkTabs[slot][ut.chunkIdx] = match.ExtendRowsViews(b.workerViews[ut.owner], pt, children[ut.child])
+			if !ut.whole {
+				mStealChunks.Inc()
+				hStealChunk.ObserveSince(start)
+			}
 			if remaining[slot].Add(-1) != 0 {
 				continue
 			}

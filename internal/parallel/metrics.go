@@ -1,0 +1,10 @@
+package parallel
+
+import "repro/internal/obs"
+
+// Steal-chunk accounting for the ParDis stealing extend superstep; the
+// concurrent SeqDis pool keeps its own handles under backend="seqdis".
+var (
+	mStealChunks = obs.Default.Counter("gfd_steal_chunks_total", "backend", "pardis")
+	hStealChunk  = obs.Default.Histogram("gfd_steal_chunk_seconds", "backend", "pardis")
+)

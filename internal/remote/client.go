@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
 	"repro/internal/match"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/store"
 )
@@ -56,6 +58,10 @@ type Options struct {
 	Dialer func(ctx context.Context, addr string) (net.Conn, error)
 	// Logf, if set, receives one line per retry/failover event.
 	Logf func(format string, args ...any)
+	// Trace, when non-nil, receives share spans and
+	// failover/failback/adoption/hedge events for the run's JSONL span
+	// log.
+	Trace *obs.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -342,7 +348,10 @@ func (f *RemoteFragment) attempt(ctx context.Context, typ uint32, payload []byte
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
+	mRPCCalls.Inc()
+	start := time.Now()
 	respType, resp, err := m.roundTrip(typ, f.tags.Add(1), payload, deadline)
+	hRPCCall.ObserveSince(start)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -363,6 +372,7 @@ func (f *RemoteFragment) call(typ uint32, payload []byte) (uint32, []byte, error
 	var lastErr error
 	for a := 0; a < f.opts.Backoff.Attempts; a++ {
 		if a > 0 {
+			mRPCRetries.Inc()
 			f.rngMu.Lock()
 			delay := f.opts.Backoff.Delay(a-1, f.rng)
 			f.rngMu.Unlock()
@@ -383,6 +393,7 @@ func (f *RemoteFragment) call(typ uint32, payload []byte) (uint32, []byte, error
 		}
 		lastErr = err
 	}
+	mRPCFailures.Inc()
 	return 0, nil, fmt.Errorf("remote: %s: %d attempts exhausted: %w", f.Addr(), f.opts.Backoff.Attempts, lastErr)
 }
 
@@ -455,9 +466,14 @@ func (f *RemoteFragment) declareDead(cause error) *store.MappedGraph {
 	} else {
 		f.logf("remote: fragment %d at %s declared dead (%v); serving from the local mapping", f.info.Worker, f.Addr(), cause)
 	}
-	f.dead.Store(true)
+	wasDead := f.dead.Swap(true)
 	f.failedOver.Store(true)
 	f.localMu.Unlock()
+	if !wasDead {
+		mFailovers.Inc()
+		f.opts.Trace.Event("failover",
+			"worker", strconv.Itoa(f.info.Worker), "cause", cause.Error())
+	}
 	f.startFailback()
 	return m
 }
@@ -520,6 +536,8 @@ func (f *RemoteFragment) tryFailback() bool {
 	f.dead.Store(false)
 	f.failedOver.Store(false)
 	f.rejoined.Store(true)
+	mFailbacks.Inc()
+	f.opts.Trace.Event("failback", "worker", strconv.Itoa(f.info.Worker), "addr", f.Addr())
 	f.logf("remote: fragment %d at %s recovered; failing back to remote serving", f.info.Worker, f.Addr())
 	return true
 }
@@ -542,6 +560,12 @@ func (f *RemoteFragment) ExtendIndexed(t *match.Table, child *pattern.Pattern) m
 		return match.IndexedExt{}
 	}
 	payload := encodeExtend(t, child)
+	sp := f.opts.Trace.Start("share", "worker", strconv.Itoa(f.info.Worker))
+	start := time.Now()
+	defer func() {
+		hShare.ObserveSince(start)
+		sp.End()
+	}()
 	if delay := f.hedgeDelay(); delay > 0 {
 		return f.extendHedged(t, child, payload, delay)
 	}
@@ -635,20 +659,29 @@ func (f *RemoteFragment) extendHedged(t *match.Table, child *pattern.Pattern, pa
 		// remote result when it is clean (both are identical — this just
 		// keeps the accounting honest about who finished first).
 		if r.err == nil {
+			f.traceHedge("remote")
 			return r.ext
 		}
 		f.hedgesWon.Add(1)
+		f.traceHedge("local")
 		f.declareDead(r.err)
 		return local
 	default:
 	}
 	f.hedgesWon.Add(1)
+	f.traceHedge("local")
 	go func() {
 		if r := <-ch; r.err != nil && !f.closed.Load() {
 			f.declareDead(r.err)
 		}
 	}()
 	return local
+}
+
+// traceHedge records the outcome of a fired hedge race.
+func (f *RemoteFragment) traceHedge(winner string) {
+	f.opts.Trace.Event("hedge-race",
+		"worker", strconv.Itoa(f.info.Worker), "winner", winner)
 }
 
 // ensureLocal returns a local mapping suitable for hedged recomputes:
@@ -714,6 +747,8 @@ func (f *RemoteFragment) Adopt(addr string) error {
 	same := f.addr == addr
 	f.addr = addr
 	f.addrMu.Unlock()
+	mAdoptions.Inc()
+	f.opts.Trace.Event("adopt", "worker", strconv.Itoa(f.info.Worker), "addr", addr)
 	if !same {
 		f.connMu.Lock()
 		if f.mx != nil {

@@ -3,10 +3,12 @@ package remote
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
 
 // MonitorOptions configures the health monitor.
@@ -28,6 +30,8 @@ type MonitorOptions struct {
 	OnDead func(worker int, rf *RemoteFragment)
 	// Logf, if set, receives one line per state transition.
 	Logf func(format string, args ...any)
+	// Trace, when non-nil, receives a health event per state transition.
+	Trace *obs.Tracer
 }
 
 func (o MonitorOptions) withDefaults() MonitorOptions {
@@ -115,6 +119,19 @@ func (m *Monitor) State(worker int) cluster.HealthState {
 	return h.State()
 }
 
+// RTTQuantile returns the q-quantile of the worker slot's rolling
+// heartbeat round-trip window (0 for an unwatched slot or an empty
+// window). Serves the /cluster introspection endpoint.
+func (m *Monitor) RTTQuantile(worker int, q float64) time.Duration {
+	m.mu.Lock()
+	h := m.health[worker]
+	m.mu.Unlock()
+	if h == nil {
+		return 0
+	}
+	return h.RTTQuantile(q)
+}
+
 // Close stops every probe loop and waits them out.
 func (m *Monitor) Close() {
 	m.cancel()
@@ -131,6 +148,18 @@ func (m *Monitor) current(worker int, rf *RemoteFragment) bool {
 // loop is one member's probe cadence.
 func (m *Monitor) loop(worker int, rf *RemoteFragment, h *cluster.Health) {
 	defer m.wg.Done()
+	// Track the previous state locally so every ladder movement is
+	// counted and traced exactly once.
+	prev := cluster.Healthy
+	transition := func(to cluster.HealthState) {
+		if to == prev {
+			return
+		}
+		healthTransition(prev, to)
+		m.opts.Trace.Event("health",
+			"worker", strconv.Itoa(worker), "from", prev.String(), "to", to.String())
+		prev = to
+	}
 	for {
 		if err := m.opts.Clock.Sleep(m.ctx, m.opts.Interval); err != nil {
 			return
@@ -145,6 +174,7 @@ func (m *Monitor) loop(worker int, rf *RemoteFragment, h *cluster.Health) {
 			if !rf.FailedOver() {
 				h.ObserveRejoin()
 				rf.SetSuspect(false)
+				transition(cluster.Healthy)
 				m.logf("monitor: worker %d rejoined; healthy again", worker)
 			}
 			continue
@@ -164,6 +194,7 @@ func (m *Monitor) loop(worker int, rf *RemoteFragment, h *cluster.Health) {
 			}
 			state = h.ObserveRTT(rtt)
 		}
+		transition(state)
 		switch state {
 		case cluster.Healthy:
 			if rf.Suspect() {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/remote"
 )
@@ -178,8 +179,9 @@ func TestGoldenMiningRemoteProcessKilled(t *testing.T) {
 		fragPath := filepath.Join(dir, parallel.FragmentSnapshotName(w))
 		extra := []string{}
 		if w == 1 {
-			// The victim: drops dead partway through the Extend stream.
-			extra = []string{"-die-after", "30"}
+			// The victim: drops dead partway through the Extend stream,
+			// with a span log that must survive the abrupt exit.
+			extra = []string{"-die-after", "30", "-trace", filepath.Join(dir, "victim.jsonl")}
 		}
 		addr, cmd := startFragProcess(t, bin, fragPath, extra...)
 		rf, err := remote.Dial(context.Background(), addr, att.Graph, remote.Options{
@@ -211,6 +213,19 @@ func TestGoldenMiningRemoteProcessKilled(t *testing.T) {
 		t.Fatal("victim process exited cleanly; -die-after should exit(3)")
 	} else if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 3 {
 		t.Fatalf("victim exit: %v, want exit status 3", err)
+	}
+	// The span log was fsynced and closed on the death path: the serve
+	// and die events must be readable after exit(3).
+	spans, err := obs.ReadSpansFile(filepath.Join(dir, "victim.jsonl"))
+	if err != nil {
+		t.Fatalf("victim trace unreadable after crash: %v", err)
+	}
+	names := make(map[string]bool, len(spans))
+	for _, s := range spans {
+		names[s.Name] = true
+	}
+	if !names["serve"] || !names["die"] {
+		t.Fatalf("victim trace missing lifecycle events (got %v), want serve and die", spans)
 	}
 }
 
